@@ -1,0 +1,86 @@
+(* levioso_cc: the Lev compiler driver.
+
+   Compiles a .lev source file to the simulator's IR, optionally runs the
+   Levioso annotation pass, and can execute the result under any defense:
+
+     levioso_cc prog.lev                 # annotated disassembly to stdout
+     levioso_cc prog.lev --run           # execute (emulator), dump mem[64]
+     levioso_cc prog.lev --run -p levioso --watch 64 --watch 65 *)
+
+module Ir = Levioso_ir.Ir
+module Emulator = Levioso_ir.Emulator
+module Compiler = Levioso_lang.Compiler
+module Annotation = Levioso_core.Annotation
+module Registry = Levioso_core.Registry
+module Config = Levioso_uarch.Config
+module Pipeline = Levioso_uarch.Pipeline
+module Sim_stats = Levioso_uarch.Sim_stats
+module Opt = Levioso_opt.Opt
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+let main file run policy watches optimize =
+  match Compiler.compile (read_file file) with
+  | Error msg ->
+    prerr_endline ("levioso_cc: " ^ msg);
+    `Error (false, msg)
+  | Ok raw ->
+    let program = if optimize then Opt.optimize raw else raw in
+    if optimize then
+      Printf.eprintf "levioso_cc: -O: %d -> %d instructions\n"
+        (Array.length raw) (Array.length program);
+    let annotation = Annotation.analyze program in
+    if not run then begin
+      Printf.printf "; %s: %d instructions\n" file (Array.length program);
+      print_string (Annotation.disassemble annotation);
+      List.iter
+        (fun (k, v) -> Printf.printf ";   %-18s %s\n" k v)
+        (Annotation.stats annotation)
+    end
+    else begin
+      let pipe =
+        Pipeline.create Config.default ~policy:(Registry.find_exn policy) program
+      in
+      Pipeline.run pipe;
+      let stats = Pipeline.stats pipe in
+      Printf.printf "%s under %s: %d cycles, %d instructions (IPC %.2f)\n" file
+        policy stats.Sim_stats.cycles stats.Sim_stats.committed
+        (Sim_stats.ipc stats);
+      let watches = if watches = [] then [ 64 ] else watches in
+      List.iter
+        (fun addr -> Printf.printf "  mem[%d] = %d\n" addr (Pipeline.mem pipe).(addr))
+        watches
+    end;
+    `Ok ()
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Lev source file.")
+
+let run_arg = Arg.(value & flag & info [ "run" ] ~doc:"Execute instead of printing.")
+
+let policy_arg =
+  let doc = "Defense policy for --run. Known: " ^ String.concat ", " Registry.names in
+  Arg.(value & opt string "unsafe" & info [ "p"; "policy" ] ~docv:"NAME" ~doc)
+
+let watch_arg =
+  Arg.(
+    value & opt_all int []
+    & info [ "watch" ] ~docv:"ADDR" ~doc:"Memory word to print after --run (repeatable).")
+
+let optimize_arg =
+  Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Run the IR optimizer.")
+
+let cmd =
+  let doc = "compile Lev programs for the Levioso simulator" in
+  Cmd.v (Cmd.info "levioso_cc" ~doc)
+    Term.(
+      ret (const main $ file_arg $ run_arg $ policy_arg $ watch_arg $ optimize_arg))
+
+let () = exit (Cmd.eval cmd)

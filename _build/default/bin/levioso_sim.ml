@@ -1,0 +1,173 @@
+(* levioso_sim: run suite workloads under secure-speculation defenses and
+   report cycles / IPC / overhead versus the unsafe baseline.
+
+   Examples:
+     levioso_sim                          # whole suite x all policies
+     levioso_sim -w stream -p levioso -v  # one cell, verbose stats
+     levioso_sim -w pchase --rob 384 --predictor bimodal *)
+
+module Config = Levioso_uarch.Config
+module Pipeline = Levioso_uarch.Pipeline
+module Sim_stats = Levioso_uarch.Sim_stats
+module Cache = Levioso_uarch.Cache
+module Registry = Levioso_core.Registry
+module Workload = Levioso_workload.Workload
+module Suite = Levioso_workload.Suite
+module Report = Levioso_util.Report
+module Stats = Levioso_util.Stats
+
+let run_one ?(trace = 0) config workload policy =
+  let maker = Registry.find_exn policy in
+  let pipe =
+    Pipeline.create ~mem_init:workload.Workload.mem_init config ~policy:maker
+      workload.Workload.program
+  in
+  if trace > 0 then begin
+    let remaining = ref trace in
+    Pipeline.set_tracer pipe (fun ~cycle event ->
+        if !remaining > 0 then begin
+          decr remaining;
+          Printf.printf "[%6d] %s\n" cycle (Pipeline.event_to_string event)
+        end)
+  end;
+  Pipeline.run pipe;
+  pipe
+
+let verbose_report pipe =
+  List.iter
+    (fun (k, v) -> Printf.printf "  %-32s %s\n" k v)
+    (Sim_stats.to_rows (Pipeline.stats pipe));
+  List.iter
+    (fun (k, v) -> Printf.printf "  %-32s %d\n" k v)
+    (Cache.Hierarchy.stats (Pipeline.hierarchy pipe))
+
+let main workload_names policy_names rob predictor budget verbose trace =
+  let config =
+    {
+      Config.default with
+      Config.rob_size = rob;
+      predictor;
+      depset_budget = budget;
+    }
+  in
+  let find name =
+    match Suite.find name with
+    | Some w -> w
+    | None -> Levioso_workload.Levsuite.find_exn name
+  in
+  let workloads =
+    match workload_names with
+    | [] -> Suite.all
+    | names -> List.map find names
+  in
+  let policies =
+    match policy_names with
+    | [] -> Registry.names
+    | names ->
+      List.iter (fun n -> ignore (Registry.find_exn n : Pipeline.policy_maker)) names;
+      names
+  in
+  let rows =
+    List.map
+      (fun w ->
+        let cells =
+          List.map
+            (fun p ->
+              let pipe = run_one ~trace config w p in
+              let stats = Pipeline.stats pipe in
+              if verbose then begin
+                Printf.printf "== %s / %s ==\n" w.Workload.name p;
+                verbose_report pipe
+              end;
+              stats.Sim_stats.cycles)
+            policies
+        in
+        (w, cells))
+      workloads
+  in
+  let baseline_of cells =
+    match (policies, cells) with
+    | "unsafe" :: _, base :: _ -> Some base
+    | _ -> None
+  in
+  let header = "workload" :: List.map (fun p -> p ^ " (cyc)") policies in
+  let body =
+    List.map
+      (fun (w, cells) ->
+        let base = baseline_of cells in
+        w.Workload.name
+        :: List.map
+             (fun c ->
+               match base with
+               | Some b when b > 0 && b <> c ->
+                 Printf.sprintf "%d (%+.1f%%)" c
+                   (Stats.overhead_pct ~baseline:(float_of_int b) (float_of_int c))
+               | Some _ | None -> string_of_int c)
+             cells)
+      rows
+  in
+  print_endline (Report.table ~header ~rows:body);
+  `Ok ()
+
+open Cmdliner
+
+let workloads_arg =
+  let doc =
+    "Workload to run (repeatable). Known: "
+    ^ String.concat ", " (Suite.names @ Levioso_workload.Levsuite.names)
+  in
+  Arg.(value & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let policies_arg =
+  let doc =
+    "Defense policy (repeatable). Known: " ^ String.concat ", " Registry.names
+  in
+  Arg.(value & opt_all string [] & info [ "p"; "policy" ] ~docv:"NAME" ~doc)
+
+let rob_arg =
+  Arg.(
+    value
+    & opt int Config.default.Config.rob_size
+    & info [ "rob" ] ~docv:"N" ~doc:"Reorder-buffer size.")
+
+let predictor_arg =
+  let predictor_conv =
+    Arg.enum
+      [
+        ("always-taken", Config.Always_taken);
+        ("bimodal", Config.Bimodal);
+        ("gshare", Config.Gshare);
+        ("tage", Config.Tage);
+      ]
+  in
+  Arg.(
+    value
+    & opt predictor_conv Config.default.Config.predictor
+    & info [ "predictor" ] ~docv:"KIND"
+        ~doc:"Branch predictor: always-taken, bimodal, gshare or tage.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt int Config.default.Config.depset_budget
+    & info [ "budget" ] ~docv:"K" ~doc:"Dependency-set hardware budget.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print full per-run statistics.")
+
+let trace_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "trace" ] ~docv:"N"
+        ~doc:"Print the first N microarchitectural events of each run.")
+
+let cmd =
+  let doc = "simulate workloads under secure-speculation defenses" in
+  let info = Cmd.info "levioso_sim" ~doc in
+  Cmd.v info
+    Term.(
+      ret
+        (const main $ workloads_arg $ policies_arg $ rob_arg $ predictor_arg
+       $ budget_arg $ verbose_arg $ trace_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/constant_time_demo.ml: Levioso_attack Levioso_util List Printf String

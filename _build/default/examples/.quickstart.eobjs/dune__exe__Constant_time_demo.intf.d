@@ -1,0 +1,1 @@
+examples/constant_time_demo.mli:

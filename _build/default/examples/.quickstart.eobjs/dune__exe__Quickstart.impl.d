@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Levioso_core Levioso_ir Levioso_uarch List Printf String

@@ -1,0 +1,1 @@
+examples/source_spectre.ml: Array Levioso_core Levioso_lang Levioso_uarch List Printf

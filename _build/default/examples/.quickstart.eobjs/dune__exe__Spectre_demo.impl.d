@@ -1,0 +1,1 @@
+examples/spectre_demo.ml: Array Levioso_attack Levioso_core Levioso_uarch Levioso_util List Printf

@@ -1,0 +1,73 @@
+(* Quickstart: the whole Levioso flow on one small kernel.
+
+   1. Write a program with the assembler DSL (or Parser for textual asm).
+   2. Run the compiler pass: reconvergence analysis + branch hints.
+   3. Simulate it on the out-of-order core under different defenses.
+   4. Compare cycles: the point of the paper in one screen of output.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+module Annotation = Levioso_core.Annotation
+module Api = Levioso_core.Levioso_api
+module Pipeline = Levioso_uarch.Pipeline
+module Sim_stats = Levioso_uarch.Sim_stats
+
+(* A guarded gather: sum every table entry flagged interesting.  The flag
+   load decides a branch; the table load only *exists* under it.  This is
+   the pattern where hardware-only defenses waste the most time. *)
+let program =
+  let b = Builder.create () in
+  let i = Builder.fresh_reg b in
+  let flag = Builder.fresh_reg b in
+  let value = Builder.fresh_reg b in
+  let sum = Builder.fresh_reg b in
+  Builder.mov b sum (Ir.Imm 0);
+  Builder.for_down b ~counter:i ~from:(Ir.Imm 2000) (fun () ->
+      Builder.load b flag (Ir.Reg i) (Ir.Imm 8192);
+      Builder.if_then b
+        ~cond:(Ir.Eq, Ir.Reg flag, Ir.Imm 1)
+        (fun () ->
+          Builder.load b value (Ir.Reg i) (Ir.Imm 16384);
+          Builder.add b sum (Ir.Reg sum) (Ir.Reg value)));
+  Builder.store b (Ir.Imm 64) (Ir.Imm 0) (Ir.Reg sum);
+  Builder.build b
+
+let mem_init mem =
+  for i = 0 to 1999 do
+    mem.(8192 + i) <- (if i mod 3 = 0 then 1 else 0);
+    mem.(16384 + i) <- i
+  done
+
+let () =
+  (* the compiler side: what Levioso annotates *)
+  let annotation = Annotation.analyze program in
+  print_endline "=== compiler pass (first 12 instructions) ===";
+  let listing = Annotation.disassemble annotation in
+  String.split_on_char '\n' listing
+  |> List.filteri (fun i _ -> i < 12)
+  |> List.iter print_endline;
+  print_endline "...";
+  List.iter (fun (k, v) -> Printf.printf "  %-18s %s\n" k v) (Annotation.stats annotation);
+
+  (* the hardware side: one simulation per defense *)
+  print_endline "\n=== simulation ===";
+  let baseline = ref 0 in
+  List.iter
+    (fun policy ->
+      let pipe = Api.simulate ~mem_init ~policy program in
+      let stats = Pipeline.stats pipe in
+      if policy = "unsafe" then baseline := stats.Sim_stats.cycles;
+      Printf.printf "  %-12s %8d cycles  (IPC %.2f%s)\n" policy
+        stats.Sim_stats.cycles (Sim_stats.ipc stats)
+        (if policy = "unsafe" then ""
+         else
+           Printf.sprintf ", %+.1f%% vs unsafe"
+             ((float_of_int stats.Sim_stats.cycles /. float_of_int !baseline -. 1.0)
+             *. 100.0));
+      Printf.printf "%32s checksum mem[64] = %d\n" "" (Pipeline.mem pipe).(64))
+    [ "unsafe"; "fence"; "delay"; "stt"; "levioso" ];
+  print_endline
+    "\nEvery defense computes the same checksum; only the unsafe baseline\n\
+     leaks, and Levioso pays the least for stopping it."

@@ -1,0 +1,119 @@
+(* Spectre from source: the complete bounds-check-bypass attack written in
+   the Lev language, compiled by this repository's own compiler, annotated
+   by the Levioso pass, and executed on the out-of-order simulator.
+
+   The victim is ordinary-looking code (a bounds-checked table lookup);
+   the attacker part trains it, flushes the guard, and then reloads the
+   probe array with rdcycle timing — all in one source file.
+
+   Run with:  dune exec examples/source_spectre.exe *)
+
+module Compiler = Levioso_lang.Compiler
+module Annotation = Levioso_core.Annotation
+module Registry = Levioso_core.Registry
+module Config = Levioso_uarch.Config
+module Pipeline = Levioso_uarch.Pipeline
+
+let secret = 29
+
+(* memory map: guard_ptr at 64 -> 72 (table size 16); table at 1024 with
+   the secret planted out of bounds at 1024+600; probe lines at
+   16384 + v*8; timing results at 2048 + v *)
+let source =
+  {|
+  // the victim: a bounds-checked table lookup that transmits through a
+  // lookup in a second table, as in the original Spectre paper
+  fn victim(idx) {
+    var size = load(load(64));
+    if (idx < size) {
+      var v = load(1024 + idx);
+      var junk = load(16384 + v * 8);
+    }
+    return size;
+  }
+
+  fn main() {
+    // every round is structurally identical: flush the guard chain and the
+    // probe array, pick the index branchlessly (in-bounds while training,
+    // out-of-bounds on the last round), call the victim.  The victim's
+    // bounds check is the only data-dependent branch, at one single pc.
+    var t = 40;
+    var last = 0;
+    while (t >= 0) {
+      var attack = t == 0;
+      // the flushes must not overtake the previous round's in-flight guard
+      // load (which would re-fill the line after the eviction), so their
+      // addresses data-depend on the previous victim's result
+      flush(64 + (last & 0));
+      flush(72 + (last & 0));
+      var f = 0;
+      while (f < 64) {
+        flush(16384 + f * 8);
+        f = f + 1;
+      }
+      var idx = (t & 15) * (1 - attack) + 600 * attack;
+      var got = victim(idx);
+      t = t - 1;
+      last = got;
+    }
+
+    // reload: time every probe line; the hot one encodes the secret.
+    // serialize behind the victim's guard value (the lfence of real PoCs):
+    // the first probe must not pre-execute under the unresolved bounds
+    // check or it pollutes its own line
+    var prev = last & 0;
+    prev = prev + 0; prev = prev + 0; prev = prev + 0; prev = prev + 0;
+    prev = prev + 0; prev = prev + 0; prev = prev + 0; prev = prev + 0;
+    var v = 0;
+    while (v < 64) {
+      var t0 = rdcycle(prev);
+      var x = load(16384 + v * 8 + (t0 & 0));
+      var t1 = rdcycle(x);
+      store(2048 + v, t1 - t0);
+      prev = t1;
+      v = v + 1;
+    }
+  }
+|}
+
+let () =
+  let program = Compiler.compile_exn source in
+  let annotation = Annotation.analyze program in
+  Printf.printf
+    "compiled %d instructions, %s branches annotated; planting secret %d\n\n"
+    (Array.length program)
+    (List.assoc "branches" (Annotation.stats annotation))
+    secret;
+  List.iter
+    (fun policy ->
+      let pipe =
+        Pipeline.create Config.default
+          ~mem_init:(fun mem ->
+            mem.(64) <- 72;
+            mem.(72) <- 16;
+            for i = 0 to 15 do
+              mem.(1024 + i) <- 64 (* decoy line outside the probed range *)
+            done;
+            mem.(1024 + 600) <- secret)
+          ~policy:(Registry.find_exn policy) program
+      in
+      Pipeline.run pipe;
+      let mem = Pipeline.mem pipe in
+      let times = Array.init 64 (fun v -> mem.(2048 + v)) in
+      let slowest = Array.fold_left max 0 times in
+      let fastest = Array.fold_left min max_int times in
+      let guess = ref None in
+      Array.iteri
+        (fun v t -> if slowest - fastest > 20 && t < (slowest + fastest) / 2 then
+            guess := Some v)
+        times;
+      (match !guess with
+      | Some v when v = secret ->
+        Printf.printf "%-10s LEAKED: recovered secret %d\n" policy v
+      | Some v -> Printf.printf "%-10s noise: hot line %d (secret %d)\n" policy v secret
+      | None -> Printf.printf "%-10s no signal: defense held\n" policy))
+    [ "unsafe"; "stt"; "levioso" ];
+  print_endline
+    "\nThe same source, compiled the same way: only the issue-gate policy\n\
+     differs.  Levioso's compiler hints cost nothing when the program is\n\
+     honest and close the channel when it is not."

@@ -1,0 +1,1 @@
+lib/analysis/branch_dep.ml: Array Control_dep Levioso_ir List Queue

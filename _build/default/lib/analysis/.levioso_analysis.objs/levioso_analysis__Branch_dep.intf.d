@@ -1,0 +1,1 @@
+lib/analysis/branch_dep.mli: Control_dep Levioso_ir

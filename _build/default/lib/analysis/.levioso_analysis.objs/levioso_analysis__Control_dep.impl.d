@@ -1,0 +1,1 @@
+lib/analysis/control_dep.ml: Array Int Levioso_ir List Postdom Set

@@ -1,0 +1,1 @@
+lib/analysis/control_dep.mli: Levioso_ir Set

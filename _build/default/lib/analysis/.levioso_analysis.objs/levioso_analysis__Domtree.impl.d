@@ -1,0 +1,1 @@
+lib/analysis/domtree.ml: Array List

@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Array Domtree Hashtbl Levioso_ir List

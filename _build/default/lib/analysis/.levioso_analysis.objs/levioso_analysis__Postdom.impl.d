@@ -1,0 +1,1 @@
+lib/analysis/postdom.ml: Domtree Levioso_ir List

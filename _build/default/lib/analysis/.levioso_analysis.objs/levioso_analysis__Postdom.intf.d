@@ -1,0 +1,1 @@
+lib/analysis/postdom.mli: Levioso_ir

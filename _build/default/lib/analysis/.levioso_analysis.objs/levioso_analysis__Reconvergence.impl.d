@@ -1,0 +1,1 @@
+lib/analysis/reconvergence.ml: Levioso_ir List Postdom

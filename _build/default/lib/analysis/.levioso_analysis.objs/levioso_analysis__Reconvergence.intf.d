@@ -1,0 +1,1 @@
+lib/analysis/reconvergence.mli: Levioso_ir

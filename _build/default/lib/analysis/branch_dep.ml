@@ -1,0 +1,120 @@
+module Cfg = Levioso_ir.Cfg
+module Ir = Levioso_ir.Ir
+module Int_set = Control_dep.Int_set
+
+type t = { program : Ir.program; deps : Int_set.t array }
+
+(* Forward data-flow over the CFG.  State: one dependency set per register
+   (register 0 pinned to empty), plus one abstract set for memory when
+   [track_memory].  Join is pointwise union; the lattice is finite (sets of
+   branch pcs) so the fixpoint terminates. *)
+
+type env = { regs : Int_set.t array; mutable memory : Int_set.t }
+
+let empty_env () = { regs = Array.make Ir.num_regs Int_set.empty; memory = Int_set.empty }
+
+let copy_env e = { regs = Array.copy e.regs; memory = e.memory }
+
+let join_into ~src ~dst =
+  let changed = ref false in
+  Array.iteri
+    (fun i s ->
+      let u = Int_set.union dst.regs.(i) s in
+      if not (Int_set.equal u dst.regs.(i)) then begin
+        dst.regs.(i) <- u;
+        changed := true
+      end)
+    src.regs;
+  let mu = Int_set.union dst.memory src.memory in
+  if not (Int_set.equal mu dst.memory) then begin
+    dst.memory <- mu;
+    changed := true
+  end;
+  !changed
+
+let operand_deps env = function
+  | Ir.Reg r when r <> Ir.zero_reg -> env.regs.(r)
+  | Ir.Reg _ | Ir.Imm _ -> Int_set.empty
+
+let compute ?(track_memory = false) cfg =
+  let program = Cfg.program cfg in
+  let n = Array.length program in
+  let cd = Control_dep.compute cfg in
+  let num_blocks = Cfg.num_blocks cfg in
+  let entry_env = Array.init num_blocks (fun _ -> empty_env ()) in
+  let deps = Array.make n Int_set.empty in
+  (* Transfer one block, updating [deps] for its instructions, returning the
+     exit environment. *)
+  let transfer block_id env =
+    let blk = Cfg.block cfg block_id in
+    List.iter
+      (fun pc ->
+        let instr = program.(pc) in
+        let control = Control_dep.of_pc cd pc in
+        let data =
+          List.fold_left
+            (fun acc operand -> Int_set.union acc (operand_deps env operand))
+            Int_set.empty
+            (match instr with
+            | Ir.Alu { a; b; _ } | Ir.Branch { a; b; _ } -> [ a; b ]
+            | Ir.Load { base; off; _ } | Ir.Flush { base; off } -> [ base; off ]
+            | Ir.Store { base; off; src } -> [ base; off; src ]
+            | Ir.Jump _ | Ir.Rdcycle _ | Ir.Halt -> [])
+        in
+        let data =
+          match instr with
+          | Ir.Load _ when track_memory -> Int_set.union data env.memory
+          | Ir.Load _ | Ir.Alu _ | Ir.Store _ | Ir.Branch _ | Ir.Jump _
+          | Ir.Flush _ | Ir.Rdcycle _ | Ir.Halt ->
+            data
+        in
+        let all = Int_set.union control data in
+        deps.(pc) <- Int_set.union deps.(pc) all;
+        (match Ir.defs instr with
+        | Some r -> env.regs.(r) <- all
+        | None -> ());
+        match instr with
+        | Ir.Store _ when track_memory -> env.memory <- Int_set.union env.memory all
+        | Ir.Store _ | Ir.Alu _ | Ir.Load _ | Ir.Branch _ | Ir.Jump _
+        | Ir.Flush _ | Ir.Rdcycle _ | Ir.Halt ->
+          ())
+      (Cfg.instr_pcs blk);
+    env
+  in
+  let worklist = Queue.create () in
+  (* Seed with every block so each is transferred at least once even when
+     the incoming environment join does not change anything. *)
+  for b = 0 to num_blocks - 1 do
+    Queue.add b worklist
+  done;
+  let guard = ref (num_blocks * n * Ir.num_regs + 1000) in
+  while not (Queue.is_empty worklist) do
+    decr guard;
+    if !guard < 0 then failwith "Branch_dep.compute: fixpoint did not converge";
+    let b = Queue.pop worklist in
+    let out_env = transfer b (copy_env entry_env.(b)) in
+    List.iter
+      (fun s ->
+        if join_into ~src:out_env ~dst:entry_env.(s) then Queue.add s worklist)
+      (Cfg.block cfg b).Cfg.succs
+  done;
+  { program; deps }
+
+let deps_of_pc t pc = t.deps.(pc)
+
+let independent_fraction t =
+  let n = Array.length t.deps in
+  if n = 0 then 1.0
+  else
+    let free = Array.fold_left (fun acc s -> if Int_set.is_empty s then acc + 1 else acc) 0 t.deps in
+    float_of_int free /. float_of_int n
+
+let mean_set_size t =
+  let n = Array.length t.deps in
+  if n = 0 then 0.0
+  else
+    let total = Array.fold_left (fun acc s -> acc + Int_set.cardinal s) 0 t.deps in
+    float_of_int total /. float_of_int n
+
+let max_set_size t =
+  Array.fold_left (fun acc s -> max acc (Int_set.cardinal s)) 0 t.deps

@@ -1,0 +1,41 @@
+(** Static branch-dependency analysis: the transitive closure of control
+    dependence through register data flow.
+
+    For every static instruction this computes the set of branch pcs on
+    which the instruction's execution *or operands* may depend:
+
+    - the control dependences of its block, plus
+    - the dependency sets of every reaching definition of its source
+      registers (a forward data-flow fixpoint, meet = union).
+
+    The dynamic mechanism in [levioso.core] tracks dependences per branch
+    *instance* in hardware; this static analysis is the compiler-side view
+    used for (a) the compiler-statistics table, (b) the static-hint ablation
+    policy, and (c) soundness cross-checks in the test-suite (the static set
+    must over-approximate every dynamic dependence observed in simulation).
+
+    Memory is treated conservatively through a single abstract location:
+    any load may observe any prior store, so load results inherit the union
+    of the dependency sets of all store *data and addresses* seen so far
+    (flow-insensitively).  This is deliberately crude — the hardware
+    mechanism does not need it, and the compiler table only reports it as
+    an upper bound. *)
+
+module Int_set = Control_dep.Int_set
+
+type t
+
+val compute : ?track_memory:bool -> Levioso_ir.Cfg.t -> t
+(** [track_memory] (default false) enables the conservative memory
+    channel described above. *)
+
+val deps_of_pc : t -> int -> Int_set.t
+(** Branch pcs the instruction at [pc] may depend on (control or data). *)
+
+val independent_fraction : t -> float
+(** Fraction of static instructions with an empty dependency set. *)
+
+val mean_set_size : t -> float
+(** Mean dependency-set size over static instructions. *)
+
+val max_set_size : t -> int

@@ -1,0 +1,114 @@
+type t = {
+  num_nodes : int;
+  entry : int;
+  idom : int array;  (* -1 = none *)
+  rpo_index : int array;  (* -1 = unreachable *)
+  preds : int -> int list;
+  succs : int -> int list;
+  mutable frontiers : int list array option;
+}
+
+(* Reverse postorder from [entry]; unreachable nodes get index -1. *)
+let reverse_postorder ~num_nodes ~entry ~succs =
+  let visited = Array.make num_nodes false in
+  let order = ref [] in
+  let rec dfs n =
+    if not visited.(n) then begin
+      visited.(n) <- true;
+      List.iter dfs (succs n);
+      order := n :: !order
+    end
+  in
+  dfs entry;
+  let rpo = Array.of_list !order in
+  let index = Array.make num_nodes (-1) in
+  Array.iteri (fun i n -> index.(n) <- i) rpo;
+  (rpo, index)
+
+let compute ~num_nodes ~entry ~succs ~preds =
+  let rpo, rpo_index = reverse_postorder ~num_nodes ~entry ~succs in
+  let idom = Array.make num_nodes (-1) in
+  idom.(entry) <- entry;
+  (* Walk up the (partially built) dominator tree to the common ancestor,
+     comparing by reverse-postorder index. *)
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun n ->
+        if n <> entry then begin
+          let processed_preds =
+            List.filter (fun p -> rpo_index.(p) >= 0 && idom.(p) >= 0) (preds n)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idom.(n) <> new_idom then begin
+              idom.(n) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  { num_nodes; entry; idom; rpo_index; preds; succs; frontiers = None }
+
+let reachable t n = t.rpo_index.(n) >= 0
+
+let idom t n =
+  if n = t.entry then None
+  else
+    let d = t.idom.(n) in
+    if d < 0 then None else Some d
+
+let dominates t a b =
+  if a = b then true
+  else if not (reachable t a && reachable t b) then false
+  else begin
+    let rec climb n =
+      if n = a then true
+      else if n = t.entry then false
+      else
+        let d = t.idom.(n) in
+        if d < 0 || d = n then false else climb d
+    in
+    climb b
+  end
+
+let compute_frontiers t =
+  let df = Array.make t.num_nodes [] in
+  for n = 0 to t.num_nodes - 1 do
+    if reachable t n then begin
+      let ps = List.filter (reachable t) (t.preds n) in
+      if List.length ps >= 2 then
+        List.iter
+          (fun p ->
+            (* Walk from each predecessor up to (but excluding) idom(n),
+               recording n in the frontier of every node passed. *)
+            let rec walk r =
+              if r >= 0 && r <> t.idom.(n) then begin
+                if not (List.mem n df.(r)) then df.(r) <- n :: df.(r);
+                if r <> t.entry then walk t.idom.(r)
+              end
+            in
+            walk p)
+          ps
+    end
+  done;
+  df
+
+let dominance_frontier t n =
+  let fs =
+    match t.frontiers with
+    | Some fs -> fs
+    | None ->
+      let fs = compute_frontiers t in
+      t.frontiers <- Some fs;
+      fs
+  in
+  fs.(n)

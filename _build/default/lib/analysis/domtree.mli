@@ -1,0 +1,26 @@
+(** Dominator trees over arbitrary digraphs, using the iterative algorithm
+    of Cooper, Harvey and Kennedy ("A Simple, Fast Dominance Algorithm").
+
+    The graph is given abstractly by node count, entry node and adjacency
+    functions, so the same code computes dominators (forward CFG) and
+    post-dominators (reverse CFG with a virtual exit). *)
+
+type t
+
+val compute :
+  num_nodes:int -> entry:int -> succs:(int -> int list) -> preds:(int -> int list) -> t
+(** Nodes unreachable from [entry] have no immediate dominator. *)
+
+val idom : t -> int -> int option
+(** Immediate dominator; [None] for the entry node and unreachable nodes. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does [a] dominate [b] (reflexive)?  Unreachable
+    nodes are dominated by nothing (and dominate nothing) except
+    themselves. *)
+
+val dominance_frontier : t -> int -> int list
+(** Dominance frontier of a node (computed lazily, cached). *)
+
+val reachable : t -> int -> bool
+(** Was the node reachable from the entry? *)

@@ -1,0 +1,79 @@
+module Cfg = Levioso_ir.Cfg
+
+type loop = {
+  header : int;
+  back_edge_source : int;
+  body : int list;
+}
+
+type t = {
+  loop_list : loop list;
+  depth : int array;
+}
+
+(* body of the natural loop of back edge u -> v: v plus everything that
+   reaches u backwards without passing through v *)
+let natural_loop cfg ~header ~latch =
+  let in_body = Hashtbl.create 16 in
+  Hashtbl.replace in_body header ();
+  let rec pull b =
+    if not (Hashtbl.mem in_body b) then begin
+      Hashtbl.replace in_body b ();
+      List.iter pull (Cfg.block cfg b).Cfg.preds
+    end
+  in
+  pull latch;
+  Hashtbl.fold (fun b () acc -> b :: acc) in_body [] |> List.sort compare
+
+let compute cfg =
+  let n = Cfg.num_blocks cfg in
+  let dom =
+    Domtree.compute ~num_nodes:n ~entry:(Cfg.entry cfg)
+      ~succs:(fun b -> (Cfg.block cfg b).Cfg.succs)
+      ~preds:(fun b -> (Cfg.block cfg b).Cfg.preds)
+  in
+  let loop_list = ref [] in
+  for u = 0 to n - 1 do
+    if Domtree.reachable dom u then
+      List.iter
+        (fun v ->
+          if Domtree.dominates dom v u then
+            loop_list :=
+              {
+                header = v;
+                back_edge_source = u;
+                body = natural_loop cfg ~header:v ~latch:u;
+              }
+              :: !loop_list)
+        (Cfg.block cfg u).Cfg.succs
+  done;
+  let loop_list =
+    List.sort (fun a b -> compare (a.header, a.back_edge_source) (b.header, b.back_edge_source)) !loop_list
+  in
+  let depth = Array.make n 0 in
+  (* distinct headers only: two back edges to one header are one loop *)
+  let seen_headers = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      if not (Hashtbl.mem seen_headers l.header) then begin
+        Hashtbl.replace seen_headers l.header ();
+        (* the union of bodies of all back edges sharing this header *)
+        let body =
+          List.concat_map
+            (fun l' -> if l'.header = l.header then l'.body else [])
+            loop_list
+          |> List.sort_uniq compare
+        in
+        List.iter (fun b -> depth.(b) <- depth.(b) + 1) body
+      end)
+    loop_list;
+  { loop_list; depth }
+
+let loops t = t.loop_list
+
+let depth_of_block t b = t.depth.(b)
+
+let max_depth t = Array.fold_left max 0 t.depth
+
+let headers t =
+  List.map (fun l -> l.header) t.loop_list |> List.sort_uniq compare

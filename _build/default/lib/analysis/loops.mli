@@ -1,0 +1,31 @@
+(** Natural-loop detection over the CFG.
+
+    A back edge is an edge [u -> v] where [v] dominates [u]; its natural
+    loop is [v] (the header) plus every block that reaches [u] without
+    passing through [v].  Nesting depth counts how many loop bodies contain
+    a block.
+
+    Used for compiler statistics (loop counts and depths correlate with how
+    often Levioso's active-branch regions wrap around back edges) and by
+    tests as an independent cross-check of the dominator tree. *)
+
+type loop = {
+  header : int;  (** block id of the loop header *)
+  back_edge_source : int;  (** block id of the latch *)
+  body : int list;  (** block ids, ascending, header included *)
+}
+
+type t
+
+val compute : Levioso_ir.Cfg.t -> t
+
+val loops : t -> loop list
+(** One entry per back edge, header order. *)
+
+val depth_of_block : t -> int -> int
+(** How many loop bodies contain the block (0 = not in a loop). *)
+
+val max_depth : t -> int
+
+val headers : t -> int list
+(** Distinct loop-header blocks, ascending. *)

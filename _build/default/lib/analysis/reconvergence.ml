@@ -1,0 +1,43 @@
+module Cfg = Levioso_ir.Cfg
+module Ir = Levioso_ir.Ir
+
+type point =
+  | Reconverges_at of int
+  | No_reconvergence
+
+type t = { points : (int * point) list }
+
+let compute cfg =
+  let pd = Postdom.compute cfg in
+  let points =
+    List.map
+      (fun pc ->
+        let b = Cfg.block_of_pc cfg pc in
+        match Postdom.ipostdom pd b with
+        | Some r -> (pc, Reconverges_at (Cfg.block cfg r).Cfg.first)
+        | None -> (pc, No_reconvergence))
+      (Cfg.branch_pcs cfg)
+  in
+  { points }
+
+let point t branch_pc =
+  match List.assoc_opt branch_pc t.points with
+  | Some p -> p
+  | None -> invalid_arg "Reconvergence.point: not a conditional branch"
+
+let branch_pcs t = List.map fst t.points
+
+let coverage t =
+  match t.points with
+  | [] -> 1.0
+  | ps ->
+    let proper =
+      List.length
+        (List.filter
+           (fun (_, p) ->
+             match p with
+             | Reconverges_at _ -> true
+             | No_reconvergence -> false)
+           ps)
+    in
+    float_of_int proper /. float_of_int (List.length ps)

@@ -1,0 +1,30 @@
+(** Reconvergence points of conditional branches.
+
+    The reconvergence point of a branch is the first program point that
+    every path leaving the branch must reach — its block's immediate
+    post-dominator.  Instructions fetched between a branch and its
+    reconvergence point are the ones whose *existence* depends on the
+    branch outcome; this is exactly the "true branch dependency"
+    information Levioso's compiler pass communicates to the hardware. *)
+
+type point =
+  | Reconverges_at of int
+      (** pc of the first instruction of the reconvergence block *)
+  | No_reconvergence
+      (** the paths only meet at program exit (or not at all):
+          conservatively, everything younger depends on the branch *)
+
+type t
+
+val compute : Levioso_ir.Cfg.t -> t
+
+val point : t -> int -> point
+(** [point t branch_pc].  @raise Invalid_argument if [branch_pc] is not a
+    conditional branch. *)
+
+val branch_pcs : t -> int list
+(** All conditional branch pcs, ascending. *)
+
+val coverage : t -> float
+(** Fraction of branches with a proper reconvergence point (statistic
+    reported in the compiler table). *)

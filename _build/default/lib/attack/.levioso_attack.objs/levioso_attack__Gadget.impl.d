@@ -1,0 +1,1 @@
+lib/attack/gadget.ml: Array Levioso_ir

@@ -1,0 +1,1 @@
+lib/attack/gadget.mli: Levioso_ir

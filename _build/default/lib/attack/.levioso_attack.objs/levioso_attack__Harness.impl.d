@@ -1,0 +1,1 @@
+lib/attack/harness.ml: Array Gadget Levioso_core Levioso_uarch List Printf

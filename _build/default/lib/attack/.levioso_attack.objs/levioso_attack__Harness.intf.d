@@ -1,0 +1,1 @@
+lib/attack/harness.mli: Gadget Levioso_uarch

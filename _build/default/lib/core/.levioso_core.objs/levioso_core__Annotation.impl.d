@@ -1,0 +1,1 @@
+lib/core/annotation.ml: Array Levioso_analysis Levioso_ir List Printf

@@ -1,0 +1,1 @@
+lib/core/levioso_api.ml: Array Levioso_ir Levioso_uarch Printf Registry

@@ -1,0 +1,1 @@
+lib/core/levioso_api.mli: Levioso_ir Levioso_uarch

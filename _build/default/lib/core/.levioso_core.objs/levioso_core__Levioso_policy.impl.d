@@ -1,0 +1,1 @@
+lib/core/levioso_policy.ml: Annotation Hashtbl Levioso_ir Levioso_uarch List Option

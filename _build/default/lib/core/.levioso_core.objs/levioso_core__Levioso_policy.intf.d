@@ -1,0 +1,1 @@
+lib/core/levioso_policy.mli: Annotation Levioso_uarch

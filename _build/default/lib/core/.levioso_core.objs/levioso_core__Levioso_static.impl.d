@@ -1,0 +1,1 @@
+lib/core/levioso_static.ml: Array Levioso_analysis Levioso_ir Levioso_uarch List

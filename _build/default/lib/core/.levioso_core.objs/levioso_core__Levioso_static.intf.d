@@ -1,0 +1,1 @@
+lib/core/levioso_static.mli: Levioso_uarch

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Levioso_policy Levioso_secure Levioso_static List Printf String

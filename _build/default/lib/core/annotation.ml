@@ -1,0 +1,87 @@
+module Ir = Levioso_ir.Ir
+module Cfg = Levioso_ir.Cfg
+module Reconvergence = Levioso_analysis.Reconvergence
+module Control_dep = Levioso_analysis.Control_dep
+module Branch_dep = Levioso_analysis.Branch_dep
+module Loops = Levioso_analysis.Loops
+
+type hint =
+  | Reconverges_at of int
+  | No_reconvergence
+
+type t = {
+  program : Ir.program;
+  cfg : Cfg.t;
+  hints : hint option array;  (* indexed by pc *)
+}
+
+let analyze program =
+  let cfg = Cfg.build program in
+  let reconv = Reconvergence.compute cfg in
+  let hints = Array.make (Array.length program) None in
+  List.iter
+    (fun pc ->
+      let hint =
+        match Reconvergence.point reconv pc with
+        | Reconvergence.Reconverges_at r -> Reconverges_at r
+        | Reconvergence.No_reconvergence -> No_reconvergence
+      in
+      hints.(pc) <- Some hint)
+    (Reconvergence.branch_pcs reconv);
+  { program; cfg; hints }
+
+let hint_for t pc = t.hints.(pc)
+
+let program t = t.program
+
+let coverage t =
+  let branches = ref 0 and proper = ref 0 in
+  Array.iter
+    (fun h ->
+      match h with
+      | Some (Reconverges_at _) ->
+        incr branches;
+        incr proper
+      | Some No_reconvergence -> incr branches
+      | None -> ())
+    t.hints;
+  if !branches = 0 then 1.0 else float_of_int !proper /. float_of_int !branches
+
+let disassemble t =
+  let annot pc =
+    match t.hints.(pc) with
+    | Some (Reconverges_at r) -> Printf.sprintf "reconv @%d" r
+    | Some No_reconvergence -> "reconv none"
+    | None -> ""
+  in
+  Ir.program_to_string ~annot t.program
+
+let stats t =
+  let n = Array.length t.program in
+  let branch_pcs = Cfg.branch_pcs t.cfg in
+  let num_branches = List.length branch_pcs in
+  let cd = Control_dep.compute t.cfg in
+  let region_sizes =
+    List.map (fun pc -> float_of_int (Control_dep.region_size cd pc)) branch_pcs
+  in
+  let bd = Branch_dep.compute t.cfg in
+  let mean xs =
+    match xs with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  let loop_info = Loops.compute t.cfg in
+  [
+    ("static instrs", string_of_int n);
+    ("branches", string_of_int num_branches);
+    ( "loops (max depth)",
+      Printf.sprintf "%d (%d)"
+        (List.length (Loops.headers loop_info))
+        (Loops.max_depth loop_info) );
+    ("reconv coverage", Printf.sprintf "%.0f%%" (100.0 *. coverage t));
+    ("mean region", Printf.sprintf "%.1f" (mean region_sizes));
+    ( "dep-free instrs",
+      Printf.sprintf "%.0f%%" (100.0 *. Branch_dep.independent_fraction bd) );
+    ("mean dep set", Printf.sprintf "%.1f" (Branch_dep.mean_set_size bd));
+    ("max dep set", string_of_int (Branch_dep.max_set_size bd));
+  ]

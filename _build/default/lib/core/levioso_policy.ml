@@ -1,0 +1,99 @@
+module Ir = Levioso_ir.Ir
+module Pipeline = Levioso_uarch.Pipeline
+module Config = Levioso_uarch.Config
+
+(* Dependency set of one in-flight instruction: the dynamic branch
+   instances (sequence numbers) it depends on, or [All] after a budget
+   overflow. *)
+type depset =
+  | Deps of int list
+  | All
+
+(* Union with pruning: branch instances that have already resolved no
+   longer constrain anything, and dropping them here is what keeps
+   dependency sets from growing along loop-carried chains (an induction
+   variable would otherwise accumulate every past loop-branch instance and
+   overflow the budget).  In hardware this is the tag-broadcast that clears
+   dependency-matrix columns when a branch resolves. *)
+let union ~still_unresolved budget a b =
+  match (a, b) with
+  | All, _ | _, All -> All
+  | Deps xs, Deps ys ->
+    let merged =
+      List.sort_uniq compare
+        (List.filter still_unresolved (List.rev_append xs ys))
+    in
+    if List.length merged > budget then All else Deps merged
+
+let maker ?annotation ?(track_data = true) () (config : Config.t) program pipe =
+  let annotation =
+    match annotation with
+    | Some a -> a
+    | None -> Annotation.analyze program
+  in
+  let budget = config.Config.depset_budget in
+  (* Active unresolved branch instances, oldest first:
+     (seq, reconvergence pc option). *)
+  let active : (int * int option) list ref = ref [] in
+  let depsets : (int, depset) Hashtbl.t = Hashtbl.create 256 in
+  let depset_of seq =
+    Option.value ~default:(Deps []) (Hashtbl.find_opt depsets seq)
+  in
+  let still_unresolved s = Pipeline.is_unresolved_branch pipe s in
+  let on_decode ~seq =
+    let pc = Pipeline.pc_of pipe seq in
+    (* Fetch reached this pc: every active instance whose reconvergence pc
+       this is deactivates — the instruction itself is already
+       reconverged with respect to those branches. *)
+    active :=
+      List.filter
+        (fun (s, reconv) -> reconv <> Some pc && still_unresolved s)
+        !active;
+    let control = Deps (List.map fst !active) in
+    let data =
+      if track_data then
+        List.fold_left
+          (fun acc p -> union ~still_unresolved budget acc (depset_of p))
+          (Deps []) (Pipeline.producers_of pipe seq)
+      else Deps []
+    in
+    Hashtbl.replace depsets seq (union ~still_unresolved budget control data);
+    match Pipeline.instr_of pipe seq with
+    | Ir.Branch _ ->
+      let reconv =
+        match Annotation.hint_for annotation pc with
+        | Some (Annotation.Reconverges_at r) -> Some r
+        | Some Annotation.No_reconvergence | None -> None
+      in
+      active := !active @ [ (seq, reconv) ]
+    | Ir.Alu _ | Ir.Load _ | Ir.Store _ | Ir.Jump _ | Ir.Flush _
+    | Ir.Rdcycle _ | Ir.Halt ->
+      ()
+  in
+  let may_execute ~seq =
+    if not (Pipeline.is_transmitter (Pipeline.instr_of pipe seq)) then true
+    else
+      match depset_of seq with
+      | Deps branches ->
+        List.for_all
+          (fun s -> not (Pipeline.is_unresolved_branch pipe s))
+          branches
+      | All -> not (Pipeline.exists_older_unresolved_branch pipe ~seq)
+  in
+  let on_resolve ~seq = active := List.filter (fun (s, _) -> s <> seq) !active in
+  let on_squash ~boundary =
+    active := List.filter (fun (s, _) -> s <= boundary) !active;
+    Hashtbl.filter_map_inplace
+      (fun seq d -> if seq > boundary then None else Some d)
+      depsets
+  in
+  let on_commit ~seq = Hashtbl.remove depsets seq in
+  {
+    Pipeline.policy_name = (if track_data then "levioso" else "levioso-ctrl");
+    on_decode;
+    on_resolve;
+    on_squash;
+    on_commit;
+    may_execute;
+    load_visibility = (fun ~seq:_ -> Pipeline.Normal);
+  }

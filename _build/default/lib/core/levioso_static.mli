@@ -1,0 +1,19 @@
+(** The static-hint ablation of Levioso.
+
+    Instead of tracking dependencies per dynamic branch {e instance} (the
+    paper's mechanism, {!Levioso_policy}), the compiler emits each
+    instruction's {e static} branch-dependency set — the branch pcs it may
+    depend on, from {!Levioso_analysis.Branch_dep} — and the hardware
+    stalls a transmitter while {e any} older unresolved branch's pc is in
+    that set.
+
+    This is sound (the static set over-approximates every dynamic
+    dependence) and far simpler in hardware (no active-region tracking, no
+    rename-time propagation), but conservative around loops: an unresolved
+    instance of a loop branch from a {e previous} iteration matches the
+    static pc of a dependence on the {e current} iteration's instance, so
+    transmitters in loop bodies wait more than they must.  The gap between
+    this variant and full Levioso in the ablation figure is the measured
+    value of dynamic instance tracking. *)
+
+val maker : Levioso_uarch.Pipeline.policy_maker

@@ -1,0 +1,31 @@
+module Baselines = Levioso_secure.Baselines
+module Stt = Levioso_secure.Stt
+module Dom = Levioso_secure.Dom
+module Nda = Levioso_secure.Nda
+
+let table =
+  [
+    ("unsafe", Baselines.unsafe);
+    ("fence", Baselines.fence);
+    ("delay", Baselines.delay);
+    ("dom", Dom.maker);
+    ("stt", Stt.maker);
+    ("nda", Nda.maker);
+    ("levioso", Levioso_policy.maker ());
+    ("levioso-ctrl", Levioso_policy.maker ~track_data:false ());
+    ("levioso-static", Levioso_static.maker);
+  ]
+
+let names = List.map fst table
+
+let paper_schemes = [ "fence"; "delay"; "dom"; "stt"; "levioso" ]
+
+let find name = List.assoc_opt name table
+
+let find_exn name =
+  match find name with
+  | Some maker -> maker
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Registry.find_exn: unknown policy %s (known: %s)" name
+         (String.concat ", " names))

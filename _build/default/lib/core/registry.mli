@@ -1,0 +1,17 @@
+(** Name → defense-policy registry used by the CLI, the benchmark harness
+    and the examples. *)
+
+val names : string list
+(** unsafe, fence, delay, dom, stt, nda, levioso, levioso-ctrl,
+    levioso-static. *)
+
+val paper_schemes : string list
+(** The schemes appearing in the headline figure, in plot order:
+    ["fence"; "delay"; "dom"; "stt"; "levioso"].  [delay] and [dom] stand
+    in for the paper's two prior comprehensive defenses (51% and 43%);
+    [stt] is the sandbox-model contrast of the security table. *)
+
+val find : string -> Levioso_uarch.Pipeline.policy_maker option
+
+val find_exn : string -> Levioso_uarch.Pipeline.policy_maker
+(** @raise Invalid_argument on unknown names. *)

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Buffer Hashtbl Ir List Printf String

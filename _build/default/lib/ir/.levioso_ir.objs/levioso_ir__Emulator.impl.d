@@ -1,0 +1,1 @@
+lib/ir/emulator.ml: Array Ir

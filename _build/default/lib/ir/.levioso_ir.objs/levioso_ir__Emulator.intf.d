@@ -1,0 +1,1 @@
+lib/ir/emulator.mli: Ir

@@ -1,0 +1,1 @@
+lib/ir/encoding.ml: Array Int64 Ir List Printf Result

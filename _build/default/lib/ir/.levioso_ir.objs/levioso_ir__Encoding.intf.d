@@ -1,0 +1,1 @@
+lib/ir/encoding.mli: Ir

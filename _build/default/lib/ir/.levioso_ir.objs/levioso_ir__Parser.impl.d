@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Buffer Hashtbl Ir List Option Printf String

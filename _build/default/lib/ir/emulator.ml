@@ -1,0 +1,75 @@
+type state = {
+  regs : int array;
+  mem : int array;
+  mutable pc : int;
+  mutable retired : int;
+  mutable halted : bool;
+  program : Ir.program;
+}
+
+exception Out_of_fuel
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ?(mem_words = 65536) program =
+  assert (is_power_of_two mem_words);
+  {
+    regs = Array.make Ir.num_regs 0;
+    mem = Array.make mem_words 0;
+    pc = 0;
+    retired = 0;
+    halted = false;
+    program;
+  }
+
+let mask_addr state addr = addr land (Array.length state.mem - 1)
+
+let read_reg state r = if r = Ir.zero_reg then 0 else state.regs.(r)
+
+let write_reg state r v = if r <> Ir.zero_reg then state.regs.(r) <- v
+
+let operand state = function
+  | Ir.Reg r -> read_reg state r
+  | Ir.Imm i -> i
+
+let step state =
+  if not state.halted then begin
+    let instr = state.program.(state.pc) in
+    let next = state.pc + 1 in
+    (match instr with
+    | Ir.Alu { op; dst; a; b } ->
+      write_reg state dst (Ir.eval_alu op (operand state a) (operand state b));
+      state.pc <- next
+    | Ir.Load { dst; base; off } ->
+      let addr = mask_addr state (operand state base + operand state off) in
+      write_reg state dst state.mem.(addr);
+      state.pc <- next
+    | Ir.Store { base; off; src } ->
+      let addr = mask_addr state (operand state base + operand state off) in
+      state.mem.(addr) <- operand state src;
+      state.pc <- next
+    | Ir.Branch { cmp; a; b; target } ->
+      let taken = Ir.eval_cmp cmp (operand state a) (operand state b) in
+      state.pc <- (if taken then target else next)
+    | Ir.Jump { target } -> state.pc <- target
+    | Ir.Flush _ -> state.pc <- next (* no cache architecturally *)
+    | Ir.Rdcycle { dst; _ } ->
+      write_reg state dst state.retired;
+      state.pc <- next
+    | Ir.Halt -> state.halted <- true);
+    state.retired <- state.retired + 1
+  end
+
+let run ?(fuel = 10_000_000) state =
+  let budget = ref fuel in
+  while not state.halted do
+    if !budget <= 0 then raise Out_of_fuel;
+    decr budget;
+    step state
+  done
+
+let run_program ?mem_words ?fuel ?(init = fun _ -> ()) program =
+  let state = create ?mem_words program in
+  init state;
+  run ?fuel state;
+  state

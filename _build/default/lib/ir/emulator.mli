@@ -1,0 +1,42 @@
+(** Functional (architectural) executor.
+
+    The emulator defines the architectural semantics of the ISA and serves
+    as the oracle against which the out-of-order pipeline is checked: for
+    any program and any secure-speculation policy, the pipeline must commit
+    exactly the state the emulator computes.
+
+    [Rdcycle] is the one deliberately timing-dependent instruction: here it
+    returns the number of instructions retired so far, which differs from
+    the pipeline's cycle counter.  Oracle-equivalence checks therefore only
+    apply to programs that do not consume [Rdcycle] results in
+    architecturally visible ways (none of the workloads do; only attack
+    probes use it). *)
+
+type state = {
+  regs : int array;  (** architectural register file; index 0 reads as 0 *)
+  mem : int array;  (** word-addressed memory; length is a power of two *)
+  mutable pc : int;
+  mutable retired : int;  (** instructions retired so far *)
+  mutable halted : bool;
+  program : Ir.program;
+}
+
+val create : ?mem_words:int -> Ir.program -> state
+(** Fresh state: zeroed registers and memory (default 65536 words, must be a
+    power of two), pc 0. *)
+
+exception Out_of_fuel
+(** Raised by {!run} when the step budget is exhausted. *)
+
+val mask_addr : state -> int -> int
+(** Addresses wrap modulo the memory size (no faults). *)
+
+val step : state -> unit
+(** Execute one instruction.  No-op once [halted]. *)
+
+val run : ?fuel:int -> state -> unit
+(** Run to [Halt].  @raise Out_of_fuel after [fuel] steps (default 10M). *)
+
+val run_program :
+  ?mem_words:int -> ?fuel:int -> ?init:(state -> unit) -> Ir.program -> state
+(** Convenience: create, apply [init] (e.g. to preload memory), run. *)

@@ -1,0 +1,300 @@
+(* One 64-bit word per instruction.  Layout (bit 0 = LSB):
+
+   common header
+     bits  0..5   opcode
+     bits  6..10  dst register
+     bits 11..15  src-a register      (a-imm flag clear)
+     bit  16      a is immediate      (payload-a holds the value)
+     bits 17..21  src-b register      (b-imm flag clear)
+     bit  22      b is immediate      (payload-b holds the value)
+     bits 23..27  src-c register      (c-imm flag clear; stores only)
+     bit  28      c is immediate      (payload-b holds the value)
+
+   non-branch payload (signed 35-bit, bits 29..63): one immediate operand
+   per instruction, like a classic RISC I-format.  Zero immediates are
+   canonicalized to register 0 (which reads as zero), so address forms
+   such as [#4096 + #0] still encode.
+
+   branches (compare register to register-or-16-bit-immediate; the dst
+   field is repurposed as the immediate flag since branches define nothing)
+     bit   6      b is immediate
+     bits 11..15  src-a register (must be a register; constant-vs-constant
+                  comparisons are unencodable, register-vs-constant with
+                  the constant on the left is mirrored at encode time)
+     bits 16..31  b payload (signed 16-bit) or register in bits 17..21
+     bits 32..47  target pc (unsigned 16-bit)
+     bits 48..63  reconvergence hint pc + 1 (0 = no hint)
+
+   Consequences, reported as errors rather than silently mis-encoded:
+   at most one (non-zero) immediate operand per non-branch instruction;
+   immediates and targets must fit their fields. *)
+
+type error = {
+  pc : int;
+  reason : string;
+}
+
+let ( let* ) = Result.bind
+
+let opcode_of_instr = function
+  | Ir.Alu { op; _ } -> (
+    match op with
+    | Ir.Add -> 0
+    | Ir.Sub -> 1
+    | Ir.Mul -> 2
+    | Ir.Div -> 3
+    | Ir.Rem -> 4
+    | Ir.And -> 5
+    | Ir.Or -> 6
+    | Ir.Xor -> 7
+    | Ir.Shl -> 8
+    | Ir.Shr -> 9
+    | Ir.Set Ir.Eq -> 10
+    | Ir.Set Ir.Ne -> 11
+    | Ir.Set Ir.Lt -> 12
+    | Ir.Set Ir.Le -> 13
+    | Ir.Set Ir.Gt -> 14
+    | Ir.Set Ir.Ge -> 15)
+  | Ir.Load _ -> 16
+  | Ir.Store _ -> 17
+  | Ir.Flush _ -> 18
+  | Ir.Rdcycle _ -> 19
+  | Ir.Jump _ -> 20
+  | Ir.Halt -> 21
+  | Ir.Branch { cmp = Ir.Eq; _ } -> 22
+  | Ir.Branch { cmp = Ir.Ne; _ } -> 23
+  | Ir.Branch { cmp = Ir.Lt; _ } -> 24
+  | Ir.Branch { cmp = Ir.Le; _ } -> 25
+  | Ir.Branch { cmp = Ir.Gt; _ } -> 26
+  | Ir.Branch { cmp = Ir.Ge; _ } -> 27
+
+let alu_of_opcode = function
+  | 0 -> Some Ir.Add
+  | 1 -> Some Ir.Sub
+  | 2 -> Some Ir.Mul
+  | 3 -> Some Ir.Div
+  | 4 -> Some Ir.Rem
+  | 5 -> Some Ir.And
+  | 6 -> Some Ir.Or
+  | 7 -> Some Ir.Xor
+  | 8 -> Some Ir.Shl
+  | 9 -> Some Ir.Shr
+  | 10 -> Some (Ir.Set Ir.Eq)
+  | 11 -> Some (Ir.Set Ir.Ne)
+  | 12 -> Some (Ir.Set Ir.Lt)
+  | 13 -> Some (Ir.Set Ir.Le)
+  | 14 -> Some (Ir.Set Ir.Gt)
+  | 15 -> Some (Ir.Set Ir.Ge)
+  | _ -> None
+
+let branch_cmp_of_opcode = function
+  | 22 -> Some Ir.Eq
+  | 23 -> Some Ir.Ne
+  | 24 -> Some Ir.Lt
+  | 25 -> Some Ir.Le
+  | 26 -> Some Ir.Gt
+  | 27 -> Some Ir.Ge
+  | _ -> None
+
+(* mirror a comparison so its operands can swap *)
+let mirror = function
+  | Ir.Eq -> Ir.Eq
+  | Ir.Ne -> Ir.Ne
+  | Ir.Lt -> Ir.Gt
+  | Ir.Le -> Ir.Ge
+  | Ir.Gt -> Ir.Lt
+  | Ir.Ge -> Ir.Le
+
+let fits_signed bits v = v >= -(1 lsl (bits - 1)) && v < 1 lsl (bits - 1)
+let mask_bits bits v = v land ((1 lsl bits) - 1)
+let sign_extend bits v =
+  let m = 1 lsl (bits - 1) in
+  (v land ((1 lsl bits) - 1) lxor m) - m
+
+let field word ~lo ~bits = Int64.to_int (Int64.shift_right_logical word lo) land ((1 lsl bits) - 1)
+let put acc ~lo v = Int64.logor acc (Int64.shift_left (Int64.of_int v) lo)
+
+(* Assign the up-to-three operands of a non-branch instruction to register
+   fields and the single 32-bit payload.  Zero immediates become reads of
+   the hard-wired zero register. *)
+let encode_plain ~opcode ~dst operands =
+  let word = ref (put 0L ~lo:0 opcode) in
+  word := put !word ~lo:6 dst;
+  let payloads = ref [] in
+  let* () =
+    List.fold_left
+      (fun acc (slot, operand) ->
+        let* () = acc in
+        let reg_lo, flag_lo =
+          match slot with
+          | `A -> (11, 16)
+          | `B -> (17, 22)
+          | `C -> (23, 28)
+        in
+        match operand with
+        | Ir.Imm 0 | Ir.Reg 0 ->
+          word := put !word ~lo:reg_lo 0;
+          Ok ()
+        | Ir.Reg r ->
+          word := put !word ~lo:reg_lo r;
+          Ok ()
+        | Ir.Imm v ->
+          if not (fits_signed 35 v) then Error "immediate exceeds 35 bits"
+          else begin
+            word := put !word ~lo:flag_lo 1;
+            payloads := v :: !payloads;
+            Ok ()
+          end)
+      (Ok ()) operands
+  in
+  match !payloads with
+  | [] -> Ok !word
+  | [ a ] -> Ok (put !word ~lo:29 (mask_bits 35 a))
+  | _ :: _ :: _ -> Error "more than one immediate operand"
+
+let encode_instr ?hint instr =
+  match instr with
+  | Ir.Alu { dst; a; b; _ } ->
+    if hint <> None then Error "hint on a non-branch"
+    else encode_plain ~opcode:(opcode_of_instr instr) ~dst [ (`A, a); (`B, b) ]
+  | Ir.Load { dst; base; off } ->
+    if hint <> None then Error "hint on a non-branch"
+    else encode_plain ~opcode:16 ~dst [ (`A, base); (`B, off) ]
+  | Ir.Store { base; off; src } ->
+    if hint <> None then Error "hint on a non-branch"
+    else encode_plain ~opcode:17 ~dst:0 [ (`A, base); (`B, off); (`C, src) ]
+  | Ir.Flush { base; off } ->
+    if hint <> None then Error "hint on a non-branch"
+    else encode_plain ~opcode:18 ~dst:0 [ (`A, base); (`B, off) ]
+  | Ir.Rdcycle { dst; after } ->
+    if hint <> None then Error "hint on a non-branch"
+    else encode_plain ~opcode:19 ~dst [ (`A, after) ]
+  | Ir.Jump { target } ->
+    if hint <> None then Error "hint on a non-branch"
+    else if target < 0 || target >= 1 lsl 16 then Error "target exceeds 16 bits"
+    else Ok (put (put 0L ~lo:0 20) ~lo:32 target)
+  | Ir.Halt ->
+    if hint <> None then Error "hint on a non-branch" else Ok (put 0L ~lo:0 21)
+  | Ir.Branch { cmp; a; b; target } -> (
+    let* cmp, a, b =
+      match (a, b) with
+      | Ir.Reg _, _ -> Ok (cmp, a, b)
+      | Ir.Imm _, Ir.Reg _ -> Ok (mirror cmp, b, a)
+      | Ir.Imm _, Ir.Imm _ -> Error "constant-vs-constant branch"
+    in
+    let* () =
+      if target < 0 || target >= 1 lsl 16 then Error "target exceeds 16 bits"
+      else Ok ()
+    in
+    let* hint_field =
+      match hint with
+      | None -> Ok 0
+      | Some h ->
+        if h < 0 || h + 1 >= 1 lsl 16 then Error "hint exceeds 16 bits"
+        else Ok (h + 1)
+    in
+    let word = put 0L ~lo:0 (opcode_of_instr (Ir.Branch { cmp; a; b; target })) in
+    let word =
+      match a with
+      | Ir.Reg r -> put word ~lo:11 r
+      | Ir.Imm _ -> assert false
+    in
+    let* word =
+      match b with
+      | Ir.Reg r -> Ok (put word ~lo:17 r)
+      | Ir.Imm v ->
+        if not (fits_signed 16 v) then Error "branch immediate exceeds 16 bits"
+        else Ok (put (put word ~lo:6 1) ~lo:16 (mask_bits 16 v))
+    in
+    Ok (put (put word ~lo:32 target) ~lo:48 hint_field))
+
+let decode_operands word slots =
+  List.map
+    (fun slot ->
+      let reg_lo, flag_lo =
+        match slot with
+        | `A -> (11, 16)
+        | `B -> (17, 22)
+        | `C -> (23, 28)
+      in
+      if field word ~lo:flag_lo ~bits:1 = 1 then
+        Ir.Imm (sign_extend 35 (field word ~lo:29 ~bits:35))
+      else Ir.Reg (field word ~lo:reg_lo ~bits:5))
+    slots
+
+let decode_instr word =
+  let opcode = field word ~lo:0 ~bits:6 in
+  let dst = field word ~lo:6 ~bits:5 in
+  match alu_of_opcode opcode with
+  | Some op -> (
+    match decode_operands word [ `A; `B ] with
+    | [ a; b ] -> Ok (Ir.Alu { op; dst; a; b }, None)
+    | _ -> Error "internal: operand arity")
+  | None -> (
+    match (opcode, branch_cmp_of_opcode opcode) with
+    | 16, _ -> (
+      match decode_operands word [ `A; `B ] with
+      | [ base; off ] -> Ok (Ir.Load { dst; base; off }, None)
+      | _ -> Error "internal: operand arity")
+    | 17, _ -> (
+      match decode_operands word [ `A; `B; `C ] with
+      | [ base; off; src ] -> Ok (Ir.Store { base; off; src }, None)
+      | _ -> Error "internal: operand arity")
+    | 18, _ -> (
+      match decode_operands word [ `A; `B ] with
+      | [ base; off ] -> Ok (Ir.Flush { base; off }, None)
+      | _ -> Error "internal: operand arity")
+    | 19, _ -> (
+      match decode_operands word [ `A ] with
+      | [ after ] -> Ok (Ir.Rdcycle { dst; after }, None)
+      | _ -> Error "internal: operand arity")
+    | 20, _ -> Ok (Ir.Jump { target = field word ~lo:32 ~bits:16 }, None)
+    | 21, _ -> Ok (Ir.Halt, None)
+    | _, Some cmp ->
+      let a = Ir.Reg (field word ~lo:11 ~bits:5) in
+      let b =
+        if field word ~lo:6 ~bits:1 = 1 then
+          Ir.Imm (sign_extend 16 (field word ~lo:16 ~bits:16))
+        else Ir.Reg (field word ~lo:17 ~bits:5)
+      in
+      let target = field word ~lo:32 ~bits:16 in
+      let hint_field = field word ~lo:48 ~bits:16 in
+      let hint = if hint_field = 0 then None else Some (hint_field - 1) in
+      Ok (Ir.Branch { cmp; a; b; target }, hint)
+    | _, None -> Error (Printf.sprintf "unknown opcode %d" opcode))
+
+let encode ?(hints = fun _ -> None) program =
+  let words = Array.make (Array.length program) 0L in
+  let err = ref None in
+  Array.iteri
+    (fun pc instr ->
+      if !err = None then
+        let hint = if Ir.is_branch instr then hints pc else None in
+        match encode_instr ?hint instr with
+        | Ok w -> words.(pc) <- w
+        | Error reason -> err := Some { pc; reason })
+    program;
+  match !err with
+  | Some e -> Error e
+  | None -> Ok words
+
+let decode words =
+  let hints = ref [] in
+  let program = Array.make (Array.length words) Ir.Halt in
+  let err = ref None in
+  Array.iteri
+    (fun pc word ->
+      if !err = None then
+        match decode_instr word with
+        | Ok (instr, hint) ->
+          program.(pc) <- instr;
+          (match hint with
+          | Some h -> hints := (pc, h) :: !hints
+          | None -> ())
+        | Error reason -> err := Some (Printf.sprintf "pc %d: %s" pc reason))
+    words;
+  match !err with
+  | Some msg -> Error msg
+  | None -> Ok (program, List.rev !hints)
+
+let code_size_bytes program = 8 * Array.length program

@@ -1,0 +1,112 @@
+(** The intermediate representation / ISA shared by the compiler analyses and
+    the out-of-order simulator.
+
+    The machine is a RISC-like register machine:
+
+    - [num_regs] general-purpose integer registers; register 0 is hardwired
+      to zero (writes to it are discarded).
+    - Word-addressed memory (an address selects one integer word).  Data
+      addresses are masked to the memory size by the execution substrates, so
+      wild speculative addresses cannot fault — Meltdown-class faulting loads
+      are out of scope (see DESIGN.md).
+    - Branches are direct (label targets known statically); there are no
+      indirect jumps, so Spectre-v2 is out of scope.
+    - [Flush] evicts a line from the simulated cache hierarchy and [Rdcycle]
+      reads the cycle counter: together they let attack programs implement
+      flush+reload timing probes entirely inside the simulated machine. *)
+
+type reg = int
+(** Register index in [0, num_regs). *)
+
+val num_regs : int
+(** Number of architectural registers (32). *)
+
+val zero_reg : reg
+(** Register 0: always reads 0; writes are ignored. *)
+
+type operand =
+  | Reg of reg
+  | Imm of int  (** Immediate operand. *)
+
+type cmp =
+  | Eq
+  | Ne
+  | Lt  (** signed < *)
+  | Le
+  | Gt
+  | Ge
+
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** division by zero yields 0 (no faults in this machine) *)
+  | Rem  (** remainder; by zero yields 0 *)
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Set of cmp  (** [dst <- a cmp b ? 1 : 0] *)
+
+type instr =
+  | Alu of { op : alu_op; dst : reg; a : operand; b : operand }
+  | Load of { dst : reg; base : operand; off : operand }
+      (** [dst <- mem\[base + off\]] *)
+  | Store of { base : operand; off : operand; src : operand }
+      (** [mem\[base + off\] <- src] *)
+  | Branch of { cmp : cmp; a : operand; b : operand; target : int }
+      (** conditional: taken iff [a cmp b] *)
+  | Jump of { target : int }
+  | Flush of { base : operand; off : operand }
+      (** evict the cache line containing [base + off] *)
+  | Rdcycle of { dst : reg; after : operand }
+      (** read the cycle counter once [after] is available — the data
+          dependence lets programs timestamp the completion of a load *)
+  | Halt
+
+type program = instr array
+(** Straight-line array of instructions; the pc is an index into it. *)
+
+val eval_cmp : cmp -> int -> int -> bool
+(** Comparison semantics (signed, on OCaml ints). *)
+
+val eval_alu : alu_op -> int -> int -> int
+(** ALU semantics.  Division/remainder by zero give 0; shifts use the low six
+    bits of the shift amount. *)
+
+val defs : instr -> reg option
+(** The register written by an instruction, if any.  Writes to register 0
+    are reported as [None] (they have no architectural effect). *)
+
+val uses : instr -> reg list
+(** Registers read by an instruction (register 0 excluded, duplicates
+    possible). *)
+
+val is_branch : instr -> bool
+(** Conditional branches only ([Branch _]). *)
+
+val is_control : instr -> bool
+(** Branches, jumps and [Halt]: anything ending a basic block. *)
+
+val branch_target : instr -> int option
+(** Target pc of a [Branch]/[Jump]. *)
+
+val is_memory_access : instr -> bool
+(** Loads and stores (not [Flush]). *)
+
+val cmp_to_string : cmp -> string
+
+val alu_op_to_string : alu_op -> string
+
+val instr_to_string : instr -> string
+(** One-line assembly rendering, e.g. ["add r3, r1, #4"]. *)
+
+val program_to_string : ?annot:(int -> string) -> program -> string
+(** Disassembly of a whole program, one line per pc.  [annot pc] appends a
+    per-instruction comment (used to show compiler annotations). *)
+
+val validate : program -> (unit, string) result
+(** Check static well-formedness: register indices in range, branch targets
+    in [\[0, length\]], at least one [Halt] reachable fall-through (the last
+    instruction must be [Halt] or an unconditional transfer). *)

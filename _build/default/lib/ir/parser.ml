@@ -1,0 +1,206 @@
+(* A small hand-written parser: split into lines, strip comments, collect
+   labels on a first pass, then assemble each line.  Operands are [rN],
+   [#imm] (decimal, optionally negative) or a bare label (branch targets). *)
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let strip_comment s =
+  match String.index_opt s ';' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+(* Disassembly lines carry a "pc:" prefix ("  12: add r1, r1, #1"); drop it
+   so printer output parses back.  A prefix counts only when it is all
+   digits and instruction text follows (a bare "name:" line is a label). *)
+let strip_pc_prefix s =
+  match String.index_opt s ':' with
+  | Some p
+    when p > 0
+         && p < String.length s - 1
+         && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub s 0 p) ->
+    String.sub s (p + 1) (String.length s - p - 1)
+  | Some _ | None -> s
+
+let tokenize s =
+  (* Separate punctuation used by the syntax, then split on blanks. *)
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | ',' | '[' | ']' | '+' -> Buffer.add_string buf (Printf.sprintf " %c " c)
+      | _ -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf |> String.split_on_char ' '
+  |> List.filter (fun t -> t <> "")
+
+let parse_reg line tok =
+  let len = String.length tok in
+  if len >= 2 && tok.[0] = 'r' then
+    match int_of_string_opt (String.sub tok 1 (len - 1)) with
+    | Some r when r >= 0 && r < Ir.num_regs -> r
+    | Some _ | None -> fail line ("bad register: " ^ tok)
+  else fail line ("expected register, got: " ^ tok)
+
+let parse_operand line tok =
+  let len = String.length tok in
+  if len >= 2 && tok.[0] = '#' then
+    match int_of_string_opt (String.sub tok 1 (len - 1)) with
+    | Some i -> Ir.Imm i
+    | None -> fail line ("bad immediate: " ^ tok)
+  else Ir.Reg (parse_reg line tok)
+
+let cmp_of_suffix = function
+  | "eq" -> Some Ir.Eq
+  | "ne" -> Some Ir.Ne
+  | "lt" -> Some Ir.Lt
+  | "le" -> Some Ir.Le
+  | "gt" -> Some Ir.Gt
+  | "ge" -> Some Ir.Ge
+  | _ -> None
+
+let alu_of_mnemonic m =
+  match m with
+  | "add" -> Some Ir.Add
+  | "sub" -> Some Ir.Sub
+  | "mul" -> Some Ir.Mul
+  | "div" -> Some Ir.Div
+  | "rem" -> Some Ir.Rem
+  | "and" -> Some Ir.And
+  | "or" -> Some Ir.Or
+  | "xor" -> Some Ir.Xor
+  | "shl" -> Some Ir.Shl
+  | "shr" -> Some Ir.Shr
+  | _ ->
+    if String.length m = 5 && String.sub m 0 3 = "set" then
+      Option.map (fun c -> Ir.Set c) (cmp_of_suffix (String.sub m 3 2))
+    else None
+
+(* [mem_operands line toks] parses "[ base + off ]" and returns
+   (base, off, rest). *)
+let mem_operands line toks =
+  match toks with
+  | "[" :: base :: "+" :: off :: "]" :: rest ->
+    (parse_operand line base, parse_operand line off, rest)
+  | "[" :: base :: "]" :: rest -> (parse_operand line base, Ir.Imm 0, rest)
+  | _ -> fail line "expected memory operand [base + off]"
+
+type pending =
+  | P_ready of Ir.instr
+  | P_branch of Ir.cmp * Ir.operand * Ir.operand * string
+  | P_jump of string
+
+let parse_line line toks =
+  match toks with
+  | [] -> None
+  | mnemonic :: rest -> (
+    match (alu_of_mnemonic mnemonic, rest) with
+    | Some op, [ dst; ","; a; ","; b ] ->
+      Some
+        (P_ready
+           (Ir.Alu
+              {
+                op;
+                dst = parse_reg line dst;
+                a = parse_operand line a;
+                b = parse_operand line b;
+              }))
+    | Some _, _ -> fail line "alu syntax: op rD, a, b"
+    | None, _ -> (
+      match (mnemonic, rest) with
+      | "mov", [ dst; ","; a ] ->
+        Some
+          (P_ready
+             (Ir.Alu
+                {
+                  op = Ir.Add;
+                  dst = parse_reg line dst;
+                  a = parse_operand line a;
+                  b = Ir.Imm 0;
+                }))
+      | "load", dst :: "," :: mem ->
+        let base, off, rest = mem_operands line mem in
+        if rest <> [] then fail line "trailing tokens after load";
+        Some (P_ready (Ir.Load { dst = parse_reg line dst; base; off }))
+      | "store", mem -> (
+        let base, off, rest = mem_operands line mem in
+        match rest with
+        | [ ","; src ] ->
+          Some (P_ready (Ir.Store { base; off; src = parse_operand line src }))
+        | _ -> fail line "store syntax: store [base + off], src")
+      | "flush", mem ->
+        let base, off, rest = mem_operands line mem in
+        if rest <> [] then fail line "trailing tokens after flush";
+        Some (P_ready (Ir.Flush { base; off }))
+      | "rdcycle", [ dst ] ->
+        Some (P_ready (Ir.Rdcycle { dst = parse_reg line dst; after = Ir.Imm 0 }))
+      | "rdcycle", [ dst; ","; after ] ->
+        Some
+          (P_ready
+             (Ir.Rdcycle
+                { dst = parse_reg line dst; after = parse_operand line after }))
+      | "jump", [ label ] -> Some (P_jump label)
+      | "halt", [] -> Some (P_ready Ir.Halt)
+      | _, _ -> (
+        (* bCC a, b, label *)
+        if String.length mnemonic = 3 && mnemonic.[0] = 'b' then
+          match (cmp_of_suffix (String.sub mnemonic 1 2), rest) with
+          | Some cmp, [ a; ","; b; ","; label ] ->
+            Some (P_branch (cmp, parse_operand line a, parse_operand line b, label))
+          | Some _, _ -> fail line "branch syntax: bcc a, b, label"
+          | None, _ -> fail line ("unknown mnemonic: " ^ mnemonic)
+        else fail line ("unknown mnemonic: " ^ mnemonic))))
+
+(* Branch targets may also be written [@N] (absolute pc), which is what the
+   printer emits — so print/parse round-trips. *)
+let parse text =
+  try
+    let lines = String.split_on_char '\n' text in
+    let labels = Hashtbl.create 16 in
+    let pendings = ref [] in
+    let count = ref 0 in
+    List.iteri
+      (fun idx raw ->
+        let lineno = idx + 1 in
+        let s = String.trim (strip_pc_prefix (String.trim (strip_comment raw))) in
+        if s <> "" then
+          if String.length s > 1 && s.[String.length s - 1] = ':' then begin
+            let name = String.trim (String.sub s 0 (String.length s - 1)) in
+            if Hashtbl.mem labels name then fail lineno ("duplicate label " ^ name);
+            Hashtbl.add labels name !count
+          end
+          else
+            match parse_line lineno (tokenize s) with
+            | Some p ->
+              pendings := (lineno, p) :: !pendings;
+              incr count
+            | None -> ())
+      lines;
+    let resolve lineno name =
+      if String.length name > 1 && name.[0] = '@' then
+        match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+        | Some pc -> pc
+        | None -> fail lineno ("bad absolute target " ^ name)
+      else
+        match Hashtbl.find_opt labels name with
+        | Some pc -> pc
+        | None -> fail lineno ("unknown label " ^ name)
+    in
+    let finish (lineno, p) =
+      match p with
+      | P_ready i -> i
+      | P_branch (cmp, a, b, l) ->
+        Ir.Branch { cmp; a; b; target = resolve lineno l }
+      | P_jump l -> Ir.Jump { target = resolve lineno l }
+    in
+    let program = Array.of_list (List.rev_map finish !pendings) in
+    match Ir.validate program with
+    | Ok () -> Ok program
+    | Error msg -> Error msg
+  with Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+
+let parse_exn text =
+  match parse text with
+  | Ok p -> p
+  | Error msg -> failwith ("Parser.parse_exn: " ^ msg)

@@ -1,0 +1,26 @@
+(** Parser for the textual assembly produced by {!Ir.instr_to_string}, plus
+    symbolic labels.  Useful for writing tests and examples as readable
+    listings.
+
+    Grammar (one instruction or label per line; [;] starts a comment):
+    {v
+      loop:
+        add r1, r1, #1
+        load r2, [r3 + #8]
+        store [r3 + #0], r2
+        blt r1, r4, loop
+        setge r5, r1, r4
+        jump end
+        flush [r3 + #0]
+        rdcycle r6
+      end:
+        halt
+    v} *)
+
+val parse : string -> (Ir.program, string) result
+(** Parse a full listing.  Errors carry a line number and message.
+    Branch targets may be labels or absolute [@pc] references (the form
+    {!Ir.program_to_string} prints), so print → parse round-trips. *)
+
+val parse_exn : string -> Ir.program
+(** @raise Failure on parse errors. *)

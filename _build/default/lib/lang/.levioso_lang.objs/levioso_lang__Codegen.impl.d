@@ -1,0 +1,1 @@
+lib/lang/codegen.ml: Ast Hashtbl Levioso_ir List Option Printf Resolve Result String

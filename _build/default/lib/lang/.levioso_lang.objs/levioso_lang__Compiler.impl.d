@@ -1,0 +1,1 @@
+lib/lang/compiler.ml: Codegen Lparser

@@ -1,0 +1,1 @@
+lib/lang/compiler.mli: Levioso_ir

@@ -1,0 +1,1 @@
+lib/lang/lparser.ml: Ast Lexer List Printf Result

@@ -1,0 +1,1 @@
+lib/lang/resolve.ml: Ast Hashtbl List Map Option Printf Set String

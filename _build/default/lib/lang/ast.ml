@@ -1,0 +1,85 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Logic_and
+  | Logic_or
+
+type expr =
+  | Lit of int
+  | Var of string
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Not of expr
+  | Load of expr
+  | Rdcycle of expr option
+  | Call of string * expr list
+
+type stmt =
+  | Decl of string * expr
+  | Assign of string * expr
+  | If of expr * block * block option
+  | While of expr * block
+  | Store of expr * expr
+  | Flush of expr
+  | Expr_stmt of expr
+  | Return of expr option
+  | Halt
+
+and block = stmt list
+
+type fn = {
+  name : string;
+  params : string list;
+  body : block;
+  line : int;
+}
+
+type program = fn list
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Logic_and -> "&&"
+  | Logic_or -> "||"
+
+let rec expr_to_string = function
+  | Lit n -> string_of_int n
+  | Var x -> x
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+      (expr_to_string b)
+  | Neg e -> Printf.sprintf "(-%s)" (expr_to_string e)
+  | Not e -> Printf.sprintf "(!%s)" (expr_to_string e)
+  | Load e -> Printf.sprintf "load(%s)" (expr_to_string e)
+  | Rdcycle None -> "rdcycle()"
+  | Rdcycle (Some e) -> Printf.sprintf "rdcycle(%s)" (expr_to_string e)
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))

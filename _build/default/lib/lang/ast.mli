@@ -1,0 +1,56 @@
+(** Abstract syntax of the Lev language. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Logic_and  (** strict (both sides evaluate), boolean-valued *)
+  | Logic_or
+
+type expr =
+  | Lit of int
+  | Var of string
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Not of expr  (** [!e] = [e == 0] *)
+  | Load of expr  (** [load(addr)] *)
+  | Rdcycle of expr option  (** [rdcycle()] / [rdcycle(after)] *)
+  | Call of string * expr list
+
+type stmt =
+  | Decl of string * expr  (** [var x = e;] *)
+  | Assign of string * expr
+  | If of expr * block * block option
+  | While of expr * block
+  | Store of expr * expr  (** [store(addr, value);] *)
+  | Flush of expr  (** [flush(addr);] *)
+  | Expr_stmt of expr  (** call for effect *)
+  | Return of expr option
+  | Halt
+
+and block = stmt list
+
+type fn = {
+  name : string;
+  params : string list;
+  body : block;
+  line : int;  (** declaration site, for error messages *)
+}
+
+type program = fn list
+
+val expr_to_string : expr -> string
+(** Compact rendering for error messages and tests. *)

@@ -1,0 +1,314 @@
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+(* Register allocation: a bump pointer for long-lived slots (variables,
+   call results) plus a stack discipline for expression temporaries above
+   the high-water mark. *)
+type regs = {
+  mutable next_fixed : int;
+  mutable temp_top : int;
+}
+
+type ctx = {
+  b : Builder.t;
+  regs : regs;
+  fns : (string, Ast.fn) Hashtbl.t;
+  mutable env : (string * Ir.reg) list;  (* innermost binding first *)
+}
+
+let alloc_fixed ctx what =
+  (* a fixed slot must not land below a live expression temporary (calls
+     inside expressions allocate params/results while partial values are
+     held in temps), so allocate above both watermarks; temps trapped
+     below the new floor simply stay allocated — a small, safe leak *)
+  let r = max ctx.regs.next_fixed ctx.regs.temp_top in
+  if r >= Ir.num_regs then
+    fail "out of registers allocating %s (limit %d)" what (Ir.num_regs - 1);
+  ctx.regs.next_fixed <- r + 1;
+  if ctx.regs.temp_top < ctx.regs.next_fixed then
+    ctx.regs.temp_top <- ctx.regs.next_fixed;
+  r
+
+let alloc_temp ctx =
+  let r = ctx.regs.temp_top in
+  if r >= Ir.num_regs then
+    fail "expression too deep: out of temporary registers (limit %d)"
+      (Ir.num_regs - 1);
+  ctx.regs.temp_top <- r + 1;
+  r
+
+let free_temp ctx r =
+  (* temporaries release in stack order; fixed slots never do *)
+  if r = ctx.regs.temp_top - 1 && r >= ctx.regs.next_fixed then
+    ctx.regs.temp_top <- r
+
+let lookup ctx name =
+  match List.assoc_opt name ctx.env with
+  | Some r -> r
+  | None -> fail "internal: unresolved variable %s" name
+
+(* operand + whether it occupies a temporary we should release *)
+type value = {
+  operand : Ir.operand;
+  temp : bool;
+}
+
+let imm n = { operand = Ir.Imm n; temp = false }
+let of_reg r = { operand = Ir.Reg r; temp = false }
+
+let release ctx v =
+  match v.operand with
+  | Ir.Reg r when v.temp -> free_temp ctx r
+  | Ir.Reg _ | Ir.Imm _ -> ()
+
+let alu_of_binop = function
+  | Ast.Add -> Some Ir.Add
+  | Ast.Sub -> Some Ir.Sub
+  | Ast.Mul -> Some Ir.Mul
+  | Ast.Div -> Some Ir.Div
+  | Ast.Rem -> Some Ir.Rem
+  | Ast.And -> Some Ir.And
+  | Ast.Or -> Some Ir.Or
+  | Ast.Xor -> Some Ir.Xor
+  | Ast.Shl -> Some Ir.Shl
+  | Ast.Shr -> Some Ir.Shr
+  | Ast.Eq -> Some (Ir.Set Ir.Eq)
+  | Ast.Ne -> Some (Ir.Set Ir.Ne)
+  | Ast.Lt -> Some (Ir.Set Ir.Lt)
+  | Ast.Le -> Some (Ir.Set Ir.Le)
+  | Ast.Gt -> Some (Ir.Set Ir.Gt)
+  | Ast.Ge -> Some (Ir.Set Ir.Ge)
+  | Ast.Logic_and | Ast.Logic_or -> None
+
+(* a call instance being compiled: where return writes its value and jumps *)
+type call_frame = {
+  result : Ir.reg;
+  end_label : string;
+}
+
+let rec eval ctx (e : Ast.expr) : value =
+  match e with
+  | Ast.Lit n -> imm n
+  | Ast.Var x -> of_reg (lookup ctx x)
+  | Ast.Binop (op, a, b) -> eval_binop ctx op a b
+  | Ast.Neg a -> (
+    match eval ctx a with
+    | { operand = Ir.Imm n; _ } -> imm (-n)
+    | va ->
+      release ctx va;
+      let t = alloc_temp ctx in
+      Builder.sub ctx.b t (Ir.Imm 0) va.operand;
+      { operand = Ir.Reg t; temp = true })
+  | Ast.Not a -> (
+    match eval ctx a with
+    | { operand = Ir.Imm n; _ } -> imm (if n = 0 then 1 else 0)
+    | va ->
+      release ctx va;
+      let t = alloc_temp ctx in
+      Builder.alu ctx.b (Ir.Set Ir.Eq) t va.operand (Ir.Imm 0);
+      { operand = Ir.Reg t; temp = true })
+  | Ast.Load addr ->
+    let va = eval ctx addr in
+    release ctx va;
+    let t = alloc_temp ctx in
+    Builder.load ctx.b t va.operand (Ir.Imm 0);
+    { operand = Ir.Reg t; temp = true }
+  | Ast.Rdcycle after ->
+    let va = Option.map (eval ctx) after in
+    Option.iter (release ctx) va;
+    let t = alloc_temp ctx in
+    let after_operand =
+      match va with
+      | Some v -> v.operand
+      | None -> Ir.Imm 0
+    in
+    Builder.rdcycle ~after:after_operand ctx.b t;
+    { operand = Ir.Reg t; temp = true }
+  | Ast.Call (name, args) ->
+    let r = inline_call ctx name args in
+    (* call results live in fixed slots (they survive arbitrary code);
+       copy into a temp so expression lifetimes stay stack-shaped *)
+    of_reg r
+
+(* booleanize an operand into a fresh temp (0/1) *)
+and booleanize ctx v =
+  match v.operand with
+  | Ir.Imm n -> imm (if n <> 0 then 1 else 0)
+  | Ir.Reg _ ->
+    release ctx v;
+    let t = alloc_temp ctx in
+    Builder.alu ctx.b (Ir.Set Ir.Ne) t v.operand (Ir.Imm 0);
+    { operand = Ir.Reg t; temp = true }
+
+and eval_binop ctx op a b =
+  match op with
+  | Ast.Logic_and | Ast.Logic_or ->
+    (* strict boolean logic: both sides evaluate (see Compiler docs) *)
+    let va = booleanize ctx (eval ctx a) in
+    let vb = booleanize ctx (eval ctx b) in
+    (match (va.operand, vb.operand) with
+    | Ir.Imm x, Ir.Imm y ->
+      release ctx vb;
+      release ctx va;
+      imm
+        (match op with
+        | Ast.Logic_and -> if x <> 0 && y <> 0 then 1 else 0
+        | _ -> if x <> 0 || y <> 0 then 1 else 0)
+    | _ ->
+      release ctx vb;
+      release ctx va;
+      let t = alloc_temp ctx in
+      let ir_op =
+        match op with
+        | Ast.Logic_and -> Ir.And
+        | _ -> Ir.Or
+      in
+      Builder.alu ctx.b ir_op t va.operand vb.operand;
+      { operand = Ir.Reg t; temp = true })
+  | _ -> (
+    let ir_op = Option.get (alu_of_binop op) in
+    let va = eval ctx a in
+    let vb = eval ctx b in
+    match (va.operand, vb.operand) with
+    | Ir.Imm x, Ir.Imm y -> imm (Ir.eval_alu ir_op x y)
+    | _ ->
+      release ctx vb;
+      release ctx va;
+      let t = alloc_temp ctx in
+      Builder.alu ctx.b ir_op t va.operand vb.operand;
+      { operand = Ir.Reg t; temp = true })
+
+(* conditions: branch on comparisons directly, otherwise on [e != 0] *)
+and cond_triple ctx (e : Ast.expr) =
+  let cmp_of = function
+    | Ast.Eq -> Some Ir.Eq
+    | Ast.Ne -> Some Ir.Ne
+    | Ast.Lt -> Some Ir.Lt
+    | Ast.Le -> Some Ir.Le
+    | Ast.Gt -> Some Ir.Gt
+    | Ast.Ge -> Some Ir.Ge
+    | _ -> None
+  in
+  match e with
+  | Ast.Binop (op, a, b) when cmp_of op <> None ->
+    let va = eval ctx a in
+    let vb = eval ctx b in
+    release ctx vb;
+    release ctx va;
+    (Option.get (cmp_of op), va.operand, vb.operand)
+  | _ ->
+    let v = eval ctx e in
+    release ctx v;
+    (Ir.Ne, v.operand, Ir.Imm 0)
+
+and stmt ctx frame (s : Ast.stmt) =
+  match s with
+  | Ast.Decl (x, e) ->
+    let v = eval ctx e in
+    release ctx v;
+    let r = alloc_fixed ctx x in
+    Builder.mov ctx.b r v.operand;
+    ctx.env <- (x, r) :: ctx.env
+  | Ast.Assign (x, e) ->
+    let v = eval ctx e in
+    release ctx v;
+    Builder.mov ctx.b (lookup ctx x) v.operand
+  | Ast.If (c, then_, else_) -> (
+    let cond = cond_triple ctx c in
+    match else_ with
+    | None -> Builder.if_then ctx.b ~cond (fun () -> block ctx frame then_)
+    | Some eb ->
+      Builder.if_then_else ctx.b ~cond
+        (fun () -> block ctx frame then_)
+        (fun () -> block ctx frame eb))
+  | Ast.While (c, body) ->
+    Builder.while_ ctx.b
+      ~cond:(fun () -> cond_triple ctx c)
+      (fun () -> block ctx frame body)
+  | Ast.Store (addr, value) ->
+    let va = eval ctx addr in
+    let vv = eval ctx value in
+    release ctx vv;
+    release ctx va;
+    Builder.store ctx.b va.operand (Ir.Imm 0) vv.operand
+  | Ast.Flush addr ->
+    let va = eval ctx addr in
+    release ctx va;
+    Builder.flush ctx.b va.operand (Ir.Imm 0)
+  | Ast.Expr_stmt e ->
+    let v = eval ctx e in
+    release ctx v
+  | Ast.Return e ->
+    (match (e, frame) with
+    | Some _, None -> fail "internal: valued return outside a function body"
+    | Some expr, Some f ->
+      let v = eval ctx expr in
+      release ctx v;
+      Builder.mov ctx.b f.result v.operand
+    | None, _ -> ());
+    (match frame with
+    | Some f -> Builder.jump ctx.b f.end_label
+    | None ->
+      (* returning from main ends the program *)
+      Builder.halt ctx.b)
+  | Ast.Halt -> Builder.halt ctx.b
+
+and block ctx frame stmts =
+  (* variables declared inside the block scope out at its end, but their
+     registers stay allocated (flat per-function allocation keeps loop
+     bodies from re-allocating every iteration) *)
+  let saved_env = ctx.env in
+  List.iter (stmt ctx frame) stmts;
+  ctx.env <- saved_env
+
+and inline_call ctx name args =
+  let f =
+    match Hashtbl.find_opt ctx.fns name with
+    | Some f -> f
+    | None -> fail "internal: call to unknown function %s" name
+  in
+  (* evaluate arguments into the callee's parameter registers *)
+  let param_regs =
+    List.map2
+      (fun p arg ->
+        let v = eval ctx arg in
+        release ctx v;
+        let r = alloc_fixed ctx (name ^ "." ^ p) in
+        Builder.mov ctx.b r v.operand;
+        (p, r))
+      f.Ast.params args
+  in
+  let result = alloc_fixed ctx (name ^ ".result") in
+  Builder.mov ctx.b result (Ir.Imm 0);
+  let end_label = Builder.fresh_label ctx.b in
+  let saved_env = ctx.env in
+  ctx.env <- param_regs;
+  block ctx (Some { result; end_label }) f.Ast.body;
+  ctx.env <- saved_env;
+  Builder.place ctx.b end_label;
+  result
+
+let compile fns =
+  match Resolve.check fns with
+  | Error errors -> Result.Error (String.concat "\n" errors)
+  | Ok () -> (
+    let table = Hashtbl.create 16 in
+    List.iter (fun (f : Ast.fn) -> Hashtbl.replace table f.Ast.name f) fns;
+    let main = Hashtbl.find table "main" in
+    let ctx =
+      {
+        b = Builder.create ();
+        regs = { next_fixed = 1; temp_top = 1 };
+        fns = table;
+        env = [];
+      }
+    in
+    try
+      block ctx None main.Ast.body;
+      Builder.halt ctx.b;
+      Ok (Builder.build ctx.b)
+    with Error msg -> Result.Error msg)

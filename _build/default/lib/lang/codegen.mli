@@ -1,0 +1,20 @@
+(** Code generation: Lev AST → the simulator's IR.
+
+    Strategy (no stack on this ISA):
+
+    - every variable and temporary lives in a register; literals fold into
+      immediate operands (with compile-time constant folding of pure
+      operator applications);
+    - calls are {e inlined} — the resolver has already rejected recursion —
+      with callee locals alpha-renamed into fresh registers;
+    - [if]/[while] lower through the {!Levioso_ir.Builder} structured
+      helpers, and conditions that are already comparisons branch directly
+      instead of materializing a 0/1 value.
+
+    Register pressure beyond the 31 general-purpose registers is a
+    compile-time error (deep inlining or very many live locals). *)
+
+exception Error of string
+
+val compile : Ast.program -> (Levioso_ir.Ir.program, string) result
+(** Requires {!Resolve.check} to have passed (violations raise). *)

@@ -1,0 +1,9 @@
+let compile source =
+  match Lparser.parse source with
+  | Error msg -> Error msg
+  | Ok ast -> Codegen.compile ast
+
+let compile_exn source =
+  match compile source with
+  | Ok program -> program
+  | Error msg -> failwith ("Compiler.compile_exn: " ^ msg)

@@ -1,0 +1,44 @@
+(** The Lev language: a small C-like frontend for the simulator, making the
+    full compiler-informed pipeline concrete — source → IR → reconvergence
+    annotation ({!Levioso_core.Annotation}) → secure simulation.
+
+    Grammar:
+    {v
+    program  := fn*
+    fn       := "fn" name "(" [name ("," name)*] ")" block
+    block    := "{" stmt* "}"
+    stmt     := "var" name "=" expr ";"
+              | name "=" expr ";"
+              | "if" "(" expr ")" block ["else" block]
+              | "while" "(" expr ")" block
+              | "store" "(" expr "," expr ")" ";"
+              | "flush" "(" expr ")" ";"
+              | name "(" args ")" ";"
+              | "return" [expr] ";"
+              | "halt" ";"
+    expr     := precedence-climbing over
+                (lowest) || && | ^ & ==,!= <,<=,>,>= <<,>> +,- *,/,%
+                with unary - and !, and primaries:
+                integer | name | name "(" args ")"
+                | "load" "(" expr ")" | "rdcycle" "(" [expr] ")" | "(" expr ")"
+    v}
+
+    Semantics notes:
+    - all values are machine integers; comparisons and [!] yield 0/1;
+      [&&]/[||] are boolean-valued but {e strict} (both sides always
+      evaluate — there is one basic block per arm anyway on this scale);
+    - [load]/[store] address words directly (no types, no arrays — index
+      arithmetic is explicit, as in the paper's kernels);
+    - [rdcycle(x)] reads the cycle counter once [x] is available —
+      the timing primitive attack code needs;
+    - functions are inlined (the ISA has no stack); recursion is a
+      compile-time error;
+    - execution starts at [main]; falling off [main] (or [return] in it)
+      halts the machine. *)
+
+val compile : string -> (Levioso_ir.Ir.program, string) result
+(** Lex, parse, resolve, generate.  The first error wins; resolver errors
+    arrive as one newline-separated batch. *)
+
+val compile_exn : string -> Levioso_ir.Ir.program
+(** @raise Failure on any compilation error. *)

@@ -1,0 +1,18 @@
+(** Reference interpreter for Lev: a direct AST walker with none of the
+    compiler's machinery (no registers, no inlining, no constant folding).
+
+    Its only purpose is differential testing — {!Codegen} output run on the
+    {!Levioso_ir.Emulator} must produce exactly the memory image this
+    interpreter produces (property-tested on random programs).
+
+    [rdcycle] has no meaningful value here; it returns 0, and differential
+    tests must not let it flow into memory. *)
+
+exception Stuck of string
+(** Internal errors only (the resolver rules out user-level failures). *)
+
+val run :
+  ?fuel:int -> mem:int array -> Ast.program -> unit
+(** Execute [main], mutating [mem] through [store].  Addresses mask to the
+    array size (a power of two), mirroring the machine.
+    @raise Stuck when [fuel] (default 10M statements) runs out. *)

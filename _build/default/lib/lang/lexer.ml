@@ -1,0 +1,189 @@
+type token =
+  | Int of int
+  | Ident of string
+  | Kw_fn
+  | Kw_var
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_return
+  | Kw_halt
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Semi
+  | Assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And_and
+  | Or_or
+  | Bang
+  | Eof
+
+type located = {
+  token : token;
+  line : int;
+  col : int;
+}
+
+let keyword_of = function
+  | "fn" -> Some Kw_fn
+  | "var" -> Some Kw_var
+  | "if" -> Some Kw_if
+  | "else" -> Some Kw_else
+  | "while" -> Some Kw_while
+  | "return" -> Some Kw_return
+  | "halt" -> Some Kw_halt
+  | _ -> None
+
+let token_to_string = function
+  | Int n -> string_of_int n
+  | Ident s -> s
+  | Kw_fn -> "fn"
+  | Kw_var -> "var"
+  | Kw_if -> "if"
+  | Kw_else -> "else"
+  | Kw_while -> "while"
+  | Kw_return -> "return"
+  | Kw_halt -> "halt"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Comma -> ","
+  | Semi -> ";"
+  | Assign -> "="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Amp -> "&"
+  | Pipe -> "|"
+  | Caret -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And_and -> "&&"
+  | Or_or -> "||"
+  | Bang -> "!"
+  | Eof -> "<eof>"
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize source =
+  let n = String.length source in
+  let out = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let error = ref None in
+  let emit token ~line ~col = out := { token; line; col } :: !out in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some source.[!i + k] else None in
+  let advance () =
+    (match source.[!i] with
+    | '\n' ->
+      incr line;
+      col := 1
+    | _ -> incr col);
+    incr i
+  in
+  while !i < n && !error = None do
+    let c = source.[!i] in
+    let tl = !line and tc = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !i < n && source.[!i] <> '\n' do
+        advance ()
+      done
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit source.[!i] do
+        advance ()
+      done;
+      let text = String.sub source start (!i - start) in
+      match int_of_string_opt text with
+      | Some v -> emit (Int v) ~line:tl ~col:tc
+      | None -> error := Some (Printf.sprintf "line %d: bad integer %s" tl text)
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char source.[!i] do
+        advance ()
+      done;
+      let text = String.sub source start (!i - start) in
+      let token =
+        match keyword_of text with
+        | Some kw -> kw
+        | None -> Ident text
+      in
+      emit token ~line:tl ~col:tc
+    end
+    else begin
+      let two t =
+        advance ();
+        advance ();
+        emit t ~line:tl ~col:tc
+      in
+      let one t =
+        advance ();
+        emit t ~line:tl ~col:tc
+      in
+      match (c, peek 1) with
+      | '<', Some '<' -> two Shl
+      | '>', Some '>' -> two Shr
+      | '=', Some '=' -> two Eq
+      | '!', Some '=' -> two Ne
+      | '<', Some '=' -> two Le
+      | '>', Some '=' -> two Ge
+      | '&', Some '&' -> two And_and
+      | '|', Some '|' -> two Or_or
+      | '(', _ -> one Lparen
+      | ')', _ -> one Rparen
+      | '{', _ -> one Lbrace
+      | '}', _ -> one Rbrace
+      | ',', _ -> one Comma
+      | ';', _ -> one Semi
+      | '=', _ -> one Assign
+      | '+', _ -> one Plus
+      | '-', _ -> one Minus
+      | '*', _ -> one Star
+      | '/', _ -> one Slash
+      | '%', _ -> one Percent
+      | '&', _ -> one Amp
+      | '|', _ -> one Pipe
+      | '^', _ -> one Caret
+      | '<', _ -> one Lt
+      | '>', _ -> one Gt
+      | '!', _ -> one Bang
+      | _ ->
+        error := Some (Printf.sprintf "line %d, col %d: unexpected character %c" tl tc c)
+    end
+  done;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    emit Eof ~line:!line ~col:!col;
+    Ok (List.rev !out)

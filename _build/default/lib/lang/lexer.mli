@@ -1,0 +1,55 @@
+(** Lexer for the Lev language (the C-like frontend whose compiler hosts
+    the Levioso annotation pass; see {!Compiler} for the grammar).
+
+    Tokens carry source positions for error reporting.  Comments run from
+    [//] to end of line. *)
+
+type token =
+  | Int of int
+  | Ident of string
+  | Kw_fn
+  | Kw_var
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_return
+  | Kw_halt
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Semi
+  | Assign  (** [=] *)
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Shl
+  | Shr
+  | Eq  (** [==] *)
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And_and
+  | Or_or
+  | Bang
+  | Eof
+
+type located = {
+  token : token;
+  line : int;
+  col : int;
+}
+
+val tokenize : string -> (located list, string) result
+(** The result always ends with an [Eof] token.  Errors name the offending
+    character and position. *)
+
+val token_to_string : token -> string

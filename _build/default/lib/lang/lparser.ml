@@ -1,0 +1,281 @@
+(* Recursive descent with precedence climbing for binary operators. *)
+
+type state = {
+  mutable tokens : Lexer.located list;
+}
+
+exception Error of string
+
+let fail (loc : Lexer.located) msg =
+  raise
+    (Error
+       (Printf.sprintf "line %d, col %d: %s (at '%s')" loc.Lexer.line
+          loc.Lexer.col msg
+          (Lexer.token_to_string loc.Lexer.token)))
+
+let peek st =
+  match st.tokens with
+  | t :: _ -> t
+  | [] -> assert false (* the lexer always appends Eof *)
+
+let advance st =
+  match st.tokens with
+  | _ :: rest when rest <> [] -> st.tokens <- rest
+  | _ -> ()
+
+let eat st token msg =
+  let t = peek st in
+  if t.Lexer.token = token then advance st else fail t msg
+
+let eat_ident st msg =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.Ident name ->
+    advance st;
+    name
+  | _ -> fail t msg
+
+(* binary operator precedence: higher binds tighter *)
+let binop_of_token = function
+  | Lexer.Or_or -> Some (Ast.Logic_or, 1)
+  | Lexer.And_and -> Some (Ast.Logic_and, 2)
+  | Lexer.Pipe -> Some (Ast.Or, 3)
+  | Lexer.Caret -> Some (Ast.Xor, 4)
+  | Lexer.Amp -> Some (Ast.And, 5)
+  | Lexer.Eq -> Some (Ast.Eq, 6)
+  | Lexer.Ne -> Some (Ast.Ne, 6)
+  | Lexer.Lt -> Some (Ast.Lt, 7)
+  | Lexer.Le -> Some (Ast.Le, 7)
+  | Lexer.Gt -> Some (Ast.Gt, 7)
+  | Lexer.Ge -> Some (Ast.Ge, 7)
+  | Lexer.Shl -> Some (Ast.Shl, 8)
+  | Lexer.Shr -> Some (Ast.Shr, 8)
+  | Lexer.Plus -> Some (Ast.Add, 9)
+  | Lexer.Minus -> Some (Ast.Sub, 9)
+  | Lexer.Star -> Some (Ast.Mul, 10)
+  | Lexer.Slash -> Some (Ast.Div, 10)
+  | Lexer.Percent -> Some (Ast.Rem, 10)
+  | _ -> None
+
+let rec expr st = binary st 1
+
+and binary st min_prec =
+  let lhs = ref (unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (peek st).Lexer.token with
+    | Some (op, prec) when prec >= min_prec ->
+      advance st;
+      (* left-associative: the right side binds at prec + 1 *)
+      let rhs = binary st (prec + 1) in
+      lhs := Ast.Binop (op, !lhs, rhs)
+    | Some _ | None -> continue_ := false
+  done;
+  !lhs
+
+and unary st =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.Minus ->
+    advance st;
+    Ast.Neg (unary st)
+  | Lexer.Bang ->
+    advance st;
+    Ast.Not (unary st)
+  | _ -> primary st
+
+and primary st =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.Int n ->
+    advance st;
+    Ast.Lit n
+  | Lexer.Lparen ->
+    advance st;
+    let e = expr st in
+    eat st Lexer.Rparen "expected )";
+    e
+  | Lexer.Ident "load" when looks_like_call st ->
+    advance st;
+    eat st Lexer.Lparen "expected (";
+    let addr = expr st in
+    eat st Lexer.Rparen "expected )";
+    Ast.Load addr
+  | Lexer.Ident "rdcycle" when looks_like_call st ->
+    advance st;
+    eat st Lexer.Lparen "expected (";
+    let arg =
+      if (peek st).Lexer.token = Lexer.Rparen then None else Some (expr st)
+    in
+    eat st Lexer.Rparen "expected )";
+    Ast.Rdcycle arg
+  | Lexer.Ident name when looks_like_call st ->
+    advance st;
+    let args = call_args st in
+    Ast.Call (name, args)
+  | Lexer.Ident name ->
+    advance st;
+    Ast.Var name
+  | _ -> fail t "expected an expression"
+
+and looks_like_call st =
+  match st.tokens with
+  | { Lexer.token = Lexer.Ident _; _ } :: { Lexer.token = Lexer.Lparen; _ } :: _ ->
+    true
+  | _ -> false
+
+and call_args st =
+  eat st Lexer.Lparen "expected (";
+  if (peek st).Lexer.token = Lexer.Rparen then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec more acc =
+      let e = expr st in
+      match (peek st).Lexer.token with
+      | Lexer.Comma ->
+        advance st;
+        more (e :: acc)
+      | _ ->
+        eat st Lexer.Rparen "expected , or )";
+        List.rev (e :: acc)
+    in
+    more []
+  end
+
+let rec block st =
+  eat st Lexer.Lbrace "expected {";
+  let stmts = ref [] in
+  while (peek st).Lexer.token <> Lexer.Rbrace do
+    stmts := statement st :: !stmts
+  done;
+  advance st;
+  List.rev !stmts
+
+and statement st =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.Kw_var ->
+    advance st;
+    let name = eat_ident st "expected variable name" in
+    eat st Lexer.Assign "expected =";
+    let e = expr st in
+    eat st Lexer.Semi "expected ;";
+    Ast.Decl (name, e)
+  | Lexer.Kw_if ->
+    advance st;
+    eat st Lexer.Lparen "expected (";
+    let cond = expr st in
+    eat st Lexer.Rparen "expected )";
+    let then_ = block st in
+    let else_ =
+      if (peek st).Lexer.token = Lexer.Kw_else then begin
+        advance st;
+        Some (block st)
+      end
+      else None
+    in
+    Ast.If (cond, then_, else_)
+  | Lexer.Kw_while ->
+    advance st;
+    eat st Lexer.Lparen "expected (";
+    let cond = expr st in
+    eat st Lexer.Rparen "expected )";
+    Ast.While (cond, block st)
+  | Lexer.Kw_return ->
+    advance st;
+    if (peek st).Lexer.token = Lexer.Semi then begin
+      advance st;
+      Ast.Return None
+    end
+    else begin
+      let e = expr st in
+      eat st Lexer.Semi "expected ;";
+      Ast.Return (Some e)
+    end
+  | Lexer.Kw_halt ->
+    advance st;
+    eat st Lexer.Semi "expected ;";
+    Ast.Halt
+  | Lexer.Ident "store" when looks_like_call st ->
+    advance st;
+    eat st Lexer.Lparen "expected (";
+    let addr = expr st in
+    eat st Lexer.Comma "expected ,";
+    let value = expr st in
+    eat st Lexer.Rparen "expected )";
+    eat st Lexer.Semi "expected ;";
+    Ast.Store (addr, value)
+  | Lexer.Ident "flush" when looks_like_call st ->
+    advance st;
+    eat st Lexer.Lparen "expected (";
+    let addr = expr st in
+    eat st Lexer.Rparen "expected )";
+    eat st Lexer.Semi "expected ;";
+    Ast.Flush addr
+  | Lexer.Ident name when looks_like_call st ->
+    advance st;
+    let args = call_args st in
+    eat st Lexer.Semi "expected ;";
+    Ast.Expr_stmt (Ast.Call (name, args))
+  | Lexer.Ident name ->
+    advance st;
+    eat st Lexer.Assign "expected = (assignment)";
+    let e = expr st in
+    eat st Lexer.Semi "expected ;";
+    Ast.Assign (name, e)
+  | _ -> fail t "expected a statement"
+
+let fn st =
+  let t = peek st in
+  eat st Lexer.Kw_fn "expected fn";
+  let name = eat_ident st "expected function name" in
+  eat st Lexer.Lparen "expected (";
+  let params =
+    if (peek st).Lexer.token = Lexer.Rparen then begin
+      advance st;
+      []
+    end
+    else begin
+      let rec more acc =
+        let p = eat_ident st "expected parameter name" in
+        match (peek st).Lexer.token with
+        | Lexer.Comma ->
+          advance st;
+          more (p :: acc)
+        | _ ->
+          eat st Lexer.Rparen "expected , or )";
+          List.rev (p :: acc)
+      in
+      more []
+    end
+  in
+  let body = block st in
+  { Ast.name; params; body; line = t.Lexer.line }
+
+let program st =
+  let fns = ref [] in
+  while (peek st).Lexer.token <> Lexer.Eof do
+    fns := fn st :: !fns
+  done;
+  List.rev !fns
+
+let with_tokens source k =
+  match Lexer.tokenize source with
+  | Error msg -> Result.Error msg
+  | Ok tokens -> (
+    let st = { tokens } in
+    try Ok (k st) with Error msg -> Result.Error msg)
+
+let parse source =
+  with_tokens source (fun st ->
+      let p = program st in
+      p)
+
+let parse_expr source =
+  with_tokens source (fun st ->
+      let e = expr st in
+      let t = peek st in
+      if t.Lexer.token <> Lexer.Eof then fail t "trailing tokens after expression";
+      e)

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for Lev (grammar in {!Compiler}).
+
+    Named [Lparser] to avoid clashing with the IR assembly parser when both
+    libraries are open in examples. *)
+
+val parse : string -> (Ast.program, string) result
+(** Lex and parse a full source file.  Errors carry line/column. *)
+
+val parse_expr : string -> (Ast.expr, string) result
+(** Parse a single expression (tests and the REPL-ish tooling). *)

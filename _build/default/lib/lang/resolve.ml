@@ -1,0 +1,150 @@
+module String_set = Set.Make (String)
+module String_map = Map.Make (String)
+
+let builtins = [ "load"; "store"; "flush"; "rdcycle" ]
+
+(* every call site (callee, arity) in an expression *)
+let rec expr_calls acc = function
+  | Ast.Lit _ | Ast.Var _ -> acc
+  | Ast.Binop (_, a, b) -> expr_calls (expr_calls acc a) b
+  | Ast.Neg e | Ast.Not e | Ast.Load e | Ast.Rdcycle (Some e) -> expr_calls acc e
+  | Ast.Rdcycle None -> acc
+  | Ast.Call (f, args) ->
+    List.fold_left expr_calls ((f, List.length args) :: acc) args
+
+let rec block_calls acc stmts = List.fold_left stmt_calls acc stmts
+
+and stmt_calls acc = function
+  | Ast.Decl (_, e) | Ast.Assign (_, e) | Ast.Flush e | Ast.Expr_stmt e ->
+    expr_calls acc e
+  | Ast.Store (a, v) -> expr_calls (expr_calls acc a) v
+  | Ast.If (c, t, e) ->
+    let acc = expr_calls acc c in
+    let acc = block_calls acc t in
+    Option.fold ~none:acc ~some:(block_calls acc) e
+  | Ast.While (c, b) -> block_calls (expr_calls acc c) b
+  | Ast.Return (Some e) -> expr_calls acc e
+  | Ast.Return None | Ast.Halt -> acc
+
+(* variable discipline within one function: declared-before-use, no
+   redeclaration *)
+let check_vars (fn : Ast.fn) errors =
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let declared = ref String_set.empty in
+  List.iter
+    (fun p ->
+      if String_set.mem p !declared then
+        err "fn %s: duplicate parameter %s" fn.Ast.name p;
+      declared := String_set.add p !declared)
+    fn.Ast.params;
+  let rec use_expr = function
+    | Ast.Lit _ | Ast.Rdcycle None -> ()
+    | Ast.Var x ->
+      if not (String_set.mem x !declared) then
+        err "fn %s: use of undeclared variable %s" fn.Ast.name x
+    | Ast.Binop (_, a, b) ->
+      use_expr a;
+      use_expr b
+    | Ast.Neg e | Ast.Not e | Ast.Load e | Ast.Rdcycle (Some e) -> use_expr e
+    | Ast.Call (_, args) -> List.iter use_expr args
+  in
+  let rec walk_block stmts = List.iter walk_stmt stmts
+  and walk_stmt = function
+    | Ast.Decl (x, e) ->
+      use_expr e;
+      if String_set.mem x !declared then
+        err "fn %s: duplicate declaration of %s" fn.Ast.name x;
+      declared := String_set.add x !declared
+    | Ast.Assign (x, e) ->
+      use_expr e;
+      if not (String_set.mem x !declared) then
+        err "fn %s: assignment to undeclared variable %s" fn.Ast.name x
+    | Ast.If (c, t, e) ->
+      use_expr c;
+      walk_block t;
+      Option.iter walk_block e
+    | Ast.While (c, b) ->
+      use_expr c;
+      walk_block b
+    | Ast.Store (a, v) ->
+      use_expr a;
+      use_expr v
+    | Ast.Flush e | Ast.Expr_stmt e -> use_expr e
+    | Ast.Return (Some e) -> use_expr e
+    | Ast.Return None | Ast.Halt -> ()
+  in
+  walk_block fn.Ast.body
+
+(* depth-first cycle detection over the call graph *)
+let check_recursion fns errors =
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let table =
+    List.fold_left
+      (fun m (f : Ast.fn) -> String_map.add f.Ast.name f m)
+      String_map.empty fns
+  in
+  let state : (string, [ `Visiting | `Done ]) Hashtbl.t = Hashtbl.create 16 in
+  let rec visit name =
+    match Hashtbl.find_opt state name with
+    | Some `Done -> ()
+    | Some `Visiting -> err "recursion through %s is not supported (no stack)" name
+    | None -> (
+      match String_map.find_opt name table with
+      | None -> ()
+      | Some f ->
+        Hashtbl.replace state name `Visiting;
+        List.iter (fun (callee, _) -> visit callee) (block_calls [] f.Ast.body);
+        Hashtbl.replace state name `Done)
+  in
+  List.iter (fun (f : Ast.fn) -> visit f.Ast.name) fns
+
+let check_main_returns (main : Ast.fn) errors =
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let rec walk stmts = List.iter stmt stmts
+  and stmt = function
+    | Ast.Return (Some _) -> err "main cannot return a value; store it instead"
+    | Ast.If (_, t, e) ->
+      walk t;
+      Option.iter walk e
+    | Ast.While (_, b) -> walk b
+    | Ast.Decl _ | Ast.Assign _ | Ast.Store _ | Ast.Flush _ | Ast.Expr_stmt _
+    | Ast.Return None | Ast.Halt ->
+      ()
+  in
+  walk main.Ast.body
+
+let check fns =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.fn) ->
+      if List.mem f.Ast.name builtins then
+        err "fn %s shadows a builtin" f.Ast.name;
+      if Hashtbl.mem names f.Ast.name then err "duplicate function %s" f.Ast.name;
+      Hashtbl.replace names f.Ast.name (List.length f.Ast.params))
+    fns;
+  (match List.find_opt (fun (f : Ast.fn) -> f.Ast.name = "main") fns with
+  | None -> err "no main function"
+  | Some main ->
+    if main.Ast.params <> [] then err "main takes no parameters";
+    check_main_returns main errors);
+  List.iter
+    (fun (f : Ast.fn) ->
+      List.iter
+        (fun (callee, arity) ->
+          if List.mem callee builtins then
+            err "fn %s: %s is a builtin, not a function call target" f.Ast.name
+              callee
+          else
+            match Hashtbl.find_opt names callee with
+            | None -> err "fn %s: call to undefined function %s" f.Ast.name callee
+            | Some expected when expected <> arity ->
+              err "fn %s: %s expects %d argument(s), got %d" f.Ast.name callee
+                expected arity
+            | Some _ -> ())
+        (block_calls [] f.Ast.body);
+      check_vars f errors)
+    fns;
+  check_recursion fns errors;
+  if !errors = [] then Ok () else Error (List.rev !errors)

@@ -1,0 +1,15 @@
+(** Semantic checks for Lev programs, run before code generation:
+
+    - a zero-parameter [main] function exists;
+    - function names are unique and do not shadow the builtins
+      ([load], [store], [flush], [rdcycle]);
+    - every call names a defined function with the right arity;
+    - the call graph is acyclic (calls are compiled by inlining, so
+      recursion cannot be expressed on this ISA — there is no stack);
+    - every variable is declared ([var] or parameter) before use and at
+      most once per function;
+    - [return] with a value never appears in [main] (its result would go
+      nowhere; use [store]). *)
+
+val check : Ast.program -> (unit, string list) result
+(** All diagnostics, not just the first. *)

@@ -1,0 +1,1 @@
+lib/opt/opt.ml: Array Fun Int Levioso_ir List Set

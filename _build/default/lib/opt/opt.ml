@@ -1,0 +1,226 @@
+module Ir = Levioso_ir.Ir
+module Cfg = Levioso_ir.Cfg
+
+(* ------------------------------------------------------------------ *)
+(* instruction surgery helpers                                         *)
+(* ------------------------------------------------------------------ *)
+
+let map_operands f instr =
+  match instr with
+  | Ir.Alu { op; dst; a; b } -> Ir.Alu { op; dst; a = f a; b = f b }
+  | Ir.Load { dst; base; off } -> Ir.Load { dst; base = f base; off = f off }
+  | Ir.Store { base; off; src } ->
+    Ir.Store { base = f base; off = f off; src = f src }
+  | Ir.Branch { cmp; a; b; target } -> Ir.Branch { cmp; a = f a; b = f b; target }
+  | Ir.Flush { base; off } -> Ir.Flush { base = f base; off = f off }
+  | Ir.Rdcycle { dst; after } -> Ir.Rdcycle { dst; after = f after }
+  | (Ir.Jump _ | Ir.Halt) as i -> i
+
+(* removable when the destination is dead: no memory, control or timing
+   side effects *)
+let pure = function
+  | Ir.Alu _ | Ir.Load _ -> true
+  | Ir.Store _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _ | Ir.Rdcycle _ | Ir.Halt ->
+    false
+
+(* Drop the instructions where [keep] is false, remapping every target to
+   the next kept pc.  Returns [None] if the result fails validation. *)
+let filter_program program keep =
+  let n = Array.length program in
+  let new_pc = Array.make (n + 1) 0 in
+  let count = ref 0 in
+  for pc = 0 to n - 1 do
+    new_pc.(pc) <- !count;
+    if keep.(pc) then incr count
+  done;
+  new_pc.(n) <- !count;
+  let remap t = new_pc.(t) in
+  let out = ref [] in
+  for pc = n - 1 downto 0 do
+    if keep.(pc) then
+      let instr =
+        match program.(pc) with
+        | Ir.Branch { cmp; a; b; target } ->
+          Ir.Branch { cmp; a; b; target = remap target }
+        | Ir.Jump { target } -> Ir.Jump { target = remap target }
+        | other -> other
+      in
+      out := instr :: !out
+  done;
+  let result = Array.of_list !out in
+  match Ir.validate result with
+  | Ok () -> Some result
+  | Error _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* local copy propagation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let block_leaders program =
+  let n = Array.length program in
+  let leader = Array.make n false in
+  if n > 0 then leader.(0) <- true;
+  Array.iteri
+    (fun pc instr ->
+      (match Ir.branch_target instr with
+      | Some t -> leader.(t) <- true
+      | None -> ());
+      if Ir.is_control instr && pc + 1 < n then leader.(pc + 1) <- true)
+    program;
+  leader
+
+let copy_propagation program =
+  let n = Array.length program in
+  let leaders = block_leaders program in
+  let out = Array.copy program in
+  (* known.(r) = Some operand currently equal to r within this block *)
+  let known = Array.make Ir.num_regs None in
+  let kill r =
+    known.(r) <- None;
+    (* any mapping whose source is r dies too *)
+    Array.iteri
+      (fun i v ->
+        match v with
+        | Some (Ir.Reg s) when s = r -> known.(i) <- None
+        | Some _ | None -> ())
+      known
+  in
+  for pc = 0 to n - 1 do
+    if leaders.(pc) then Array.fill known 0 Ir.num_regs None;
+    let subst operand =
+      match operand with
+      | Ir.Reg r when r <> Ir.zero_reg -> (
+        match known.(r) with
+        | Some replacement -> replacement
+        | None -> operand)
+      | Ir.Reg _ | Ir.Imm _ -> operand
+    in
+    let instr = map_operands subst program.(pc) in
+    out.(pc) <- instr;
+    match Ir.defs instr with
+    | Some dst -> (
+      kill dst;
+      match instr with
+      | Ir.Alu { op = Ir.Add; dst = d; a; b = Ir.Imm 0 } when d = dst -> (
+        (* a mov: dst is now a copy of [a] (unless self-referential) *)
+        match a with
+        | Ir.Reg s when s = dst -> ()
+        | Ir.Reg _ | Ir.Imm _ -> known.(dst) <- Some a)
+      | _ -> ())
+    | None -> ()
+  done;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* dead-code elimination                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Reg_set = Set.Make (Int)
+
+let dead_code_elimination program =
+  let cfg = Cfg.build program in
+  let n = Array.length program in
+  let num_blocks = Cfg.num_blocks cfg in
+  (* backward liveness over blocks; nothing is live at program exit
+     (results must be stored to memory — documented loudly in the mli) *)
+  let live_in = Array.make num_blocks Reg_set.empty in
+  let transfer block live_out =
+    List.fold_left
+      (fun live pc ->
+        let instr = program.(pc) in
+        let live =
+          match Ir.defs instr with
+          | Some d -> Reg_set.remove d live
+          | None -> live
+        in
+        List.fold_left (fun l r -> Reg_set.add r l) live (Ir.uses instr))
+      live_out
+      (List.rev (Cfg.instr_pcs block))
+  in
+  let changed = ref true in
+  let guard = ref (num_blocks * Ir.num_regs * 4 + 64) in
+  while !changed do
+    decr guard;
+    if !guard < 0 then failwith "Opt.dce: liveness did not converge";
+    changed := false;
+    for b = num_blocks - 1 downto 0 do
+      let block = Cfg.block cfg b in
+      let live_out =
+        List.fold_left
+          (fun acc s -> Reg_set.union acc live_in.(s))
+          Reg_set.empty block.Cfg.succs
+      in
+      let room = transfer block live_out in
+      if not (Reg_set.equal room live_in.(b)) then begin
+        live_in.(b) <- room;
+        changed := true
+      end
+    done
+  done;
+  (* second sweep: walk each block backwards with its live-out, dropping
+     pure instructions whose destination is dead *)
+  let keep = Array.make n true in
+  Array.iter
+    (fun block ->
+      let live_out =
+        List.fold_left
+          (fun acc s -> Reg_set.union acc live_in.(s))
+          Reg_set.empty block.Cfg.succs
+      in
+      let live = ref live_out in
+      List.iter
+        (fun pc ->
+          let instr = program.(pc) in
+          (match (Ir.defs instr, pure instr) with
+          | Some d, true when not (Reg_set.mem d !live) -> keep.(pc) <- false
+          | _ -> ());
+          if keep.(pc) then begin
+            (match Ir.defs instr with
+            | Some d -> live := Reg_set.remove d !live
+            | None -> ());
+            List.iter (fun r -> live := Reg_set.add r !live) (Ir.uses instr)
+          end)
+        (List.rev (Cfg.instr_pcs block)))
+    (Cfg.blocks cfg);
+  match filter_program program keep with
+  | Some result -> result
+  | None -> program
+
+(* ------------------------------------------------------------------ *)
+(* unreachable-code elimination                                         *)
+(* ------------------------------------------------------------------ *)
+
+let remove_unreachable program =
+  let n = Array.length program in
+  let reachable = Array.make n false in
+  let rec visit pc =
+    if pc < n && not reachable.(pc) then begin
+      reachable.(pc) <- true;
+      match program.(pc) with
+      | Ir.Halt -> ()
+      | Ir.Jump { target } -> visit target
+      | Ir.Branch { target; _ } ->
+        visit target;
+        visit (pc + 1)
+      | Ir.Alu _ | Ir.Load _ | Ir.Store _ | Ir.Flush _ | Ir.Rdcycle _ ->
+        visit (pc + 1)
+    end
+  in
+  if n > 0 then visit 0;
+  if Array.for_all Fun.id reachable then program
+  else
+    match filter_program program reachable with
+    | Some result -> result
+    | None -> program
+
+(* ------------------------------------------------------------------ *)
+
+let optimize program =
+  let pass p = remove_unreachable (dead_code_elimination (copy_propagation p)) in
+  let rec go p budget =
+    if budget = 0 then p
+    else
+      let q = pass p in
+      if q = p then p else go q (budget - 1)
+  in
+  go program 8

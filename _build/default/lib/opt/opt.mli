@@ -1,0 +1,32 @@
+(** The IR optimizer (the compiler's middle end).
+
+    Three classic passes run to a bounded fixpoint:
+
+    - {b local copy propagation}: uses of registers holding a known copy
+      ([add r, x, #0] moves) or constant are rewritten within each basic
+      block — the codegen's mov-heavy output shrinks a lot;
+    - {b dead-code elimination}: pure instructions (ALU, loads, rdcycle)
+      whose results are never used are removed via backward liveness over
+      the CFG.  [flush] counts as side-effecting (it is an explicit
+      microarchitectural directive), stores and control flow always stay;
+    - {b unreachable-code elimination}: instructions no path from the
+      entry reaches are dropped.
+
+    Instruction removal remaps all branch/jump targets; the result is
+    re-validated, and on any internal inconsistency the original program
+    is returned unchanged (optimization must never break a build).
+
+    Caveat stated once, loudly: DCE changes the {e final register file}
+    (dead writes disappear) and loads' cache footprints.  Architectural
+    {e memory} is preserved exactly — which is what Lev programs can
+    observe — and all differential tests compare memory. *)
+
+val copy_propagation : Levioso_ir.Ir.program -> Levioso_ir.Ir.program
+(** Substitution only; never changes program length. *)
+
+val dead_code_elimination : Levioso_ir.Ir.program -> Levioso_ir.Ir.program
+
+val remove_unreachable : Levioso_ir.Ir.program -> Levioso_ir.Ir.program
+
+val optimize : Levioso_ir.Ir.program -> Levioso_ir.Ir.program
+(** All passes, iterated until nothing changes (bounded). *)

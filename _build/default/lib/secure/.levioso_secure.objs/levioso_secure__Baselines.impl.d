@@ -1,0 +1,1 @@
+lib/secure/baselines.ml: Levioso_uarch

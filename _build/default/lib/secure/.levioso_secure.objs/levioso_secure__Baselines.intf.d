@@ -1,0 +1,1 @@
+lib/secure/baselines.mli: Levioso_uarch

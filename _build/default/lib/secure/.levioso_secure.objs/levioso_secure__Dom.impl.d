@@ -1,0 +1,1 @@
+lib/secure/dom.ml: Levioso_ir Levioso_uarch

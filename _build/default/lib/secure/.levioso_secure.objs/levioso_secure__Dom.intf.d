@@ -1,0 +1,1 @@
+lib/secure/dom.mli: Levioso_uarch

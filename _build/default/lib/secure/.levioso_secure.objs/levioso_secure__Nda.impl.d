@@ -1,0 +1,1 @@
+lib/secure/nda.ml: Levioso_ir Levioso_uarch List

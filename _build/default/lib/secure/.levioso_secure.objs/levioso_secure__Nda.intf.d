@@ -1,0 +1,1 @@
+lib/secure/nda.mli: Levioso_uarch

@@ -1,0 +1,1 @@
+lib/secure/stt.ml: Hashtbl Levioso_ir Levioso_uarch List Option

@@ -1,0 +1,1 @@
+lib/secure/stt.mli: Levioso_uarch

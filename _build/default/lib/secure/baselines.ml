@@ -1,0 +1,22 @@
+module Pipeline = Levioso_uarch.Pipeline
+
+let unsafe _config _program _pipe =
+  { Pipeline.always_execute_policy with policy_name = "unsafe" }
+
+let fence _config _program pipe =
+  {
+    Pipeline.always_execute_policy with
+    policy_name = "fence";
+    may_execute =
+      (fun ~seq -> not (Pipeline.exists_older_unresolved_branch pipe ~seq));
+  }
+
+let delay _config _program pipe =
+  {
+    Pipeline.always_execute_policy with
+    policy_name = "delay";
+    may_execute =
+      (fun ~seq ->
+        (not (Pipeline.is_transmitter (Pipeline.instr_of pipe seq)))
+        || not (Pipeline.exists_older_unresolved_branch pipe ~seq));
+  }

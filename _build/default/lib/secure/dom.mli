@@ -1,0 +1,23 @@
+(** Delay-on-Miss (modelled on Sakalis et al., ISCA'19) — the stand-in for
+    the paper's second prior defense.
+
+    Speculative loads (those with an older unresolved branch) are split by
+    where their data currently lives:
+
+    - {b L1 hits} execute immediately but {e invisibly}: the access leaves
+      no microarchitectural footprint (no fill, no replacement update), so
+      a squashed hit is indistinguishable from one that never happened;
+    - {b misses} are delayed until the load is bound (no older unresolved
+      branch) — a miss would have to change cache state to complete, and
+      that change is exactly the Spectre transmission.
+
+    Non-speculative loads behave normally.  Flushes are delayed while
+    speculative (they too mutate cache state).
+
+    Coverage is {e comprehensive} in the same sense as full delay: the
+    defense keys on the transmission, not on where the secret came from,
+    so it blocks both the sandbox gadget and the non-speculative-secret
+    gadget.  Its cost sits between the unsafe baseline and full delay:
+    L1-resident working sets speculate freely. *)
+
+val maker : Levioso_uarch.Pipeline.policy_maker

@@ -1,0 +1,17 @@
+module Ir = Levioso_ir.Ir
+module Pipeline = Levioso_uarch.Pipeline
+
+let maker _config _program pipe =
+  let producer_quarantined p =
+    Pipeline.in_flight pipe p
+    &&
+    match Pipeline.instr_of pipe p with
+    | Ir.Load _ -> Pipeline.exists_older_unresolved_branch pipe ~seq:p
+    | Ir.Alu _ | Ir.Store _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _
+    | Ir.Rdcycle _ | Ir.Halt ->
+      false
+  in
+  let may_execute ~seq =
+    not (List.exists producer_quarantined (Pipeline.producers_of pipe seq))
+  in
+  { Pipeline.always_execute_policy with policy_name = "nda"; may_execute }

@@ -1,0 +1,16 @@
+(** NDA-style "permissive data propagation" (modelled on Weisse et al.,
+    MICRO'19): the output of a {e speculative load} may not propagate to
+    any consumer until the load is bound (no older unresolved branch).
+
+    Loads themselves execute freely — accessing is allowed, {e using} the
+    accessed value is not — so the quarantine sits on the def-use edge:
+    an instruction with an operand renamed from an in-flight speculative
+    load stalls until that load binds.  Chains serialize transitively
+    through the direct-consumer rule without any taint bookkeeping.
+
+    Coverage matches STT's sandbox model (speculatively-accessed data
+    only); register-resident secrets still leak.  It is included as an
+    additional prior-work baseline, not as one of the paper's two headline
+    priors. *)
+
+val maker : Levioso_uarch.Pipeline.policy_maker

@@ -1,0 +1,1 @@
+lib/uarch/pipeline.ml: Array Cache Config Hashtbl Levioso_ir List Option Predictor Printf Sim_stats

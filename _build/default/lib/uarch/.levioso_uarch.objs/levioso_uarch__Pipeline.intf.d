@@ -1,0 +1,1 @@
+lib/uarch/pipeline.mli: Cache Config Levioso_ir Sim_stats

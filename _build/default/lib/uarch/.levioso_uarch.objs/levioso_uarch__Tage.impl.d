@@ -1,0 +1,1 @@
+lib/uarch/tage.ml: Array

@@ -1,0 +1,134 @@
+(* Tags with LRU ordering per set.  [ways.(set)] lists line addresses in
+   most-recently-used-first order. *)
+
+type t = {
+  geometry : Config.cache_geometry;
+  sets : int list array;  (* MRU-first line addresses *)
+}
+
+let create geometry = { geometry; sets = Array.make geometry.Config.sets [] }
+
+let line_of t addr = addr / t.geometry.Config.line_words
+
+let set_of t line = line land (t.geometry.Config.sets - 1)
+
+let lookup t addr =
+  let line = line_of t addr in
+  let s = set_of t line in
+  if List.mem line t.sets.(s) then begin
+    t.sets.(s) <- line :: List.filter (fun l -> l <> line) t.sets.(s);
+    true
+  end
+  else false
+
+let fill t addr =
+  let line = line_of t addr in
+  let s = set_of t line in
+  let others = List.filter (fun l -> l <> line) t.sets.(s) in
+  let kept =
+    if List.length others >= t.geometry.Config.ways then
+      List.filteri (fun i _ -> i < t.geometry.Config.ways - 1) others
+    else others
+  in
+  t.sets.(s) <- line :: kept
+
+let invalidate t addr =
+  let line = line_of t addr in
+  let s = set_of t line in
+  t.sets.(s) <- List.filter (fun l -> l <> line) t.sets.(s)
+
+let probe t addr =
+  let line = line_of t addr in
+  List.mem line t.sets.(set_of t line)
+
+let reset t = Array.fill t.sets 0 (Array.length t.sets) []
+
+module Hierarchy = struct
+  type h = {
+    l1 : t;
+    l2 : t;
+    l1_hit : int;
+    l2_hit : int;
+    mem_lat : int;
+    mutable n_l1_hit : int;
+    mutable n_l1_miss : int;
+    mutable n_l2_hit : int;
+    mutable n_l2_miss : int;
+  }
+
+  type level =
+    | L1
+    | L2
+    | Memory
+
+  let create (config : Config.t) =
+    {
+      l1 = create config.Config.l1;
+      l2 = create config.Config.l2;
+      l1_hit = config.Config.l1.Config.hit_latency;
+      l2_hit = config.Config.l2.Config.hit_latency;
+      mem_lat = config.Config.memory_latency;
+      n_l1_hit = 0;
+      n_l1_miss = 0;
+      n_l2_hit = 0;
+      n_l2_miss = 0;
+    }
+
+  let load h addr =
+    if lookup h.l1 addr then begin
+      h.n_l1_hit <- h.n_l1_hit + 1;
+      (h.l1_hit, L1)
+    end
+    else begin
+      h.n_l1_miss <- h.n_l1_miss + 1;
+      if lookup h.l2 addr then begin
+        h.n_l2_hit <- h.n_l2_hit + 1;
+        fill h.l1 addr;
+        (h.l2_hit, L2)
+      end
+      else begin
+        h.n_l2_miss <- h.n_l2_miss + 1;
+        fill h.l2 addr;
+        fill h.l1 addr;
+        (h.mem_lat, Memory)
+      end
+    end
+
+  let prefetch h addr =
+    fill h.l2 addr;
+    fill h.l1 addr
+
+  let store_commit h addr =
+    fill h.l2 addr;
+    fill h.l1 addr
+
+  let flush h addr =
+    invalidate h.l1 addr;
+    invalidate h.l2 addr
+
+  let probe h addr =
+    if probe h.l1 addr then L1 else if probe h.l2 addr then L2 else Memory
+
+  let load_latency h addr =
+    match probe h addr with
+    | L1 -> h.l1_hit
+    | L2 -> h.l2_hit
+    | Memory -> h.mem_lat
+
+  let l1 h = h.l1
+  let l2 h = h.l2
+
+  let stats h =
+    [
+      ("l1_hits", h.n_l1_hit);
+      ("l1_misses", h.n_l1_miss);
+      ("l2_hits", h.n_l2_hit);
+      ("l2_misses", h.n_l2_miss);
+    ]
+
+  let reset_stats h =
+    h.n_l1_hit <- 0;
+    h.n_l1_miss <- 0;
+    h.n_l2_hit <- 0;
+    h.n_l2_miss <- 0
+end

@@ -1,0 +1,75 @@
+(** Set-associative caches and the two-level hierarchy.
+
+    Caches here track only which lines are present (tags + LRU), not data —
+    data always comes from the backing memory array; the cache determines
+    *latency* and, crucially for Spectre, *persistent microarchitectural
+    state* that survives pipeline squashes.
+
+    Addresses are word addresses; a line holds [line_words] consecutive
+    words. *)
+
+type t
+
+val create : Config.cache_geometry -> t
+
+val line_of : t -> int -> int
+(** Line address (word address / line size). *)
+
+val lookup : t -> int -> bool
+(** Presence check that updates LRU on hit (a cache access). *)
+
+val fill : t -> int -> unit
+(** Insert the line containing the address, evicting LRU if needed. *)
+
+val invalidate : t -> int -> unit
+(** Drop the line containing the address, if present. *)
+
+val probe : t -> int -> bool
+(** Presence check with no LRU side effect (attack-harness oracle). *)
+
+val reset : t -> unit
+
+(** {1 Hierarchy} *)
+
+module Hierarchy : sig
+  type h
+
+  type level =
+    | L1
+    | L2
+    | Memory
+
+  val create : Config.t -> h
+
+  val load : h -> int -> int * level
+  (** [load h addr] performs a load access: returns the latency and the
+      level that served it, filling lines on the way (this mutates cache
+      state even for speculative wrong-path accesses — the side channel). *)
+
+  val prefetch : h -> int -> unit
+  (** Fill the line containing the address into L2 and L1 without counting
+      as a demand access (the next-line prefetcher's fill path). *)
+
+  val store_commit : h -> int -> unit
+  (** Commit-time store: updates presence without stalling (write-allocate
+      into L1/L2). *)
+
+  val flush : h -> int -> unit
+  (** Evict the line from every level (the [Flush] instruction). *)
+
+  val probe : h -> int -> level
+  (** Non-mutating: which level currently holds the address? *)
+
+  val load_latency : h -> int -> int
+  (** What [load] would cost right now, without mutating (timing oracle). *)
+
+  val l1 : h -> t
+  (** Direct access to the level-1 cache (tests and harnesses). *)
+
+  val l2 : h -> t
+
+  val stats : h -> (string * int) list
+  (** Access counters: l1 hits/misses, l2 hits/misses. *)
+
+  val reset_stats : h -> unit
+end

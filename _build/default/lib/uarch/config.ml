@@ -1,0 +1,122 @@
+type predictor_kind =
+  | Always_taken
+  | Bimodal
+  | Gshare
+  | Tage
+
+type cache_geometry = {
+  sets : int;
+  ways : int;
+  line_words : int;
+  hit_latency : int;
+}
+
+type t = {
+  rob_size : int;
+  fetch_width : int;
+  issue_width : int;
+  commit_width : int;
+  alu_latency : int;
+  mul_latency : int;
+  div_latency : int;
+  branch_exec_latency : int;
+  redirect_penalty : int;
+  forward_latency : int;
+  l1 : cache_geometry;
+  l2 : cache_geometry;
+  memory_latency : int;
+  mshrs : int;
+  next_line_prefetch : bool;
+  mem_words : int;
+  predictor : predictor_kind;
+  predictor_bits : int;
+  depset_budget : int;
+}
+
+let default =
+  {
+    rob_size = 96;
+    fetch_width = 4;
+    issue_width = 4;
+    commit_width = 4;
+    alu_latency = 1;
+    mul_latency = 3;
+    div_latency = 12;
+    branch_exec_latency = 1;
+    redirect_penalty = 6;
+    forward_latency = 1;
+    l1 = { sets = 128; ways = 4; line_words = 8; hit_latency = 3 };
+    l2 = { sets = 1024; ways = 8; line_words = 8; hit_latency = 14 };
+    memory_latency = 60;
+    mshrs = 16;
+    next_line_prefetch = false;
+    mem_words = 1 lsl 20;
+    predictor = Gshare;
+    predictor_bits = 12;
+    depset_budget = 8;
+  }
+
+let predictor_kind_to_string = function
+  | Always_taken -> "always-taken"
+  | Bimodal -> "bimodal"
+  | Gshare -> "gshare"
+  | Tage -> "tage"
+
+let to_rows t =
+  let geometry g =
+    Printf.sprintf "%d sets x %d ways x %d words, %d-cycle hit" g.sets g.ways
+      g.line_words g.hit_latency
+  in
+  [
+    ("ROB entries", string_of_int t.rob_size);
+    ( "Pipeline widths (F/I/C)",
+      Printf.sprintf "%d / %d / %d" t.fetch_width t.issue_width t.commit_width );
+    ( "Latencies (alu/mul/div/br)",
+      Printf.sprintf "%d / %d / %d / %d" t.alu_latency t.mul_latency
+        t.div_latency t.branch_exec_latency );
+    ("Redirect penalty", string_of_int t.redirect_penalty);
+    ("L1 data cache", geometry t.l1);
+    ("L2 cache", geometry t.l2);
+    ("Memory latency", string_of_int t.memory_latency);
+    ("MSHRs", string_of_int t.mshrs);
+    ("Next-line prefetch", string_of_bool t.next_line_prefetch);
+    ("Memory size (words)", string_of_int t.mem_words);
+    ( "Branch predictor",
+      Printf.sprintf "%s (%d-bit index)"
+        (predictor_kind_to_string t.predictor)
+        t.predictor_bits );
+    ("Dependency-set budget", string_of_int t.depset_budget);
+  ]
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let validate t =
+  let check cond msg = if cond then Ok () else Error msg in
+  let ( let* ) r f =
+    match r with
+    | Ok () -> f ()
+    | Error _ as e -> e
+  in
+  let* () = check (t.rob_size > 1) "rob_size must be > 1" in
+  let* () =
+    check
+      (t.fetch_width > 0 && t.issue_width > 0 && t.commit_width > 0)
+      "pipeline widths must be positive"
+  in
+  let* () = check (is_power_of_two t.mem_words) "mem_words must be a power of two" in
+  let* () =
+    check
+      (is_power_of_two t.l1.sets && is_power_of_two t.l1.line_words)
+      "l1 geometry must use powers of two"
+  in
+  let* () =
+    check
+      (is_power_of_two t.l2.sets && is_power_of_two t.l2.line_words)
+      "l2 geometry must use powers of two"
+  in
+  let* () =
+    check (t.l1.line_words = t.l2.line_words) "cache levels must share a line size"
+  in
+  let* () = check (t.mshrs > 0) "mshrs must be positive" in
+  let* () = check (t.depset_budget > 0) "depset_budget must be positive" in
+  Ok ()

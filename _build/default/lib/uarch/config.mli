@@ -1,0 +1,59 @@
+(** Configuration of the simulated out-of-order core.
+
+    The default configuration models a modest modern OoO core: a 192-entry
+    window, 4-wide front end, gshare branch prediction and a two-level
+    cache hierarchy.  All evaluation sweeps are expressed as updates of
+    this record. *)
+
+type predictor_kind =
+  | Always_taken  (** static: predict every branch taken *)
+  | Bimodal  (** per-pc 2-bit saturating counters *)
+  | Gshare  (** global-history-xor-pc indexed 2-bit counters *)
+  | Tage  (** tagged geometric-history predictor (see {!Tage}) *)
+
+type cache_geometry = {
+  sets : int;  (** number of sets (power of two) *)
+  ways : int;  (** associativity *)
+  line_words : int;  (** words per line (power of two) *)
+  hit_latency : int;  (** cycles *)
+}
+
+type t = {
+  rob_size : int;
+  fetch_width : int;
+  issue_width : int;
+  commit_width : int;
+  alu_latency : int;
+  mul_latency : int;
+  div_latency : int;
+  branch_exec_latency : int;  (** cycles from issue to resolution *)
+  redirect_penalty : int;  (** front-end bubble after a squash *)
+  forward_latency : int;  (** store-to-load forwarding *)
+  l1 : cache_geometry;
+  l2 : cache_geometry;
+  memory_latency : int;  (** cycles for an L2 miss *)
+  mshrs : int;
+      (** miss-status holding registers: maximum concurrently outstanding
+          L1 misses; further missing loads stall at issue (structural) *)
+  next_line_prefetch : bool;
+      (** on a demand L1 miss, also fill the next line.  Off by default:
+          prefetching widens the cache side channel (a wrong-path load
+          drags a neighbour line in) and real Spectre PoCs space their
+          probe arrays to dodge it — see the prefetcher tests *)
+  mem_words : int;  (** simulated memory size, power of two *)
+  predictor : predictor_kind;
+  predictor_bits : int;  (** log2 of the counter-table size *)
+  depset_budget : int;
+      (** Levioso/STT dependency-set hardware budget; overflowing sets
+          degrade soundly to "depends on everything older" *)
+}
+
+val default : t
+
+val predictor_kind_to_string : predictor_kind -> string
+
+val to_rows : t -> (string * string) list
+(** Human-readable key/value dump (used by the configuration table). *)
+
+val validate : t -> (unit, string) result
+(** Sanity-check structural parameters (powers of two, positive widths). *)

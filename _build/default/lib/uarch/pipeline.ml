@@ -1,0 +1,628 @@
+module Ir = Levioso_ir.Ir
+
+type load_visibility =
+  | Normal
+  | Invisible
+
+type policy = {
+  policy_name : string;
+  on_decode : seq:int -> unit;
+  on_resolve : seq:int -> unit;
+  on_squash : boundary:int -> unit;
+  on_commit : seq:int -> unit;
+  may_execute : seq:int -> bool;
+  load_visibility : seq:int -> load_visibility;
+}
+
+let always_execute_policy =
+  {
+    policy_name = "always-execute";
+    on_decode = (fun ~seq:_ -> ());
+    on_resolve = (fun ~seq:_ -> ());
+    on_squash = (fun ~boundary:_ -> ());
+    on_commit = (fun ~seq:_ -> ());
+    may_execute = (fun ~seq:_ -> true);
+    load_visibility = (fun ~seq:_ -> Normal);
+  }
+
+type event =
+  | Fetched of { seq : int; pc : int }
+  | Issued of { seq : int; pc : int }
+  | Completed of { seq : int; pc : int }
+  | Committed of { seq : int; pc : int }
+  | Branch_resolved of { seq : int; pc : int; taken : bool; mispredicted : bool }
+  | Squashed of { boundary : int; count : int }
+
+let event_to_string = function
+  | Fetched { seq; pc } -> Printf.sprintf "fetch   seq=%d pc=%d" seq pc
+  | Issued { seq; pc } -> Printf.sprintf "issue   seq=%d pc=%d" seq pc
+  | Completed { seq; pc } -> Printf.sprintf "done    seq=%d pc=%d" seq pc
+  | Committed { seq; pc } -> Printf.sprintf "commit  seq=%d pc=%d" seq pc
+  | Branch_resolved { seq; pc; taken; mispredicted } ->
+    Printf.sprintf "resolve seq=%d pc=%d taken=%b mispredict=%b" seq pc taken
+      mispredicted
+  | Squashed { boundary; count } ->
+    Printf.sprintf "squash  boundary=%d count=%d" boundary count
+
+(* Operand sources are captured at rename: immediates and already-committed
+   register values become literals; in-flight producers are referenced by
+   sequence number. *)
+type src =
+  | Imm_val of int
+  | From_seq of int
+
+type state =
+  | Waiting
+  | Inflight of int  (* completion cycle *)
+  | Done
+
+type entry = {
+  seq : int;
+  pc : int;
+  instr : Ir.instr;
+  srcs : src array;
+  producers : int list;
+  mutable st : state;
+  mutable value : int;
+  mutable addr : int;
+  mutable addr_known : bool;
+  mutable pred_taken : bool;
+  mutable taken : bool;
+  mutable resolved : bool;
+  mutable started : bool;
+  mutable is_miss : bool;  (* holds an MSHR while in flight *)
+  mutable policy_stalled : bool;
+  (* branches carry recovery snapshots *)
+  rename_snap : int option array;
+  hist_snap : Predictor.snapshot;
+}
+
+type t = {
+  cfg : Config.t;
+  program : Ir.program;
+  regs : int array;
+  memory : int array;
+  hierarchy : Cache.Hierarchy.h;
+  predictor : Predictor.t;
+  slots : entry option array;
+  value_buf : int array;
+  rename : int option array;
+  mutable head_seq : int;
+  mutable tail_seq : int;
+  mutable fetch_pc : int;
+  mutable fetch_resume : int;  (* first cycle fetch may proceed *)
+  mutable fetch_stopped : bool;
+  mutable outstanding_misses : int;
+  mutable cyc : int;
+  mutable is_halted : bool;
+  mutable policy : policy;
+  stats : Sim_stats.t;
+  completions : (int, int list) Hashtbl.t;
+  mutable tracer : (cycle:int -> event -> unit) option;
+}
+
+type policy_maker = Config.t -> Ir.program -> t -> policy
+
+exception Deadlock of string
+
+let is_transmitter = function
+  | Ir.Load _ | Ir.Flush _ -> true
+  | Ir.Alu _ | Ir.Store _ | Ir.Branch _ | Ir.Jump _ | Ir.Rdcycle _ | Ir.Halt ->
+    false
+
+let vb_size t = 2 * t.cfg.Config.rob_size
+
+let slot_of t seq = seq mod t.cfg.Config.rob_size
+
+let in_flight t seq = seq >= t.head_seq && seq < t.tail_seq
+
+let entry_exn t seq =
+  match t.slots.(slot_of t seq) with
+  | Some e when e.seq = seq -> e
+  | Some _ | None -> invalid_arg (Printf.sprintf "Pipeline: seq %d not in flight" seq)
+
+let instr_of t seq = (entry_exn t seq).instr
+let pc_of t seq = (entry_exn t seq).pc
+let oldest_seq t = t.head_seq
+let next_seq t = t.tail_seq
+
+let is_unresolved_branch t seq =
+  in_flight t seq
+  &&
+  let e = entry_exn t seq in
+  Ir.is_branch e.instr && not e.resolved
+
+let older_unresolved_branches t ~seq =
+  let rec collect s acc =
+    if s >= seq || s >= t.tail_seq then List.rev acc
+    else
+      let e = entry_exn t s in
+      let acc = if Ir.is_branch e.instr && not e.resolved then s :: acc else acc in
+      collect (s + 1) acc
+  in
+  collect t.head_seq []
+
+let exists_older_unresolved_branch t ~seq =
+  let rec scan s =
+    if s >= seq || s >= t.tail_seq then false
+    else
+      let e = entry_exn t s in
+      (Ir.is_branch e.instr && not e.resolved) || scan (s + 1)
+  in
+  scan t.head_seq
+
+let producers_of t seq = (entry_exn t seq).producers
+
+let regs t = t.regs
+let mem t = t.memory
+let cycle t = t.cyc
+let stats t = t.stats
+let hierarchy t = t.hierarchy
+let config t = t.cfg
+let halted t = t.is_halted
+
+let set_tracer t f = t.tracer <- Some f
+
+let emit t event =
+  match t.tracer with
+  | Some f -> f ~cycle:t.cyc event
+  | None -> ()
+
+let mask_addr t addr = addr land (Array.length t.memory - 1)
+
+let src_ready t = function
+  | Imm_val _ -> true
+  | From_seq s ->
+    s < t.head_seq
+    ||
+    let e = entry_exn t s in
+    e.st = Done
+
+let src_value t = function
+  | Imm_val v -> v
+  | From_seq s ->
+    if s < t.head_seq then t.value_buf.(s mod vb_size t)
+    else (entry_exn t s).value
+
+let operands_ready t e = Array.for_all (src_ready t) e.srcs
+
+let load_address_if_ready t seq =
+  let e = entry_exn t seq in
+  match e.instr with
+  | Ir.Load _ when src_ready t e.srcs.(0) && src_ready t e.srcs.(1) ->
+    Some (mask_addr t (src_value t e.srcs.(0) + src_value t e.srcs.(1)))
+  | Ir.Load _ | Ir.Alu _ | Ir.Store _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _
+  | Ir.Rdcycle _ | Ir.Halt ->
+    None
+
+(* --- dispatch ------------------------------------------------------- *)
+
+let rename_operand t = function
+  | Ir.Imm i -> Imm_val i
+  | Ir.Reg r when r = Ir.zero_reg -> Imm_val 0
+  | Ir.Reg r -> (
+    match t.rename.(r) with
+    | None -> Imm_val t.regs.(r)
+    | Some s when s < t.head_seq ->
+      (* A rename-snapshot restore can resurrect a mapping to an
+         already-committed producer; its value is in the register file. *)
+      Imm_val t.regs.(r)
+    | Some s -> From_seq s)
+
+let source_operands instr =
+  match instr with
+  | Ir.Alu { a; b; _ } | Ir.Branch { a; b; _ } -> [| a; b |]
+  | Ir.Load { base; off; _ } | Ir.Flush { base; off } -> [| base; off |]
+  | Ir.Store { base; off; src } -> [| base; off; src |]
+  | Ir.Rdcycle { after; _ } -> [| after |]
+  | Ir.Jump _ | Ir.Halt -> [||]
+
+let empty_snapshot = [||]
+
+let dispatch_one t =
+  let pc = t.fetch_pc in
+  let instr = t.program.(pc) in
+  let seq = t.tail_seq in
+  let srcs = Array.map (rename_operand t) (source_operands instr) in
+  let producers =
+    Array.to_list srcs
+    |> List.filter_map (function
+         | From_seq s -> Some s
+         | Imm_val _ -> None)
+  in
+  let is_br = Ir.is_branch instr in
+  let rename_snap = if is_br then Array.copy t.rename else empty_snapshot in
+  let hist_snap = Predictor.snapshot t.predictor in
+  let e =
+    {
+      seq;
+      pc;
+      instr;
+      srcs;
+      producers;
+      st = Waiting;
+      value = 0;
+      addr = 0;
+      addr_known = false;
+      pred_taken = false;
+      taken = false;
+      resolved = false;
+      started = false;
+      is_miss = false;
+      policy_stalled = false;
+      rename_snap;
+      hist_snap;
+    }
+  in
+  t.slots.(slot_of t seq) <- Some e;
+  t.tail_seq <- seq + 1;
+  t.stats.Sim_stats.fetched <- t.stats.Sim_stats.fetched + 1;
+  emit t (Fetched { seq; pc });
+  (* Rename the destination after capturing sources. *)
+  (match Ir.defs instr with
+  | Some r -> t.rename.(r) <- Some seq
+  | None -> ());
+  (* Steer fetch. *)
+  (match instr with
+  | Ir.Branch { target; _ } ->
+    let dir = Predictor.predict t.predictor ~pc in
+    e.pred_taken <- dir;
+    t.fetch_pc <- (if dir then target else pc + 1)
+  | Ir.Jump { target } ->
+    e.st <- Done;
+    t.fetch_pc <- target
+  | Ir.Halt ->
+    e.st <- Done;
+    t.fetch_stopped <- true
+  | Ir.Alu _ | Ir.Load _ | Ir.Store _ | Ir.Flush _ | Ir.Rdcycle _ ->
+    t.fetch_pc <- pc + 1);
+  t.policy.on_decode ~seq
+
+let fetch t =
+  let budget = ref t.cfg.Config.fetch_width in
+  while
+    !budget > 0
+    && (not t.fetch_stopped)
+    && t.cyc >= t.fetch_resume
+    && t.tail_seq - t.head_seq < t.cfg.Config.rob_size
+  do
+    dispatch_one t;
+    decr budget
+  done
+
+(* --- squash --------------------------------------------------------- *)
+
+let squash t ~boundary =
+  let branch = entry_exn t boundary in
+  emit t (Squashed { boundary; count = t.tail_seq - boundary - 1 });
+  for seq = t.tail_seq - 1 downto boundary + 1 do
+    let e = entry_exn t seq in
+    t.stats.Sim_stats.squashed <- t.stats.Sim_stats.squashed + 1;
+    if e.is_miss then begin
+      e.is_miss <- false;
+      t.outstanding_misses <- t.outstanding_misses - 1
+    end;
+    if e.started then begin
+      (match e.instr with
+      | Ir.Load _ ->
+        t.stats.Sim_stats.wrong_path_executed_loads <-
+          t.stats.Sim_stats.wrong_path_executed_loads + 1
+      | Ir.Alu _ | Ir.Store _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _
+      | Ir.Rdcycle _ | Ir.Halt ->
+        ());
+      if is_transmitter e.instr then
+        Sim_stats.record_wrong_path_transmit t.stats ~branch_pc:branch.pc ~pc:e.pc
+    end;
+    t.slots.(slot_of t seq) <- None
+  done;
+  t.tail_seq <- boundary + 1;
+  (* Restore the rename table from the branch's snapshot, dropping mappings
+     whose producers have committed meanwhile (their values are in the
+     register file). *)
+  Array.iteri
+    (fun r snap ->
+      t.rename.(r) <-
+        (match snap with
+        | Some s when s < t.head_seq -> None
+        | other -> other))
+    branch.rename_snap;
+  t.policy.on_squash ~boundary
+
+(* --- completion ----------------------------------------------------- *)
+
+let schedule_completion t seq done_cycle =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.completions done_cycle) in
+  Hashtbl.replace t.completions done_cycle (seq :: existing)
+
+let resolve_branch t e =
+  e.resolved <- true;
+  emit t
+    (Branch_resolved
+       {
+         seq = e.seq;
+         pc = e.pc;
+         taken = e.taken;
+         mispredicted = e.taken <> e.pred_taken;
+       });
+  t.policy.on_resolve ~seq:e.seq;
+  if e.taken <> e.pred_taken then begin
+    t.stats.Sim_stats.mispredicts <- t.stats.Sim_stats.mispredicts + 1;
+    squash t ~boundary:e.seq;
+    Predictor.restore t.predictor e.hist_snap;
+    Predictor.force_history t.predictor ~taken:e.taken;
+    (match e.instr with
+    | Ir.Branch { target; _ } ->
+      t.fetch_pc <- (if e.taken then target else e.pc + 1)
+    | Ir.Alu _ | Ir.Load _ | Ir.Store _ | Ir.Jump _ | Ir.Flush _ | Ir.Rdcycle _
+    | Ir.Halt ->
+      assert false);
+    t.fetch_stopped <- false;
+    t.fetch_resume <- t.cyc + t.cfg.Config.redirect_penalty
+  end
+
+let complete t =
+  match Hashtbl.find_opt t.completions t.cyc with
+  | None -> ()
+  | Some seqs ->
+    Hashtbl.remove t.completions t.cyc;
+    (* Oldest first so that the oldest mispredicted branch squashes the
+       younger ones before they act. *)
+    let seqs = List.sort compare seqs in
+    List.iter
+      (fun seq ->
+        if in_flight t seq then
+          let e = entry_exn t seq in
+          match e.st with
+          | Inflight c when c = t.cyc ->
+            e.st <- Done;
+            if e.is_miss then begin
+              e.is_miss <- false;
+              t.outstanding_misses <- t.outstanding_misses - 1
+            end;
+            t.value_buf.(seq mod vb_size t) <- e.value;
+            emit t (Completed { seq; pc = e.pc });
+            if Ir.is_branch e.instr then resolve_branch t e
+          | Inflight _ | Waiting | Done -> ())
+      seqs
+
+(* --- issue ---------------------------------------------------------- *)
+
+let latency_of_alu t op =
+  match op with
+  | Ir.Mul -> t.cfg.Config.mul_latency
+  | Ir.Div | Ir.Rem -> t.cfg.Config.div_latency
+  | Ir.Add | Ir.Sub | Ir.And | Ir.Or | Ir.Xor | Ir.Shl | Ir.Shr | Ir.Set _ ->
+    t.cfg.Config.alu_latency
+
+(* Conservative memory disambiguation: a load may issue only when every
+   older in-flight store has a known address (i.e. has issued). *)
+let older_stores_state t load_seq load_addr =
+  let rec scan seq youngest_match =
+    if seq >= load_seq then `Ready youngest_match
+    else
+      let e = entry_exn t seq in
+      match e.instr with
+      | Ir.Store _ ->
+        if not e.addr_known then `Blocked
+        else if e.addr = load_addr then scan (seq + 1) (Some e)
+        else scan (seq + 1) youngest_match
+      | Ir.Alu _ | Ir.Load _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _
+      | Ir.Rdcycle _ | Ir.Halt ->
+        scan (seq + 1) youngest_match
+  in
+  scan t.head_seq None
+
+let start t e done_cycle =
+  e.started <- true;
+  e.st <- Inflight done_cycle;
+  emit t (Issued { seq = e.seq; pc = e.pc });
+  schedule_completion t e.seq done_cycle
+
+let try_issue t e =
+  let v i = src_value t e.srcs.(i) in
+  match e.instr with
+  | Ir.Alu { op; _ } ->
+    e.value <- Ir.eval_alu op (v 0) (v 1);
+    start t e (t.cyc + latency_of_alu t op);
+    true
+  | Ir.Branch { cmp; _ } ->
+    e.taken <- Ir.eval_cmp cmp (v 0) (v 1);
+    start t e (t.cyc + t.cfg.Config.branch_exec_latency);
+    true
+  | Ir.Store _ ->
+    e.addr <- mask_addr t (v 0 + v 1);
+    e.addr_known <- true;
+    e.value <- v 2;
+    start t e (t.cyc + 1);
+    true
+  | Ir.Flush _ ->
+    e.addr <- mask_addr t (v 0 + v 1);
+    e.addr_known <- true;
+    Cache.Hierarchy.flush t.hierarchy e.addr;
+    start t e (t.cyc + 1);
+    true
+  | Ir.Rdcycle _ ->
+    e.value <- t.cyc;
+    start t e (t.cyc + 1);
+    true
+  | Ir.Load _ -> (
+    let addr = mask_addr t (v 0 + v 1) in
+    match older_stores_state t e.seq addr with
+    | `Blocked -> false
+    | `Ready (Some store) ->
+      e.addr <- addr;
+      e.addr_known <- true;
+      e.value <- store.value;
+      start t e (t.cyc + t.cfg.Config.forward_latency);
+      true
+    | `Ready None ->
+      (* an L1 miss needs an MSHR; when all are busy the load waits *)
+      let misses_l1 =
+        Cache.Hierarchy.probe t.hierarchy addr <> Cache.Hierarchy.L1
+      in
+      if misses_l1 && t.outstanding_misses >= t.cfg.Config.mshrs then false
+      else begin
+        e.addr <- addr;
+        e.addr_known <- true;
+        if misses_l1 then begin
+          e.is_miss <- true;
+          t.outstanding_misses <- t.outstanding_misses + 1
+        end;
+        let lat =
+          match t.policy.load_visibility ~seq:e.seq with
+          | Normal ->
+            let lat, level = Cache.Hierarchy.load t.hierarchy addr in
+            if t.cfg.Config.next_line_prefetch && level <> Cache.Hierarchy.L1
+            then
+              Cache.Hierarchy.prefetch t.hierarchy
+                (mask_addr t (addr + t.cfg.Config.l1.Config.line_words));
+            lat
+          | Invisible -> Cache.Hierarchy.load_latency t.hierarchy addr
+        in
+        e.value <- t.memory.(addr);
+        start t e (t.cyc + lat);
+        true
+      end)
+  | Ir.Jump _ | Ir.Halt -> false
+
+let issue t =
+  let budget = ref t.cfg.Config.issue_width in
+  let seq = ref t.head_seq in
+  while !budget > 0 && !seq < t.tail_seq do
+    let e = entry_exn t !seq in
+    (match e.st with
+    | Waiting when operands_ready t e ->
+      if t.policy.may_execute ~seq:!seq then begin
+        if try_issue t e then decr budget
+      end
+      else begin
+        e.policy_stalled <- true;
+        t.stats.Sim_stats.policy_stall_cycles <-
+          t.stats.Sim_stats.policy_stall_cycles + 1;
+        if is_transmitter e.instr then
+          t.stats.Sim_stats.transmit_stall_cycles <-
+            t.stats.Sim_stats.transmit_stall_cycles + 1
+      end
+    | Waiting | Inflight _ | Done -> ());
+    incr seq
+  done
+
+(* --- commit --------------------------------------------------------- *)
+
+let commit_one t e =
+  let s = t.stats in
+  s.Sim_stats.committed <- s.Sim_stats.committed + 1;
+  if e.policy_stalled then begin
+    s.Sim_stats.restricted_committed <- s.Sim_stats.restricted_committed + 1;
+    if is_transmitter e.instr then
+      s.Sim_stats.restricted_transmitters <- s.Sim_stats.restricted_transmitters + 1
+  end;
+  if is_transmitter e.instr then
+    s.Sim_stats.committed_transmitters <- s.Sim_stats.committed_transmitters + 1;
+  (match e.instr with
+  | Ir.Load _ -> s.Sim_stats.committed_loads <- s.Sim_stats.committed_loads + 1
+  | Ir.Store _ ->
+    s.Sim_stats.committed_stores <- s.Sim_stats.committed_stores + 1;
+    t.memory.(e.addr) <- e.value;
+    Cache.Hierarchy.store_commit t.hierarchy e.addr
+  | Ir.Branch _ ->
+    s.Sim_stats.committed_branches <- s.Sim_stats.committed_branches + 1;
+    Predictor.update t.predictor ~pc:e.pc ~history:e.hist_snap ~taken:e.taken
+  | Ir.Halt -> t.is_halted <- true
+  | Ir.Alu _ | Ir.Jump _ | Ir.Flush _ | Ir.Rdcycle _ -> ());
+  (match Ir.defs e.instr with
+  | Some r ->
+    t.regs.(r) <- e.value;
+    (match t.rename.(r) with
+    | Some s when s = e.seq -> t.rename.(r) <- None
+    | Some _ | None -> ())
+  | None -> ());
+  t.policy.on_commit ~seq:e.seq;
+  emit t (Committed { seq = e.seq; pc = e.pc });
+  t.slots.(slot_of t e.seq) <- None;
+  t.head_seq <- e.seq + 1
+
+let commit t =
+  let budget = ref t.cfg.Config.commit_width in
+  let continue_ = ref true in
+  while !budget > 0 && !continue_ && t.head_seq < t.tail_seq && not t.is_halted do
+    let e = entry_exn t t.head_seq in
+    if e.st = Done then begin
+      commit_one t e;
+      decr budget
+    end
+    else continue_ := false
+  done
+
+(* --- top level ------------------------------------------------------ *)
+
+let step t =
+  if not t.is_halted then begin
+    commit t;
+    if not t.is_halted then begin
+      complete t;
+      issue t;
+      fetch t;
+      let occ = t.tail_seq - t.head_seq in
+      if occ > t.stats.Sim_stats.max_rob_occupancy then
+        t.stats.Sim_stats.max_rob_occupancy <- occ
+    end;
+    t.cyc <- t.cyc + 1;
+    t.stats.Sim_stats.cycles <- t.cyc
+  end
+
+let run ?(max_cycles = 100_000_000) ?(deadlock_window = 100_000) t =
+  let last_committed = ref t.stats.Sim_stats.committed in
+  let last_progress_cycle = ref t.cyc in
+  while not t.is_halted do
+    if t.cyc > max_cycles then failwith "Pipeline.run: max_cycles exceeded";
+    step t;
+    if t.stats.Sim_stats.committed <> !last_committed then begin
+      last_committed := t.stats.Sim_stats.committed;
+      last_progress_cycle := t.cyc
+    end
+    else if t.cyc - !last_progress_cycle > deadlock_window then
+      raise
+        (Deadlock
+           (Printf.sprintf
+              "no commit since cycle %d (head seq %d, pc %d, policy %s)"
+              !last_progress_cycle t.head_seq
+              (try (entry_exn t t.head_seq).pc with _ -> -1)
+              t.policy.policy_name))
+  done
+
+let create ?(mem_init = fun _ -> ()) cfg ~policy program =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Pipeline.create: bad config: " ^ msg));
+  (match Ir.validate program with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Pipeline.create: bad program: " ^ msg));
+  let t =
+    {
+      cfg;
+      program;
+      regs = Array.make Ir.num_regs 0;
+      memory = Array.make cfg.Config.mem_words 0;
+      hierarchy = Cache.Hierarchy.create cfg;
+      predictor = Predictor.create cfg;
+      slots = Array.make cfg.Config.rob_size None;
+      value_buf = Array.make (2 * cfg.Config.rob_size) 0;
+      rename = Array.make Ir.num_regs None;
+      head_seq = 0;
+      tail_seq = 0;
+      fetch_pc = 0;
+      fetch_resume = 0;
+      fetch_stopped = false;
+      outstanding_misses = 0;
+      cyc = 0;
+      is_halted = false;
+      policy = always_execute_policy;
+      stats = Sim_stats.create ();
+      completions = Hashtbl.create 64;
+      tracer = None;
+    }
+  in
+  mem_init t.memory;
+  t.policy <- policy cfg program t;
+  t

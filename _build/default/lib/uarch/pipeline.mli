@@ -1,0 +1,152 @@
+(** The speculative out-of-order core.
+
+    A cycle-level model with the structures secure-speculation defenses
+    care about:
+
+    - fetch follows the branch predictor and really executes down
+      mispredicted paths (wrong-path loads access and fill the caches);
+    - register renaming with per-branch rename/history snapshots for
+      single-cycle squash recovery;
+    - a unified ROB/issue window: any operand-ready instruction may begin
+      execution, subject to the active {e policy}'s [may_execute] gate —
+      this gate is where every defense in the paper plugs in;
+    - a conservative LSQ: loads wait until all older store addresses are
+      known, with store-to-load forwarding (no memory-dependence
+      speculation, hence no Spectre-v4 surface);
+    - stores update memory and caches only at commit, so the only
+      speculative microarchitectural side effects are load/flush cache
+      mutations — exactly the transmitters the defenses gate.
+
+    Per-cycle phase order: commit, complete (branch resolution + squash),
+    issue, fetch/rename/dispatch. *)
+
+type t
+
+(** {1 Defense policies}
+
+    A policy is a record of callbacks invoked by the pipeline.  Policies
+    identify in-flight instructions by their {e sequence number} (unique,
+    monotonically increasing).  [may_execute] is consulted each cycle for
+    every operand-ready instruction before it is allowed to begin
+    execution. *)
+
+type load_visibility =
+  | Normal  (** the access updates cache state (fills, LRU) as usual *)
+  | Invisible
+      (** the access is served at its current latency without mutating any
+          cache state — no fill, no LRU update.  This is how delay-on-miss
+          serves speculative L1 hits: correct data, no footprint. *)
+
+type policy = {
+  policy_name : string;
+  on_decode : seq:int -> unit;
+      (** called in fetch order as instructions enter the window *)
+  on_resolve : seq:int -> unit;  (** a conditional branch resolved *)
+  on_squash : boundary:int -> unit;
+      (** every seq strictly greater than [boundary] was squashed *)
+  on_commit : seq:int -> unit;
+  may_execute : seq:int -> bool;
+  load_visibility : seq:int -> load_visibility;
+      (** consulted when an approved load accesses the hierarchy *)
+}
+
+type policy_maker = Config.t -> Levioso_ir.Ir.program -> t -> policy
+(** Policies are created against a live pipeline so they can inspect it
+    through the view functions below. *)
+
+val always_execute_policy : policy
+(** The trivial policy (no restrictions); building block for baselines. *)
+
+(** {1 Construction and execution} *)
+
+val create :
+  ?mem_init:(int array -> unit) ->
+  Config.t ->
+  policy:policy_maker ->
+  Levioso_ir.Ir.program ->
+  t
+
+exception Deadlock of string
+(** No instruction committed for an implausibly long time — almost always a
+    defense policy bug (gating the oldest instruction). *)
+
+val step : t -> unit
+(** Advance one cycle. *)
+
+val run : ?max_cycles:int -> ?deadlock_window:int -> t -> unit
+(** Run until the program halts.
+    @raise Deadlock when nothing commits for [deadlock_window] cycles
+    (default 100k)
+    @raise Failure when [max_cycles] (default 100M) is exceeded. *)
+
+val halted : t -> bool
+
+(** {1 Architectural and microarchitectural state} *)
+
+val regs : t -> int array
+val mem : t -> int array
+val cycle : t -> int
+val stats : t -> Sim_stats.t
+val hierarchy : t -> Cache.Hierarchy.h
+val config : t -> Config.t
+
+(** {1 View functions for policies}
+
+    All take sequence numbers.  Unless stated otherwise they may only be
+    applied to in-flight sequence numbers. *)
+
+val in_flight : t -> int -> bool
+
+val instr_of : t -> int -> Levioso_ir.Ir.instr
+
+val pc_of : t -> int -> int
+
+val oldest_seq : t -> int
+(** Oldest in-flight sequence number (= next to commit). *)
+
+val next_seq : t -> int
+(** The sequence number the next dispatched instruction will get. *)
+
+val is_unresolved_branch : t -> int -> bool
+(** True for an in-flight conditional branch that has not resolved.
+    False for anything else, including committed/squashed seqs. *)
+
+val exists_older_unresolved_branch : t -> seq:int -> bool
+
+val older_unresolved_branches : t -> seq:int -> int list
+(** Oldest first. *)
+
+val load_address_if_ready : t -> int -> int option
+(** For an in-flight load whose address operands are ready: the (masked)
+    effective address it would access.  [None] for non-loads or loads with
+    unready operands.  Pure — no cache or pipeline state is touched; this
+    is what lets address-sensitive policies (delay-on-miss) decide before
+    the access happens. *)
+
+val producers_of : t -> int -> int list
+(** Sequence numbers of the in-flight producers of the instruction's
+    register operands, captured at rename time.  Producers that had already
+    committed at rename time are not included. *)
+
+val is_transmitter : Levioso_ir.Ir.instr -> bool
+
+(** {1 Tracing}
+
+    An optional event stream for debugging and instrumentation: install a
+    callback and every microarchitectural event is reported with its
+    cycle.  Tracing has zero cost when no tracer is installed. *)
+
+type event =
+  | Fetched of { seq : int; pc : int }
+  | Issued of { seq : int; pc : int }
+  | Completed of { seq : int; pc : int }
+  | Committed of { seq : int; pc : int }
+  | Branch_resolved of { seq : int; pc : int; taken : bool; mispredicted : bool }
+  | Squashed of { boundary : int; count : int }
+
+val set_tracer : t -> (cycle:int -> event -> unit) -> unit
+
+val event_to_string : event -> string
+(** The instructions whose {e execution} leaks through the cache channel:
+    loads and flushes.  Stores are not transmitters here because they only
+    touch the cache at commit (non-speculatively). *)

@@ -1,0 +1,62 @@
+type kind =
+  | Always_taken
+  | Bimodal of int array  (* 2-bit saturating counters *)
+  | Gshare of int array
+  | Tage of Tage.t
+
+type t = {
+  kind : kind;
+  mask : int;  (* table index mask *)
+  history_mask : int;  (* global history register width *)
+  mutable history : int;  (* speculative global history *)
+}
+
+type snapshot = int
+
+let create (config : Config.t) =
+  let size = 1 lsl config.Config.predictor_bits in
+  let mask = size - 1 in
+  let kind =
+    match config.Config.predictor with
+    | Config.Always_taken -> Always_taken
+    | Config.Bimodal -> Bimodal (Array.make size 2)
+    | Config.Gshare -> Gshare (Array.make size 2)
+    | Config.Tage -> Tage (Tage.create ~table_bits:(config.Config.predictor_bits - 2))
+  in
+  { kind; mask; history_mask = (1 lsl 62) - 1; history = 0 }
+
+let index t ~pc ~history =
+  match t.kind with
+  | Always_taken | Bimodal _ | Tage _ -> pc land t.mask
+  | Gshare _ -> (pc lxor history) land t.mask
+
+let shift t dir =
+  t.history <- ((t.history lsl 1) lor (if dir then 1 else 0)) land t.history_mask
+
+let predict t ~pc =
+  let dir =
+    match t.kind with
+    | Always_taken -> true
+    | Bimodal table -> table.(index t ~pc ~history:0) >= 2
+    | Gshare table -> table.(index t ~pc ~history:t.history) >= 2
+    | Tage tage -> Tage.predict tage ~pc ~history:t.history
+  in
+  shift t dir;
+  dir
+
+let bump table i taken =
+  if taken then table.(i) <- min 3 (table.(i) + 1)
+  else table.(i) <- max 0 (table.(i) - 1)
+
+let update t ~pc ~history ~taken =
+  match t.kind with
+  | Always_taken -> ()
+  | Bimodal table -> bump table (index t ~pc ~history:0) taken
+  | Gshare table -> bump table (index t ~pc ~history) taken
+  | Tage tage -> Tage.update tage ~pc ~history ~taken
+
+let snapshot t = t.history
+
+let restore t s = t.history <- s
+
+let force_history t ~taken = shift t taken

@@ -1,0 +1,70 @@
+type t = {
+  mutable cycles : int;
+  mutable committed : int;
+  mutable committed_loads : int;
+  mutable committed_stores : int;
+  mutable committed_branches : int;
+  mutable committed_transmitters : int;
+  mutable fetched : int;
+  mutable squashed : int;
+  mutable mispredicts : int;
+  mutable policy_stall_cycles : int;
+  mutable transmit_stall_cycles : int;
+  mutable restricted_committed : int;
+  mutable restricted_transmitters : int;
+  mutable wrong_path_executed_loads : int;
+  mutable wrong_path_transmits : (int * int) list;
+  mutable wrong_path_transmits_dropped : int;
+  mutable max_rob_occupancy : int;
+}
+
+let create () =
+  {
+    cycles = 0;
+    committed = 0;
+    committed_loads = 0;
+    committed_stores = 0;
+    committed_branches = 0;
+    committed_transmitters = 0;
+    fetched = 0;
+    squashed = 0;
+    mispredicts = 0;
+    policy_stall_cycles = 0;
+    transmit_stall_cycles = 0;
+    restricted_committed = 0;
+    restricted_transmitters = 0;
+    wrong_path_executed_loads = 0;
+    wrong_path_transmits = [];
+    wrong_path_transmits_dropped = 0;
+    max_rob_occupancy = 0;
+  }
+
+let ipc t = if t.cycles = 0 then 0.0 else float_of_int t.committed /. float_of_int t.cycles
+
+let mpki t =
+  if t.committed = 0 then 0.0
+  else float_of_int t.mispredicts *. 1000.0 /. float_of_int t.committed
+
+let cap = 50_000
+
+let record_wrong_path_transmit t ~branch_pc ~pc =
+  if List.length t.wrong_path_transmits >= cap then
+    t.wrong_path_transmits_dropped <- t.wrong_path_transmits_dropped + 1
+  else t.wrong_path_transmits <- (branch_pc, pc) :: t.wrong_path_transmits
+
+let to_rows t =
+  [
+    ("cycles", string_of_int t.cycles);
+    ("committed", string_of_int t.committed);
+    ("IPC", Printf.sprintf "%.3f" (ipc t));
+    ("loads / stores", Printf.sprintf "%d / %d" t.committed_loads t.committed_stores);
+    ("branches", string_of_int t.committed_branches);
+    ("mispredicts (MPKI)", Printf.sprintf "%d (%.2f)" t.mispredicts (mpki t));
+    ("fetched / squashed", Printf.sprintf "%d / %d" t.fetched t.squashed);
+    ("policy stall entry-cycles", string_of_int t.policy_stall_cycles);
+    ("transmitter stall entry-cycles", string_of_int t.transmit_stall_cycles);
+    ( "restricted committed (xmit)",
+      Printf.sprintf "%d (%d)" t.restricted_committed t.restricted_transmitters );
+    ("wrong-path executed loads", string_of_int t.wrong_path_executed_loads);
+    ("max ROB occupancy", string_of_int t.max_rob_occupancy);
+  ]

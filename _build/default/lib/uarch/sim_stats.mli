@@ -1,0 +1,42 @@
+(** Counters collected by one pipeline run.
+
+    Everything the evaluation figures need comes from these counters plus
+    the cache hierarchy's own counters. *)
+
+type t = {
+  mutable cycles : int;
+  mutable committed : int;
+  mutable committed_loads : int;
+  mutable committed_stores : int;
+  mutable committed_branches : int;
+  mutable committed_transmitters : int;
+  mutable fetched : int;
+  mutable squashed : int;
+  mutable mispredicts : int;
+  mutable policy_stall_cycles : int;
+      (** entry-cycles during which an operand-ready instruction was held
+          back by the active defense *)
+  mutable transmit_stall_cycles : int;
+      (** the subset of [policy_stall_cycles] charged to transmitters *)
+  mutable restricted_committed : int;
+      (** committed instructions that were policy-stalled at least once *)
+  mutable restricted_transmitters : int;
+  mutable wrong_path_executed_loads : int;
+      (** squashed loads that had already accessed the cache *)
+  mutable wrong_path_transmits : (int * int) list;
+      (** (squashing-branch pc, transmitter pc) pairs, newest first, capped *)
+  mutable wrong_path_transmits_dropped : int;
+  mutable max_rob_occupancy : int;
+}
+
+val create : unit -> t
+
+val ipc : t -> float
+
+val mpki : t -> float
+(** Branch mispredictions per kilo committed instruction. *)
+
+val record_wrong_path_transmit : t -> branch_pc:int -> pc:int -> unit
+(** Appends to [wrong_path_transmits], keeping at most 50_000 events. *)
+
+val to_rows : t -> (string * string) list

@@ -1,0 +1,1 @@
+lib/util/report.ml: Array Buffer Float List Printf String

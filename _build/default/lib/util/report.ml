@@ -1,0 +1,66 @@
+let fmt_f x = Printf.sprintf "%.2f" x
+
+let table ~header ~rows =
+  let all = header :: rows in
+  let arity = List.length header in
+  List.iter (fun r -> assert (List.length r = arity)) rows;
+  let widths = Array.make arity 0 in
+  let note_row r =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) r
+  in
+  List.iter note_row all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let render_row r = "| " ^ String.concat " | " (List.mapi pad r) ^ " |" in
+  let rule =
+    "+" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "+"
+  in
+  let body = List.map render_row rows in
+  String.concat "\n" (rule :: render_row header :: rule :: body @ [ rule ])
+
+let bar ?(width = 50) value max_value =
+  let n =
+    if max_value <= 0.0 then 0
+    else int_of_float (Float.round (value /. max_value *. float_of_int width))
+  in
+  String.make (max 0 n) '#'
+
+let bar_chart ?(width = 50) ~title () series =
+  let max_value = List.fold_left (fun m (_, v) -> max m v) 0.0 series in
+  let label_w =
+    List.fold_left (fun m (l, _) -> max m (String.length l)) 0 series
+  in
+  let line (label, v) =
+    Printf.sprintf "  %-*s %8s |%s" label_w label (fmt_f v) (bar ~width v max_value)
+  in
+  String.concat "\n" (title :: List.map line series)
+
+let grouped_bars ?(width = 40) ~title ~group_labels ~series () =
+  let max_value =
+    List.fold_left
+      (fun m (_, vs) -> List.fold_left max m vs)
+      0.0 series
+  in
+  let series_label_w =
+    List.fold_left (fun m (l, _) -> max m (String.length l)) 0 series
+  in
+  let group_w =
+    List.fold_left (fun m l -> max m (String.length l)) 0 group_labels
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  List.iteri
+    (fun gi glabel ->
+      Buffer.add_string buf (Printf.sprintf "\n %-*s" group_w glabel);
+      List.iter
+        (fun (slabel, vs) ->
+          let v = List.nth vs gi in
+          Buffer.add_string buf
+            (Printf.sprintf "\n   %-*s %8s |%s" series_label_w slabel (fmt_f v)
+               (bar ~width v max_value)))
+        series)
+    group_labels;
+  Buffer.contents buf
+
+let section title =
+  let rule = String.make 72 '=' in
+  Printf.sprintf "\n%s\n%s\n%s" rule title rule

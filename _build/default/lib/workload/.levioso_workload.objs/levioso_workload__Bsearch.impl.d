@@ -1,0 +1,1 @@
+lib/workload/bsearch.ml: Array Layout Levioso_ir Levioso_util Workload

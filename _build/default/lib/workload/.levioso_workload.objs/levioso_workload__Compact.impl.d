@@ -1,0 +1,1 @@
+lib/workload/compact.ml: Array Layout Levioso_ir Levioso_util Workload

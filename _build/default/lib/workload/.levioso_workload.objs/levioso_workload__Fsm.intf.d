@@ -1,0 +1,1 @@
+lib/workload/fsm.mli: Workload

@@ -1,0 +1,1 @@
+lib/workload/hashjoin.mli: Workload

@@ -1,0 +1,1 @@
+lib/workload/layout.ml: Levioso_util

@@ -1,0 +1,1 @@
+lib/workload/layout.mli: Levioso_util

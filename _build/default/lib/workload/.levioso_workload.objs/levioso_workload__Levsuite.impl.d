@@ -1,0 +1,1 @@
+lib/workload/levsuite.ml: Array Layout Levioso_lang Levioso_opt Levioso_util List Printf String Workload

@@ -1,0 +1,1 @@
+lib/workload/levsuite.mli: Workload

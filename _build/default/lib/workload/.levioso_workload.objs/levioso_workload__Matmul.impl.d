@@ -1,0 +1,1 @@
+lib/workload/matmul.ml: Array Layout Levioso_ir Workload

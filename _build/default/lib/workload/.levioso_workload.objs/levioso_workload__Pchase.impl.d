@@ -1,0 +1,1 @@
+lib/workload/pchase.ml: Array Fun Layout Levioso_ir Levioso_util Workload

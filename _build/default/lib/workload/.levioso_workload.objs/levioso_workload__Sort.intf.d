@@ -1,0 +1,1 @@
+lib/workload/sort.mli: Workload

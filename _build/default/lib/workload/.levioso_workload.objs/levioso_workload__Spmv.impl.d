@@ -1,0 +1,1 @@
+lib/workload/spmv.ml: Array Fun Layout Levioso_ir Levioso_util Workload

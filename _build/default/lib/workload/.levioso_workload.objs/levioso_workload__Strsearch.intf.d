@@ -1,0 +1,1 @@
+lib/workload/strsearch.mli: Workload

@@ -1,0 +1,1 @@
+lib/workload/suite.ml: Bsearch Compact Fsm Graph Hashjoin Histogram List Matmul Pchase Printf Sort Spmv Stream String Strsearch Treewalk Workload

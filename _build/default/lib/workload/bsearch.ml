@@ -1,0 +1,58 @@
+(* Binary search (xalancbmk-flavoured symbol lookup): every iteration's
+   branch compares against a freshly loaded key, so branch resolution waits
+   on memory and the next probe address is control- and data-dependent on
+   the outcome.  This is the worst case for *every* restrictive scheme —
+   Levioso included, since the dependences are true. *)
+
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+module Rng = Levioso_util.Rng
+
+let size = 16384
+let queries = 800
+
+let mem_init mem =
+  for i = 0 to size - 1 do
+    mem.(Layout.data_base + i) <- 3 * i
+  done
+
+let build b =
+  let q = Builder.fresh_reg b in
+  let key = Builder.fresh_reg b in
+  let lo = Builder.fresh_reg b in
+  let hi = Builder.fresh_reg b in
+  let mid = Builder.fresh_reg b in
+  let probe = Builder.fresh_reg b in
+  let found = Builder.fresh_reg b in
+  Builder.mov b found (Ir.Imm 0);
+  Builder.for_down b ~counter:q ~from:(Ir.Imm queries) (fun () ->
+      (* key = (q * large-prime) mod (3 * size): about a third hit *)
+      Builder.mul b key (Ir.Reg q) (Ir.Imm 48271);
+      Builder.alu b Ir.Rem key (Ir.Reg key) (Ir.Imm (3 * size));
+      Builder.mov b lo (Ir.Imm 0);
+      Builder.mov b hi (Ir.Imm size);
+      Builder.while_ b
+        ~cond:(fun () -> (Ir.Lt, Ir.Reg lo, Ir.Reg hi))
+        (fun () ->
+          Builder.add b mid (Ir.Reg lo) (Ir.Reg hi);
+          Builder.alu b Ir.Shr mid (Ir.Reg mid) (Ir.Imm 1);
+          Builder.load b probe (Ir.Reg mid) (Ir.Imm Layout.data_base);
+          Builder.if_then_else b
+            ~cond:(Ir.Lt, Ir.Reg probe, Ir.Reg key)
+            (fun () -> Builder.add b lo (Ir.Reg mid) (Ir.Imm 1))
+            (fun () -> Builder.mov b hi (Ir.Reg mid)));
+      (* count exact hits *)
+      Builder.if_then b
+        ~cond:(Ir.Lt, Ir.Reg lo, Ir.Imm size)
+        (fun () ->
+          Builder.load b probe (Ir.Reg lo) (Ir.Imm Layout.data_base);
+          Builder.if_then b
+            ~cond:(Ir.Eq, Ir.Reg probe, Ir.Reg key)
+            (fun () -> Builder.add b found (Ir.Reg found) (Ir.Imm 1))));
+  Builder.store b (Ir.Imm Layout.result_addr) (Ir.Imm 0) (Ir.Reg found);
+  Builder.halt b
+
+let workload =
+  Workload.make ~name:"bsearch"
+    ~description:"binary search with memory-dependent branches (lookup-heavy)"
+    ~build ~mem_init

@@ -1,0 +1,45 @@
+(* Stream compaction (xz/filter flavour): copy the elements that pass a
+   predicate to a dense output — the output address is itself
+   data-dependent on every earlier branch outcome, so the store/load stream
+   carries long dependence chains through a branchy loop. *)
+
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+module Rng = Levioso_util.Rng
+
+let size = 9000
+let input_base = Layout.data_base
+let output_base = Layout.data_base + 16384
+
+let mem_init mem =
+  let rng = Layout.rng 9 in
+  for i = 0 to size - 1 do
+    mem.(input_base + i) <- Rng.int rng 256
+  done
+
+let build b =
+  let i = Builder.fresh_reg b in
+  let v = Builder.fresh_reg b in
+  let out = Builder.fresh_reg b in
+  let check = Builder.fresh_reg b in
+  Builder.mov b out (Ir.Imm 0);
+  Builder.for_down b ~counter:i ~from:(Ir.Imm size) (fun () ->
+      Builder.load b v (Ir.Reg i) (Ir.Imm input_base);
+      Builder.if_then b
+        ~cond:(Ir.Lt, Ir.Reg v, Ir.Imm 96)
+        (fun () ->
+          Builder.store b (Ir.Reg out) (Ir.Imm output_base) (Ir.Reg v);
+          Builder.add b out (Ir.Reg out) (Ir.Imm 1)));
+  (* checksum: kept count plus a sample of the output *)
+  Builder.mov b check (Ir.Reg out);
+  Builder.alu b Ir.Shr v (Ir.Reg out) (Ir.Imm 1);
+  Builder.load b v (Ir.Reg v) (Ir.Imm output_base);
+  Builder.mul b v (Ir.Reg v) (Ir.Imm 10000);
+  Builder.add b check (Ir.Reg check) (Ir.Reg v);
+  Builder.store b (Ir.Imm Layout.result_addr) (Ir.Imm 0) (Ir.Reg check);
+  Builder.halt b
+
+let workload =
+  Workload.make ~name:"compact"
+    ~description:"predicate-based stream compaction (filter/compress kernel)"
+    ~build ~mem_init

@@ -1,0 +1,50 @@
+(* Table-driven finite state machine (gcc/xz decoder flavour): the next
+   state is loaded from a transition table indexed by the current state and
+   input symbol — a load-to-load chain through address arithmetic, with an
+   accepting-state branch per step. *)
+
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+module Rng = Levioso_util.Rng
+
+let states = 16
+let symbols = 4
+let input_len = 8000
+
+let table_base = Layout.data_base
+let input_base = Layout.data_base + 1024
+
+let mem_init mem =
+  let rng = Layout.rng 8 in
+  for s = 0 to states - 1 do
+    for c = 0 to symbols - 1 do
+      mem.(table_base + (s * symbols) + c) <- Rng.int rng states
+    done
+  done;
+  for i = 0 to input_len - 1 do
+    mem.(input_base + i) <- Rng.int rng symbols
+  done
+
+let build b =
+  let i = Builder.fresh_reg b in
+  let state = Builder.fresh_reg b in
+  let sym = Builder.fresh_reg b in
+  let index = Builder.fresh_reg b in
+  let accepts = Builder.fresh_reg b in
+  Builder.mov b state (Ir.Imm 0);
+  Builder.mov b accepts (Ir.Imm 0);
+  Builder.for_down b ~counter:i ~from:(Ir.Imm input_len) (fun () ->
+      Builder.load b sym (Ir.Reg i) (Ir.Imm input_base);
+      Builder.mul b index (Ir.Reg state) (Ir.Imm symbols);
+      Builder.add b index (Ir.Reg index) (Ir.Reg sym);
+      Builder.load b state (Ir.Reg index) (Ir.Imm table_base);
+      Builder.if_then b
+        ~cond:(Ir.Ge, Ir.Reg state, Ir.Imm (states - 4))
+        (fun () -> Builder.add b accepts (Ir.Reg accepts) (Ir.Imm 1)));
+  Builder.store b (Ir.Imm Layout.result_addr) (Ir.Imm 0) (Ir.Reg accepts);
+  Builder.halt b
+
+let workload =
+  Workload.make ~name:"fsm"
+    ~description:"table-driven state machine over a symbol stream (decoder)"
+    ~build ~mem_init

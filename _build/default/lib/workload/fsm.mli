@@ -1,0 +1,4 @@
+(** table-driven state machine over a symbol stream (decoder) — one kernel of the suite standing in for SPEC CPU2017; see the
+    implementation header for the behavioural axes it stresses. *)
+
+val workload : Workload.t

@@ -1,0 +1,68 @@
+(* Graph sweep (BFS-relaxation flavour, mcf/omnetpp-like): for every node,
+   walk its adjacency list through indirect loads and conditionally
+   accumulate a neighbour metric.  Combines load-derived addresses (taint
+   pressure) with memory-dependent branches (delay pressure). *)
+
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+module Rng = Levioso_util.Rng
+
+let nodes = 3000
+let max_degree = 6
+
+(* Layout: per node i, offsets[i] at data_base + i holds the address of its
+   adjacency block; block = degree :: neighbours.  Node metrics live in a
+   separate array. *)
+let offsets_base = Layout.data_base
+let metric_base = Layout.data_base + 4096
+let bonus_base = Layout.data_base + 16384
+let adj_base = Layout.data_base + 32768
+
+let mem_init mem =
+  let rng = Layout.rng 6 in
+  let cursor = ref adj_base in
+  for i = 0 to nodes - 1 do
+    mem.(offsets_base + i) <- !cursor;
+    let degree = Rng.int_in rng 1 max_degree in
+    mem.(!cursor) <- degree;
+    for k = 1 to degree do
+      mem.(!cursor + k) <- Rng.int rng nodes
+    done;
+    cursor := !cursor + degree + 1;
+    mem.(metric_base + i) <- Rng.int rng 1000;
+    mem.(bonus_base + i) <- Rng.int rng 50
+  done
+
+let build b =
+  let i = Builder.fresh_reg b in
+  let block = Builder.fresh_reg b in
+  let degree = Builder.fresh_reg b in
+  let k = Builder.fresh_reg b in
+  let neighbour = Builder.fresh_reg b in
+  let metric = Builder.fresh_reg b in
+  let acc = Builder.fresh_reg b in
+  Builder.mov b acc (Ir.Imm 0);
+  Builder.for_down b ~counter:i ~from:(Ir.Imm nodes) (fun () ->
+      Builder.load b block (Ir.Reg i) (Ir.Imm offsets_base);
+      Builder.load b degree (Ir.Reg block) (Ir.Imm 0);
+      Builder.mov b k (Ir.Imm 0);
+      Builder.while_ b
+        ~cond:(fun () -> (Ir.Lt, Ir.Reg k, Ir.Reg degree))
+        (fun () ->
+          Builder.add b k (Ir.Reg k) (Ir.Imm 1);
+          Builder.add b neighbour (Ir.Reg block) (Ir.Reg k);
+          Builder.load b neighbour (Ir.Reg neighbour) (Ir.Imm 0);
+          Builder.load b metric (Ir.Reg neighbour) (Ir.Imm metric_base);
+          Builder.if_then b
+            ~cond:(Ir.Gt, Ir.Reg metric, Ir.Imm 500)
+            (fun () ->
+              (* conditional second-level gather *)
+              Builder.load b metric (Ir.Reg neighbour) (Ir.Imm bonus_base);
+              Builder.add b acc (Ir.Reg acc) (Ir.Reg metric))));
+  Builder.store b (Ir.Imm Layout.result_addr) (Ir.Imm 0) (Ir.Reg acc);
+  Builder.halt b
+
+let workload =
+  Workload.make ~name:"graph"
+    ~description:"adjacency-list sweep with conditional relaxation (BFS-like)"
+    ~build ~mem_init

@@ -1,0 +1,4 @@
+(** adjacency-list sweep with conditional relaxation (BFS-like) — one kernel of the suite standing in for SPEC CPU2017; see the
+    implementation header for the behavioural axes it stresses. *)
+
+val workload : Workload.t

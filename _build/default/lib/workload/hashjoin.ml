@@ -1,0 +1,55 @@
+(* Hash-probe join (database/gcc symbol-table flavour): hash an input key,
+   load the bucket's stored key, branch on match (memory-dependent branch),
+   accumulate the payload on hit.  Addresses are hash-computed (not
+   load-derived), so taint-style defenses are cheap here while
+   delay-all-transmitters keeps paying for the match branches. *)
+
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+module Rng = Levioso_util.Rng
+
+let buckets = 1024  (* power of two; bucket i at data_base + 2i: key, value *)
+let probes = 4000
+
+let bucket_addr i = Layout.data_base + (2 * i)
+
+let hash key = key * 2654435761 land (buckets - 1)
+
+let mem_init mem =
+  let rng = Layout.rng 2 in
+  (* fill ~60% of buckets with key = hash-consistent values *)
+  for _slot = 0 to buckets - 1 do
+    if Rng.chance rng 0.6 then begin
+      let key = Rng.int rng 1_000_000 in
+      mem.(bucket_addr (hash key)) <- key;
+      mem.(bucket_addr (hash key) + 1) <- key mod 251
+    end
+  done
+
+let build b =
+  let q = Builder.fresh_reg b in
+  let key = Builder.fresh_reg b in
+  let h = Builder.fresh_reg b in
+  let stored = Builder.fresh_reg b in
+  let payload = Builder.fresh_reg b in
+  let acc = Builder.fresh_reg b in
+  Builder.mov b acc (Ir.Imm 0);
+  Builder.for_down b ~counter:q ~from:(Ir.Imm probes) (fun () ->
+      Builder.mul b key (Ir.Reg q) (Ir.Imm 1103515245);
+      Builder.alu b Ir.Rem key (Ir.Reg key) (Ir.Imm 1_000_000);
+      Builder.mul b h (Ir.Reg key) (Ir.Imm 2654435761);
+      Builder.alu b Ir.And h (Ir.Reg h) (Ir.Imm (buckets - 1));
+      Builder.alu b Ir.Shl h (Ir.Reg h) (Ir.Imm 1);
+      Builder.load b stored (Ir.Reg h) (Ir.Imm Layout.data_base);
+      Builder.if_then b
+        ~cond:(Ir.Eq, Ir.Reg stored, Ir.Reg key)
+        (fun () ->
+          Builder.load b payload (Ir.Reg h) (Ir.Imm (Layout.data_base + 1));
+          Builder.add b acc (Ir.Reg acc) (Ir.Reg payload)));
+  Builder.store b (Ir.Imm Layout.result_addr) (Ir.Imm 0) (Ir.Reg acc);
+  Builder.halt b
+
+let workload =
+  Workload.make ~name:"hashjoin"
+    ~description:"hash-table probe with match branches (database join kernel)"
+    ~build ~mem_init

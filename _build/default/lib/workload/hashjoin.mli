@@ -1,0 +1,4 @@
+(** hash-table probe with match branches (database join kernel) — one kernel of the suite standing in for SPEC CPU2017; see the
+    implementation header for the behavioural axes it stresses. *)
+
+val workload : Workload.t

@@ -1,0 +1,45 @@
+(* Histogram (image/analytics flavour): bin addresses derive from loaded
+   data (load-to-load dependence through address arithmetic) but the only
+   branch is the counted loop, so branch pressure is low while transmitter
+   density is high. *)
+
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+module Rng = Levioso_util.Rng
+
+let size = 12000
+let bins = 64
+let bins_base = Layout.data_base
+let input_base = Layout.data_base + 256
+
+let mem_init mem =
+  let rng = Layout.rng 3 in
+  for i = 0 to size - 1 do
+    mem.(input_base + i) <- Rng.int rng 100_000
+  done
+
+let build b =
+  let i = Builder.fresh_reg b in
+  let v = Builder.fresh_reg b in
+  let bin = Builder.fresh_reg b in
+  let count = Builder.fresh_reg b in
+  let total = Builder.fresh_reg b in
+  Builder.for_down b ~counter:i ~from:(Ir.Imm size) (fun () ->
+      Builder.load b v (Ir.Reg i) (Ir.Imm input_base);
+      Builder.alu b Ir.And bin (Ir.Reg v) (Ir.Imm (bins - 1));
+      Builder.load b count (Ir.Reg bin) (Ir.Imm bins_base);
+      Builder.add b count (Ir.Reg count) (Ir.Imm 1);
+      Builder.store b (Ir.Reg bin) (Ir.Imm bins_base) (Ir.Reg count));
+  (* checksum: weighted sum of bins *)
+  Builder.mov b total (Ir.Imm 0);
+  Builder.for_down b ~counter:i ~from:(Ir.Imm bins) (fun () ->
+      Builder.load b count (Ir.Reg i) (Ir.Imm bins_base);
+      Builder.mul b count (Ir.Reg count) (Ir.Reg i);
+      Builder.add b total (Ir.Reg total) (Ir.Reg count));
+  Builder.store b (Ir.Imm Layout.result_addr) (Ir.Imm 0) (Ir.Reg total);
+  Builder.halt b
+
+let workload =
+  Workload.make ~name:"histogram"
+    ~description:"data-dependent binning with read-modify-write updates"
+    ~build ~mem_init

@@ -1,0 +1,10 @@
+(* Shared memory-layout conventions for the kernels.  Every kernel writes
+   its final checksum to [result_addr] so runs have an architecturally
+   observable output (and the oracle-equivalence tests bite). *)
+
+let result_addr = 256
+let data_base = 4096
+
+(* Deterministic input data comes from the shared RNG, one fixed seed per
+   kernel so inputs never change across runs. *)
+let rng seed = Levioso_util.Rng.create (0xC0FFEE + seed)

@@ -1,0 +1,10 @@
+(** Shared memory-layout conventions for the workload kernels. *)
+
+val result_addr : int
+(** Every kernel stores its final checksum here. *)
+
+val data_base : int
+(** Start of kernel input data regions. *)
+
+val rng : int -> Levioso_util.Rng.t
+(** Kernel-seeded deterministic RNG for input generation. *)

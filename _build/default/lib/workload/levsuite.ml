@@ -1,0 +1,129 @@
+module Rng = Levioso_util.Rng
+
+let compile name source =
+  match Levioso_lang.Compiler.compile source with
+  | Ok program -> Levioso_opt.Opt.optimize program
+  | Error msg -> failwith (Printf.sprintf "Levsuite %s: %s" name msg)
+
+let make name description source mem_init =
+  { Workload.name; description; program = compile name source; mem_init }
+
+(* trial-division prime counting: data-independent but mispredict-prone
+   inner-loop exits *)
+let primes =
+  make "lev-primes" "trial-division prime count, compiled from Lev source"
+    {|
+      fn is_prime(n) {
+        if (n < 2) { return 0; }
+        var d = 2;
+        while (d * d <= n) {
+          if (n % d == 0) { return 0; }
+          d = d + 1;
+        }
+        return 1;
+      }
+      fn main() {
+        var n = 2;
+        var count = 0;
+        while (n < 400) {
+          count = count + is_prime(n);
+          n = n + 1;
+        }
+        store(256, count);
+      }
+    |}
+    (fun _ -> ())
+
+(* rolling hash over a loaded message: serial load-compute chain *)
+let crc =
+  make "lev-crc" "rolling hash over a message, compiled from Lev source"
+    {|
+      fn step(acc, word) {
+        var mixed = (acc ^ word) * 31;
+        return mixed ^ (mixed >> 7);
+      }
+      fn main() {
+        var i = 0;
+        var acc = 5381;
+        while (i < 4000) {
+          acc = step(acc, load(4096 + i));
+          i = i + 1;
+        }
+        store(256, acc & 1048575);
+      }
+    |}
+    (fun mem ->
+      let rng = Layout.rng 21 in
+      for i = 0 to 3999 do
+        mem.(4096 + i) <- Rng.int rng 65536
+      done)
+
+(* fixed-point n-body-ish force accumulation: compute-heavy nested loops
+   with a distance-dependent branch *)
+let nbody =
+  make "lev-nbody" "fixed-point pairwise force sums, compiled from Lev source"
+    {|
+      fn main() {
+        var i = 0;
+        var fx = 0;
+        while (i < 48) {
+          var j = 0;
+          while (j < 48) {
+            if (j != i) {
+              var dx = load(4096 + i) - load(4096 + j);
+              var d2 = dx * dx + 1;
+              if (d2 < 10000) { fx = fx + 1024 / d2; }
+            }
+            j = j + 1;
+          }
+          i = i + 1;
+        }
+        store(256, fx);
+      }
+    |}
+    (fun mem ->
+      let rng = Layout.rng 22 in
+      for i = 0 to 47 do
+        mem.(4096 + i) <- Rng.int rng 300
+      done)
+
+(* bubble sort: quadratic data-dependent compare-and-swap *)
+let bubble =
+  make "lev-bubble" "bubble sort with data-dependent swaps, compiled from Lev"
+    {|
+      fn main() {
+        var n = 96;
+        var pass = 0;
+        while (pass < n) {
+          var i = 0;
+          while (i < n - 1) {
+            var a = load(4096 + i);
+            var b = load(4096 + i + 1);
+            if (a > b) {
+              store(4096 + i, b);
+              store(4096 + i + 1, a);
+            }
+            i = i + 1;
+          }
+          pass = pass + 1;
+        }
+        store(256, load(4096) * 1000 + load(4096 + 95));
+      }
+    |}
+    (fun mem ->
+      let rng = Layout.rng 23 in
+      for i = 0 to 95 do
+        mem.(4096 + i) <- Rng.int rng 1000
+      done)
+
+let all = [ primes; crc; nbody; bubble ]
+
+let names = List.map (fun w -> w.Workload.name) all
+
+let find_exn name =
+  match List.find_opt (fun w -> w.Workload.name = name) all with
+  | Some w -> w
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Levsuite.find_exn: unknown workload %s (known: %s)" name
+         (String.concat ", " names))

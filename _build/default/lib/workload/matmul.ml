@@ -1,0 +1,60 @@
+(* Dense matrix multiply (namd/lbm compute flavour): perfectly predictable
+   counted loops, streaming loads, multiply-accumulate — the kernel where
+   every defense should be near-free and the figures need a low bar. *)
+
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+
+let n = 20
+let a_base = Layout.data_base
+let b_base = Layout.data_base + 1024
+let c_base = Layout.data_base + 2048
+
+let mem_init mem =
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      mem.(a_base + (i * n) + j) <- ((i + j) * 7) mod 13;
+      mem.(b_base + (i * n) + j) <- ((i * j) + 3) mod 17
+    done
+  done
+
+let build b =
+  let i = Builder.fresh_reg b in
+  let j = Builder.fresh_reg b in
+  let k = Builder.fresh_reg b in
+  let acc = Builder.fresh_reg b in
+  let av = Builder.fresh_reg b in
+  let bv = Builder.fresh_reg b in
+  let ai = Builder.fresh_reg b in
+  let bi = Builder.fresh_reg b in
+  let check = Builder.fresh_reg b in
+  Builder.for_down b ~counter:i ~from:(Ir.Imm n) (fun () ->
+      Builder.for_down b ~counter:j ~from:(Ir.Imm n) (fun () ->
+          Builder.mov b acc (Ir.Imm 0);
+          Builder.for_down b ~counter:k ~from:(Ir.Imm n) (fun () ->
+              (* a[i][k] *)
+              Builder.mul b ai (Ir.Reg i) (Ir.Imm n);
+              Builder.add b ai (Ir.Reg ai) (Ir.Reg k);
+              Builder.load b av (Ir.Reg ai) (Ir.Imm a_base);
+              (* b[k][j] *)
+              Builder.mul b bi (Ir.Reg k) (Ir.Imm n);
+              Builder.add b bi (Ir.Reg bi) (Ir.Reg j);
+              Builder.load b bv (Ir.Reg bi) (Ir.Imm b_base);
+              Builder.mul b av (Ir.Reg av) (Ir.Reg bv);
+              Builder.add b acc (Ir.Reg acc) (Ir.Reg av));
+          Builder.mul b ai (Ir.Reg i) (Ir.Imm n);
+          Builder.add b ai (Ir.Reg ai) (Ir.Reg j);
+          Builder.store b (Ir.Reg ai) (Ir.Imm c_base) (Ir.Reg acc)));
+  (* checksum: trace of C *)
+  Builder.mov b check (Ir.Imm 0);
+  Builder.for_down b ~counter:i ~from:(Ir.Imm n) (fun () ->
+      Builder.mul b ai (Ir.Reg i) (Ir.Imm (n + 1));
+      Builder.load b av (Ir.Reg ai) (Ir.Imm c_base);
+      Builder.add b check (Ir.Reg check) (Ir.Reg av));
+  Builder.store b (Ir.Imm Layout.result_addr) (Ir.Imm 0) (Ir.Reg check);
+  Builder.halt b
+
+let workload =
+  Workload.make ~name:"matmul"
+    ~description:"dense integer matrix multiply (predictable compute)"
+    ~build ~mem_init

@@ -1,0 +1,45 @@
+(* mcf-like pointer chasing: a shuffled singly-linked ring traversed for a
+   fixed number of steps.  The chase is a pure serial dependence chain with
+   only the predictable counted loop around it, so every defense should be
+   near-free here — the "low bar" of the suite, like mcf's chase phases. *)
+
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+module Rng = Levioso_util.Rng
+
+let nodes = 8192  (* 16k words: larger than L1, resident in L2 *)
+let steps = 5000
+
+(* node i occupies two words at data_base + 2i: (next pointer, payload) *)
+let node_addr i = Layout.data_base + (2 * i)
+
+let mem_init mem =
+  let rng = Layout.rng 1 in
+  let order = Array.init nodes Fun.id in
+  Rng.shuffle rng order;
+  (* Link the shuffled permutation into one ring. *)
+  Array.iteri
+    (fun pos node ->
+      let next = order.((pos + 1) mod nodes) in
+      mem.(node_addr node) <- node_addr next;
+      mem.(node_addr node + 1) <- (node * 31) mod 97)
+    order
+
+let build b =
+  let ptr = Builder.fresh_reg b in
+  let sum = Builder.fresh_reg b in
+  let value = Builder.fresh_reg b in
+  let i = Builder.fresh_reg b in
+  Builder.mov b ptr (Ir.Imm (node_addr 0));
+  Builder.mov b sum (Ir.Imm 0);
+  Builder.for_down b ~counter:i ~from:(Ir.Imm steps) (fun () ->
+      Builder.load b value (Ir.Reg ptr) (Ir.Imm 1);
+      Builder.add b sum (Ir.Reg sum) (Ir.Reg value);
+      Builder.load b ptr (Ir.Reg ptr) (Ir.Imm 0));
+  Builder.store b (Ir.Imm Layout.result_addr) (Ir.Imm 0) (Ir.Reg sum);
+  Builder.halt b
+
+let workload =
+  Workload.make ~name:"pchase"
+    ~description:"pointer chasing over a shuffled linked ring (mcf-like)"
+    ~build ~mem_init

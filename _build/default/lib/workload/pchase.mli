@@ -1,0 +1,4 @@
+(** pointer chasing over a shuffled linked ring (mcf-like) — one kernel of the suite standing in for SPEC CPU2017; see the
+    implementation header for the behavioural axes it stresses. *)
+
+val workload : Workload.t

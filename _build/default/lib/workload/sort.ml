@@ -1,0 +1,61 @@
+(* Insertion sort (general integer-code flavour): the inner while-branch
+   compares freshly loaded elements, mispredicts often near the insertion
+   point, and every iteration moves data — branch-resolution latency and
+   store/load traffic together. *)
+
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+module Rng = Levioso_util.Rng
+
+let size = 220
+
+let mem_init mem =
+  let rng = Layout.rng 7 in
+  for i = 0 to size - 1 do
+    mem.(Layout.data_base + i) <- Rng.int rng 10_000
+  done
+
+let build b =
+  let i = Builder.fresh_reg b in
+  let j = Builder.fresh_reg b in
+  let key = Builder.fresh_reg b in
+  let probe = Builder.fresh_reg b in
+  let stop = Builder.fresh_reg b in
+  let check = Builder.fresh_reg b in
+  Builder.mov b i (Ir.Imm 1);
+  Builder.while_ b
+    ~cond:(fun () -> (Ir.Lt, Ir.Reg i, Ir.Imm size))
+    (fun () ->
+      Builder.load b key (Ir.Reg i) (Ir.Imm Layout.data_base);
+      Builder.mov b j (Ir.Reg i);
+      Builder.mov b stop (Ir.Imm 0);
+      Builder.while_ b
+        ~cond:(fun () -> (Ir.Eq, Ir.Reg stop, Ir.Imm 0))
+        (fun () ->
+          Builder.if_then_else b
+            ~cond:(Ir.Le, Ir.Reg j, Ir.Imm 0)
+            (fun () -> Builder.mov b stop (Ir.Imm 1))
+            (fun () ->
+              Builder.load b probe (Ir.Reg j) (Ir.Imm (Layout.data_base - 1));
+              Builder.if_then_else b
+                ~cond:(Ir.Gt, Ir.Reg probe, Ir.Reg key)
+                (fun () ->
+                  Builder.store b (Ir.Reg j) (Ir.Imm Layout.data_base)
+                    (Ir.Reg probe);
+                  Builder.sub b j (Ir.Reg j) (Ir.Imm 1))
+                (fun () -> Builder.mov b stop (Ir.Imm 1))));
+      Builder.store b (Ir.Reg j) (Ir.Imm Layout.data_base) (Ir.Reg key);
+      Builder.add b i (Ir.Reg i) (Ir.Imm 1));
+  (* checksum: sampled order statistic sum *)
+  Builder.mov b check (Ir.Imm 0);
+  Builder.for_down b ~counter:j ~from:(Ir.Imm 16) (fun () ->
+      Builder.mul b probe (Ir.Reg j) (Ir.Imm (size / 16));
+      Builder.load b probe (Ir.Reg probe) (Ir.Imm Layout.data_base);
+      Builder.add b check (Ir.Reg check) (Ir.Reg probe));
+  Builder.store b (Ir.Imm Layout.result_addr) (Ir.Imm 0) (Ir.Reg check);
+  Builder.halt b
+
+let workload =
+  Workload.make ~name:"sort"
+    ~description:"insertion sort with mispredict-prone comparison branches"
+    ~build ~mem_init

@@ -1,0 +1,4 @@
+(** insertion sort with mispredict-prone comparison branches — one kernel of the suite standing in for SPEC CPU2017; see the
+    implementation header for the behavioural axes it stresses. *)
+
+val workload : Workload.t

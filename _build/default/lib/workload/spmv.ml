@@ -1,0 +1,76 @@
+(* Sparse matrix-vector multiply, CSR layout (scientific/graph flavour):
+   the inner loop gathers x[col[j]] — a load whose address comes from
+   another load — while the inner-loop bound itself is loaded per row.
+   Baseline hardware overlaps many gathers; taint-style defenses must hold
+   them until their index loads bind, which is exactly STT's expensive
+   case.  Levioso only ties each gather to its own quickly-resolving loop
+   branch instance. *)
+
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+module Rng = Levioso_util.Rng
+
+let rows = 6000
+let nnz_per_row_max = 4
+let x_size = 16384
+
+let perm_base = Layout.data_base  (* random row visit order: rows entries *)
+let row_ptr_base = Layout.data_base + 8192  (* rows+1 entries *)
+let x_base = Layout.data_base + 16384
+let col_base = Layout.data_base + 65536  (* col indices and values interleaved *)
+
+let mem_init mem =
+  let rng = Layout.rng 11 in
+  let cursor = ref 0 in
+  for r = 0 to rows - 1 do
+    mem.(row_ptr_base + r) <- !cursor;
+    let nnz = Rng.int_in rng 1 nnz_per_row_max in
+    for _ = 1 to nnz do
+      mem.(col_base + (2 * !cursor)) <- Rng.int rng x_size;
+      mem.(col_base + (2 * !cursor) + 1) <- Rng.int_in rng 1 9;
+      incr cursor
+    done
+  done;
+  mem.(row_ptr_base + rows) <- !cursor;
+  for i = 0 to x_size - 1 do
+    mem.(x_base + i) <- Rng.int rng 100
+  done;
+  (* rows are visited in a shuffled order (work-queue style), so the
+     row-bound loads are themselves cache misses and the inner-loop branch
+     stays unresolved while gathers pile up behind it *)
+  let order = Array.init rows Fun.id in
+  Rng.shuffle rng order;
+  Array.iteri (fun i r -> mem.(perm_base + i) <- r) order
+
+let build b =
+  let r = Builder.fresh_reg b in
+  let row = Builder.fresh_reg b in
+  let j = Builder.fresh_reg b in
+  let row_end = Builder.fresh_reg b in
+  let col = Builder.fresh_reg b in
+  let v = Builder.fresh_reg b in
+  let x = Builder.fresh_reg b in
+  let acc = Builder.fresh_reg b in
+  let idx2 = Builder.fresh_reg b in
+  Builder.mov b acc (Ir.Imm 0);
+  Builder.for_down b ~counter:r ~from:(Ir.Imm rows) (fun () ->
+      Builder.load b row (Ir.Reg r) (Ir.Imm perm_base);
+      Builder.load b j (Ir.Reg row) (Ir.Imm row_ptr_base);
+      Builder.load b row_end (Ir.Reg row) (Ir.Imm (row_ptr_base + 1));
+      Builder.while_ b
+        ~cond:(fun () -> (Ir.Lt, Ir.Reg j, Ir.Reg row_end))
+        (fun () ->
+          Builder.alu b Ir.Shl idx2 (Ir.Reg j) (Ir.Imm 1);
+          Builder.load b col (Ir.Reg idx2) (Ir.Imm col_base);
+          Builder.load b v (Ir.Reg idx2) (Ir.Imm (col_base + 1));
+          Builder.load b x (Ir.Reg col) (Ir.Imm x_base);
+          Builder.mul b x (Ir.Reg x) (Ir.Reg v);
+          Builder.add b acc (Ir.Reg acc) (Ir.Reg x);
+          Builder.add b j (Ir.Reg j) (Ir.Imm 1)));
+  Builder.store b (Ir.Imm Layout.result_addr) (Ir.Imm 0) (Ir.Reg acc);
+  Builder.halt b
+
+let workload =
+  Workload.make ~name:"spmv"
+    ~description:"CSR sparse matrix-vector multiply with indexed gathers"
+    ~build ~mem_init

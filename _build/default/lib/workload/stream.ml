@@ -1,0 +1,49 @@
+(* Streaming threshold-count (lbm/nab-flavoured): a sequential sweep whose
+   per-element branch depends on the loaded value (slow to resolve), while
+   the *next* iteration's load is past that branch's reconvergence point
+   and address-independent of it.  This is the pattern where Levioso's
+   selectivity pays: delay-all-transmitters keeps stalling iteration i+1's
+   load on iteration i's data branch; Levioso lets it fly. *)
+
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+module Rng = Levioso_util.Rng
+
+let size = 12288
+let threshold = 50
+let aux_base = Layout.data_base + 65536
+
+let mem_init mem =
+  let rng = Layout.rng 4 in
+  for i = 0 to size - 1 do
+    mem.(Layout.data_base + i) <- Rng.int rng 100;
+    mem.(aux_base + i) <- Rng.int rng 1000
+  done
+
+let build b =
+  let i = Builder.fresh_reg b in
+  let v = Builder.fresh_reg b in
+  let aux = Builder.fresh_reg b in
+  let count = Builder.fresh_reg b in
+  let sum = Builder.fresh_reg b in
+  Builder.mov b count (Ir.Imm 0);
+  Builder.mov b sum (Ir.Imm 0);
+  Builder.for_down b ~counter:i ~from:(Ir.Imm size) (fun () ->
+      Builder.load b v (Ir.Reg i) (Ir.Imm Layout.data_base);
+      Builder.add b sum (Ir.Reg sum) (Ir.Reg v);
+      (* guarded gather: the aux load's address is ready immediately but
+         its existence depends on the value-driven branch *)
+      Builder.if_then b
+        ~cond:(Ir.Gt, Ir.Reg v, Ir.Imm threshold)
+        (fun () ->
+          Builder.load b aux (Ir.Reg i) (Ir.Imm aux_base);
+          Builder.add b count (Ir.Reg count) (Ir.Reg aux)));
+  Builder.mul b count (Ir.Reg count) (Ir.Imm 100000);
+  Builder.add b sum (Ir.Reg sum) (Ir.Reg count);
+  Builder.store b (Ir.Imm Layout.result_addr) (Ir.Imm 0) (Ir.Reg sum);
+  Builder.halt b
+
+let workload =
+  Workload.make ~name:"stream"
+    ~description:"streaming sweep with value-dependent counting branch"
+    ~build ~mem_init

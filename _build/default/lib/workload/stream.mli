@@ -1,0 +1,4 @@
+(** streaming sweep with value-dependent counting branch — one kernel of the suite standing in for SPEC CPU2017; see the
+    implementation header for the behavioural axes it stresses. *)
+
+val workload : Workload.t

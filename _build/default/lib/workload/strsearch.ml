@@ -1,0 +1,58 @@
+(* Substring scan (perlbench flavour): outer sweep with an inner
+   match loop that exits on the first mismatch — dense, data-dependent,
+   poorly predictable branches with loads under them. *)
+
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+module Rng = Levioso_util.Rng
+
+let text_len = 6000
+let pattern_len = 4
+let text_base = Layout.data_base
+let pattern_base = Layout.data_base + 65536
+
+let mem_init mem =
+  let rng = Layout.rng 5 in
+  (* small alphabet so near-matches (and hence inner-loop work) are common *)
+  for i = 0 to text_len - 1 do
+    mem.(text_base + i) <- Rng.int rng 4
+  done;
+  for j = 0 to pattern_len - 1 do
+    mem.(pattern_base + j) <- Rng.int rng 4
+  done
+
+let build b =
+  (* inner loop exits directly on the first mismatching character, so each
+     character load is control-dependent on the previous compare branch —
+     a true dependence chain under near-matches *)
+  let i = Builder.fresh_reg b in
+  let j = Builder.fresh_reg b in
+  let tc = Builder.fresh_reg b in
+  let pc_ = Builder.fresh_reg b in
+  let addr = Builder.fresh_reg b in
+  let matches = Builder.fresh_reg b in
+  Builder.mov b matches (Ir.Imm 0);
+  Builder.for_down b ~counter:i
+    ~from:(Ir.Imm (text_len - pattern_len))
+    (fun () ->
+      Builder.mov b j (Ir.Imm 0);
+      let break = Builder.fresh_label b in
+      Builder.while_ b
+        ~cond:(fun () -> (Ir.Lt, Ir.Reg j, Ir.Imm pattern_len))
+        (fun () ->
+          Builder.add b addr (Ir.Reg i) (Ir.Reg j);
+          Builder.load b tc (Ir.Reg addr) (Ir.Imm text_base);
+          Builder.load b pc_ (Ir.Reg j) (Ir.Imm pattern_base);
+          Builder.branch b Ir.Ne (Ir.Reg tc) (Ir.Reg pc_) break;
+          Builder.add b j (Ir.Reg j) (Ir.Imm 1));
+      Builder.if_then b
+        ~cond:(Ir.Ge, Ir.Reg j, Ir.Imm pattern_len)
+        (fun () -> Builder.add b matches (Ir.Reg matches) (Ir.Imm 1));
+      Builder.place b break);
+  Builder.store b (Ir.Imm Layout.result_addr) (Ir.Imm 0) (Ir.Reg matches);
+  Builder.halt b
+
+let workload =
+  Workload.make ~name:"strsearch"
+    ~description:"substring scan with early-exit inner loop (text processing)"
+    ~build ~mem_init

@@ -1,0 +1,28 @@
+let all =
+  [
+    Pchase.workload;
+    Bsearch.workload;
+    Stream.workload;
+    Hashjoin.workload;
+    Histogram.workload;
+    Strsearch.workload;
+    Treewalk.workload;
+    Spmv.workload;
+    Graph.workload;
+    Sort.workload;
+    Fsm.workload;
+    Matmul.workload;
+    Compact.workload;
+  ]
+
+let names = List.map (fun w -> w.Workload.name) all
+
+let find name = List.find_opt (fun w -> w.Workload.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some w -> w
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Suite.find_exn: unknown workload %s (known: %s)" name
+         (String.concat ", " names))

@@ -1,0 +1,13 @@
+(** The synthetic benchmark suite standing in for SPEC CPU2017 (see
+    DESIGN.md for the substitution argument).  Order is the plotting order
+    of the evaluation figures. *)
+
+val all : Workload.t list
+(** The eleven kernels. *)
+
+val names : string list
+
+val find : string -> Workload.t option
+
+val find_exn : string -> Workload.t
+(** @raise Invalid_argument on unknown names. *)

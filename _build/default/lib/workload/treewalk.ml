@@ -1,0 +1,58 @@
+(* Random binary-tree descent (omnetpp/deepsjeng flavour): each step loads
+   a node key, branches on the comparison, and loads the chosen child
+   pointer — the next address is both control- and data-dependent on a
+   memory-dependent branch.  A fully *true* dependence chain: the worst
+   case the Levioso paper concedes, and heavy for every scheme. *)
+
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+module Rng = Levioso_util.Rng
+
+let tree_nodes = 4095  (* perfect tree of depth 12 *)
+let descents = 500
+
+(* node i occupies 3 words at data_base + 3i: key, left-addr, right-addr *)
+let node_addr i = Layout.data_base + (3 * i)
+
+let mem_init mem =
+  let rng = Layout.rng 10 in
+  (* heap-shaped perfect tree; keys random so descent paths are random *)
+  for i = 0 to tree_nodes - 1 do
+    mem.(node_addr i) <- Rng.int rng 100_000;
+    let left = (2 * i) + 1 and right = (2 * i) + 2 in
+    mem.(node_addr i + 1) <-
+      (if left < tree_nodes then node_addr left else node_addr 0);
+    mem.(node_addr i + 2) <-
+      (if right < tree_nodes then node_addr right else node_addr 0)
+  done
+
+let depth = 11
+
+let build b =
+  let q = Builder.fresh_reg b in
+  let d = Builder.fresh_reg b in
+  let node = Builder.fresh_reg b in
+  let key = Builder.fresh_reg b in
+  let target = Builder.fresh_reg b in
+  let acc = Builder.fresh_reg b in
+  Builder.mov b acc (Ir.Imm 0);
+  Builder.for_down b ~counter:q ~from:(Ir.Imm descents) (fun () ->
+      (* targets biased low: ~85% of compares go left, so the descent
+         branches are predictable and speculation normally wins *)
+      Builder.mul b target (Ir.Reg q) (Ir.Imm 75329);
+      Builder.alu b Ir.Rem target (Ir.Reg target) (Ir.Imm 15_000);
+      Builder.mov b node (Ir.Imm (node_addr 0));
+      Builder.for_down b ~counter:d ~from:(Ir.Imm depth) (fun () ->
+          Builder.load b key (Ir.Reg node) (Ir.Imm 0);
+          Builder.add b acc (Ir.Reg acc) (Ir.Reg key);
+          Builder.if_then_else b
+            ~cond:(Ir.Lt, Ir.Reg target, Ir.Reg key)
+            (fun () -> Builder.load b node (Ir.Reg node) (Ir.Imm 1))
+            (fun () -> Builder.load b node (Ir.Reg node) (Ir.Imm 2))));
+  Builder.store b (Ir.Imm Layout.result_addr) (Ir.Imm 0) (Ir.Reg acc);
+  Builder.halt b
+
+let workload =
+  Workload.make ~name:"treewalk"
+    ~description:"random binary-tree descents with key-compare branches"
+    ~build ~mem_init

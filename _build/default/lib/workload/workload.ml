@@ -1,0 +1,11 @@
+type t = {
+  name : string;
+  description : string;
+  program : Levioso_ir.Ir.program;
+  mem_init : int array -> unit;
+}
+
+let make ~name ~description ~build ~mem_init =
+  let b = Levioso_ir.Builder.create () in
+  build b;
+  { name; description; program = Levioso_ir.Builder.build b; mem_init }

@@ -1,0 +1,24 @@
+(** The workload abstraction: a program plus its input memory image.
+
+    The kernels in this library stand in for the SPEC CPU2017 suite the
+    paper evaluates on (see DESIGN.md, substitutions): each stresses a
+    different mix of the properties that determine secure-speculation
+    overhead — branch density, branch-resolution latency (do branches
+    depend on loads?), transmitter density, and how much work lives past
+    each branch's reconvergence point. *)
+
+type t = {
+  name : string;
+  description : string;
+  program : Levioso_ir.Ir.program;
+  mem_init : int array -> unit;
+      (** applied to the zeroed memory image before the run *)
+}
+
+val make :
+  name:string ->
+  description:string ->
+  build:(Levioso_ir.Builder.t -> unit) ->
+  mem_init:(int array -> unit) ->
+  t
+(** Build a workload through the assembler DSL; validates the program. *)

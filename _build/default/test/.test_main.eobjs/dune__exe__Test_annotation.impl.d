@@ -1,0 +1,1 @@
+test/test_annotation.ml: Alcotest Levioso_core Levioso_ir List String

@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Levioso_attack Levioso_core Levioso_ir Levioso_uarch List Printf

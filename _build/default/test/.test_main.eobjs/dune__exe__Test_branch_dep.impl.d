@@ -1,0 +1,1 @@
+test/test_branch_dep.ml: Alcotest Levioso_analysis Levioso_ir

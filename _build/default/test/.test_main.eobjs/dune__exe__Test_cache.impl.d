@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Levioso_uarch List

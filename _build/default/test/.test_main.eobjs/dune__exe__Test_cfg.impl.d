@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Levioso_ir List

@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Levioso_uarch List Result String

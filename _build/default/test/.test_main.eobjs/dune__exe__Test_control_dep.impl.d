@@ -1,0 +1,1 @@
+test/test_control_dep.ml: Alcotest Levioso_analysis Levioso_ir List

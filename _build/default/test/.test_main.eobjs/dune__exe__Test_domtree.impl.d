@@ -1,0 +1,1 @@
+test/test_domtree.ml: Alcotest Array Levioso_analysis List

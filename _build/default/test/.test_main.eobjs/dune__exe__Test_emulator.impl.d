@@ -1,0 +1,1 @@
+test/test_emulator.ml: Alcotest Array Levioso_ir

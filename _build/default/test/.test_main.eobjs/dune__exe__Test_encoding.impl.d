@@ -1,0 +1,1 @@
+test/test_encoding.ml: Alcotest Array Levioso_attack Levioso_core Levioso_ir Levioso_workload List Printf QCheck QCheck_alcotest Result Test_props

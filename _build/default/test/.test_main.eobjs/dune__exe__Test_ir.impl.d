@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Levioso_ir List Result String

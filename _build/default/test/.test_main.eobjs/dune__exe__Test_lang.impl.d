@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Buffer Levioso_core Levioso_ir Levioso_lang Levioso_uarch List Printf Result String

@@ -1,0 +1,1 @@
+test/test_lang_props.ml: Array Levioso_core Levioso_ir Levioso_lang Levioso_opt Levioso_uarch Levioso_util List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_loops.ml: Alcotest Levioso_analysis Levioso_ir Levioso_lang Levioso_workload List Printf

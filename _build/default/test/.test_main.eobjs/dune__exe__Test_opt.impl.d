@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Levioso_ir Levioso_lang Levioso_opt Levioso_workload List Printf

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Buffer Levioso_ir Levioso_uarch List Printf

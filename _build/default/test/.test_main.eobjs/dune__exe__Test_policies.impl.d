@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Array Levioso_core Levioso_ir Levioso_uarch List Printf

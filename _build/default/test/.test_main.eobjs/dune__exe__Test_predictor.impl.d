@@ -1,0 +1,1 @@
+test/test_predictor.ml: Alcotest Levioso_uarch List Printf

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Levioso_analysis Levioso_core Levioso_ir Levioso_uarch Levioso_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_reconvergence.ml: Alcotest Levioso_analysis Levioso_ir List Printf

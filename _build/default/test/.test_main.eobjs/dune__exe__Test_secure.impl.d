@@ -1,0 +1,1 @@
+test/test_secure.ml: Alcotest Levioso_core Levioso_ir Levioso_uarch Printf

@@ -1,0 +1,1 @@
+test/test_views.ml: Alcotest Levioso_ir Levioso_uarch List String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Levioso_analysis Levioso_core Levioso_ir Levioso_uarch Levioso_workload List Printf

@@ -1,0 +1,119 @@
+module Ir = Levioso_ir.Ir
+module Parser = Levioso_ir.Parser
+module Annotation = Levioso_core.Annotation
+
+let analyze src = Annotation.analyze (Parser.parse_exn src)
+
+let test_hint_on_branch_only () =
+  let a =
+    analyze {|
+      mov r1, #1          ; pc 0
+      beq r1, #0, skip    ; pc 1
+      mov r2, #2          ; pc 2
+    skip:
+      halt                ; pc 3
+    |}
+  in
+  Alcotest.(check bool) "non-branch has no hint" true (Annotation.hint_for a 0 = None);
+  (match Annotation.hint_for a 1 with
+  | Some (Annotation.Reconverges_at pc) -> Alcotest.(check int) "reconv" 3 pc
+  | Some Annotation.No_reconvergence | None -> Alcotest.fail "expected hint");
+  Alcotest.(check bool) "body has no hint" true (Annotation.hint_for a 2 = None)
+
+let test_no_reconvergence_hint () =
+  let a = analyze {|
+      beq r1, #0, a
+      halt
+    a:
+      halt
+    |} in
+  match Annotation.hint_for a 0 with
+  | Some Annotation.No_reconvergence -> ()
+  | Some (Annotation.Reconverges_at _) | None ->
+    Alcotest.fail "expected No_reconvergence"
+
+let test_coverage () =
+  let full = analyze {|
+      beq r1, #0, skip
+      mov r2, #1
+    skip:
+      halt
+    |} in
+  Alcotest.(check (float 1e-9)) "full" 1.0 (Annotation.coverage full);
+  let half =
+    analyze
+      {|
+        beq r1, #0, skip    ; reconverges at skip
+        mov r2, #1
+      skip:
+        beq r1, #1, a       ; arms never meet
+        halt
+      a:
+        halt
+      |}
+  in
+  Alcotest.(check (float 1e-9)) "half" 0.5 (Annotation.coverage half)
+
+let test_disassemble_contains_hints () =
+  let a = analyze {|
+      beq r1, #0, skip
+      mov r2, #1
+    skip:
+      halt
+    |} in
+  let text = Annotation.disassemble a in
+  let contains needle =
+    let nl = String.length needle and hl = String.length text in
+    let rec scan i = i + nl <= hl && (String.sub text i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "shows reconv" true (contains "reconv @2")
+
+let test_stats_keys_present () =
+  let a = analyze {|
+      beq r1, #0, skip
+      mov r2, #1
+    skip:
+      halt
+    |} in
+  let stats = Annotation.stats a in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) ("has " ^ key) true (List.mem_assoc key stats))
+    [
+      "static instrs";
+      "branches";
+      "reconv coverage";
+      "mean region";
+      "dep-free instrs";
+      "mean dep set";
+      "max dep set";
+    ]
+
+let test_loop_hint_is_exit () =
+  let a =
+    analyze
+      {|
+        mov r1, #0        ; pc 0
+      head:
+        bge r1, #5, out   ; pc 1
+        add r1, r1, #1    ; pc 2
+        jump head         ; pc 3
+      out:
+        halt              ; pc 4
+      |}
+  in
+  match Annotation.hint_for a 1 with
+  | Some (Annotation.Reconverges_at pc) -> Alcotest.(check int) "loop exit" 4 pc
+  | Some Annotation.No_reconvergence | None -> Alcotest.fail "expected exit hint"
+
+let suite =
+  ( "annotation",
+    [
+      Alcotest.test_case "hint on branch only" `Quick test_hint_on_branch_only;
+      Alcotest.test_case "no reconvergence" `Quick test_no_reconvergence_hint;
+      Alcotest.test_case "coverage" `Quick test_coverage;
+      Alcotest.test_case "disassemble shows hints" `Quick test_disassemble_contains_hints;
+      Alcotest.test_case "stats keys" `Quick test_stats_keys_present;
+      Alcotest.test_case "loop hint" `Quick test_loop_hint_is_exit;
+    ] )

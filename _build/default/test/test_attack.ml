@@ -1,0 +1,166 @@
+module Ir = Levioso_ir.Ir
+module Gadget = Levioso_attack.Gadget
+module Harness = Levioso_attack.Harness
+module Registry = Levioso_core.Registry
+
+let is_recovered = function
+  | Harness.Recovered _ -> true
+  | Harness.Wrong_guess _ | Harness.No_signal -> false
+
+let check_verdict name expected verdict =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (got %s)" name (Harness.verdict_to_string verdict))
+    expected (is_recovered verdict)
+
+let test_gadgets_validate () =
+  List.iter
+    (fun (g : Gadget.t) ->
+      match Ir.validate g.Gadget.program with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail (g.Gadget.name ^ ": " ^ msg))
+    [
+      Gadget.bounds_check_bypass ~secret:1 ();
+      Gadget.register_secret ~secret:1 ();
+      Gadget.bounds_check_bypass ~timing:true ~secret:1 ();
+      Gadget.register_secret ~timing:true ~secret:1 ();
+    ]
+
+(* The paper's security table (Table 2): which defense stops which threat
+   model.  STT's expected failure on the non-speculative secret is the
+   motivating observation for comprehensive schemes. *)
+let security_matrix =
+  [
+    (* policy, leaks sandbox gadget?, leaks register-secret gadget? *)
+    ("unsafe", true, true);
+    ("fence", false, false);
+    ("delay", false, false);
+    ("dom", false, false);
+    ("stt", false, true);
+    ("nda", false, true);
+    ("levioso-static", false, false);
+    ("levioso", false, false);
+    ("levioso-ctrl", false, false);
+  ]
+
+let test_security_matrix_cache_probe () =
+  List.iter
+    (fun (policy, leaks_sandbox, leaks_register) ->
+      check_verdict
+        (policy ^ " vs bounds-check-bypass")
+        leaks_sandbox
+        (Harness.run ~policy (Gadget.bounds_check_bypass ~secret:42 ()));
+      check_verdict
+        (policy ^ " vs register-secret")
+        leaks_register
+        (Harness.run ~policy (Gadget.register_secret ~secret:42 ())))
+    security_matrix
+
+let test_security_matrix_in_program_timing () =
+  List.iter
+    (fun (policy, leaks_sandbox, leaks_register) ->
+      check_verdict
+        (policy ^ " timed bounds-check-bypass")
+        leaks_sandbox
+        (Harness.run_timed ~policy
+           (Gadget.bounds_check_bypass ~timing:true ~secret:27 ()));
+      check_verdict
+        (policy ^ " timed register-secret")
+        leaks_register
+        (Harness.run_timed ~policy
+           (Gadget.register_secret ~timing:true ~secret:27 ())))
+    security_matrix
+
+let test_recovers_every_secret_value () =
+  (* no aliasing between secret values and probe lines *)
+  List.iter
+    (fun secret ->
+      match Harness.run ~policy:"unsafe" (Gadget.bounds_check_bypass ~secret ()) with
+      | Harness.Recovered v -> Alcotest.(check int) "exact value" secret v
+      | (Harness.Wrong_guess _ | Harness.No_signal) as v ->
+        Alcotest.fail (Printf.sprintf "secret %d: %s" secret (Harness.verdict_to_string v)))
+    [ 0; 1; 31; 62; 63 ]
+
+let test_accuracy_endpoints () =
+  let make ~secret () = Gadget.register_secret ~secret () in
+  Alcotest.(check (float 1e-9)) "unsafe fully broken" 1.0
+    (Harness.accuracy ~policy:"unsafe" make);
+  Alcotest.(check (float 1e-9)) "stt fully broken on register secrets" 1.0
+    (Harness.accuracy ~policy:"stt" make);
+  Alcotest.(check (float 1e-9)) "levioso holds" 0.0
+    (Harness.accuracy ~policy:"levioso" make)
+
+let test_no_architectural_secret_exposure () =
+  (* The gadget never architecturally writes the secret anywhere the
+     attacker could read: the emulator (no speculation at all) must leave
+     every probe measurement slot untouched by secret-dependent data. *)
+  let g = Gadget.bounds_check_bypass ~secret:9 () in
+  let state =
+    Levioso_ir.Emulator.run_program ~mem_words:(1 lsl 20)
+      ~init:(fun s -> g.Gadget.mem_init s.Levioso_ir.Emulator.mem)
+      g.Gadget.program
+  in
+  Alcotest.(check bool) "program halts architecturally" true
+    state.Levioso_ir.Emulator.halted
+
+let test_attack_works_across_predictors () =
+  (* the attack trains whatever predictor the front end has *)
+  List.iter
+    (fun predictor ->
+      let config = { Levioso_uarch.Config.default with Levioso_uarch.Config.predictor } in
+      check_verdict
+        (Levioso_uarch.Config.predictor_kind_to_string predictor ^ " leaks under unsafe")
+        true
+        (Harness.run ~config ~policy:"unsafe" (Gadget.bounds_check_bypass ~secret:17 ())))
+    (* always-taken is omitted: it never steers down the fall-through
+       wrong path this gadget shape needs *)
+    [
+      Levioso_uarch.Config.Bimodal;
+      Levioso_uarch.Config.Gshare;
+      Levioso_uarch.Config.Tage;
+    ]
+
+let test_untrained_attack_fails () =
+  (* without training the cold predictor does not steer fetch into the
+     transmit path *)
+  check_verdict "no training, no leak" false
+    (Harness.run ~policy:"unsafe" (Gadget.bounds_check_bypass ~training_rounds:0 ~secret:17 ()))
+
+let test_levioso_holds_with_prefetcher () =
+  (* a prefetcher widens the channel (neighbour lines get dragged in), but
+     gating the demand access gates the prefetch it would trigger too *)
+  let config =
+    { Levioso_uarch.Config.default with Levioso_uarch.Config.next_line_prefetch = true }
+  in
+  check_verdict "levioso holds with prefetch" false
+    (Harness.run ~config ~policy:"levioso" (Gadget.bounds_check_bypass ~secret:17 ()));
+  check_verdict "dom holds with prefetch" false
+    (Harness.run ~config ~policy:"dom" (Gadget.register_secret ~secret:17 ()))
+
+let test_defense_overhead_on_gadget_is_finite () =
+  (* Defenses must not deadlock on attack code. *)
+  List.iter
+    (fun policy ->
+      let g = Gadget.register_secret ~timing:true ~secret:3 () in
+      let (_ : Harness.verdict) = Harness.run_timed ~policy g in
+      ())
+    Registry.names
+
+let suite =
+  ( "attack",
+    [
+      Alcotest.test_case "gadgets validate" `Quick test_gadgets_validate;
+      Alcotest.test_case "security matrix (cache probe)" `Quick
+        test_security_matrix_cache_probe;
+      Alcotest.test_case "security matrix (in-program timing)" `Quick
+        test_security_matrix_in_program_timing;
+      Alcotest.test_case "recovers every secret value" `Quick
+        test_recovers_every_secret_value;
+      Alcotest.test_case "accuracy endpoints" `Quick test_accuracy_endpoints;
+      Alcotest.test_case "no architectural exposure" `Quick
+        test_no_architectural_secret_exposure;
+      Alcotest.test_case "attack across predictors" `Quick test_attack_works_across_predictors;
+      Alcotest.test_case "untrained attack fails" `Quick test_untrained_attack_fails;
+      Alcotest.test_case "defenses hold with prefetcher" `Quick test_levioso_holds_with_prefetcher;
+      Alcotest.test_case "defenses terminate on gadgets" `Quick
+        test_defense_overhead_on_gadget_is_finite;
+    ] )

@@ -1,0 +1,114 @@
+module Cfg = Levioso_ir.Cfg
+module Parser = Levioso_ir.Parser
+module Branch_dep = Levioso_analysis.Branch_dep
+module Int_set = Levioso_analysis.Branch_dep.Int_set
+
+let analyze ?track_memory src =
+  Branch_dep.compute ?track_memory (Cfg.build (Parser.parse_exn src))
+
+let deps bd pc = Int_set.elements (Branch_dep.deps_of_pc bd pc)
+
+let test_data_flow_closure () =
+  (* r2 is written under the branch; the load after the join inherits the
+     dependence through r2 even though it is control-independent. *)
+  let bd =
+    analyze
+      {|
+        beq r1, #0, join     ; pc 0
+        mov r2, #64          ; pc 1: control-dep on 0
+      join:
+        load r3, [r2 + #0]   ; pc 2: data-dep on 0 via r2
+        halt                 ; pc 3: free
+      |}
+  in
+  Alcotest.(check (list int)) "load inherits" [ 0 ] (deps bd 2);
+  Alcotest.(check (list int)) "halt free" [] (deps bd 3)
+
+let test_control_only () =
+  let bd =
+    analyze
+      {|
+        beq r1, #0, join   ; pc 0
+        mov r2, #1         ; pc 1
+      join:
+        mov r3, #2         ; pc 2: fresh value, no dependence
+        halt
+      |}
+  in
+  Alcotest.(check (list int)) "region" [ 0 ] (deps bd 1);
+  Alcotest.(check (list int)) "independent" [] (deps bd 2)
+
+let test_loop_fixpoint_terminates_and_propagates () =
+  (* The accumulator carries the loop-branch dependence around the back
+     edge; the fixpoint must terminate with pc 2 depending on pc 1. *)
+  let bd =
+    analyze
+      {|
+        mov r1, #0        ; pc 0
+      head:
+        bge r1, #10, out  ; pc 1
+        add r1, r1, #1    ; pc 2
+        jump head         ; pc 3
+      out:
+        store [r0 + #0], r1 ; pc 4: r1 written in loop -> data dep on 1
+        halt
+      |}
+  in
+  Alcotest.(check (list int)) "body" [ 1 ] (deps bd 2);
+  Alcotest.(check (list int)) "store after loop inherits via r1" [ 1 ] (deps bd 4)
+
+let test_memory_channel_off_by_default () =
+  let src =
+    {|
+      beq r1, #0, skip      ; pc 0
+      store [r0 + #8], #5   ; pc 1
+    skip:
+      load r2, [r0 + #8]    ; pc 2
+      halt
+    |}
+  in
+  let bd = analyze src in
+  Alcotest.(check (list int)) "no memory channel" [] (deps bd 2);
+  let bd_mem = analyze ~track_memory:true src in
+  Alcotest.(check (list int)) "memory channel on" [ 0 ] (deps bd_mem 2)
+
+let test_statistics () =
+  let bd =
+    analyze
+      {|
+        mov r1, #1          ; free
+        beq r1, #0, skip    ; free
+        mov r2, #2          ; dep
+      skip:
+        halt                ; free
+      |}
+  in
+  Alcotest.(check (float 1e-9)) "independent fraction" 0.75
+    (Branch_dep.independent_fraction bd);
+  Alcotest.(check int) "max set" 1 (Branch_dep.max_set_size bd);
+  Alcotest.(check (float 1e-9)) "mean set" 0.25 (Branch_dep.mean_set_size bd)
+
+let test_overwrite_clears_dependence () =
+  let bd =
+    analyze
+      {|
+        beq r1, #0, join  ; pc 0
+        mov r2, #1        ; pc 1: dep
+      join:
+        mov r2, #9        ; pc 2: overwrites -> r2 clean afterwards
+        load r3, [r2 + #0]; pc 3: free
+        halt
+      |}
+  in
+  Alcotest.(check (list int)) "fresh write" [] (deps bd 3)
+
+let suite =
+  ( "branch-dep",
+    [
+      Alcotest.test_case "data-flow closure" `Quick test_data_flow_closure;
+      Alcotest.test_case "control only" `Quick test_control_only;
+      Alcotest.test_case "loop fixpoint" `Quick test_loop_fixpoint_terminates_and_propagates;
+      Alcotest.test_case "memory channel" `Quick test_memory_channel_off_by_default;
+      Alcotest.test_case "statistics" `Quick test_statistics;
+      Alcotest.test_case "overwrite clears" `Quick test_overwrite_clears_dependence;
+    ] )

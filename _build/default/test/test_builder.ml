@@ -1,0 +1,156 @@
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+module Emulator = Levioso_ir.Emulator
+
+let run program =
+  let state = Emulator.run_program program in
+  state.Emulator.regs
+
+let test_straight_line () =
+  let b = Builder.create () in
+  let r1 = Builder.fresh_reg b in
+  let r2 = Builder.fresh_reg b in
+  Builder.mov b r1 (Ir.Imm 5);
+  Builder.add b r2 (Ir.Reg r1) (Ir.Imm 7);
+  Builder.halt b;
+  let regs = run (Builder.build b) in
+  Alcotest.(check int) "r2 = 12" 12 regs.(r2)
+
+let test_if_then_else_taken () =
+  let b = Builder.create () in
+  let x = Builder.fresh_reg b in
+  let y = Builder.fresh_reg b in
+  Builder.mov b x (Ir.Imm 3);
+  Builder.if_then_else b
+    ~cond:(Ir.Lt, Ir.Reg x, Ir.Imm 10)
+    (fun () -> Builder.mov b y (Ir.Imm 1))
+    (fun () -> Builder.mov b y (Ir.Imm 2));
+  Builder.halt b;
+  let regs = run (Builder.build b) in
+  Alcotest.(check int) "then branch" 1 regs.(y)
+
+let test_if_then_else_not_taken () =
+  let b = Builder.create () in
+  let x = Builder.fresh_reg b in
+  let y = Builder.fresh_reg b in
+  Builder.mov b x (Ir.Imm 30);
+  Builder.if_then_else b
+    ~cond:(Ir.Lt, Ir.Reg x, Ir.Imm 10)
+    (fun () -> Builder.mov b y (Ir.Imm 1))
+    (fun () -> Builder.mov b y (Ir.Imm 2));
+  Builder.halt b;
+  let regs = run (Builder.build b) in
+  Alcotest.(check int) "else branch" 2 regs.(y)
+
+let test_if_then_only () =
+  let b = Builder.create () in
+  let x = Builder.fresh_reg b in
+  let y = Builder.fresh_reg b in
+  Builder.mov b x (Ir.Imm 1);
+  Builder.mov b y (Ir.Imm 10);
+  Builder.if_then b
+    ~cond:(Ir.Eq, Ir.Reg x, Ir.Imm 1)
+    (fun () -> Builder.add b y (Ir.Reg y) (Ir.Imm 5));
+  Builder.halt b;
+  let regs = run (Builder.build b) in
+  Alcotest.(check int) "executed" 15 regs.(y)
+
+let test_while_loop () =
+  (* sum of 1..10 *)
+  let b = Builder.create () in
+  let i = Builder.fresh_reg b in
+  let sum = Builder.fresh_reg b in
+  Builder.mov b i (Ir.Imm 1);
+  Builder.mov b sum (Ir.Imm 0);
+  Builder.while_ b
+    ~cond:(fun () -> (Ir.Le, Ir.Reg i, Ir.Imm 10))
+    (fun () ->
+      Builder.add b sum (Ir.Reg sum) (Ir.Reg i);
+      Builder.add b i (Ir.Reg i) (Ir.Imm 1));
+  Builder.halt b;
+  let regs = run (Builder.build b) in
+  Alcotest.(check int) "sum 1..10" 55 regs.(sum)
+
+let test_for_down () =
+  let b = Builder.create () in
+  let i = Builder.fresh_reg b in
+  let count = Builder.fresh_reg b in
+  Builder.mov b count (Ir.Imm 0);
+  Builder.for_down b ~counter:i ~from:(Ir.Imm 5) (fun () ->
+      Builder.add b count (Ir.Reg count) (Ir.Imm 1));
+  Builder.halt b;
+  let regs = run (Builder.build b) in
+  Alcotest.(check int) "5 iterations" 5 regs.(count)
+
+let test_nested_control () =
+  (* count even numbers in 0..9 *)
+  let b = Builder.create () in
+  let i = Builder.fresh_reg b in
+  let evens = Builder.fresh_reg b in
+  let rem = Builder.fresh_reg b in
+  Builder.mov b i (Ir.Imm 0);
+  Builder.mov b evens (Ir.Imm 0);
+  Builder.while_ b
+    ~cond:(fun () -> (Ir.Lt, Ir.Reg i, Ir.Imm 10))
+    (fun () ->
+      Builder.alu b Ir.Rem rem (Ir.Reg i) (Ir.Imm 2);
+      Builder.if_then b
+        ~cond:(Ir.Eq, Ir.Reg rem, Ir.Imm 0)
+        (fun () -> Builder.add b evens (Ir.Reg evens) (Ir.Imm 1));
+      Builder.add b i (Ir.Reg i) (Ir.Imm 1));
+  Builder.halt b;
+  let regs = run (Builder.build b) in
+  Alcotest.(check int) "5 evens" 5 regs.(evens)
+
+let test_memory_ops () =
+  let b = Builder.create () in
+  let v = Builder.fresh_reg b in
+  Builder.store b (Ir.Imm 100) (Ir.Imm 0) (Ir.Imm 42);
+  Builder.load b v (Ir.Imm 100) (Ir.Imm 0);
+  Builder.halt b;
+  let regs = run (Builder.build b) in
+  Alcotest.(check int) "load after store" 42 regs.(v)
+
+let test_auto_halt_appended () =
+  let b = Builder.create () in
+  Builder.mov b 1 (Ir.Imm 1);
+  let p = Builder.build b in
+  Alcotest.(check bool) "ends with halt" true (p.(Array.length p - 1) = Ir.Halt)
+
+let test_unplaced_label_fails () =
+  let b = Builder.create () in
+  Builder.jump b "nowhere";
+  Alcotest.check_raises "unplaced label"
+    (Failure "Builder.build: unplaced label nowhere") (fun () ->
+      ignore (Builder.build b))
+
+let test_duplicate_label_fails () =
+  let b = Builder.create () in
+  Builder.place b "x";
+  Alcotest.check_raises "duplicate" (Failure "Builder.place: duplicate label x")
+    (fun () -> Builder.place b "x")
+
+let test_negate_cmp_involution () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        "double negation" true
+        (Builder.negate_cmp (Builder.negate_cmp c) = c))
+    [ Ir.Eq; Ir.Ne; Ir.Lt; Ir.Le; Ir.Gt; Ir.Ge ]
+
+let suite =
+  ( "builder",
+    [
+      Alcotest.test_case "straight line" `Quick test_straight_line;
+      Alcotest.test_case "if-then-else taken" `Quick test_if_then_else_taken;
+      Alcotest.test_case "if-then-else not taken" `Quick test_if_then_else_not_taken;
+      Alcotest.test_case "if-then only" `Quick test_if_then_only;
+      Alcotest.test_case "while loop" `Quick test_while_loop;
+      Alcotest.test_case "for down" `Quick test_for_down;
+      Alcotest.test_case "nested control" `Quick test_nested_control;
+      Alcotest.test_case "memory ops" `Quick test_memory_ops;
+      Alcotest.test_case "auto halt" `Quick test_auto_halt_appended;
+      Alcotest.test_case "unplaced label" `Quick test_unplaced_label_fails;
+      Alcotest.test_case "duplicate label" `Quick test_duplicate_label_fails;
+      Alcotest.test_case "negate_cmp involution" `Quick test_negate_cmp_involution;
+    ] )

@@ -1,0 +1,108 @@
+module Ir = Levioso_ir.Ir
+module Cfg = Levioso_ir.Cfg
+module Parser = Levioso_ir.Parser
+
+let diamond =
+  {|
+      mov r1, #1
+      beq r1, #1, then
+      mov r2, #2
+      jump join
+    then:
+      mov r2, #3
+    join:
+      mov r3, #4
+      halt
+  |}
+
+let test_diamond_blocks () =
+  let cfg = Cfg.build (Parser.parse_exn diamond) in
+  Alcotest.(check int) "4 blocks" 4 (Cfg.num_blocks cfg)
+
+let test_diamond_edges () =
+  let cfg = Cfg.build (Parser.parse_exn diamond) in
+  let entry = Cfg.block cfg 0 in
+  Alcotest.(check int) "entry has 2 succs" 2 (List.length entry.Cfg.succs);
+  let join = Cfg.block_of_pc cfg 5 in
+  Alcotest.(check int) "join has 2 preds" 2
+    (List.length (Cfg.block cfg join).Cfg.preds)
+
+let test_branch_succ_order () =
+  (* fall-through successor first, then taken target *)
+  let cfg = Cfg.build (Parser.parse_exn diamond) in
+  let entry = Cfg.block cfg 0 in
+  match entry.Cfg.succs with
+  | [ fall; taken ] ->
+    Alcotest.(check int) "fall-through is pc 2's block" (Cfg.block_of_pc cfg 2) fall;
+    Alcotest.(check int) "taken is pc 4's block" (Cfg.block_of_pc cfg 4) taken
+  | _ -> Alcotest.fail "expected two successors"
+
+let test_loop_shape () =
+  let src =
+    {|
+        mov r1, #0
+      head:
+        bge r1, #10, out
+        add r1, r1, #1
+        jump head
+      out:
+        halt
+    |}
+  in
+  let cfg = Cfg.build (Parser.parse_exn src) in
+  (* entry, head, body, out *)
+  Alcotest.(check int) "4 blocks" 4 (Cfg.num_blocks cfg);
+  let head = Cfg.block_of_pc cfg 1 in
+  Alcotest.(check int) "head has 2 preds (entry + latch)" 2
+    (List.length (Cfg.block cfg head).Cfg.preds)
+
+let test_exit_blocks () =
+  let cfg = Cfg.build (Parser.parse_exn diamond) in
+  Alcotest.(check int) "one exit" 1 (List.length (Cfg.exit_blocks cfg));
+  let src = {|
+      beq r1, #0, a
+      halt
+    a:
+      halt
+  |} in
+  let cfg2 = Cfg.build (Parser.parse_exn src) in
+  Alcotest.(check int) "two exits" 2 (List.length (Cfg.exit_blocks cfg2))
+
+let test_branch_pcs () =
+  let cfg = Cfg.build (Parser.parse_exn diamond) in
+  Alcotest.(check (list int)) "one branch at pc 1" [ 1 ] (Cfg.branch_pcs cfg)
+
+let test_block_of_pc_total () =
+  let program = Parser.parse_exn diamond in
+  let cfg = Cfg.build program in
+  Array.iteri
+    (fun pc _ ->
+      let b = Cfg.block_of_pc cfg pc in
+      let blk = Cfg.block cfg b in
+      Alcotest.(check bool) "pc within its block" true
+        (pc >= blk.Cfg.first && pc <= blk.Cfg.last))
+    program
+
+let test_instr_pcs () =
+  let cfg = Cfg.build (Parser.parse_exn diamond) in
+  let b0 = Cfg.block cfg 0 in
+  Alcotest.(check (list int)) "entry pcs" [ 0; 1 ] (Cfg.instr_pcs b0)
+
+let test_single_block_program () =
+  let cfg = Cfg.build (Parser.parse_exn "halt") in
+  Alcotest.(check int) "one block" 1 (Cfg.num_blocks cfg);
+  Alcotest.(check (list int)) "no succs" [] (Cfg.block cfg 0).Cfg.succs
+
+let suite =
+  ( "cfg",
+    [
+      Alcotest.test_case "diamond blocks" `Quick test_diamond_blocks;
+      Alcotest.test_case "diamond edges" `Quick test_diamond_edges;
+      Alcotest.test_case "branch succ order" `Quick test_branch_succ_order;
+      Alcotest.test_case "loop shape" `Quick test_loop_shape;
+      Alcotest.test_case "exit blocks" `Quick test_exit_blocks;
+      Alcotest.test_case "branch pcs" `Quick test_branch_pcs;
+      Alcotest.test_case "block_of_pc total" `Quick test_block_of_pc_total;
+      Alcotest.test_case "instr pcs" `Quick test_instr_pcs;
+      Alcotest.test_case "single block" `Quick test_single_block_program;
+    ] )

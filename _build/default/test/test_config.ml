@@ -1,0 +1,69 @@
+module Config = Levioso_uarch.Config
+module Sim_stats = Levioso_uarch.Sim_stats
+
+let test_default_valid () =
+  Alcotest.(check (result unit string)) "default" (Ok ()) (Config.validate Config.default)
+
+let reject what config =
+  Alcotest.(check bool) (what ^ " rejected") true (Result.is_error (Config.validate config))
+
+let test_validation_rejects () =
+  reject "rob 1" { Config.default with Config.rob_size = 1 };
+  reject "zero width" { Config.default with Config.fetch_width = 0 };
+  reject "non-pow2 memory" { Config.default with Config.mem_words = 1000 };
+  reject "non-pow2 sets"
+    { Config.default with Config.l1 = { Config.default.Config.l1 with Config.sets = 3 } };
+  reject "mismatched lines"
+    { Config.default with
+      Config.l2 = { Config.default.Config.l2 with Config.line_words = 16 } };
+  reject "zero budget" { Config.default with Config.depset_budget = 0 };
+  reject "zero mshrs" { Config.default with Config.mshrs = 0 }
+
+let test_to_rows_covers_fields () =
+  let rows = Config.to_rows Config.default in
+  Alcotest.(check bool) "at least 10 rows" true (List.length rows >= 10);
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check bool) (k ^ " non-empty") true (String.length v > 0))
+    rows
+
+let test_predictor_names () =
+  Alcotest.(check string) "always" "always-taken"
+    (Config.predictor_kind_to_string Config.Always_taken);
+  Alcotest.(check string) "bimodal" "bimodal"
+    (Config.predictor_kind_to_string Config.Bimodal);
+  Alcotest.(check string) "gshare" "gshare"
+    (Config.predictor_kind_to_string Config.Gshare)
+
+let test_stats_derivations () =
+  let s = Sim_stats.create () in
+  Alcotest.(check (float 1e-9)) "ipc of empty" 0.0 (Sim_stats.ipc s);
+  s.Sim_stats.cycles <- 100;
+  s.Sim_stats.committed <- 250;
+  Alcotest.(check (float 1e-9)) "ipc" 2.5 (Sim_stats.ipc s);
+  s.Sim_stats.mispredicts <- 5;
+  Alcotest.(check (float 1e-9)) "mpki" 20.0 (Sim_stats.mpki s)
+
+let test_wrong_path_transmit_cap () =
+  let s = Sim_stats.create () in
+  for i = 1 to 60_000 do
+    Sim_stats.record_wrong_path_transmit s ~branch_pc:i ~pc:i
+  done;
+  Alcotest.(check int) "capped" 50_000 (List.length s.Sim_stats.wrong_path_transmits);
+  Alcotest.(check int) "dropped counted" 10_000 s.Sim_stats.wrong_path_transmits_dropped
+
+let test_stats_rows () =
+  let s = Sim_stats.create () in
+  Alcotest.(check bool) "rows render" true (List.length (Sim_stats.to_rows s) >= 10)
+
+let suite =
+  ( "config",
+    [
+      Alcotest.test_case "default valid" `Quick test_default_valid;
+      Alcotest.test_case "validation rejects" `Quick test_validation_rejects;
+      Alcotest.test_case "to_rows" `Quick test_to_rows_covers_fields;
+      Alcotest.test_case "predictor names" `Quick test_predictor_names;
+      Alcotest.test_case "stats derivations" `Quick test_stats_derivations;
+      Alcotest.test_case "transmit record cap" `Quick test_wrong_path_transmit_cap;
+      Alcotest.test_case "stats rows" `Quick test_stats_rows;
+    ] )

@@ -1,0 +1,99 @@
+module Cfg = Levioso_ir.Cfg
+module Parser = Levioso_ir.Parser
+module Control_dep = Levioso_analysis.Control_dep
+module Int_set = Levioso_analysis.Control_dep.Int_set
+
+let analyze src =
+  let cfg = Cfg.build (Parser.parse_exn src) in
+  (cfg, Control_dep.compute cfg)
+
+let deps_of cd pc = Int_set.elements (Control_dep.of_pc cd pc)
+
+let test_if_then_else () =
+  let _, cd =
+    analyze
+      {|
+        beq r1, #0, else_    ; pc 0 (branch)
+        mov r2, #1           ; pc 1: dep on 0
+        jump join            ; pc 2: dep on 0
+      else_:
+        mov r2, #2           ; pc 3: dep on 0
+      join:
+        halt                 ; pc 4: free
+      |}
+  in
+  Alcotest.(check (list int)) "then arm" [ 0 ] (deps_of cd 1);
+  Alcotest.(check (list int)) "else arm" [ 0 ] (deps_of cd 3);
+  Alcotest.(check (list int)) "join free" [] (deps_of cd 4);
+  Alcotest.(check (list int)) "branch itself free" [] (deps_of cd 0)
+
+let test_loop_body_depends_on_header () =
+  let _, cd =
+    analyze
+      {|
+        mov r1, #0       ; pc 0: free
+      head:
+        bge r1, #10, out ; pc 1: loop branch, control-dep on itself (loop)
+        add r1, r1, #1   ; pc 2: dep on 1
+        jump head        ; pc 3: dep on 1
+      out:
+        halt             ; pc 4: free
+      |}
+  in
+  Alcotest.(check (list int)) "body" [ 1 ] (deps_of cd 2);
+  Alcotest.(check (list int)) "exit free" [] (deps_of cd 4);
+  (* The loop header re-executes depending on its own previous outcome. *)
+  Alcotest.(check (list int)) "header self-dependence" [ 1 ] (deps_of cd 1)
+
+let test_nested () =
+  let _, cd =
+    analyze
+      {|
+        beq r1, #0, out     ; pc 0
+        beq r2, #0, inner   ; pc 1: dep on 0
+        mov r3, #1          ; pc 2: dep on 0 and 1
+      inner:
+        mov r4, #1          ; pc 3: dep on 0
+      out:
+        halt                ; pc 4: free
+      |}
+  in
+  Alcotest.(check (list int)) "inner branch" [ 0 ] (deps_of cd 1);
+  (* Control dependence is direct, not transitive: pc 2 depends on the
+     inner branch only (the outer dependence is carried by pc 1 itself). *)
+  Alcotest.(check (list int)) "doubly nested" [ 1 ] (deps_of cd 2);
+  Alcotest.(check (list int)) "after inner join" [ 0 ] (deps_of cd 3);
+  Alcotest.(check (list int)) "after outer join" [] (deps_of cd 4)
+
+let test_region_size () =
+  let _, cd =
+    analyze
+      {|
+        beq r1, #0, skip  ; pc 0
+        mov r2, #1        ; pc 1
+        mov r3, #1        ; pc 2
+      skip:
+        halt              ; pc 3
+      |}
+  in
+  Alcotest.(check int) "two instrs in region" 2 (Control_dep.region_size cd 0)
+
+let test_straight_line_all_free () =
+  let _, cd = analyze {|
+      mov r1, #1
+      mov r2, #2
+      halt
+    |} in
+  List.iter
+    (fun pc -> Alcotest.(check (list int)) "free" [] (deps_of cd pc))
+    [ 0; 1; 2 ]
+
+let suite =
+  ( "control-dep",
+    [
+      Alcotest.test_case "if-then-else" `Quick test_if_then_else;
+      Alcotest.test_case "loop body" `Quick test_loop_body_depends_on_header;
+      Alcotest.test_case "nested" `Quick test_nested;
+      Alcotest.test_case "region size" `Quick test_region_size;
+      Alcotest.test_case "straight line" `Quick test_straight_line_all_free;
+    ] )

@@ -1,0 +1,77 @@
+module Domtree = Levioso_analysis.Domtree
+
+(* Tiny adjacency-list harness for hand-built graphs. *)
+let graph edges ~n =
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      succs.(a) <- succs.(a) @ [ b ];
+      preds.(b) <- preds.(b) @ [ a ])
+    edges;
+  Domtree.compute ~num_nodes:n ~entry:0
+    ~succs:(fun i -> succs.(i))
+    ~preds:(fun i -> preds.(i))
+
+let idom = Alcotest.(option int)
+
+let test_diamond () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+  let d = graph [ (0, 1); (0, 2); (1, 3); (2, 3) ] ~n:4 in
+  Alcotest.check idom "idom 1" (Some 0) (Domtree.idom d 1);
+  Alcotest.check idom "idom 2" (Some 0) (Domtree.idom d 2);
+  Alcotest.check idom "idom 3 is the fork, not an arm" (Some 0) (Domtree.idom d 3);
+  Alcotest.check idom "entry has none" None (Domtree.idom d 0)
+
+let test_chain () =
+  let d = graph [ (0, 1); (1, 2); (2, 3) ] ~n:4 in
+  Alcotest.check idom "idom 3" (Some 2) (Domtree.idom d 3);
+  Alcotest.(check bool) "0 dominates 3" true (Domtree.dominates d 0 3);
+  Alcotest.(check bool) "3 does not dominate 0" false (Domtree.dominates d 3 0);
+  Alcotest.(check bool) "reflexive" true (Domtree.dominates d 2 2)
+
+let test_loop () =
+  (* 0 -> 1 -> 2 -> 1, 1 -> 3 *)
+  let d = graph [ (0, 1); (1, 2); (2, 1); (1, 3) ] ~n:4 in
+  Alcotest.check idom "loop head dominated by entry" (Some 0) (Domtree.idom d 1);
+  Alcotest.check idom "body dominated by head" (Some 1) (Domtree.idom d 2);
+  Alcotest.check idom "exit dominated by head" (Some 1) (Domtree.idom d 3)
+
+let test_unreachable () =
+  let d = graph [ (0, 1); (2, 3) ] ~n:4 in
+  Alcotest.(check bool) "2 unreachable" false (Domtree.reachable d 2);
+  Alcotest.check idom "no idom" None (Domtree.idom d 2);
+  Alcotest.(check bool) "1 reachable" true (Domtree.reachable d 1)
+
+let test_irreducible () =
+  (* 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 1, 1 -> 3, 2 -> 3: classic irreducible
+     region; both 1 and 2 have idom 0. *)
+  let d = graph [ (0, 1); (0, 2); (1, 2); (2, 1); (1, 3); (2, 3) ] ~n:4 in
+  Alcotest.check idom "idom 1" (Some 0) (Domtree.idom d 1);
+  Alcotest.check idom "idom 2" (Some 0) (Domtree.idom d 2);
+  Alcotest.check idom "idom 3" (Some 0) (Domtree.idom d 3)
+
+let test_dominance_frontier () =
+  (* Diamond: DF(1) = DF(2) = {3}; DF(0) = {} *)
+  let d = graph [ (0, 1); (0, 2); (1, 3); (2, 3) ] ~n:4 in
+  Alcotest.(check (list int)) "DF(1)" [ 3 ] (Domtree.dominance_frontier d 1);
+  Alcotest.(check (list int)) "DF(2)" [ 3 ] (Domtree.dominance_frontier d 2);
+  Alcotest.(check (list int)) "DF(0)" [] (Domtree.dominance_frontier d 0)
+
+let test_self_loop_frontier () =
+  (* 0 -> 1, 1 -> 1, 1 -> 2: DF(1) = {1} *)
+  let d = graph [ (0, 1); (1, 1); (1, 2) ] ~n:3 in
+  Alcotest.(check (list int)) "DF(1) contains itself" [ 1 ]
+    (Domtree.dominance_frontier d 1)
+
+let suite =
+  ( "domtree",
+    [
+      Alcotest.test_case "diamond" `Quick test_diamond;
+      Alcotest.test_case "chain" `Quick test_chain;
+      Alcotest.test_case "loop" `Quick test_loop;
+      Alcotest.test_case "unreachable" `Quick test_unreachable;
+      Alcotest.test_case "irreducible" `Quick test_irreducible;
+      Alcotest.test_case "dominance frontier" `Quick test_dominance_frontier;
+      Alcotest.test_case "self-loop frontier" `Quick test_self_loop_frontier;
+    ] )

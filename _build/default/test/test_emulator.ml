@@ -1,0 +1,109 @@
+module Ir = Levioso_ir.Ir
+module Emulator = Levioso_ir.Emulator
+module Parser = Levioso_ir.Parser
+
+let test_r0_hardwired () =
+  let p = Parser.parse_exn {|
+    add r0, r0, #7
+    add r1, r0, #1
+    halt
+  |} in
+  let s = Emulator.run_program p in
+  Alcotest.(check int) "r0 stays 0 so r1 = 1" 1 s.Emulator.regs.(1)
+
+let test_address_masking () =
+  (* Addresses wrap modulo memory size instead of faulting. *)
+  let p = Parser.parse_exn {|
+    store [r0 + #4], #77
+    mov r1, #1048580
+    load r2, [r1 + #0]
+    halt
+  |} in
+  let s = Emulator.run_program ~mem_words:1048576 p in
+  Alcotest.(check int) "wrapped load" 77 s.Emulator.regs.(2)
+
+let test_negative_address_masks () =
+  let p = Parser.parse_exn {|
+    mov r1, #-4
+    store [r1 + #0], #5
+    load r2, [r1 + #0]
+    halt
+  |} in
+  let s = Emulator.run_program ~mem_words:65536 p in
+  Alcotest.(check int) "negative wraps" 5 s.Emulator.regs.(2)
+
+let test_flush_is_noop () =
+  let p = Parser.parse_exn {|
+    store [r0 + #8], #3
+    flush [r0 + #8]
+    load r1, [r0 + #8]
+    halt
+  |} in
+  let s = Emulator.run_program p in
+  Alcotest.(check int) "flush does not change memory" 3 s.Emulator.regs.(1)
+
+let test_retired_counting () =
+  let p = Parser.parse_exn {|
+    add r1, r1, #1
+    add r1, r1, #1
+    halt
+  |} in
+  let s = Emulator.run_program p in
+  Alcotest.(check int) "3 retired" 3 s.Emulator.retired
+
+let test_out_of_fuel () =
+  let p = Parser.parse_exn {|
+    spin:
+      jump spin
+  |} in
+  Alcotest.check_raises "diverges" Emulator.Out_of_fuel (fun () ->
+      ignore (Emulator.run_program ~fuel:1000 p))
+
+let test_step_after_halt_is_noop () =
+  let p = Parser.parse_exn "halt" in
+  let s = Emulator.create p in
+  Emulator.run s;
+  let retired = s.Emulator.retired in
+  Emulator.step s;
+  Alcotest.(check int) "no further retirement" retired s.Emulator.retired
+
+let test_branch_both_directions () =
+  let p =
+    Parser.parse_exn
+      {|
+        mov r1, #5
+        bge r1, #5, yes
+        mov r2, #0
+        halt
+      yes:
+        mov r2, #1
+        halt
+      |}
+  in
+  let s = Emulator.run_program p in
+  Alcotest.(check int) "taken" 1 s.Emulator.regs.(2)
+
+let test_div_semantics_match_alu () =
+  let p = Parser.parse_exn {|
+    mov r1, #-7
+    div r2, r1, #2
+    rem r3, r1, #2
+    halt
+  |} in
+  let s = Emulator.run_program p in
+  Alcotest.(check int) "ocaml division" (-3) s.Emulator.regs.(2);
+  Alcotest.(check int) "ocaml remainder" (-1) s.Emulator.regs.(3)
+
+let suite =
+  ( "emulator",
+    [
+      Alcotest.test_case "r0 hardwired" `Quick test_r0_hardwired;
+      Alcotest.test_case "address masking" `Quick test_address_masking;
+      Alcotest.test_case "negative address" `Quick test_negative_address_masks;
+      Alcotest.test_case "flush is architectural noop" `Quick test_flush_is_noop;
+      Alcotest.test_case "retired counting" `Quick test_retired_counting;
+      Alcotest.test_case "out of fuel" `Quick test_out_of_fuel;
+      Alcotest.test_case "step after halt" `Quick test_step_after_halt_is_noop;
+      Alcotest.test_case "branch directions" `Quick test_branch_both_directions;
+      Alcotest.test_case "div semantics" `Quick test_div_semantics_match_alu;
+    ] )

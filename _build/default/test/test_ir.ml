@@ -1,0 +1,106 @@
+module Ir = Levioso_ir.Ir
+
+let check = Alcotest.check
+
+let test_eval_cmp () =
+  Alcotest.(check bool) "eq" true (Ir.eval_cmp Ir.Eq 3 3);
+  Alcotest.(check bool) "ne" true (Ir.eval_cmp Ir.Ne 3 4);
+  Alcotest.(check bool) "lt signed" true (Ir.eval_cmp Ir.Lt (-1) 0);
+  Alcotest.(check bool) "le" true (Ir.eval_cmp Ir.Le 2 2);
+  Alcotest.(check bool) "gt" false (Ir.eval_cmp Ir.Gt 2 2);
+  Alcotest.(check bool) "ge" true (Ir.eval_cmp Ir.Ge 2 2)
+
+let test_eval_alu () =
+  check Alcotest.int "add" 7 (Ir.eval_alu Ir.Add 3 4);
+  check Alcotest.int "sub" (-1) (Ir.eval_alu Ir.Sub 3 4);
+  check Alcotest.int "mul" 12 (Ir.eval_alu Ir.Mul 3 4);
+  check Alcotest.int "div" 3 (Ir.eval_alu Ir.Div 13 4);
+  check Alcotest.int "div by zero" 0 (Ir.eval_alu Ir.Div 13 0);
+  check Alcotest.int "rem" 1 (Ir.eval_alu Ir.Rem 13 4);
+  check Alcotest.int "rem by zero" 0 (Ir.eval_alu Ir.Rem 13 0);
+  check Alcotest.int "and" 4 (Ir.eval_alu Ir.And 12 6);
+  check Alcotest.int "or" 14 (Ir.eval_alu Ir.Or 12 6);
+  check Alcotest.int "xor" 10 (Ir.eval_alu Ir.Xor 12 6);
+  check Alcotest.int "shl" 24 (Ir.eval_alu Ir.Shl 3 3);
+  check Alcotest.int "shr arithmetic" (-2) (Ir.eval_alu Ir.Shr (-8) 2);
+  check Alcotest.int "set true" 1 (Ir.eval_alu (Ir.Set Ir.Lt) 1 2);
+  check Alcotest.int "set false" 0 (Ir.eval_alu (Ir.Set Ir.Lt) 2 1)
+
+let test_defs_uses () =
+  let load = Ir.Load { dst = 3; base = Ir.Reg 1; off = Ir.Imm 4 } in
+  check Alcotest.(option int) "load defs" (Some 3) (Ir.defs load);
+  check Alcotest.(list int) "load uses" [ 1 ] (Ir.uses load);
+  let store = Ir.Store { base = Ir.Reg 1; off = Ir.Reg 2; src = Ir.Reg 3 } in
+  check Alcotest.(option int) "store defs" None (Ir.defs store);
+  check Alcotest.(list int) "store uses" [ 1; 2; 3 ] (Ir.uses store);
+  let to_zero = Ir.Alu { op = Ir.Add; dst = 0; a = Ir.Reg 5; b = Ir.Imm 1 } in
+  check Alcotest.(option int) "write to r0 has no def" None (Ir.defs to_zero);
+  let rd = Ir.Rdcycle { dst = 2; after = Ir.Reg 7 } in
+  check Alcotest.(list int) "rdcycle uses after" [ 7 ] (Ir.uses rd)
+
+let test_classifiers () =
+  let br = Ir.Branch { cmp = Ir.Eq; a = Ir.Reg 1; b = Ir.Imm 0; target = 0 } in
+  Alcotest.(check bool) "branch is branch" true (Ir.is_branch br);
+  Alcotest.(check bool) "branch is control" true (Ir.is_control br);
+  Alcotest.(check bool) "jump not branch" false (Ir.is_branch (Ir.Jump { target = 0 }));
+  Alcotest.(check bool) "jump is control" true (Ir.is_control (Ir.Jump { target = 0 }));
+  Alcotest.(check bool) "halt is control" true (Ir.is_control Ir.Halt);
+  check Alcotest.(option int) "branch target" (Some 0) (Ir.branch_target br);
+  Alcotest.(check bool) "load is memory" true
+    (Ir.is_memory_access (Ir.Load { dst = 1; base = Ir.Imm 0; off = Ir.Imm 0 }))
+
+let test_validate_accepts () =
+  let p =
+    [|
+      Ir.Alu { op = Ir.Add; dst = 1; a = Ir.Imm 1; b = Ir.Imm 2 };
+      Ir.Branch { cmp = Ir.Eq; a = Ir.Reg 1; b = Ir.Imm 3; target = 0 };
+      Ir.Halt;
+    |]
+  in
+  check Alcotest.(result unit string) "valid" (Ok ()) (Ir.validate p)
+
+let test_validate_rejects_bad_target () =
+  let p =
+    [| Ir.Branch { cmp = Ir.Eq; a = Ir.Imm 0; b = Ir.Imm 0; target = 99 }; Ir.Halt |]
+  in
+  Alcotest.(check bool) "rejected" true (Result.is_error (Ir.validate p))
+
+let test_validate_rejects_fallthrough () =
+  let p = [| Ir.Alu { op = Ir.Add; dst = 1; a = Ir.Imm 1; b = Ir.Imm 2 } |] in
+  Alcotest.(check bool) "rejected" true (Result.is_error (Ir.validate p))
+
+let test_validate_rejects_empty () =
+  Alcotest.(check bool) "rejected" true (Result.is_error (Ir.validate [||]))
+
+let test_roundtrip_strings () =
+  let instrs =
+    [
+      Ir.Alu { op = Ir.Set Ir.Ge; dst = 2; a = Ir.Reg 1; b = Ir.Imm (-3) };
+      Ir.Load { dst = 4; base = Ir.Reg 5; off = Ir.Imm 16 };
+      Ir.Store { base = Ir.Reg 5; off = Ir.Imm 0; src = Ir.Reg 4 };
+      Ir.Flush { base = Ir.Reg 6; off = Ir.Imm 8 };
+      Ir.Rdcycle { dst = 7; after = Ir.Reg 4 };
+      Ir.Halt;
+    ]
+  in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        ("prints: " ^ Ir.instr_to_string i)
+        true
+        (String.length (Ir.instr_to_string i) > 0))
+    instrs
+
+let suite =
+  ( "ir",
+    [
+      Alcotest.test_case "eval cmp" `Quick test_eval_cmp;
+      Alcotest.test_case "eval alu" `Quick test_eval_alu;
+      Alcotest.test_case "defs and uses" `Quick test_defs_uses;
+      Alcotest.test_case "classifiers" `Quick test_classifiers;
+      Alcotest.test_case "validate accepts" `Quick test_validate_accepts;
+      Alcotest.test_case "validate rejects bad target" `Quick test_validate_rejects_bad_target;
+      Alcotest.test_case "validate rejects fallthrough" `Quick test_validate_rejects_fallthrough;
+      Alcotest.test_case "validate rejects empty" `Quick test_validate_rejects_empty;
+      Alcotest.test_case "instr printing" `Quick test_roundtrip_strings;
+    ] )

@@ -1,0 +1,213 @@
+(* Differential testing of the Lev compiler: random well-formed programs
+   are run through compile→emulate and through the reference AST
+   interpreter; the memory images must agree exactly. *)
+
+module Ir = Levioso_ir.Ir
+module Emulator = Levioso_ir.Emulator
+module Ast = Levioso_lang.Ast
+module Resolve = Levioso_lang.Resolve
+module Codegen = Levioso_lang.Codegen
+module Interp = Levioso_lang.Interp
+module Rng = Levioso_util.Rng
+module Api = Levioso_core.Levioso_api
+module Config = Levioso_uarch.Config
+
+let mem_words = 4096
+let data_base = 1024
+let out_base = 256
+
+(* --- random AST generation ------------------------------------------- *)
+
+let binops =
+  [|
+    Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Rem; Ast.And; Ast.Or; Ast.Xor;
+    Ast.Shl; Ast.Shr; Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge;
+    Ast.Logic_and; Ast.Logic_or;
+  |]
+
+let random_program seed =
+  let rng = Rng.create (seed lxor 0x1e5) in
+  let fresh =
+    let n = ref 0 in
+    fun prefix ->
+      incr n;
+      Printf.sprintf "%s%d" prefix !n
+  in
+  let rec expr vars depth =
+    if depth = 0 || Rng.chance rng 0.4 then
+      if vars <> [] && Rng.bool rng then Ast.Var (Rng.pick rng (Array.of_list vars))
+      else Ast.Lit (Rng.int_in rng (-50) 100)
+    else
+      match Rng.int rng 8 with
+      | 0 | 1 | 2 | 3 ->
+        Ast.Binop (Rng.pick rng binops, expr vars (depth - 1), expr vars (depth - 1))
+      | 4 -> Ast.Neg (expr vars (depth - 1))
+      | 5 -> Ast.Not (expr vars (depth - 1))
+      | 6 | 7 ->
+        (* loads stay inside the initialized data window *)
+        Ast.Load
+          (Ast.Binop
+             ( Ast.Add,
+               Ast.Lit data_base,
+               Ast.Binop (Ast.And, expr vars (depth - 1), Ast.Lit 255) ))
+      | _ -> assert false
+  in
+  let rec stmts vars depth budget =
+    if budget = 0 then ([], vars)
+    else
+      let s, vars =
+        match Rng.int rng 10 with
+        | 0 | 1 ->
+          let x = fresh "v" in
+          (Ast.Decl (x, expr vars 3), x :: vars)
+        | 2 | 3 when vars <> [] ->
+          (Ast.Assign (Rng.pick rng (Array.of_list vars), expr vars 3), vars)
+        | 4 | 5 ->
+          (* stores go to a disjoint, comparable output window *)
+          ( Ast.Store
+              ( Ast.Binop
+                  ( Ast.Add,
+                    Ast.Lit out_base,
+                    Ast.Binop (Ast.And, expr vars 2, Ast.Lit 63) ),
+                expr vars 3 ),
+            vars )
+        | 6 when depth > 0 ->
+          let inner, _ = stmts vars (depth - 1) (Rng.int_in rng 1 3) in
+          let else_ =
+            if Rng.bool rng then
+              Some (fst (stmts vars (depth - 1) (Rng.int_in rng 1 3)))
+            else None
+          in
+          (Ast.If (expr vars 2, inner, else_), vars)
+        | 7 when depth > 0 ->
+          (* bounded loop: fresh counter counts down to zero *)
+          (* the body must not see the counter, or a random assignment
+             could make the loop diverge *)
+          let c = fresh "loop" in
+          let body, _ = stmts vars (depth - 1) (Rng.int_in rng 1 3) in
+          let body = body @ [ Ast.Assign (c, Ast.Binop (Ast.Sub, Ast.Var c, Ast.Lit 1)) ] in
+          ( Ast.If
+              (Ast.Lit 1, [ Ast.Decl (c, Ast.Lit (Rng.int_in rng 1 5));
+                            Ast.While (Ast.Binop (Ast.Gt, Ast.Var c, Ast.Lit 0), body) ],
+               None),
+            vars )
+        | _ -> (Ast.Expr_stmt (expr vars 2), vars)
+      in
+      let rest, vars = stmts vars depth (budget - 1) in
+      (s :: rest, vars)
+  in
+  let body, _ = stmts [] 2 (Rng.int_in rng 3 8) in
+  [ { Ast.name = "main"; params = []; body; line = 1 } ]
+
+let init_mem seed mem =
+  let rng = Rng.create (seed lxor 0xDA7A) in
+  for i = 0 to 255 do
+    mem.(data_base + i) <- Rng.int_in rng (-100) 100
+  done
+
+(* --- properties ------------------------------------------------------ *)
+
+let count = 80
+
+let prop_generator_produces_valid_programs =
+  QCheck.Test.make ~count ~name:"generated ASTs pass the resolver"
+    QCheck.small_nat
+    (fun seed ->
+      match Resolve.check (random_program seed) with
+      | Ok () -> true
+      | Error errors ->
+        QCheck.Test.fail_reportf "seed %d: %s" seed (String.concat "; " errors))
+
+let prop_compiled_matches_interpreter =
+  QCheck.Test.make ~count
+    ~name:"compile+emulate produces the interpreter's memory image"
+    QCheck.small_nat
+    (fun seed ->
+      let ast = random_program seed in
+      match Codegen.compile ast with
+      | Error msg -> QCheck.Test.fail_reportf "seed %d: compile: %s" seed msg
+      | Ok program ->
+        let machine_mem =
+          let state =
+            Emulator.run_program ~mem_words ~init:(fun s -> init_mem seed s.Emulator.mem)
+              program
+          in
+          state.Emulator.mem
+        in
+        let interp_mem = Array.make mem_words 0 in
+        init_mem seed interp_mem;
+        Interp.run ~mem:interp_mem ast;
+        if machine_mem = interp_mem then true
+        else begin
+          let diff = ref (-1) in
+          Array.iteri
+            (fun i v -> if !diff < 0 && v <> interp_mem.(i) then diff := i)
+            machine_mem;
+          QCheck.Test.fail_reportf
+            "seed %d: mem[%d] machine=%d interp=%d" seed !diff machine_mem.(!diff)
+            interp_mem.(!diff)
+        end)
+
+let prop_optimizer_preserves_memory =
+  QCheck.Test.make ~count
+    ~name:"the optimizer preserves the memory image on random programs"
+    QCheck.small_nat
+    (fun seed ->
+      let ast = random_program seed in
+      match Codegen.compile ast with
+      | Error msg -> QCheck.Test.fail_reportf "seed %d: compile: %s" seed msg
+      | Ok program ->
+        let optimized = Levioso_opt.Opt.optimize program in
+        let mem p =
+          let state =
+            Emulator.run_program ~mem_words
+              ~init:(fun s -> init_mem seed s.Emulator.mem)
+              p
+          in
+          state.Emulator.mem
+        in
+        if Array.length optimized > Array.length program then
+          QCheck.Test.fail_reportf "seed %d: optimizer grew the program" seed
+        else if mem program = mem optimized then true
+        else QCheck.Test.fail_reportf "seed %d: memory image changed" seed)
+
+let prop_compiled_code_annotates_fully =
+  QCheck.Test.make ~count
+    ~name:"compiled code always has full reconvergence coverage"
+    QCheck.small_nat
+    (fun seed ->
+      match Codegen.compile (random_program seed) with
+      | Error msg -> QCheck.Test.fail_reportf "seed %d: compile: %s" seed msg
+      | Ok program ->
+        Levioso_core.Annotation.coverage (Levioso_core.Annotation.analyze program)
+        = 1.0)
+
+let prop_compiled_code_safe_under_levioso =
+  QCheck.Test.make ~count:25
+    ~name:"compiled code matches the emulator under the levioso policy"
+    QCheck.small_nat
+    (fun seed ->
+      match Codegen.compile (random_program seed) with
+      | Error msg -> QCheck.Test.fail_reportf "seed %d: compile: %s" seed msg
+      | Ok program -> (
+        let config =
+          { Config.default with Config.mem_words; rob_size = 48 }
+        in
+        match
+          Api.check_against_emulator ~config ~mem_init:(init_mem seed)
+            ~policy:"levioso" program
+        with
+        | Ok () -> true
+        | Error msg -> QCheck.Test.fail_reportf "seed %d: %s" seed msg))
+
+let suite =
+  ( "lang-properties",
+    List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      [
+        prop_generator_produces_valid_programs;
+        prop_compiled_matches_interpreter;
+        prop_optimizer_preserves_memory;
+        prop_compiled_code_annotates_fully;
+        prop_compiled_code_safe_under_levioso;
+      ] )

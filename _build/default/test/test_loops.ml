@@ -1,0 +1,138 @@
+module Cfg = Levioso_ir.Cfg
+module Parser = Levioso_ir.Parser
+module Loops = Levioso_analysis.Loops
+module Workload = Levioso_workload.Workload
+module Suite = Levioso_workload.Suite
+module Compiler = Levioso_lang.Compiler
+
+let analyze src =
+  let cfg = Cfg.build (Parser.parse_exn src) in
+  (cfg, Loops.compute cfg)
+
+let test_straight_line_has_no_loops () =
+  let _, l = analyze "mov r1, #1\nhalt" in
+  Alcotest.(check (list int)) "no headers" [] (Loops.headers l);
+  Alcotest.(check int) "depth 0" 0 (Loops.max_depth l)
+
+let test_single_loop () =
+  let cfg, l =
+    analyze
+      {|
+        mov r1, #0
+      head:
+        bge r1, #10, out
+        add r1, r1, #1
+        jump head
+      out:
+        halt
+      |}
+  in
+  (match Loops.loops l with
+  | [ loop ] ->
+    Alcotest.(check int) "header is the head block" (Cfg.block_of_pc cfg 1) loop.Loops.header;
+    Alcotest.(check bool) "body has header and latch" true
+      (List.mem loop.Loops.header loop.Loops.body
+      && List.mem loop.Loops.back_edge_source loop.Loops.body)
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 loop, got %d" (List.length other)));
+  Alcotest.(check int) "max depth 1" 1 (Loops.max_depth l)
+
+let test_nested_loops () =
+  let cfg, l =
+    analyze
+      {|
+        mov r1, #0
+      outer:
+        bge r1, #3, done
+        mov r2, #0
+      inner:
+        bge r2, #3, next
+        add r2, r2, #1
+        jump inner
+      next:
+        add r1, r1, #1
+        jump outer
+      done:
+        halt
+      |}
+  in
+  Alcotest.(check int) "two loops" 2 (List.length (Loops.loops l));
+  Alcotest.(check int) "max depth 2" 2 (Loops.max_depth l);
+  let inner_body_block = Cfg.block_of_pc cfg 4 (* add r2 *) in
+  Alcotest.(check int) "inner body depth 2" 2 (Loops.depth_of_block l inner_body_block);
+  let outer_only_block = Cfg.block_of_pc cfg 6 (* next: add r1 *) in
+  Alcotest.(check int) "outer-only depth 1" 1 (Loops.depth_of_block l outer_only_block)
+
+let test_loop_depths_on_compiled_code () =
+  let program =
+    Compiler.compile_exn
+      {|
+        fn main() {
+          var i = 0;
+          while (i < 4) {
+            var j = 0;
+            while (j < 4) { j = j + 1; }
+            i = i + 1;
+          }
+          store(64, i);
+        }
+      |}
+  in
+  let l = Loops.compute (Cfg.build program) in
+  Alcotest.(check int) "two loops from source" 2 (List.length (Loops.loops l));
+  Alcotest.(check int) "nesting detected" 2 (Loops.max_depth l)
+
+let test_workloads_loop_shapes () =
+  let count name =
+    let w = Suite.find_exn name in
+    List.length (Loops.headers (Loops.compute (Cfg.build w.Workload.program)))
+  in
+  Alcotest.(check int) "pchase: one loop" 1 (count "pchase");
+  Alcotest.(check bool) "matmul: >= 3 nested loops" true (count "matmul" >= 3);
+  Alcotest.(check bool) "bsearch: >= 2 loops" true (count "bsearch" >= 2)
+
+let test_header_dominates_body () =
+  (* cross-check against the dominator tree on a branchy program *)
+  let cfg, l =
+    analyze
+      {|
+        mov r1, #0
+      a:
+        bge r1, #6, z
+        rem r2, r1, #2
+        beq r2, #0, even
+        add r3, r3, #1
+        jump step
+      even:
+        add r4, r4, #1
+      step:
+        add r1, r1, #1
+        jump a
+      z:
+        halt
+      |}
+  in
+  let pd =
+    Levioso_analysis.Domtree.compute ~num_nodes:(Cfg.num_blocks cfg)
+      ~entry:(Cfg.entry cfg)
+      ~succs:(fun b -> (Cfg.block cfg b).Cfg.succs)
+      ~preds:(fun b -> (Cfg.block cfg b).Cfg.preds)
+  in
+  List.iter
+    (fun loop ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "header dominates every body block" true
+            (Levioso_analysis.Domtree.dominates pd loop.Loops.header b))
+        loop.Loops.body)
+    (Loops.loops l)
+
+let suite =
+  ( "loops",
+    [
+      Alcotest.test_case "straight line" `Quick test_straight_line_has_no_loops;
+      Alcotest.test_case "single loop" `Quick test_single_loop;
+      Alcotest.test_case "nested loops" `Quick test_nested_loops;
+      Alcotest.test_case "compiled code" `Quick test_loop_depths_on_compiled_code;
+      Alcotest.test_case "workload shapes" `Quick test_workloads_loop_shapes;
+      Alcotest.test_case "header dominates body" `Quick test_header_dominates_body;
+    ] )

@@ -1,0 +1,194 @@
+module Ir = Levioso_ir.Ir
+module Parser = Levioso_ir.Parser
+module Emulator = Levioso_ir.Emulator
+module Opt = Levioso_opt.Opt
+module Compiler = Levioso_lang.Compiler
+module Workload = Levioso_workload.Workload
+module Suite = Levioso_workload.Suite
+
+let run_mem ?(mem_words = 4096) ?(init = fun _ -> ()) program =
+  let state =
+    Emulator.run_program ~mem_words ~init:(fun s -> init s.Emulator.mem) program
+  in
+  state.Emulator.mem
+
+let test_copy_propagation_substitutes () =
+  let p = Parser.parse_exn {|
+    mov r1, #7
+    mov r2, r1
+    add r3, r2, r2
+    store [r0 + #64], r3
+    halt
+  |} in
+  let q = Opt.copy_propagation p in
+  (* the add should now read r1 (or even #7) directly *)
+  (match q.(2) with
+  | Ir.Alu { a; b; _ } ->
+    Alcotest.(check bool) "operands propagated" true
+      (a <> Ir.Reg 2 && b <> Ir.Reg 2)
+  | _ -> Alcotest.fail "unexpected shape");
+  Alcotest.(check bool) "semantics kept" true (run_mem p = run_mem q)
+
+let test_copy_propagation_respects_block_boundaries () =
+  (* r2's copy relation must die at the branch target *)
+  let p =
+    Parser.parse_exn
+      {|
+        mov r1, #5
+        beq r0, #0, join
+      join:
+        mov r1, #9
+        add r3, r1, #0
+        store [r0 + #64], r3
+        halt
+      |}
+  in
+  let q = Opt.copy_propagation p in
+  Alcotest.(check int) "mem agrees" (run_mem p).(64) (run_mem q).(64);
+  Alcotest.(check int) "value is the post-join one" 9 (run_mem q).(64)
+
+let test_copy_propagation_kill_on_redefine () =
+  let p = Parser.parse_exn {|
+    mov r1, #1
+    mov r2, r1
+    mov r1, #2
+    add r3, r2, #0
+    store [r0 + #64], r3
+    halt
+  |} in
+  let q = Opt.copy_propagation p in
+  Alcotest.(check int) "r2 keeps the old value" 1 (run_mem q).(64)
+
+let test_dce_removes_dead_alu () =
+  let p = Parser.parse_exn {|
+    mov r1, #1
+    mul r2, r1, #100    ; dead
+    add r3, r1, #2
+    store [r0 + #64], r3
+    halt
+  |} in
+  let q = Opt.dead_code_elimination p in
+  Alcotest.(check bool) "shrank" true (Array.length q < Array.length p);
+  Alcotest.(check int) "mem agrees" (run_mem p).(64) (run_mem q).(64)
+
+let test_dce_keeps_stores_flushes_loops () =
+  let p =
+    Parser.parse_exn
+      {|
+        mov r1, #0
+      head:
+        bge r1, #4, out
+        store [r1 + #64], r1
+        flush [r1 + #64]
+        add r1, r1, #1
+        jump head
+      out:
+        halt
+      |}
+  in
+  let q = Opt.dead_code_elimination p in
+  Alcotest.(check bool) "stores and flushes survive" true
+    (Array.exists
+       (function
+         | Ir.Store _ -> true
+         | _ -> false)
+       q
+    && Array.exists
+         (function
+           | Ir.Flush _ -> true
+           | _ -> false)
+         q);
+  Alcotest.(check bool) "mem agrees" true (run_mem p = run_mem q)
+
+let test_dce_keeps_live_through_loop () =
+  (* the accumulator is only read after the loop: liveness must carry it
+     around the back edge *)
+  let p =
+    Parser.parse_exn
+      {|
+        mov r1, #0
+        mov r2, #0
+      head:
+        bge r1, #5, out
+        add r2, r2, r1
+        add r1, r1, #1
+        jump head
+      out:
+        store [r0 + #64], r2
+        halt
+      |}
+  in
+  let q = Opt.dead_code_elimination p in
+  Alcotest.(check int) "sum survives" 10 (run_mem q).(64)
+
+let test_unreachable_removed () =
+  let p = Parser.parse_exn {|
+      jump end
+      mul r1, r1, #3
+      store [r0 + #64], r1
+    end:
+      halt
+    |} in
+  let q = Opt.remove_unreachable p in
+  Alcotest.(check int) "only jump and halt left" 2 (Array.length q);
+  Alcotest.(check bool) "mem agrees" true (run_mem p = run_mem q)
+
+let test_optimize_shrinks_compiler_output () =
+  let src =
+    {|
+      fn main() {
+        var i = 0;
+        var sum = 0;
+        while (i < 50) {
+          var x = i * 2;
+          var unused = x + 100;
+          sum = sum + x;
+          i = i + 1;
+        }
+        store(64, sum);
+      }
+    |}
+  in
+  let p = Compiler.compile_exn src in
+  let q = Opt.optimize p in
+  Alcotest.(check bool)
+    (Printf.sprintf "shrank %d -> %d" (Array.length p) (Array.length q))
+    true
+    (Array.length q < Array.length p);
+  Alcotest.(check int) "same result" (run_mem p).(64) (run_mem q).(64)
+
+let test_optimize_preserves_workload_memory () =
+  List.iter
+    (fun name ->
+      let w = Suite.find_exn name in
+      let p = w.Workload.program in
+      let q = Opt.optimize p in
+      let mem xs =
+        run_mem ~mem_words:(1 lsl 20) ~init:w.Workload.mem_init xs
+      in
+      Alcotest.(check bool) (name ^ ": memory preserved") true (mem p = mem q);
+      Alcotest.(check bool) (name ^ ": no growth") true
+        (Array.length q <= Array.length p))
+    [ "sort"; "stream"; "fsm"; "matmul" ]
+
+let test_optimize_is_idempotent () =
+  let p = Compiler.compile_exn "fn main() { var a = 3; store(64, a + a); }" in
+  let q = Opt.optimize p in
+  Alcotest.(check bool) "fixpoint" true (Opt.optimize q = q)
+
+let suite =
+  ( "opt",
+    [
+      Alcotest.test_case "copy prop substitutes" `Quick test_copy_propagation_substitutes;
+      Alcotest.test_case "copy prop block boundaries" `Quick
+        test_copy_propagation_respects_block_boundaries;
+      Alcotest.test_case "copy prop kill" `Quick test_copy_propagation_kill_on_redefine;
+      Alcotest.test_case "dce removes dead alu" `Quick test_dce_removes_dead_alu;
+      Alcotest.test_case "dce keeps side effects" `Quick test_dce_keeps_stores_flushes_loops;
+      Alcotest.test_case "dce loop liveness" `Quick test_dce_keeps_live_through_loop;
+      Alcotest.test_case "unreachable removed" `Quick test_unreachable_removed;
+      Alcotest.test_case "optimize shrinks" `Quick test_optimize_shrinks_compiler_output;
+      Alcotest.test_case "optimize preserves workloads" `Quick
+        test_optimize_preserves_workload_memory;
+      Alcotest.test_case "optimize idempotent" `Quick test_optimize_is_idempotent;
+    ] )

@@ -1,0 +1,122 @@
+module Ir = Levioso_ir.Ir
+module Parser = Levioso_ir.Parser
+module Emulator = Levioso_ir.Emulator
+
+let test_parse_simple () =
+  let p = Parser.parse_exn {|
+    add r1, r1, #1
+    halt
+  |} in
+  Alcotest.(check int) "two instrs" 2 (Array.length p)
+
+let test_parse_labels_and_loop () =
+  let p =
+    Parser.parse_exn
+      {|
+      ; sum 1..5 into r2
+        mov r1, #1
+        mov r2, #0
+      loop:
+        bgt r1, #5, end
+        add r2, r2, r1
+        add r1, r1, #1
+        jump loop
+      end:
+        halt
+      |}
+  in
+  let s = Emulator.run_program p in
+  Alcotest.(check int) "sum" 15 s.Emulator.regs.(2)
+
+let test_parse_memory_forms () =
+  let p =
+    Parser.parse_exn
+      {|
+        store [r1 + #4], #9
+        load r2, [r1 + #4]
+        flush [r1 + #4]
+        rdcycle r3, r2
+        halt
+      |}
+  in
+  let s = Emulator.run_program p in
+  Alcotest.(check int) "load" 9 s.Emulator.regs.(2)
+
+let test_parse_bare_memory () =
+  let p = Parser.parse_exn {|
+    load r1, [r2]
+    halt
+  |} in
+  match p.(0) with
+  | Ir.Load { off = Ir.Imm 0; _ } -> ()
+  | _ -> Alcotest.fail "expected zero offset"
+
+let test_roundtrip_printer () =
+  (* Parse, print, re-parse: same program (labels become @pc comments that
+     the printer renders as targets, so compare semantics via emulator). *)
+  let src =
+    {|
+      mov r1, #10
+      mov r2, #0
+    head:
+      ble r1, #0, out
+      add r2, r2, r1
+      sub r1, r1, #1
+      jump head
+    out:
+      setge r3, r2, #55
+      halt
+    |}
+  in
+  let p = Parser.parse_exn src in
+  let s = Emulator.run_program p in
+  Alcotest.(check int) "sum 55" 55 s.Emulator.regs.(2);
+  Alcotest.(check int) "setge" 1 s.Emulator.regs.(3)
+
+let expect_error src =
+  match Parser.parse src with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error _ -> ()
+
+let test_errors () =
+  expect_error "bogus r1, r2, r3\nhalt";
+  expect_error "add r1, r2\nhalt";
+  expect_error "jump nowhere\nhalt";
+  expect_error "load r99, [r1 + #0]\nhalt";
+  expect_error "add r1, r1, #1" (* falls off the end *)
+
+let test_duplicate_label_error () = expect_error "x:\nx:\nhalt"
+
+let test_parses_disassembly () =
+  let p1 =
+    Parser.parse_exn
+      {|
+        mov r1, #4
+      head:
+        ble r1, #0, out
+        sub r1, r1, #1
+        jump head
+      out:
+        halt
+      |}
+  in
+  let p2 = Parser.parse_exn (Ir.program_to_string p1) in
+  Alcotest.(check bool) "roundtrip equal" true (p1 = p2)
+
+let test_comments_and_blanks () =
+  let p = Parser.parse_exn "\n; only a comment\n\n  halt  ; trailing\n" in
+  Alcotest.(check int) "one instr" 1 (Array.length p)
+
+let suite =
+  ( "parser",
+    [
+      Alcotest.test_case "simple" `Quick test_parse_simple;
+      Alcotest.test_case "labels and loop" `Quick test_parse_labels_and_loop;
+      Alcotest.test_case "memory forms" `Quick test_parse_memory_forms;
+      Alcotest.test_case "bare memory operand" `Quick test_parse_bare_memory;
+      Alcotest.test_case "program semantics" `Quick test_roundtrip_printer;
+      Alcotest.test_case "errors" `Quick test_errors;
+      Alcotest.test_case "duplicate label" `Quick test_duplicate_label_error;
+      Alcotest.test_case "parses disassembly" `Quick test_parses_disassembly;
+      Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+    ] )

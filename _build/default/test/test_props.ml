@@ -1,0 +1,239 @@
+(* Property-based tests: random structured programs are run through every
+   defense and compared against the architectural emulator, and the
+   compiler analyses are checked on the same random population. *)
+
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+module Cfg = Levioso_ir.Cfg
+module Emulator = Levioso_ir.Emulator
+module Rng = Levioso_util.Rng
+module Config = Levioso_uarch.Config
+module Pipeline = Levioso_uarch.Pipeline
+module Sim_stats = Levioso_uarch.Sim_stats
+module Registry = Levioso_core.Registry
+module Api = Levioso_core.Levioso_api
+module Postdom = Levioso_analysis.Postdom
+module Reconvergence = Levioso_analysis.Reconvergence
+module Control_dep = Levioso_analysis.Control_dep
+module Branch_dep = Levioso_analysis.Branch_dep
+
+let config =
+  {
+    Config.default with
+    Config.mem_words = 4096;
+    rob_size = 48;
+    predictor = Config.Bimodal;
+  }
+
+(* --- random structured program generation --------------------------- *)
+
+let data_base = 1024
+let data_size = 512
+
+let random_operand rng =
+  if Rng.bool rng then Ir.Reg (Rng.int_in rng 1 10)
+  else Ir.Imm (Rng.int_in rng (-8) 64)
+
+let random_program seed =
+  let rng = Rng.create seed in
+  let b = Builder.create () in
+  let reg () = Rng.int_in rng 1 10 in
+  let addr_operand () =
+    (* keep data accesses inside a window; the machine masks anyway, but a
+       small window makes store/load aliasing (and thus forwarding and
+       disambiguation paths) common *)
+    Ir.Imm (data_base + Rng.int rng data_size)
+  in
+  let alu_ops =
+    [| Ir.Add; Ir.Sub; Ir.Mul; Ir.Div; Ir.Rem; Ir.And; Ir.Or; Ir.Xor |]
+  in
+  let cmps = [| Ir.Eq; Ir.Ne; Ir.Lt; Ir.Le; Ir.Gt; Ir.Ge |] in
+  let rec statement depth =
+    match Rng.int rng 12 with
+    | 0 | 1 | 2 | 3 ->
+      Builder.alu b (Rng.pick rng alu_ops) (reg ()) (random_operand rng)
+        (random_operand rng)
+    | 4 ->
+      Builder.alu b
+        (Ir.Set (Rng.pick rng cmps))
+        (reg ()) (random_operand rng) (random_operand rng)
+    | 5 | 6 ->
+      let base = if Rng.bool rng then Ir.Reg (reg ()) else addr_operand () in
+      Builder.load b (reg ()) base (Ir.Imm (Rng.int rng 16))
+    | 7 ->
+      let base = if Rng.bool rng then Ir.Reg (reg ()) else addr_operand () in
+      Builder.store b base (Ir.Imm (Rng.int rng 16)) (random_operand rng)
+    | 8 | 9 when depth < 3 ->
+      let cond = (Rng.pick rng cmps, random_operand rng, random_operand rng) in
+      if Rng.bool rng then
+        Builder.if_then_else b ~cond
+          (fun () -> block (depth + 1))
+          (fun () -> block (depth + 1))
+      else Builder.if_then b ~cond (fun () -> block (depth + 1))
+    | 10 when depth < 2 ->
+      let counter = Rng.int_in rng 11 14 in
+      Builder.for_down b ~counter ~from:(Ir.Imm (Rng.int_in rng 1 6)) (fun () ->
+          block (depth + 1))
+    | 8 | 9 | 10 | 11 ->
+      Builder.alu b Ir.Add (reg ()) (random_operand rng) (random_operand rng)
+    | _ -> assert false
+  and block depth =
+    for _ = 1 to Rng.int_in rng 1 4 do
+      statement depth
+    done
+  in
+  for _ = 1 to Rng.int_in rng 3 10 do
+    statement 0
+  done;
+  Builder.halt b;
+  Builder.build b
+
+let mem_init seed mem =
+  let rng = Rng.create (seed lxor 0x5eed) in
+  for i = 0 to data_size - 1 do
+    mem.(data_base + i) <- Rng.int_in rng (-100) 100
+  done
+
+(* --- properties ------------------------------------------------------ *)
+
+let count = 60
+
+let prop_policies_match_emulator policy =
+  QCheck.Test.make ~count
+    ~name:(Printf.sprintf "%s matches emulator on random programs" policy)
+    QCheck.small_nat
+    (fun seed ->
+      let program = random_program seed in
+      match
+        Api.check_against_emulator ~config ~mem_init:(mem_init seed) ~policy
+          program
+      with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_reportf "seed %d: %s" seed msg)
+
+let prop_comprehensive_never_runs_wrong_path_transmit policy =
+  QCheck.Test.make ~count
+    ~name:(Printf.sprintf "%s never executes a squashed transmitter" policy)
+    QCheck.small_nat
+    (fun seed ->
+      let program = random_program seed in
+      let pipe =
+        Pipeline.create ~mem_init:(mem_init seed) config
+          ~policy:(Registry.find_exn policy) program
+      in
+      Pipeline.run pipe;
+      let stats = Pipeline.stats pipe in
+      if stats.Sim_stats.wrong_path_transmits = [] then true
+      else
+        let branch_pc, pc = List.hd stats.Sim_stats.wrong_path_transmits in
+        QCheck.Test.fail_reportf
+          "seed %d: squashed transmitter at pc %d (branch %d) executed" seed pc
+          branch_pc)
+
+let prop_reconvergence_postdominates =
+  QCheck.Test.make ~count ~name:"reconvergence point postdominates its branch"
+    QCheck.small_nat
+    (fun seed ->
+      let program = random_program seed in
+      let cfg = Cfg.build program in
+      let pd = Postdom.compute cfg in
+      let reconv = Reconvergence.compute cfg in
+      List.for_all
+        (fun pc ->
+          match Reconvergence.point reconv pc with
+          | Reconvergence.Reconverges_at rpc ->
+            Postdom.postdominates pd (Cfg.block_of_pc cfg rpc)
+              (Cfg.block_of_pc cfg pc)
+          | Reconvergence.No_reconvergence -> true)
+        (Reconvergence.branch_pcs reconv))
+
+let prop_branch_dep_superset_of_control_dep =
+  QCheck.Test.make ~count
+    ~name:"static branch deps contain control deps at every pc"
+    QCheck.small_nat
+    (fun seed ->
+      let program = random_program seed in
+      let cfg = Cfg.build program in
+      let cd = Control_dep.compute cfg in
+      let bd = Branch_dep.compute cfg in
+      let ok = ref true in
+      Array.iteri
+        (fun pc _ ->
+          if
+            not
+              (Control_dep.Int_set.subset (Control_dep.of_pc cd pc)
+                 (Branch_dep.deps_of_pc bd pc))
+          then ok := false)
+        program;
+      !ok)
+
+let prop_structured_programs_reconverge =
+  QCheck.Test.make ~count
+    ~name:"builder-generated structured code always reconverges"
+    QCheck.small_nat
+    (fun seed ->
+      let program = random_program seed in
+      let cfg = Cfg.build program in
+      let reconv = Reconvergence.compute cfg in
+      Reconvergence.coverage reconv = 1.0)
+
+let prop_levioso_not_slower_than_delay =
+  (* On structured programs Levioso restricts a subset of what delay
+     restricts, so it can never stall transmitters for longer in total. *)
+  QCheck.Test.make ~count:30
+    ~name:"levioso stalls at most as many entry-cycles as delay"
+    QCheck.small_nat
+    (fun seed ->
+      let program = random_program seed in
+      let run policy =
+        let pipe =
+          Pipeline.create ~mem_init:(mem_init seed) config
+            ~policy:(Registry.find_exn policy) program
+        in
+        Pipeline.run pipe;
+        (Pipeline.stats pipe).Sim_stats.cycles
+      in
+      let lev = run "levioso" and del = run "delay" in
+      if lev <= del + (del / 10) + 50 then true
+      else QCheck.Test.fail_reportf "seed %d: levioso %d vs delay %d" seed lev del)
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~count ~name:"disassembly parses back to the same program"
+    QCheck.small_nat
+    (fun seed ->
+      let program = random_program seed in
+      let text = Levioso_ir.Ir.program_to_string program in
+      match Levioso_ir.Parser.parse text with
+      | Ok reparsed -> reparsed = program
+      | Error msg -> QCheck.Test.fail_reportf "seed %d: %s" seed msg)
+
+let prop_emulator_deterministic =
+  QCheck.Test.make ~count ~name:"emulator runs are deterministic"
+    QCheck.small_nat
+    (fun seed ->
+      let program = random_program seed in
+      let run () =
+        let s =
+          Emulator.run_program ~mem_words:4096
+            ~init:(fun st -> mem_init seed st.Emulator.mem)
+            program
+        in
+        (Array.copy s.Emulator.regs, s.Emulator.retired)
+      in
+      run () = run ())
+
+let suite =
+  ( "properties",
+    List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      (List.map prop_policies_match_emulator Registry.names
+      @ List.map prop_comprehensive_never_runs_wrong_path_transmit
+          [ "fence"; "delay" ]
+      @ [
+          prop_reconvergence_postdominates;
+          prop_branch_dep_superset_of_control_dep;
+          prop_structured_programs_reconverge;
+          prop_print_parse_roundtrip;
+          prop_levioso_not_slower_than_delay;
+          prop_emulator_deterministic;
+        ]) )

@@ -1,0 +1,147 @@
+module Cfg = Levioso_ir.Cfg
+module Parser = Levioso_ir.Parser
+module Reconvergence = Levioso_analysis.Reconvergence
+module Postdom = Levioso_analysis.Postdom
+
+let analyze src =
+  let cfg = Cfg.build (Parser.parse_exn src) in
+  (cfg, Reconvergence.compute cfg)
+
+let test_if_then_else () =
+  let _, r =
+    analyze
+      {|
+        beq r1, #0, else_    ; pc 0
+        mov r2, #1           ; pc 1
+        jump join            ; pc 2
+      else_:
+        mov r2, #2           ; pc 3
+      join:
+        halt                 ; pc 4
+      |}
+  in
+  match Reconvergence.point r 0 with
+  | Reconvergence.Reconverges_at pc -> Alcotest.(check int) "join" 4 pc
+  | Reconvergence.No_reconvergence -> Alcotest.fail "expected reconvergence"
+
+let test_if_then () =
+  let _, r =
+    analyze {|
+        beq r1, #0, skip   ; pc 0
+        mov r2, #1         ; pc 1
+      skip:
+        halt               ; pc 2
+      |}
+  in
+  match Reconvergence.point r 0 with
+  | Reconvergence.Reconverges_at pc -> Alcotest.(check int) "skip" 2 pc
+  | Reconvergence.No_reconvergence -> Alcotest.fail "expected reconvergence"
+
+let test_loop_branch_reconverges_at_exit () =
+  let _, r =
+    analyze
+      {|
+        mov r1, #0           ; pc 0
+      head:
+        bge r1, #10, out     ; pc 1
+        add r1, r1, #1       ; pc 2
+        jump head            ; pc 3
+      out:
+        halt                 ; pc 4
+      |}
+  in
+  match Reconvergence.point r 1 with
+  | Reconvergence.Reconverges_at pc -> Alcotest.(check int) "loop exit" 4 pc
+  | Reconvergence.No_reconvergence -> Alcotest.fail "expected reconvergence"
+
+let test_branch_to_distinct_halts () =
+  (* Arms never meet: no reconvergence. *)
+  let _, r = analyze {|
+      beq r1, #0, a   ; pc 0
+      halt            ; pc 1
+    a:
+      halt            ; pc 2
+    |} in
+  (match Reconvergence.point r 0 with
+  | Reconvergence.No_reconvergence -> ()
+  | Reconvergence.Reconverges_at _ -> Alcotest.fail "arms never meet");
+  Alcotest.(check (float 1e-9)) "coverage 0" 0.0 (Reconvergence.coverage r)
+
+let test_nested_ifs () =
+  let _, r =
+    analyze
+      {|
+        beq r1, #0, outer_else   ; pc 0
+        beq r2, #0, inner_else   ; pc 1
+        mov r3, #1               ; pc 2
+        jump inner_join          ; pc 3
+      inner_else:
+        mov r3, #2               ; pc 4
+      inner_join:
+        jump outer_join          ; pc 5
+      outer_else:
+        mov r3, #3               ; pc 6
+      outer_join:
+        halt                     ; pc 7
+      |}
+  in
+  (match Reconvergence.point r 0 with
+  | Reconvergence.Reconverges_at pc -> Alcotest.(check int) "outer join" 7 pc
+  | Reconvergence.No_reconvergence -> Alcotest.fail "outer reconverges");
+  match Reconvergence.point r 1 with
+  | Reconvergence.Reconverges_at pc -> Alcotest.(check int) "inner join" 5 pc
+  | Reconvergence.No_reconvergence -> Alcotest.fail "inner reconverges"
+
+let test_point_rejects_non_branch () =
+  let _, r = analyze "halt" in
+  Alcotest.check_raises "invalid arg"
+    (Invalid_argument "Reconvergence.point: not a conditional branch")
+    (fun () -> ignore (Reconvergence.point r 0))
+
+let test_reconvergence_postdominates_branch () =
+  (* Property on a fixed but non-trivial program: the reconvergence block
+     post-dominates the branch block. *)
+  let cfg, r =
+    analyze
+      {|
+        mov r1, #0
+      head:
+        bge r1, #8, out
+        rem r2, r1, #2
+        beq r2, #0, even
+        add r3, r3, #1
+        jump next
+      even:
+        add r4, r4, #1
+      next:
+        add r1, r1, #1
+        jump head
+      out:
+        halt
+      |}
+  in
+  let pd = Postdom.compute cfg in
+  List.iter
+    (fun pc ->
+      match Reconvergence.point r pc with
+      | Reconvergence.Reconverges_at rpc ->
+        let bblock = Cfg.block_of_pc cfg pc in
+        let rblock = Cfg.block_of_pc cfg rpc in
+        Alcotest.(check bool)
+          (Printf.sprintf "reconv of branch %d postdominates it" pc)
+          true
+          (Postdom.postdominates pd rblock bblock)
+      | Reconvergence.No_reconvergence -> ())
+    (Reconvergence.branch_pcs r)
+
+let suite =
+  ( "reconvergence",
+    [
+      Alcotest.test_case "if-then-else" `Quick test_if_then_else;
+      Alcotest.test_case "if-then" `Quick test_if_then;
+      Alcotest.test_case "loop branch" `Quick test_loop_branch_reconverges_at_exit;
+      Alcotest.test_case "distinct halts" `Quick test_branch_to_distinct_halts;
+      Alcotest.test_case "nested ifs" `Quick test_nested_ifs;
+      Alcotest.test_case "rejects non-branch" `Quick test_point_rejects_non_branch;
+      Alcotest.test_case "postdominates branch" `Quick test_reconvergence_postdominates_branch;
+    ] )

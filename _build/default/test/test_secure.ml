@@ -1,0 +1,196 @@
+(* Mechanism-level tests of the prior defenses: not "does the attack
+   fail" (test_attack) or "how slow" (test_policies) but "does the rule
+   fire exactly when its paper says it should". *)
+
+module Parser = Levioso_ir.Parser
+module Config = Levioso_uarch.Config
+module Pipeline = Levioso_uarch.Pipeline
+module Sim_stats = Levioso_uarch.Sim_stats
+module Registry = Levioso_core.Registry
+
+let config =
+  { Config.default with Config.mem_words = 65536; predictor = Config.Always_taken }
+
+let stats ~policy src =
+  let program = Parser.parse_exn src in
+  let pipe = Pipeline.create config ~policy:(Registry.find_exn policy) program in
+  Pipeline.run pipe;
+  Pipeline.stats pipe
+
+(* --- STT -------------------------------------------------------------- *)
+
+let test_stt_taint_clears_at_visibility_point () =
+  (* a tainted-address load becomes executable the moment the branch older
+     than its root load resolves — not when the root load commits.  The
+     root is speculative only w.r.t. the quick branch, so total stalls stay
+     tiny; under a *slow* covering branch the same chain stalls long. *)
+  (* bodies live at the TAKEN target so the always-taken predictor fetches
+     them while the branch is unresolved *)
+  let quick =
+    {|
+      mov r9, #1
+      bne r9, #0, body       ; resolves immediately: root binds at once
+      halt
+    body:
+      load r1, [r0 + #1024]  ; root load (speculative for ~2 cycles)
+      load r2, [r1 + #2048]  ; tainted address
+      halt
+    |}
+  in
+  let slow =
+    {|
+      load r9, [r0 + #512]   ; branch operand: memory latency
+      beq r9, #0, body       ; taken (r9 = 0) but resolves late
+      halt
+    body:
+      load r1, [r0 + #1024]
+      load r2, [r1 + #2048]
+      halt
+    |}
+  in
+  let quick_stall = (stats ~policy:"stt" quick).Sim_stats.transmit_stall_cycles in
+  let slow_stall = (stats ~policy:"stt" slow).Sim_stats.transmit_stall_cycles in
+  Alcotest.(check bool)
+    (Printf.sprintf "quick %d < slow %d" quick_stall slow_stall)
+    true
+    (quick_stall < slow_stall)
+
+let test_stt_untainted_addresses_flow_freely () =
+  (* loads whose addresses derive only from immediates/committed data are
+     never STT-stalled, even under unresolved branches *)
+  let src =
+    {|
+      load r9, [r0 + #512]   ; slow branch operand
+      beq r9, #0, body
+      halt
+    body:
+      load r1, [r0 + #1024]  ; untainted address: free under STT
+      load r2, [r0 + #1032]
+      halt
+    |}
+  in
+  Alcotest.(check int) "no transmitter stalls" 0
+    (stats ~policy:"stt" src).Sim_stats.transmit_stall_cycles
+
+(* --- NDA -------------------------------------------------------------- *)
+
+let test_nda_quarantines_only_load_outputs () =
+  (* an ALU-only chain under a slow branch flows freely under NDA... *)
+  let alu_chain =
+    {|
+      load r9, [r0 + #512]
+      beq r9, #0, body
+      halt
+    body:
+      mov r1, #5
+      add r2, r1, r1
+      mul r3, r2, r2
+      halt
+    |}
+  in
+  (* ...but a consumer of a speculative load's output must wait *)
+  let load_consumer =
+    {|
+      load r9, [r0 + #512]
+      beq r9, #0, body
+      halt
+    body:
+      load r1, [r0 + #1024]
+      add r2, r1, #1         ; quarantined until the load binds
+      halt
+    |}
+  in
+  Alcotest.(check int) "alu chain unstalled" 0
+    (stats ~policy:"nda" alu_chain).Sim_stats.policy_stall_cycles;
+  Alcotest.(check bool) "load consumer stalled" true
+    ((stats ~policy:"nda" load_consumer).Sim_stats.policy_stall_cycles > 0)
+
+let test_nda_loads_themselves_execute () =
+  (* NDA lets the access happen; only the use is quarantined — so the
+     wrong-path load DOES execute (and leaks, per the security matrix) *)
+  let src =
+    {|
+      load r9, [r0 + #512]
+      load r9, [r9 + #768]
+      beq r9, #999, wrong
+      mov r3, #1
+      halt
+    wrong:
+      load r1, [r0 + #1024]
+      halt
+    |}
+  in
+  Alcotest.(check bool) "speculative load executed" true
+    ((stats ~policy:"nda" src).Sim_stats.wrong_path_executed_loads >= 1)
+
+(* --- Delay vs Fence scope --------------------------------------------- *)
+
+let test_delay_gates_only_transmitters () =
+  let src =
+    {|
+      load r9, [r0 + #512]
+      beq r9, #0, body
+      halt
+    body:
+      mov r1, #5
+      add r2, r1, r1
+      load r3, [r0 + #1024]
+      halt
+    |}
+  in
+  let d = stats ~policy:"delay" src in
+  let f = stats ~policy:"fence" src in
+  Alcotest.(check bool) "delay: gates only the load" true
+    (d.Sim_stats.policy_stall_cycles = d.Sim_stats.transmit_stall_cycles
+    && d.Sim_stats.transmit_stall_cycles > 0);
+  Alcotest.(check bool) "fence: ALU work gated too" true
+    (f.Sim_stats.policy_stall_cycles > f.Sim_stats.transmit_stall_cycles)
+
+(* --- Levioso region boundaries ----------------------------------------- *)
+
+let test_levioso_region_ends_exactly_at_reconvergence () =
+  (* same slow branch; the load sits either inside the if-region or at its
+     reconvergence point — one instruction apart, opposite treatment *)
+  let inside =
+    {|
+      load r9, [r0 + #512]
+      blt r9, #100, arm      ; taken (r9 = 0 < 100), resolves late
+      halt
+    arm:
+      load r1, [r0 + #1024]  ; inside the region (arms never meet)
+      halt
+    |}
+  in
+  let at_reconv =
+    {|
+      load r9, [r0 + #512]
+      bge r9, #100, join     ; region is empty
+    join:
+      load r1, [r0 + #1024]  ; at the reconvergence point
+      halt
+    |}
+  in
+  let inside_stall =
+    (stats ~policy:"levioso" inside).Sim_stats.transmit_stall_cycles
+  in
+  let reconv_stall =
+    (stats ~policy:"levioso" at_reconv).Sim_stats.transmit_stall_cycles
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "inside stalls (%d), reconvergence point does not (%d)"
+       inside_stall reconv_stall)
+    true
+    (inside_stall > 0 && reconv_stall = 0)
+
+let suite =
+  ( "secure-mechanisms",
+    [
+      Alcotest.test_case "stt visibility point" `Quick
+        test_stt_taint_clears_at_visibility_point;
+      Alcotest.test_case "stt untainted free" `Quick test_stt_untainted_addresses_flow_freely;
+      Alcotest.test_case "nda quarantine scope" `Quick test_nda_quarantines_only_load_outputs;
+      Alcotest.test_case "nda access allowed" `Quick test_nda_loads_themselves_execute;
+      Alcotest.test_case "delay vs fence scope" `Quick test_delay_gates_only_transmitters;
+      Alcotest.test_case "levioso region boundary" `Quick
+        test_levioso_region_ends_exactly_at_reconvergence;
+    ] )

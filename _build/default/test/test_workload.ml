@@ -1,0 +1,167 @@
+module Ir = Levioso_ir.Ir
+module Emulator = Levioso_ir.Emulator
+module Cfg = Levioso_ir.Cfg
+module Config = Levioso_uarch.Config
+module Registry = Levioso_core.Registry
+module Api = Levioso_core.Levioso_api
+module Annotation = Levioso_core.Annotation
+module Reconvergence = Levioso_analysis.Reconvergence
+module Workload = Levioso_workload.Workload
+module Suite = Levioso_workload.Suite
+module Layout = Levioso_workload.Layout
+
+let result_of w =
+  let state =
+    Emulator.run_program ~mem_words:Config.default.Config.mem_words
+      ~fuel:20_000_000
+      ~init:(fun s -> w.Workload.mem_init s.Emulator.mem)
+      w.Workload.program
+  in
+  state.Emulator.mem.(Layout.result_addr)
+
+let test_all_validate () =
+  List.iter
+    (fun w ->
+      match Ir.validate w.Workload.program with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail (w.Workload.name ^ ": " ^ msg))
+    Suite.all
+
+let test_all_halt_and_produce_checksums () =
+  List.iter
+    (fun w ->
+      let r = result_of w in
+      Alcotest.(check bool)
+        (w.Workload.name ^ " writes a non-zero checksum")
+        true (r <> 0))
+    Suite.all
+
+let test_checksums_are_stable () =
+  (* Pin the expected checksums: workload inputs are seeded, so any change
+     here means the workload definition changed and the recorded evaluation
+     numbers went stale. *)
+  let expected =
+    [
+      ("pchase", 238339);
+      ("bsearch", 267);
+      ("stream", 301759007113);
+      ("hashjoin", 425);
+      ("histogram", 376788);
+      ("strsearch", 31);
+      ("treewalk", 296115249);
+      ("spmv", 3702613);
+      ("graph", 127309);
+      ("sort", 75067);
+      ("fsm", 2085);
+      ("matmul", 17707);
+      ("compact", 393271);
+    ]
+  in
+
+  List.iter
+    (fun w ->
+      match List.assoc_opt w.Workload.name expected with
+      | Some value ->
+        Alcotest.(check int) (w.Workload.name ^ " checksum") value (result_of w)
+      | None -> Alcotest.fail ("no pinned checksum for " ^ w.Workload.name))
+    Suite.all
+
+let quick_config =
+  (* Smaller window keeps the 13 x 6 policy-equivalence sweep quick. *)
+  { Config.default with Config.rob_size = 48 }
+
+let test_oracle_equivalence_under_every_policy () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun policy ->
+          match
+            Api.check_against_emulator ~config:quick_config
+              ~mem_init:w.Workload.mem_init ~policy w.Workload.program
+          with
+          | Ok () -> ()
+          | Error msg ->
+            Alcotest.fail (Printf.sprintf "%s under %s: %s" w.Workload.name policy msg))
+        Registry.names)
+    Suite.all
+
+let test_full_reconvergence_coverage () =
+  (* Builder-generated structured code must always reconverge: the
+     annotation the compiler hands to hardware is complete. *)
+  List.iter
+    (fun w ->
+      let annotation = Annotation.analyze w.Workload.program in
+      Alcotest.(check (float 1e-9))
+        (w.Workload.name ^ " coverage")
+        1.0
+        (Annotation.coverage annotation))
+    Suite.all
+
+let test_levsuite_runs_and_matches () =
+  (* the compiled-from-source suite: oracle equivalence under key schemes *)
+  List.iter
+    (fun w ->
+      List.iter
+        (fun policy ->
+          match
+            Api.check_against_emulator ~config:quick_config
+              ~mem_init:w.Workload.mem_init ~policy w.Workload.program
+          with
+          | Ok () -> ()
+          | Error msg ->
+            Alcotest.fail (Printf.sprintf "%s under %s: %s" w.Workload.name policy msg))
+        [ "unsafe"; "delay"; "dom"; "levioso" ])
+    Levioso_workload.Levsuite.all
+
+let test_levsuite_checksums () =
+  (* pinned, like the main suite: Lev compiler or kernel changes that move
+     these invalidate the recorded evaluation *)
+  let expected =
+    [
+      ("lev-primes", 78);
+      ("lev-crc", 394143);
+      ("lev-nbody", 15198);
+      ("lev-bubble", 11998);
+    ]
+  in
+  List.iter
+    (fun w ->
+      let state =
+        Levioso_ir.Emulator.run_program ~mem_words:Config.default.Config.mem_words
+          ~fuel:20_000_000
+          ~init:(fun s -> w.Workload.mem_init s.Levioso_ir.Emulator.mem)
+          w.Workload.program
+      in
+      Alcotest.(check int)
+        (w.Workload.name ^ " checksum")
+        (List.assoc w.Workload.name expected)
+        state.Levioso_ir.Emulator.mem.(256))
+    Levioso_workload.Levsuite.all
+
+let test_names_unique () =
+  let sorted = List.sort_uniq compare Suite.names in
+  Alcotest.(check int) "unique names" (List.length Suite.names) (List.length sorted)
+
+let test_find () =
+  Alcotest.(check bool) "find known" true (Suite.find "stream" <> None);
+  Alcotest.(check bool) "find unknown" true (Suite.find "nope" = None);
+  Alcotest.(check bool) "find_exn raises" true
+    (try
+       let (_ : Workload.t) = Suite.find_exn "nope" in
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  ( "workloads",
+    [
+      Alcotest.test_case "all validate" `Quick test_all_validate;
+      Alcotest.test_case "halt with checksums" `Quick test_all_halt_and_produce_checksums;
+      Alcotest.test_case "checksums stable" `Quick test_checksums_are_stable;
+      Alcotest.test_case "oracle equivalence x policies" `Slow
+        test_oracle_equivalence_under_every_policy;
+      Alcotest.test_case "reconvergence coverage" `Quick test_full_reconvergence_coverage;
+      Alcotest.test_case "lev suite equivalence" `Slow test_levsuite_runs_and_matches;
+      Alcotest.test_case "lev suite checksums" `Quick test_levsuite_checksums;
+      Alcotest.test_case "names unique" `Quick test_names_unique;
+      Alcotest.test_case "find" `Quick test_find;
+    ] )
