@@ -6,12 +6,15 @@
      dune exec bench/main.exe -- --list     # experiment ids
      dune exec bench/main.exe -- --only fig3 --only table2
      dune exec bench/main.exe -- --quick    # subsampled workloads
-     dune exec bench/main.exe -- --bechamel # micro-benchmarks too *)
+     dune exec bench/main.exe -- --bechamel # micro-benchmarks too
+     dune exec bench/main.exe -- --json results.json  # machine-readable *)
 
 module Config = Levioso_uarch.Config
 module Pipeline = Levioso_uarch.Pipeline
 module Sim_stats = Levioso_uarch.Sim_stats
 module Cache = Levioso_uarch.Cache
+module Summary = Levioso_uarch.Summary
+module Json = Levioso_telemetry.Json
 module Registry = Levioso_core.Registry
 module Annotation = Levioso_core.Annotation
 module Workload = Levioso_workload.Workload
@@ -24,6 +27,7 @@ module Stats = Levioso_util.Stats
 let quick = ref false
 let only : string list ref = ref []
 let run_bechamel = ref false
+let json_out : string option ref = ref None
 
 let workloads () =
   if !quick then List.filteri (fun i _ -> i mod 2 = 0) Suite.all else Suite.all
@@ -40,9 +44,16 @@ let run_cell config (w : Workload.t) policy =
       ~policy:(Registry.find_exn policy) w.Workload.program
   in
   Pipeline.run pipe;
-  Pipeline.stats pipe
+  pipe
 
-let matrix : (string * string, Sim_stats.t) Hashtbl.t = Hashtbl.create 64
+let run_stats config w policy = Pipeline.stats (run_cell config w policy)
+
+(* Pipelines are too big to cache whole (8 MB of simulated memory each),
+   so each cell keeps its counters plus the machine-readable summary the
+   --json report reuses. *)
+type cell_result = { stats : Sim_stats.t; summary : Json.t }
+
+let matrix : (string * string, cell_result) Hashtbl.t = Hashtbl.create 64
 
 (* default-config runs are cached so figures 2/3/4/7 share them *)
 let cell w policy =
@@ -50,13 +61,20 @@ let cell w policy =
   match Hashtbl.find_opt matrix key with
   | Some c -> c
   | None ->
-    let c = run_cell Config.default w policy in
+    let pipe = run_cell Config.default w policy in
+    let c =
+      {
+        stats = Pipeline.stats pipe;
+        summary =
+          Summary.of_pipeline ~workload:w.Workload.name ~policy pipe;
+      }
+    in
     Hashtbl.replace matrix key c;
     c
 
 let norm_time w policy =
-  let base = (cell w "unsafe").Sim_stats.cycles in
-  float_of_int (cell w policy).Sim_stats.cycles /. float_of_int base
+  let base = (cell w "unsafe").stats.Sim_stats.cycles in
+  float_of_int (cell w policy).stats.Sim_stats.cycles /. float_of_int base
 
 (* ------------------------------------------------------------------ *)
 (* experiments                                                         *)
@@ -152,8 +170,10 @@ let fig2 () =
         let l = cell w "levioso" in
         [
           w.Workload.name;
-          pct d.Sim_stats.restricted_transmitters d.Sim_stats.committed_transmitters;
-          pct l.Sim_stats.restricted_transmitters l.Sim_stats.committed_transmitters;
+          pct d.stats.Sim_stats.restricted_transmitters
+            d.stats.Sim_stats.committed_transmitters;
+          pct l.stats.Sim_stats.restricted_transmitters
+            l.stats.Sim_stats.committed_transmitters;
         ])
       (workloads ())
   in
@@ -208,7 +228,7 @@ let fig4 () =
         w.Workload.name
         :: List.map
              (fun p ->
-               let s = cell w p in
+               let s = (cell w p).stats in
                Printf.sprintf "%.0f"
                  (1000.0
                  *. float_of_int s.Sim_stats.transmit_stall_cycles
@@ -222,8 +242,8 @@ let sweep_geomeans configs schemes =
   List.map
     (fun (label, config) ->
       let norm w p =
-        let base = (run_cell config w "unsafe").Sim_stats.cycles in
-        let c = (run_cell config w p).Sim_stats.cycles in
+        let base = (run_stats config w "unsafe").Sim_stats.cycles in
+        let c = (run_stats config w p).Sim_stats.cycles in
         float_of_int c /. float_of_int base
       in
       ( label,
@@ -272,8 +292,8 @@ let fig7 () =
       (fun k ->
         let config = { Config.default with Config.depset_budget = k } in
         let norm w =
-          let base = (cell w "unsafe").Sim_stats.cycles in
-          let c = (run_cell config w "levioso").Sim_stats.cycles in
+          let base = (cell w "unsafe").stats.Sim_stats.cycles in
+          let c = (run_stats config w "levioso").Sim_stats.cycles in
           float_of_int c /. float_of_int base
         in
         [
@@ -332,8 +352,8 @@ let fig9 () =
   let lev = Levioso_workload.Levsuite.all in
   let header = "workload" :: paper_schemes in
   let norm w p =
-    let base = (run_cell Config.default w "unsafe").Sim_stats.cycles in
-    let c = (run_cell Config.default w p).Sim_stats.cycles in
+    let base = (run_stats Config.default w "unsafe").Sim_stats.cycles in
+    let c = (run_stats Config.default w p).Sim_stats.cycles in
     float_of_int c /. float_of_int base
   in
   let rows =
@@ -438,6 +458,9 @@ let () =
     | "--only" :: id :: rest ->
       only := id :: !only;
       parse rest
+    | "--json" :: file :: rest ->
+      json_out := Some file;
+      parse rest
     | "--list" :: _ ->
       List.iter (fun (id, _) -> print_endline id) experiments;
       print_endline "bech";
@@ -449,6 +472,21 @@ let () =
   parse args;
   let selected id = !only = [] || List.mem id !only in
   List.iter (fun (id, f) -> if selected id then f ()) experiments;
+  (* every cached default-config cell, with its stall breakdown, through
+     the same serializer levioso_sim --json uses *)
+  (match !json_out with
+  | None -> ()
+  | Some file ->
+    let cells =
+      Hashtbl.fold (fun key c acc -> (key, c.summary) :: acc) matrix []
+      |> List.sort compare
+      |> List.map snd
+    in
+    let oc = open_out file in
+    Json.to_channel oc (Summary.runs cells);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nwrote %d run summaries to %s\n" (List.length cells) file);
   (* micro-benchmarks run on full sweeps by default; skip with --quick *)
   if
     !run_bechamel || List.mem "bech" !only

@@ -4,32 +4,58 @@
    Examples:
      levioso_sim                          # whole suite x all policies
      levioso_sim -w stream -p levioso -v  # one cell, verbose stats
-     levioso_sim -w pchase --rob 384 --predictor bimodal *)
+     levioso_sim -w pchase --rob 384 --predictor bimodal
+     levioso_sim -w stream -p unsafe -p levioso --json    # machine-readable
+     levioso_sim -w stream -p levioso --trace-out t.json  # Perfetto trace *)
 
 module Config = Levioso_uarch.Config
 module Pipeline = Levioso_uarch.Pipeline
 module Sim_stats = Levioso_uarch.Sim_stats
 module Cache = Levioso_uarch.Cache
+module Summary = Levioso_uarch.Summary
 module Registry = Levioso_core.Registry
+module Telemetry = Levioso_telemetry.Registry
+module Json = Levioso_telemetry.Json
+module Trace = Levioso_telemetry.Trace
+module Stall = Levioso_telemetry.Stall
 module Workload = Levioso_workload.Workload
 module Suite = Levioso_workload.Suite
 module Report = Levioso_util.Report
 module Stats = Levioso_util.Stats
 
-let run_one ?(trace = 0) config workload policy =
+let trace_event_of = function
+  | Pipeline.Fetched { seq; pc } ->
+    ("fetch", seq, pc, [])
+  | Pipeline.Issued { seq; pc } -> ("issue", seq, pc, [])
+  | Pipeline.Completed { seq; pc } -> ("complete", seq, pc, [])
+  | Pipeline.Committed { seq; pc } -> ("commit", seq, pc, [])
+  | Pipeline.Branch_resolved { seq; pc; taken; mispredicted } ->
+    ( "resolve",
+      seq,
+      pc,
+      [ ("taken", Json.Bool taken); ("mispredicted", Json.Bool mispredicted) ]
+    )
+  | Pipeline.Squashed { boundary; count } ->
+    ("squash", boundary, -1, [ ("count", Json.Int count) ])
+
+let run_one ?(trace = 0) ?sink ~registry config workload policy =
   let maker = Registry.find_exn policy in
   let pipe =
-    Pipeline.create ~mem_init:workload.Workload.mem_init config ~policy:maker
-      workload.Workload.program
+    Pipeline.create ~mem_init:workload.Workload.mem_init ~registry config
+      ~policy:maker workload.Workload.program
   in
-  if trace > 0 then begin
-    let remaining = ref trace in
+  let text_remaining = ref trace in
+  if trace > 0 || sink <> None then
     Pipeline.set_tracer pipe (fun ~cycle event ->
-        if !remaining > 0 then begin
-          decr remaining;
+        if !text_remaining > 0 then begin
+          decr text_remaining;
           Printf.printf "[%6d] %s\n" cycle (Pipeline.event_to_string event)
-        end)
-  end;
+        end;
+        match sink with
+        | None -> ()
+        | Some s ->
+          let stage, seq, pc, args = trace_event_of event in
+          Trace.emit s { Trace.cycle; seq; pc; stage; args });
   Pipeline.run pipe;
   pipe
 
@@ -39,9 +65,13 @@ let verbose_report pipe =
     (Sim_stats.to_rows (Pipeline.stats pipe));
   List.iter
     (fun (k, v) -> Printf.printf "  %-32s %d\n" k v)
-    (Cache.Hierarchy.stats (Pipeline.hierarchy pipe))
+    (Cache.Hierarchy.stats (Pipeline.hierarchy pipe));
+  List.iter
+    (fun (k, v) -> Printf.printf "  %-32s %s\n" k v)
+    (Stall.to_rows (Pipeline.stall_attribution pipe))
 
-let main workload_names policy_names rob predictor budget verbose trace =
+let main workload_names policy_names rob predictor budget verbose trace json
+    trace_out trace_every =
   let config =
     {
       Config.default with
@@ -67,47 +97,91 @@ let main workload_names policy_names rob predictor budget verbose trace =
       List.iter (fun n -> ignore (Registry.find_exn n : Pipeline.policy_maker)) names;
       names
   in
-  let rows =
-    List.map
-      (fun w ->
-        let cells =
-          List.map
-            (fun p ->
-              let pipe = run_one ~trace config w p in
-              let stats = Pipeline.stats pipe in
-              if verbose then begin
-                Printf.printf "== %s / %s ==\n" w.Workload.name p;
-                verbose_report pipe
-              end;
-              stats.Sim_stats.cycles)
-            policies
-        in
-        (w, cells))
-      workloads
-  in
-  let baseline_of cells =
-    match (policies, cells) with
-    | "unsafe" :: _, base :: _ -> Some base
-    | _ -> None
-  in
-  let header = "workload" :: List.map (fun p -> p ^ " (cyc)") policies in
-  let body =
-    List.map
-      (fun (w, cells) ->
-        let base = baseline_of cells in
-        w.Workload.name
-        :: List.map
-             (fun c ->
-               match base with
-               | Some b when b > 0 && b <> c ->
-                 Printf.sprintf "%d (%+.1f%%)" c
-                   (Stats.overhead_pct ~baseline:(float_of_int b) (float_of_int c))
-               | Some _ | None -> string_of_int c)
-             cells)
-      rows
-  in
-  print_endline (Report.table ~header ~rows:body);
-  `Ok ()
+  if trace_every < 1 then `Error (false, "--trace-every must be >= 1")
+  else begin
+    let trace_channel = Option.map open_out trace_out in
+    let sink =
+      Option.map
+        (fun oc ->
+          let format =
+            Trace.format_of_filename (Option.get trace_out)
+          in
+          Trace.to_channel ~every:trace_every ~format oc)
+        trace_channel
+    in
+    (* Telemetry instruments from every cell share one root registry,
+       scoped "<workload>/<policy>/..." so concurrent runs stay apart. *)
+    let root = Telemetry.create () in
+    let rows =
+      List.map
+        (fun w ->
+          let cells =
+            List.map
+              (fun p ->
+                (match sink with
+                | Some s ->
+                  Trace.begin_process s ~name:(w.Workload.name ^ "/" ^ p)
+                | None -> ());
+                let registry =
+                  Telemetry.scope (Telemetry.scope root w.Workload.name) p
+                in
+                let pipe = run_one ~trace ?sink ~registry config w p in
+                if verbose then begin
+                  Printf.printf "== %s / %s ==\n" w.Workload.name p;
+                  verbose_report pipe
+                end;
+                ( p,
+                  (Pipeline.stats pipe).Sim_stats.cycles,
+                  Summary.of_pipeline ~workload:w.Workload.name ~policy:p pipe
+                ))
+              policies
+          in
+          (w, cells))
+        workloads
+    in
+    (match sink with
+    | Some s ->
+      Trace.close s;
+      Option.iter close_out trace_channel;
+      if not json then
+        Printf.eprintf "trace: wrote %d of %d events to %s\n%!"
+          (Trace.written s) (Trace.seen s) (Option.get trace_out)
+    | None -> ());
+    if json then
+      print_endline
+        (Json.to_string
+           (Summary.runs
+              (List.concat_map
+                 (fun (_, cells) -> List.map (fun (_, _, s) -> s) cells)
+                 rows)))
+    else begin
+      (* The unsafe baseline anchors overhead percentages wherever it
+         appears in the policy list, not only in front position. *)
+      let baseline_of cells =
+        Option.map (fun (_, c, _) -> c)
+          (List.find_opt (fun (p, _, _) -> p = "unsafe") cells)
+      in
+      let header = "workload" :: List.map (fun p -> p ^ " (cyc)") policies in
+      let body =
+        List.map
+          (fun ((w : Workload.t), cells) ->
+            let base = baseline_of cells in
+            w.Workload.name
+            :: List.map
+                 (fun (_, c, _) ->
+                   match base with
+                   | Some b when b > 0 && b <> c ->
+                     Printf.sprintf "%d (%+.1f%%)" c
+                       (Stats.overhead_pct ~baseline:(float_of_int b)
+                          (float_of_int c))
+                   | Some _ | None -> string_of_int c)
+                 cells)
+          rows
+      in
+      print_endline (Report.table ~header ~rows:body)
+    end;
+    `Ok ()
+  end
 
 open Cmdliner
 
@@ -161,6 +235,31 @@ let trace_arg =
     & info [ "trace" ] ~docv:"N"
         ~doc:"Print the first N microarchitectural events of each run.")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the full workload x policy matrix as JSON (per-run stats, \
+           cache counters and the per-cause stall breakdown) instead of the \
+           table.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured event trace to $(docv): Chrome trace_event \
+           JSON (open in Perfetto or chrome://tracing), or JSONL when the \
+           file ends in .jsonl.")
+
+let trace_every_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "trace-every" ] ~docv:"K"
+        ~doc:"Sample the structured trace: keep every K-th event (default 1).")
+
 let cmd =
   let doc = "simulate workloads under secure-speculation defenses" in
   let info = Cmd.info "levioso_sim" ~doc in
@@ -168,6 +267,7 @@ let cmd =
     Term.(
       ret
         (const main $ workloads_arg $ policies_arg $ rob_arg $ predictor_arg
-       $ budget_arg $ verbose_arg $ trace_arg))
+       $ budget_arg $ verbose_arg $ trace_arg $ json_arg $ trace_out_arg
+       $ trace_every_arg))
 
 let () = exit (Cmd.eval cmd)

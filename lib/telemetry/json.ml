@@ -1,0 +1,285 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printing -------------------------------------------------------- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let rec write ~minify buf indent = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_string buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    write_seq ~minify buf indent '[' ']'
+      (List.map (fun v -> (None, v)) items)
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    write_seq ~minify buf indent '{' '}'
+      (List.map (fun (k, v) -> (Some k, v)) fields)
+
+and write_seq ~minify buf indent open_ close_ items =
+  let pad n = if not minify then Buffer.add_string buf (String.make n ' ') in
+  let newline () = if not minify then Buffer.add_char buf '\n' in
+  Buffer.add_char buf open_;
+  List.iteri
+    (fun i (key, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      newline ();
+      pad (indent + 2);
+      (match key with
+      | Some k ->
+        escape_string buf k;
+        Buffer.add_string buf (if minify then ":" else ": ")
+      | None -> ());
+      write ~minify buf (indent + 2) v)
+    items;
+  newline ();
+  pad indent;
+  Buffer.add_char buf close_
+
+let to_string ?(minify = false) v =
+  let buf = Buffer.create 1024 in
+  write ~minify buf 0 v;
+  Buffer.contents buf
+
+let to_channel ?minify oc v = output_string oc (to_string ?minify v)
+
+(* --- parsing --------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let error c msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | Some _ | None -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> error c (Printf.sprintf "expected %c, found %c" ch x)
+  | None -> error c (Printf.sprintf "expected %c, found end of input" ch)
+
+let expect_keyword c kw v =
+  if
+    c.pos + String.length kw <= String.length c.src
+    && String.sub c.src c.pos (String.length kw) = kw
+  then begin
+    c.pos <- c.pos + String.length kw;
+    v
+  end
+  else error c ("expected " ^ kw)
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '/' -> Buffer.add_char buf '/'
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'b' -> Buffer.add_char buf '\b'
+      | Some 'f' -> Buffer.add_char buf '\012'
+      | Some 'u' ->
+        if c.pos + 4 >= String.length c.src then error c "truncated \\u escape";
+        let hex = String.sub c.src (c.pos + 1) 4 in
+        let code =
+          try int_of_string ("0x" ^ hex)
+          with _ -> error c "bad \\u escape"
+        in
+        c.pos <- c.pos + 4;
+        (* encode the BMP code point as UTF-8 *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+      | Some x -> error c (Printf.sprintf "bad escape \\%c" x)
+      | None -> error c "unterminated escape");
+      advance c;
+      loop ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    match peek c with
+    | Some ch -> is_num_char ch
+    | None -> false
+  do
+    advance c
+  done;
+  let text = String.sub c.src start (c.pos - start) in
+  if String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') text then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> error c ("bad number " ^ text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> error c ("bad number " ^ text)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some 'n' -> expect_keyword c "null" Null
+  | Some 't' -> expect_keyword c "true" (Bool true)
+  | Some 'f' -> expect_keyword c "false" (Bool false)
+  | Some '"' -> String (parse_string_body c)
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items (v :: acc)
+        | Some ']' ->
+          advance c;
+          List.rev (v :: acc)
+        | _ -> error c "expected , or ] in array"
+      in
+      List (items [])
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else
+      let field () =
+        skip_ws c;
+        let k = parse_string_body c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        (k, v)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields (kv :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev (kv :: acc)
+        | _ -> error c "expected , or } in object"
+      in
+      Obj (fields [])
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> error c (Printf.sprintf "unexpected character %c" ch)
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length s then Error "trailing input after JSON value"
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+let of_string_exn s =
+  match of_string s with
+  | Ok v -> v
+  | Error msg -> invalid_arg ("Json.of_string_exn: " ^ msg)
+
+(* --- accessors ------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
+
+let member_exn key v =
+  match member key v with
+  | Some x -> x
+  | None -> invalid_arg ("Json.member_exn: no field " ^ key)
+
+let to_list_exn = function
+  | List items -> items
+  | _ -> invalid_arg "Json.to_list_exn: not a list"
+
+let to_int_exn = function
+  | Int i -> i
+  | _ -> invalid_arg "Json.to_int_exn: not an int"
+
+let to_float_exn = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | _ -> invalid_arg "Json.to_float_exn: not a number"
+
+let to_string_exn = function
+  | String s -> s
+  | _ -> invalid_arg "Json.to_string_exn: not a string"

@@ -1,0 +1,44 @@
+(** A minimal JSON tree: enough to serialize every simulator report and to
+    parse them back in tests.
+
+    No external dependency — the toolchain image has no yojson.  Printing
+    is deterministic (object fields keep insertion order) so golden tests
+    can compare output textually. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** [minify] defaults to [false]: two-space indented, newline-separated.
+    Floats print with up to 6 significant decimals; NaN/infinity become
+    [null] (JSON has no encoding for them). *)
+
+val to_channel : ?minify:bool -> out_channel -> t -> unit
+
+val of_string : string -> (t, string) result
+(** A small recursive-descent parser for the subset this module prints
+    (all of JSON except unicode escapes beyond \uXXXX for BMP points).
+    Numbers with a fraction or exponent parse as [Float], others as
+    [Int]. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on parse errors. *)
+
+(** {1 Accessors} (for tests and report post-processing) *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing field or non-object. *)
+
+val member_exn : string -> t -> t
+val to_list_exn : t -> t list
+val to_int_exn : t -> int
+val to_float_exn : t -> float
+(** [to_float_exn] accepts both [Int] and [Float]. *)
+
+val to_string_exn : t -> string

@@ -1,0 +1,152 @@
+module Counter = struct
+  type c = { c_name : string; mutable value : int }
+
+  let incr c = c.value <- c.value + 1
+  let add c n = c.value <- c.value + n
+  let value c = c.value
+  let name c = c.c_name
+end
+
+module Histogram = struct
+  (* Observations are kept verbatim in a growable buffer; simulator runs
+     observe at most a few hundred thousand values, and exact percentiles
+     are worth more here than a bucketed sketch. *)
+  type h = {
+    h_name : string;
+    mutable data : int array;
+    mutable len : int;
+    mutable max_v : int;
+    mutable sum : int;
+  }
+
+  let observe h v =
+    if h.len = Array.length h.data then begin
+      let bigger = Array.make (max 16 (2 * h.len)) 0 in
+      Array.blit h.data 0 bigger 0 h.len;
+      h.data <- bigger
+    end;
+    h.data.(h.len) <- v;
+    h.len <- h.len + 1;
+    h.sum <- h.sum + v;
+    if v > h.max_v then h.max_v <- v
+
+  let count h = h.len
+
+  let mean h = if h.len = 0 then 0.0 else float_of_int h.sum /. float_of_int h.len
+
+  let percentile h p =
+    if h.len = 0 then invalid_arg "Histogram.percentile: empty histogram";
+    let sorted = Array.sub h.data 0 h.len in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int h.len)) in
+    sorted.(max 0 (min (h.len - 1) (rank - 1)))
+
+  let max_value h = h.max_v
+  let name h = h.h_name
+
+  let reset h =
+    h.len <- 0;
+    h.max_v <- 0;
+    h.sum <- 0
+end
+
+type instrument =
+  | I_counter of Counter.c
+  | I_histogram of Histogram.h
+
+type t = { prefix : string; table : (string, instrument) Hashtbl.t }
+
+let create () = { prefix = ""; table = Hashtbl.create 32 }
+
+let scope t sub = { t with prefix = t.prefix ^ sub ^ "/" }
+
+let counter t name =
+  let full = t.prefix ^ name in
+  match Hashtbl.find_opt t.table full with
+  | Some (I_counter c) -> c
+  | Some (I_histogram _) ->
+    invalid_arg ("Registry.counter: " ^ full ^ " exists as a histogram")
+  | None ->
+    let c = { Counter.c_name = full; value = 0 } in
+    Hashtbl.add t.table full (I_counter c);
+    c
+
+let histogram t name =
+  let full = t.prefix ^ name in
+  match Hashtbl.find_opt t.table full with
+  | Some (I_histogram h) -> h
+  | Some (I_counter _) ->
+    invalid_arg ("Registry.histogram: " ^ full ^ " exists as a counter")
+  | None ->
+    let h =
+      { Histogram.h_name = full; data = [||]; len = 0; max_v = 0; sum = 0 }
+    in
+    Hashtbl.add t.table full (I_histogram h);
+    h
+
+let counter_value t name =
+  match Hashtbl.find_opt t.table (t.prefix ^ name) with
+  | Some (I_counter c) -> Some (Counter.value c)
+  | Some (I_histogram _) | None -> None
+
+let in_scope t full =
+  String.length full >= String.length t.prefix
+  && String.sub full 0 (String.length t.prefix) = t.prefix
+
+let strip t full =
+  String.sub full (String.length t.prefix)
+    (String.length full - String.length t.prefix)
+
+let instruments t =
+  Hashtbl.fold
+    (fun full i acc -> if in_scope t full then (strip t full, i) :: acc else acc)
+    t.table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let names t = List.map fst (instruments t)
+
+let to_rows t =
+  List.map
+    (fun (name, i) ->
+      match i with
+      | I_counter c -> (name, string_of_int (Counter.value c))
+      | I_histogram h ->
+        let render =
+          if Histogram.count h = 0 then "n=0"
+          else
+            Printf.sprintf "n=%d mean=%.1f p50=%d p95=%d max=%d"
+              (Histogram.count h) (Histogram.mean h)
+              (Histogram.percentile h 50.0)
+              (Histogram.percentile h 95.0)
+              (Histogram.max_value h)
+        in
+        (name, render))
+    (instruments t)
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun (name, i) ->
+         match i with
+         | I_counter c -> (name, Json.Int (Counter.value c))
+         | I_histogram h ->
+           let n = Histogram.count h in
+           ( name,
+             Json.Obj
+               [
+                 ("count", Json.Int n);
+                 ("mean", Json.Float (Histogram.mean h));
+                 ("p50", if n = 0 then Json.Null else Json.Int (Histogram.percentile h 50.0));
+                 ("p95", if n = 0 then Json.Null else Json.Int (Histogram.percentile h 95.0));
+                 ("max", Json.Int (Histogram.max_value h));
+               ] ))
+       (instruments t))
+
+let reset t =
+  Hashtbl.iter
+    (fun full i ->
+      if in_scope t full then
+        match i with
+        | I_counter c -> c.Counter.value <- 0
+        | I_histogram h -> Histogram.reset h)
+    t.table

@@ -1,0 +1,74 @@
+(** Named counters and distributions, with scoping.
+
+    A registry replaces ad-hoc mutable stat fields: components create
+    counters and histograms by name, the harness reads everything back
+    uniformly as rows or JSON.  A {e scope} is a registry view that
+    prefixes every name ([scope r "levioso"] yields names like
+    ["levioso/issue_stalls"]) — this is how per-policy instrumentation
+    stays separable when several policies run in one process.
+
+    Counters are plain [int]s; histograms record every observation and
+    report count / mean / p50 / p95 / max.  Creation is idempotent:
+    asking for an existing name returns the existing instrument (so a
+    policy re-created for another run accumulates into the same series
+    unless the registry is fresh). *)
+
+type t
+
+module Counter : sig
+  type c
+
+  val incr : c -> unit
+  val add : c -> int -> unit
+  val value : c -> int
+  val name : c -> string
+end
+
+module Histogram : sig
+  type h
+
+  val observe : h -> int -> unit
+  val count : h -> int
+  val mean : h -> float
+  val percentile : h -> float -> int
+  (** [percentile h 95.0] — nearest-rank on the recorded observations.
+      @raise Invalid_argument on an empty histogram. *)
+
+  val max_value : h -> int
+  (** 0 for an empty histogram. *)
+
+  val name : h -> string
+end
+
+val create : unit -> t
+
+val scope : t -> string -> t
+(** A view whose instruments are named ["<prefix>/<name>"].  Instruments
+    live in the parent; scoping nests. *)
+
+val counter : t -> string -> Counter.c
+(** Find-or-create. @raise Invalid_argument if the name exists as a
+    histogram. *)
+
+val histogram : t -> string -> Histogram.h
+(** Find-or-create. @raise Invalid_argument if the name exists as a
+    counter. *)
+
+val counter_value : t -> string -> int option
+(** Read a counter by (fully scoped relative) name without creating it. *)
+
+val names : t -> string list
+(** Every instrument under this scope, sorted, scope prefix stripped. *)
+
+val to_rows : t -> (string * string) list
+(** Human-readable dump of the instruments under this scope, sorted by
+    name.  Histograms render as "n=… mean=… p50=… p95=… max=…". *)
+
+val to_json : t -> Json.t
+(** Object keyed by name; counters as ints, histograms as
+    [{count, mean, p50, p95, max}].  Covers the instruments under this
+    scope, names relative to it. *)
+
+val reset : t -> unit
+(** Zero every instrument under this scope (instruments survive, values
+    clear). *)

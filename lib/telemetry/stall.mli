@@ -1,0 +1,60 @@
+(** Per-cycle stall attribution.
+
+    Every cycle the pipeline charges each in-window instruction that
+    wanted to issue but could not to exactly one {!cause}, keyed by the
+    instruction's static PC.  The resulting table answers "where do the
+    stall cycles go?" — per cause for the overhead breakdown, per PC for
+    naming the top-K costliest branches and loads.
+
+    The cause taxonomy, in the priority order the pipeline applies it
+    (first matching cause wins, so charges are disjoint):
+
+    - [Policy_gate]: operands ready, the active defense refused
+      [may_execute].  By construction this count equals the legacy
+      [Sim_stats.policy_stall_cycles] counter.
+    - [Operand_wait]: a source operand is still being produced.
+    - [Lsq_order]: a ready load blocked by memory ordering — an older
+      store's address is unknown, or all MSHRs are busy.
+    - [Exec_port]: issuable, but the cycle's issue width was already
+      spent on older instructions (structural).
+    - [Rob_full]: fetch could not dispatch because the window is full;
+      charged to the fetch PC. *)
+
+type cause =
+  | Policy_gate
+  | Operand_wait
+  | Lsq_order
+  | Rob_full
+  | Exec_port
+
+val all_causes : cause list
+val cause_to_string : cause -> string
+
+type t
+
+val create : num_pcs:int -> t
+(** [num_pcs] is the static program length; PCs outside
+    [0, num_pcs) are rejected. *)
+
+val charge : t -> cause:cause -> pc:int -> unit
+
+val total : t -> int
+(** Sum of every charge. *)
+
+val by_cause : t -> (cause * int) list
+(** One entry per cause, taxonomy order. *)
+
+val count : t -> cause -> int
+
+val per_pc_total : t -> pc:int -> int
+
+val top_k : t -> k:int -> (int * int * (cause * int) list) list
+(** The [k] PCs with the largest total charge, descending:
+    [(pc, total, nonzero per-cause counts)].  PCs with zero charge are
+    omitted. *)
+
+val to_json : ?top_k:int -> t -> Json.t
+(** [{total, by_cause: {...}, top_pcs: [{pc, total, causes}]}];
+    [top_k] defaults to 10. *)
+
+val to_rows : t -> (string * string) list

@@ -44,16 +44,22 @@ let probe t addr =
 let reset t = Array.fill t.sets 0 (Array.length t.sets) []
 
 module Hierarchy = struct
+  module Registry = Levioso_telemetry.Registry
+
+  (* Access counters live in a telemetry registry (scoped "cache/") so
+     harnesses that pass a shared registry into [create] read them next to
+     every other instrument; standalone hierarchies get a private one. *)
   type h = {
     l1 : t;
     l2 : t;
     l1_hit : int;
     l2_hit : int;
     mem_lat : int;
-    mutable n_l1_hit : int;
-    mutable n_l1_miss : int;
-    mutable n_l2_hit : int;
-    mutable n_l2_miss : int;
+    registry : Registry.t;
+    n_l1_hit : Registry.Counter.c;
+    n_l1_miss : Registry.Counter.c;
+    n_l2_hit : Registry.Counter.c;
+    n_l2_miss : Registry.Counter.c;
   }
 
   type level =
@@ -61,33 +67,41 @@ module Hierarchy = struct
     | L2
     | Memory
 
-  let create (config : Config.t) =
+  let create ?registry (config : Config.t) =
+    let registry =
+      Registry.scope
+        (match registry with
+        | Some r -> r
+        | None -> Registry.create ())
+        "cache"
+    in
     {
       l1 = create config.Config.l1;
       l2 = create config.Config.l2;
       l1_hit = config.Config.l1.Config.hit_latency;
       l2_hit = config.Config.l2.Config.hit_latency;
       mem_lat = config.Config.memory_latency;
-      n_l1_hit = 0;
-      n_l1_miss = 0;
-      n_l2_hit = 0;
-      n_l2_miss = 0;
+      registry;
+      n_l1_hit = Registry.counter registry "l1_hits";
+      n_l1_miss = Registry.counter registry "l1_misses";
+      n_l2_hit = Registry.counter registry "l2_hits";
+      n_l2_miss = Registry.counter registry "l2_misses";
     }
 
   let load h addr =
     if lookup h.l1 addr then begin
-      h.n_l1_hit <- h.n_l1_hit + 1;
+      Registry.Counter.incr h.n_l1_hit;
       (h.l1_hit, L1)
     end
     else begin
-      h.n_l1_miss <- h.n_l1_miss + 1;
+      Registry.Counter.incr h.n_l1_miss;
       if lookup h.l2 addr then begin
-        h.n_l2_hit <- h.n_l2_hit + 1;
+        Registry.Counter.incr h.n_l2_hit;
         fill h.l1 addr;
         (h.l2_hit, L2)
       end
       else begin
-        h.n_l2_miss <- h.n_l2_miss + 1;
+        Registry.Counter.incr h.n_l2_miss;
         fill h.l2 addr;
         fill h.l1 addr;
         (h.mem_lat, Memory)
@@ -120,15 +134,13 @@ module Hierarchy = struct
 
   let stats h =
     [
-      ("l1_hits", h.n_l1_hit);
-      ("l1_misses", h.n_l1_miss);
-      ("l2_hits", h.n_l2_hit);
-      ("l2_misses", h.n_l2_miss);
+      ("l1_hits", Registry.Counter.value h.n_l1_hit);
+      ("l1_misses", Registry.Counter.value h.n_l1_miss);
+      ("l2_hits", Registry.Counter.value h.n_l2_hit);
+      ("l2_misses", Registry.Counter.value h.n_l2_miss);
     ]
 
-  let reset_stats h =
-    h.n_l1_hit <- 0;
-    h.n_l1_miss <- 0;
-    h.n_l2_hit <- 0;
-    h.n_l2_miss <- 0
+  let registry h = h.registry
+
+  let reset_stats h = Registry.reset h.registry
 end

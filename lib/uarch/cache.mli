@@ -39,7 +39,9 @@ module Hierarchy : sig
     | L2
     | Memory
 
-  val create : Config.t -> h
+  val create : ?registry:Levioso_telemetry.Registry.t -> Config.t -> h
+  (** Access counters register under a ["cache"] scope of [registry]
+      (a private registry when omitted). *)
 
   val load : h -> int -> int * level
   (** [load h addr] performs a load access: returns the latency and the
@@ -70,6 +72,9 @@ module Hierarchy : sig
 
   val stats : h -> (string * int) list
   (** Access counters: l1 hits/misses, l2 hits/misses. *)
+
+  val registry : h -> Levioso_telemetry.Registry.t
+  (** The ["cache"] scope holding this hierarchy's counters. *)
 
   val reset_stats : h -> unit
 end

@@ -1,4 +1,6 @@
 module Ir = Levioso_ir.Ir
+module Stall = Levioso_telemetry.Stall
+module Registry = Levioso_telemetry.Registry
 
 type load_visibility =
   | Normal
@@ -97,6 +99,8 @@ type t = {
   mutable is_halted : bool;
   mutable policy : policy;
   stats : Sim_stats.t;
+  stall : Stall.t;
+  reg : Registry.t;
   completions : (int, int list) Hashtbl.t;
   mutable tracer : (cycle:int -> event -> unit) option;
 }
@@ -157,6 +161,8 @@ let regs t = t.regs
 let mem t = t.memory
 let cycle t = t.cyc
 let stats t = t.stats
+let stall_attribution t = t.stall
+let registry t = t.reg
 let hierarchy t = t.hierarchy
 let config t = t.cfg
 let halted t = t.is_halted
@@ -288,7 +294,16 @@ let fetch t =
   do
     dispatch_one t;
     decr budget
-  done
+  done;
+  (* Attribution: fetch wanted to dispatch but the window is full — one
+     Rob_full charge per blocked cycle, against the stalled fetch PC. *)
+  if
+    !budget > 0
+    && (not t.fetch_stopped)
+    && t.cyc >= t.fetch_resume
+    && t.tail_seq - t.head_seq >= t.cfg.Config.rob_size
+    && t.fetch_pc < Array.length t.program
+  then Stall.charge t.stall ~cause:Stall.Rob_full ~pc:t.fetch_pc
 
 (* --- squash --------------------------------------------------------- *)
 
@@ -485,25 +500,57 @@ let try_issue t e =
       end)
   | Ir.Jump _ | Ir.Halt -> false
 
+(* Would this ready load be refused by memory ordering right now?  Pure:
+   mirrors the [try_issue] load path without touching cache or MSHR
+   state, so attribution can classify entries past the issue budget. *)
+let load_order_blocked t e =
+  match e.instr with
+  | Ir.Load _ ->
+    let addr = mask_addr t (src_value t e.srcs.(0) + src_value t e.srcs.(1)) in
+    (match older_stores_state t e.seq addr with
+    | `Blocked -> true
+    | `Ready (Some _) -> false
+    | `Ready None ->
+      Cache.Hierarchy.probe t.hierarchy addr <> Cache.Hierarchy.L1
+      && t.outstanding_misses >= t.cfg.Config.mshrs)
+  | Ir.Alu _ | Ir.Store _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _ | Ir.Rdcycle _
+  | Ir.Halt ->
+    false
+
 let issue t =
   let budget = ref t.cfg.Config.issue_width in
   let seq = ref t.head_seq in
-  while !budget > 0 && !seq < t.tail_seq do
+  (* The whole window is scanned every cycle so that each waiting
+     instruction is charged to exactly one stall cause.  Issue decisions
+     (and the legacy policy-stall counters) are confined to [!budget > 0],
+     preserving the original semantics where the scan stopped once the
+     issue width was spent: the policy is never consulted for entries
+     beyond the budget. *)
+  while !seq < t.tail_seq do
     let e = entry_exn t !seq in
     (match e.st with
-    | Waiting when operands_ready t e ->
-      if t.policy.may_execute ~seq:!seq then begin
-        if try_issue t e then decr budget
+    | Waiting ->
+      if not (operands_ready t e) then
+        Stall.charge t.stall ~cause:Stall.Operand_wait ~pc:e.pc
+      else if !budget > 0 then begin
+        if t.policy.may_execute ~seq:!seq then begin
+          if try_issue t e then decr budget
+          else Stall.charge t.stall ~cause:Stall.Lsq_order ~pc:e.pc
+        end
+        else begin
+          e.policy_stalled <- true;
+          t.stats.Sim_stats.policy_stall_cycles <-
+            t.stats.Sim_stats.policy_stall_cycles + 1;
+          if is_transmitter e.instr then
+            t.stats.Sim_stats.transmit_stall_cycles <-
+              t.stats.Sim_stats.transmit_stall_cycles + 1;
+          Stall.charge t.stall ~cause:Stall.Policy_gate ~pc:e.pc
+        end
       end
-      else begin
-        e.policy_stalled <- true;
-        t.stats.Sim_stats.policy_stall_cycles <-
-          t.stats.Sim_stats.policy_stall_cycles + 1;
-        if is_transmitter e.instr then
-          t.stats.Sim_stats.transmit_stall_cycles <-
-            t.stats.Sim_stats.transmit_stall_cycles + 1
-      end
-    | Waiting | Inflight _ | Done -> ());
+      else if load_order_blocked t e then
+        Stall.charge t.stall ~cause:Stall.Lsq_order ~pc:e.pc
+      else Stall.charge t.stall ~cause:Stall.Exec_port ~pc:e.pc
+    | Inflight _ | Done -> ());
     incr seq
   done
 
@@ -591,20 +638,25 @@ let run ?(max_cycles = 100_000_000) ?(deadlock_window = 100_000) t =
               t.policy.policy_name))
   done
 
-let create ?(mem_init = fun _ -> ()) cfg ~policy program =
+let create ?(mem_init = fun _ -> ()) ?registry cfg ~policy program =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Pipeline.create: bad config: " ^ msg));
   (match Ir.validate program with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Pipeline.create: bad program: " ^ msg));
+  let reg =
+    match registry with
+    | Some r -> r
+    | None -> Registry.create ()
+  in
   let t =
     {
       cfg;
       program;
       regs = Array.make Ir.num_regs 0;
       memory = Array.make cfg.Config.mem_words 0;
-      hierarchy = Cache.Hierarchy.create cfg;
+      hierarchy = Cache.Hierarchy.create ~registry:reg cfg;
       predictor = Predictor.create cfg;
       slots = Array.make cfg.Config.rob_size None;
       value_buf = Array.make (2 * cfg.Config.rob_size) 0;
@@ -619,6 +671,8 @@ let create ?(mem_init = fun _ -> ()) cfg ~policy program =
       is_halted = false;
       policy = always_execute_policy;
       stats = Sim_stats.create ();
+      stall = Stall.create ~num_pcs:(Array.length program);
+      reg;
       completions = Hashtbl.create 64;
       tracer = None;
     }

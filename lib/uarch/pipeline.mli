@@ -61,10 +61,16 @@ val always_execute_policy : policy
 
 val create :
   ?mem_init:(int array -> unit) ->
+  ?registry:Levioso_telemetry.Registry.t ->
   Config.t ->
   policy:policy_maker ->
   Levioso_ir.Ir.program ->
   t
+(** [registry] hosts this pipeline's telemetry instruments (the cache
+    hierarchy's counters register under its ["cache"] scope); a private
+    registry is created when omitted.  Pass a
+    [Levioso_telemetry.Registry.scope]d view to keep several concurrent
+    runs (e.g. one per policy) separable. *)
 
 exception Deadlock of string
 (** No instruction committed for an implausibly long time — almost always a
@@ -89,6 +95,20 @@ val cycle : t -> int
 val stats : t -> Sim_stats.t
 val hierarchy : t -> Cache.Hierarchy.h
 val config : t -> Config.t
+
+val stall_attribution : t -> Levioso_telemetry.Stall.t
+(** Per-cycle, per-static-PC stall attribution.  Every cycle, each
+    in-window instruction still waiting to issue is charged to exactly
+    one {!Levioso_telemetry.Stall.cause}; a cycle in which fetch is
+    blocked by a full window adds one [Rob_full] charge against the
+    fetch PC.  By construction the [Policy_gate] count equals
+    [Sim_stats.policy_stall_cycles].  Instructions beyond the cycle's
+    spent issue width are charged [Exec_port] (or [Lsq_order] for
+    order-blocked loads) without consulting the policy, mirroring the
+    issue loop. *)
+
+val registry : t -> Levioso_telemetry.Registry.t
+(** The telemetry registry passed to (or created by) {!create}. *)
 
 (** {1 View functions for policies}
 

@@ -14,6 +14,7 @@ type t = {
   mutable restricted_transmitters : int;
   mutable wrong_path_executed_loads : int;
   mutable wrong_path_transmits : (int * int) list;
+  mutable wrong_path_transmit_count : int;
   mutable wrong_path_transmits_dropped : int;
   mutable max_rob_occupancy : int;
 }
@@ -35,6 +36,7 @@ let create () =
     restricted_transmitters = 0;
     wrong_path_executed_loads = 0;
     wrong_path_transmits = [];
+    wrong_path_transmit_count = 0;
     wrong_path_transmits_dropped = 0;
     max_rob_occupancy = 0;
   }
@@ -47,10 +49,15 @@ let mpki t =
 
 let cap = 50_000
 
+(* The explicit length counter keeps this O(1); calling [List.length] on
+   every record made long runs O(n^2). *)
 let record_wrong_path_transmit t ~branch_pc ~pc =
-  if List.length t.wrong_path_transmits >= cap then
+  if t.wrong_path_transmit_count >= cap then
     t.wrong_path_transmits_dropped <- t.wrong_path_transmits_dropped + 1
-  else t.wrong_path_transmits <- (branch_pc, pc) :: t.wrong_path_transmits
+  else begin
+    t.wrong_path_transmits <- (branch_pc, pc) :: t.wrong_path_transmits;
+    t.wrong_path_transmit_count <- t.wrong_path_transmit_count + 1
+  end
 
 let to_rows t =
   [
@@ -68,3 +75,28 @@ let to_rows t =
     ("wrong-path executed loads", string_of_int t.wrong_path_executed_loads);
     ("max ROB occupancy", string_of_int t.max_rob_occupancy);
   ]
+
+let to_json t =
+  let module J = Levioso_telemetry.Json in
+  J.Obj
+    [
+      ("cycles", J.Int t.cycles);
+      ("committed", J.Int t.committed);
+      ("ipc", J.Float (ipc t));
+      ("mpki", J.Float (mpki t));
+      ("committed_loads", J.Int t.committed_loads);
+      ("committed_stores", J.Int t.committed_stores);
+      ("committed_branches", J.Int t.committed_branches);
+      ("committed_transmitters", J.Int t.committed_transmitters);
+      ("fetched", J.Int t.fetched);
+      ("squashed", J.Int t.squashed);
+      ("mispredicts", J.Int t.mispredicts);
+      ("policy_stall_cycles", J.Int t.policy_stall_cycles);
+      ("transmit_stall_cycles", J.Int t.transmit_stall_cycles);
+      ("restricted_committed", J.Int t.restricted_committed);
+      ("restricted_transmitters", J.Int t.restricted_transmitters);
+      ("wrong_path_executed_loads", J.Int t.wrong_path_executed_loads);
+      ("wrong_path_transmits", J.Int t.wrong_path_transmit_count);
+      ("wrong_path_transmits_dropped", J.Int t.wrong_path_transmits_dropped);
+      ("max_rob_occupancy", J.Int t.max_rob_occupancy);
+    ]

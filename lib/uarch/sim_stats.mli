@@ -25,6 +25,9 @@ type t = {
       (** squashed loads that had already accessed the cache *)
   mutable wrong_path_transmits : (int * int) list;
       (** (squashing-branch pc, transmitter pc) pairs, newest first, capped *)
+  mutable wrong_path_transmit_count : int;
+      (** length of [wrong_path_transmits], maintained so recording stays
+          O(1) *)
   mutable wrong_path_transmits_dropped : int;
   mutable max_rob_occupancy : int;
 }
@@ -40,3 +43,7 @@ val record_wrong_path_transmit : t -> branch_pc:int -> pc:int -> unit
 (** Appends to [wrong_path_transmits], keeping at most 50_000 events. *)
 
 val to_rows : t -> (string * string) list
+
+val to_json : t -> Levioso_telemetry.Json.t
+(** Every counter plus derived [ipc]/[mpki], as a flat object.
+    [wrong_path_transmits] serializes as its count, not the pair list. *)

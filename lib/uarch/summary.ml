@@ -1,0 +1,29 @@
+module Json = Levioso_telemetry.Json
+module Stall = Levioso_telemetry.Stall
+
+let of_pipeline ?workload ?policy ?(top_k = 10) pipe =
+  let label key v =
+    match v with
+    | Some s -> [ (key, Json.String s) ]
+    | None -> []
+  in
+  Json.Obj
+    (label "workload" workload
+    @ label "policy" policy
+    @ [
+        ("stats", Sim_stats.to_json (Pipeline.stats pipe));
+        ( "cache",
+          Json.Obj
+            (List.map
+               (fun (k, v) -> (k, Json.Int v))
+               (Cache.Hierarchy.stats (Pipeline.hierarchy pipe))) );
+        ("stalls", Stall.to_json ~top_k (Pipeline.stall_attribution pipe));
+      ])
+
+let runs summaries = Json.Obj [ ("runs", Json.List summaries) ]
+
+let matrix cells =
+  runs
+    (List.map
+       (fun (workload, policy, pipe) -> of_pipeline ~workload ~policy pipe)
+       cells)

@@ -1,0 +1,29 @@
+(** Machine-readable run summaries.
+
+    One serializer for everything a finished pipeline run can report —
+    [levioso_sim --json] and the bench harness both emit through this
+    module, so downstream tooling sees a single schema:
+
+    {v
+    {"workload": …, "policy": …,
+     "stats": {cycles, ipc, mpki, …},
+     "cache": {l1_hits, …},
+     "stalls": {total, by_cause: {policy_gate, operand_wait, lsq_order,
+                rob_full, exec_port}, top_pcs: […]}}
+    v} *)
+
+val of_pipeline :
+  ?workload:string -> ?policy:string -> ?top_k:int -> Pipeline.t -> Levioso_telemetry.Json.t
+(** Summarize one finished run.  [workload]/[policy] label the cell when
+    given; [top_k] (default 10) bounds the costliest-PC list in the
+    stall breakdown. *)
+
+val runs : Levioso_telemetry.Json.t list -> Levioso_telemetry.Json.t
+(** Wrap per-run summaries as [{"runs": […]}] — for harnesses that
+    serialize each cell as it finishes instead of keeping every pipeline
+    (8 MB of simulated memory each) alive. *)
+
+val matrix :
+  (string * string * Pipeline.t) list -> Levioso_telemetry.Json.t
+(** [matrix cells] with [(workload, policy, pipe)] triples:
+    [{"runs": [summary, …]}]. *)

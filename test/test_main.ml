@@ -5,6 +5,7 @@ let () =
   Alcotest.run "levioso"
     [
       Test_util.suite;
+      Test_telemetry.suite;
       Test_ir.suite;
       Test_builder.suite;
       Test_parser.suite;

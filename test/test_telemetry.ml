@@ -1,0 +1,373 @@
+(* The telemetry layer: JSON tree, counter/histogram registry, stall
+   attribution and trace sinks — plus the end-to-end invariants the
+   machine-readable simulator reports rely on. *)
+
+module Json = Levioso_telemetry.Json
+module Registry = Levioso_telemetry.Registry
+module Stall = Levioso_telemetry.Stall
+module Trace = Levioso_telemetry.Trace
+module Config = Levioso_uarch.Config
+module Pipeline = Levioso_uarch.Pipeline
+module Sim_stats = Levioso_uarch.Sim_stats
+module Summary = Levioso_uarch.Summary
+module Parser = Levioso_ir.Parser
+module Policy_registry = Levioso_core.Registry
+
+(* --- Json ----------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("int", Json.Int 42);
+        ("neg", Json.Int (-7));
+        ("float", Json.Float 1.5);
+        ("string", Json.String "hi \"there\"\n");
+        ("null", Json.Null);
+        ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+        ("nested", Json.Obj [ ("xs", Json.List [ Json.Int 1; Json.Int 2 ]) ]);
+      ]
+  in
+  let parsed = Json.of_string_exn (Json.to_string v) in
+  Alcotest.(check bool) "pretty roundtrip" true (parsed = v);
+  let parsed_min = Json.of_string_exn (Json.to_string ~minify:true v) in
+  Alcotest.(check bool) "minified roundtrip" true (parsed_min = v)
+
+let test_json_parse_errors () =
+  let bad = [ "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "parsed invalid JSON: %s" s
+      | Error _ -> ())
+    bad
+
+let test_json_accessors () =
+  let v = Json.of_string_exn {|{"a": {"b": [1, 2.5, "x"]}}|} in
+  let b = Json.member_exn "b" (Json.member_exn "a" v) in
+  (match Json.to_list_exn b with
+  | [ x; y; z ] ->
+    Alcotest.(check int) "int elem" 1 (Json.to_int_exn x);
+    Alcotest.(check (float 1e-9)) "float elem" 2.5 (Json.to_float_exn y);
+    Alcotest.(check string) "string elem" "x" (Json.to_string_exn z)
+  | _ -> Alcotest.fail "wrong list shape");
+  Alcotest.(check bool) "missing member" true (Json.member "zzz" v = None)
+
+(* --- Registry ------------------------------------------------------- *)
+
+let test_counter_semantics () =
+  let r = Registry.create () in
+  let c = Registry.counter r "hits" in
+  Registry.Counter.incr c;
+  Registry.Counter.add c 10;
+  Alcotest.(check int) "value" 11 (Registry.Counter.value c);
+  (* find-or-create returns the same instrument *)
+  let c' = Registry.counter r "hits" in
+  Registry.Counter.incr c';
+  Alcotest.(check int) "shared" 12 (Registry.Counter.value c);
+  Alcotest.(check (option int)) "read by name" (Some 12)
+    (Registry.counter_value r "hits");
+  Alcotest.(check (option int)) "unknown name" None
+    (Registry.counter_value r "nope");
+  (* a name cannot be both a counter and a histogram *)
+  Alcotest.check_raises "kind conflict"
+    (Invalid_argument "Registry.histogram: hits exists as a counter")
+    (fun () -> ignore (Registry.histogram r "hits"))
+
+let test_histogram_semantics () =
+  let r = Registry.create () in
+  let h = Registry.histogram r "lat" in
+  List.iter (Registry.Histogram.observe h) [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check int) "count" 5 (Registry.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Registry.Histogram.mean h);
+  Alcotest.(check int) "p50" 5 (Registry.Histogram.percentile h 50.0);
+  Alcotest.(check int) "max" 9 (Registry.Histogram.max_value h);
+  (* p95 of 100 observations 1..100 is 95 under nearest-rank *)
+  let h2 = Registry.histogram r "lat2" in
+  for i = 1 to 100 do
+    Registry.Histogram.observe h2 i
+  done;
+  Alcotest.(check int) "p95" 95 (Registry.Histogram.percentile h2 95.0)
+
+let test_registry_scoping () =
+  let root = Registry.create () in
+  let a = Registry.scope root "levioso" in
+  let b = Registry.scope root "fence" in
+  Registry.Counter.add (Registry.counter a "stalls") 3;
+  Registry.Counter.add (Registry.counter b "stalls") 8;
+  (* same relative name, distinct instruments *)
+  Alcotest.(check (option int)) "scope a" (Some 3)
+    (Registry.counter_value a "stalls");
+  Alcotest.(check (option int)) "scope b" (Some 8)
+    (Registry.counter_value b "stalls");
+  Alcotest.(check (option int)) "root sees full name" (Some 3)
+    (Registry.counter_value root "levioso/stalls");
+  (* root enumerates both; each scope only itself, names stripped *)
+  Alcotest.(check (list string))
+    "root names"
+    [ "fence/stalls"; "levioso/stalls" ]
+    (Registry.names root);
+  Alcotest.(check (list string)) "scoped names" [ "stalls" ] (Registry.names a);
+  (* reset is scope-local *)
+  Registry.reset a;
+  Alcotest.(check (option int)) "reset a" (Some 0)
+    (Registry.counter_value a "stalls");
+  Alcotest.(check (option int)) "b untouched" (Some 8)
+    (Registry.counter_value b "stalls")
+
+let test_registry_json () =
+  let r = Registry.create () in
+  Registry.Counter.add (Registry.counter r "c") 4;
+  Registry.Histogram.observe (Registry.histogram r "h") 10;
+  let j = Registry.to_json r in
+  Alcotest.(check int) "counter field" 4 (Json.to_int_exn (Json.member_exn "c" j));
+  let h = Json.member_exn "h" j in
+  Alcotest.(check int) "hist count" 1
+    (Json.to_int_exn (Json.member_exn "count" h));
+  Alcotest.(check int) "hist p95" 10 (Json.to_int_exn (Json.member_exn "p95" h))
+
+(* --- Stall attribution ---------------------------------------------- *)
+
+let test_stall_table () =
+  let t = Stall.create ~num_pcs:8 in
+  for _ = 1 to 5 do
+    Stall.charge t ~cause:Stall.Policy_gate ~pc:3
+  done;
+  for _ = 1 to 2 do
+    Stall.charge t ~cause:Stall.Operand_wait ~pc:3
+  done;
+  Stall.charge t ~cause:Stall.Rob_full ~pc:0;
+  Alcotest.(check int) "total" 8 (Stall.total t);
+  Alcotest.(check int) "policy gate" 5 (Stall.count t Stall.Policy_gate);
+  Alcotest.(check int) "per pc" 7 (Stall.per_pc_total t ~pc:3);
+  (match Stall.top_k t ~k:2 with
+  | [ (3, 7, causes); (0, 1, _) ] ->
+    Alcotest.(check int) "cause split" 5 (List.assoc Stall.Policy_gate causes)
+  | other ->
+    Alcotest.failf "unexpected top_k shape (%d entries)" (List.length other));
+  Alcotest.check_raises "pc bounds"
+    (Invalid_argument "Stall.charge: pc 9 out of range") (fun () ->
+      Stall.charge t ~cause:Stall.Exec_port ~pc:9)
+
+(* A loop with a data-dependent branch and loads, so every policy has
+   something to restrict. *)
+let kernel_src =
+  {|
+    mov r1, #0
+    mov r2, #0
+  head:
+    bge r1, #48, out
+    load r3, [r1 + #256]
+    blt r3, #6, skip
+    load r4, [r3 + #512]
+    add r2, r2, r4
+  skip:
+    add r1, r1, #1
+    jump head
+  out:
+    halt
+  |}
+
+let run_kernel policy =
+  let program = Parser.parse_exn kernel_src in
+  let config = { Config.default with Config.mem_words = 65536 } in
+  let pipe =
+    Pipeline.create
+      ~mem_init:(fun mem ->
+        for i = 0 to 63 do
+          mem.(256 + i) <- (i * 13) mod 11
+        done)
+      config
+      ~policy:(Policy_registry.find_exn policy)
+      program
+  in
+  Pipeline.run pipe;
+  pipe
+
+(* The invariant the JSON stall breakdown advertises: the Policy_gate
+   charges are exactly the cycles the legacy counter observed — every
+   per-cycle policy refusal is attributed, and nothing else lands in
+   that bucket. *)
+let test_attribution_matches_policy_stalls () =
+  List.iter
+    (fun policy ->
+      let pipe = run_kernel policy in
+      let stats = Pipeline.stats pipe in
+      let stall = Pipeline.stall_attribution pipe in
+      Alcotest.(check int)
+        (policy ^ ": policy_gate = policy_stall_cycles")
+        stats.Sim_stats.policy_stall_cycles
+        (Stall.count stall Stall.Policy_gate);
+      Alcotest.(check int)
+        (policy ^ ": by_cause sums to total")
+        (Stall.total stall)
+        (List.fold_left ( + ) 0 (List.map snd (Stall.by_cause stall))))
+    [ "unsafe"; "fence"; "delay"; "levioso" ]
+
+let test_attribution_unsafe_has_no_policy_gate () =
+  let stall = Pipeline.stall_attribution (run_kernel "unsafe") in
+  Alcotest.(check int) "no gate charges" 0 (Stall.count stall Stall.Policy_gate);
+  Alcotest.(check bool) "but stalls exist" true (Stall.total stall > 0)
+
+let test_attribution_per_pc_consistency () =
+  let stall = Pipeline.stall_attribution (run_kernel "delay") in
+  let program_len = List.length (String.split_on_char '\n' kernel_src) in
+  let sum = ref 0 in
+  for pc = 0 to program_len do
+    sum := !sum + Stall.per_pc_total stall ~pc
+  done;
+  Alcotest.(check int) "per-pc totals sum to total" (Stall.total stall) !sum;
+  (* top_k is sorted descending and bounded *)
+  let top = Stall.top_k stall ~k:3 in
+  Alcotest.(check bool) "at most k" true (List.length top <= 3);
+  let totals = List.map (fun (_, t, _) -> t) top in
+  Alcotest.(check (list int)) "descending" (List.sort (fun a b -> compare b a) totals) totals
+
+(* --- Trace sinks ---------------------------------------------------- *)
+
+let mk_event i =
+  { Trace.cycle = i; seq = i; pc = i mod 7; stage = "issue"; args = [] }
+
+let test_trace_sampling () =
+  let got = ref [] in
+  let sink = Trace.of_fn ~every:3 (fun e -> got := e.Trace.cycle :: !got) in
+  for i = 0 to 9 do
+    Trace.emit sink (mk_event i)
+  done;
+  Trace.close sink;
+  Alcotest.(check (list int)) "kept every 3rd" [ 0; 3; 6; 9 ] (List.rev !got);
+  Alcotest.(check int) "seen" 10 (Trace.seen sink);
+  Alcotest.(check int) "written" 4 (Trace.written sink)
+
+let with_temp_trace ~format ~every emit_n =
+  let file = Filename.temp_file "levioso_trace" ".out" in
+  let oc = open_out file in
+  let sink = Trace.to_channel ~every ~format oc in
+  Trace.begin_process sink ~name:"test/run";
+  for i = 0 to emit_n - 1 do
+    Trace.emit sink (mk_event i)
+  done;
+  Trace.close sink;
+  close_out oc;
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  Sys.remove file;
+  contents
+
+let test_trace_chrome_format () =
+  let contents = with_temp_trace ~format:Trace.Chrome ~every:1 5 in
+  let j = Json.of_string_exn contents in
+  let events = Json.to_list_exn (Json.member_exn "traceEvents" j) in
+  (* 1 process_name metadata record + 5 events *)
+  Alcotest.(check int) "event count" 6 (List.length events);
+  let meta = List.hd events in
+  Alcotest.(check string) "metadata" "process_name"
+    (Json.to_string_exn (Json.member_exn "name" meta));
+  let e = List.nth events 1 in
+  Alcotest.(check string) "ph" "X" (Json.to_string_exn (Json.member_exn "ph" e));
+  Alcotest.(check int) "ts" 0 (Json.to_int_exn (Json.member_exn "ts" e))
+
+let test_trace_jsonl_format () =
+  let contents = with_temp_trace ~format:Trace.Jsonl ~every:2 6 in
+  let lines =
+    String.split_on_char '\n' contents |> List.filter (fun l -> l <> "")
+  in
+  (* 1 process line + events 0, 2, 4 *)
+  Alcotest.(check int) "line count" 4 (List.length lines);
+  List.iter
+    (fun l ->
+      match Json.of_string l with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "unparseable line %s: %s" l e)
+    lines
+
+let test_format_of_filename () =
+  Alcotest.(check bool) "jsonl" true
+    (Trace.format_of_filename "t.jsonl" = Trace.Jsonl);
+  Alcotest.(check bool) "json" true
+    (Trace.format_of_filename "t.json" = Trace.Chrome)
+
+(* --- machine-readable summary (the --json schema) -------------------- *)
+
+let test_summary_golden_keys () =
+  let pipe = run_kernel "levioso" in
+  let text =
+    Json.to_string
+      (Summary.runs [ Summary.of_pipeline ~workload:"kernel" ~policy:"levioso" pipe ])
+  in
+  (* must survive a print/parse roundtrip *)
+  let j = Json.of_string_exn text in
+  let run = List.hd (Json.to_list_exn (Json.member_exn "runs" j)) in
+  Alcotest.(check string) "workload" "kernel"
+    (Json.to_string_exn (Json.member_exn "workload" run));
+  let stats = Json.member_exn "stats" run in
+  List.iter
+    (fun key -> ignore (Json.to_int_exn (Json.member_exn key stats)))
+    [
+      "cycles"; "committed"; "mispredicts"; "policy_stall_cycles";
+      "transmit_stall_cycles"; "wrong_path_transmits"; "max_rob_occupancy";
+    ];
+  Alcotest.(check bool) "ipc positive" true
+    (Json.to_float_exn (Json.member_exn "ipc" stats) > 0.0);
+  let cache = Json.member_exn "cache" run in
+  List.iter
+    (fun key -> ignore (Json.to_int_exn (Json.member_exn key cache)))
+    [ "l1_hits"; "l1_misses"; "l2_hits"; "l2_misses" ];
+  let by_cause = Json.member_exn "by_cause" (Json.member_exn "stalls" run) in
+  let cause_sum =
+    List.fold_left
+      (fun acc c ->
+        acc
+        + Json.to_int_exn (Json.member_exn (Stall.cause_to_string c) by_cause))
+      0 Stall.all_causes
+  in
+  Alcotest.(check int) "stall sum consistent"
+    (Json.to_int_exn
+       (Json.member_exn "total" (Json.member_exn "stalls" run)))
+    cause_sum;
+  (* the acceptance-criterion consistency: gate charges = legacy counter *)
+  Alcotest.(check int) "gate = policy_stall_cycles"
+    (Json.to_int_exn (Json.member_exn "policy_stall_cycles" stats))
+    (Json.to_int_exn (Json.member_exn "policy_gate" by_cause))
+
+(* --- O(1) wrong-path transmit recording ------------------------------ *)
+
+let test_wrong_path_counter_tracks_length () =
+  let s = Sim_stats.create () in
+  for i = 0 to 99 do
+    Sim_stats.record_wrong_path_transmit s ~branch_pc:i ~pc:i
+  done;
+  Alcotest.(check int) "count field" 100 s.Sim_stats.wrong_path_transmit_count;
+  Alcotest.(check int) "list length" 100
+    (List.length s.Sim_stats.wrong_path_transmits)
+
+let suite =
+  ( "telemetry",
+    [
+      Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+      Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+      Alcotest.test_case "json accessors" `Quick test_json_accessors;
+      Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+      Alcotest.test_case "histogram semantics" `Quick test_histogram_semantics;
+      Alcotest.test_case "registry scoping" `Quick test_registry_scoping;
+      Alcotest.test_case "registry json" `Quick test_registry_json;
+      Alcotest.test_case "stall table" `Quick test_stall_table;
+      Alcotest.test_case "attribution = policy stalls" `Quick
+        test_attribution_matches_policy_stalls;
+      Alcotest.test_case "unsafe has no gate charges" `Quick
+        test_attribution_unsafe_has_no_policy_gate;
+      Alcotest.test_case "per-pc consistency" `Quick
+        test_attribution_per_pc_consistency;
+      Alcotest.test_case "trace sampling" `Quick test_trace_sampling;
+      Alcotest.test_case "trace chrome format" `Quick test_trace_chrome_format;
+      Alcotest.test_case "trace jsonl format" `Quick test_trace_jsonl_format;
+      Alcotest.test_case "trace format by extension" `Quick
+        test_format_of_filename;
+      Alcotest.test_case "summary golden keys" `Quick test_summary_golden_keys;
+      Alcotest.test_case "wrong-path record is O(1)" `Quick
+        test_wrong_path_counter_tracks_length;
+    ] )
