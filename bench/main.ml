@@ -7,7 +7,20 @@
      dune exec bench/main.exe -- --only fig3 --only table2
      dune exec bench/main.exe -- --quick    # subsampled workloads
      dune exec bench/main.exe -- --bechamel # micro-benchmarks too
-     dune exec bench/main.exe -- --json results.json  # machine-readable *)
+     dune exec bench/main.exe -- --json results.json  # machine-readable
+     dune exec bench/main.exe -- -j 8       # matrix on 8 domains
+     dune exec bench/main.exe -- --no-cache # ignore bench/.cache
+
+   Every (config, workload, policy) simulation the figures need is
+   independent, so the matrix is computed up front on a domain pool
+   (-j N, default all cores) and memoized; figures then only read the
+   memo.  Results are deterministic: -j N output is bit-identical to
+   -j 1.  Finished cells are also persisted under bench/.cache keyed by
+   config digest + workload + policy + a digest of this executable, so
+   a warm re-run (e.g. --only fig3 after a full run) replays from disk
+   instead of re-simulating; any rebuild or config change misses.  Each
+   run also drops BENCH_matrix.json (per-cell wall clock + totals) in
+   the working directory. *)
 
 module Config = Levioso_uarch.Config
 module Pipeline = Levioso_uarch.Pipeline
@@ -23,19 +36,41 @@ module Gadget = Levioso_attack.Gadget
 module Harness = Levioso_attack.Harness
 module Report = Levioso_util.Report
 module Stats = Levioso_util.Stats
+module Parallel = Levioso_util.Parallel
+module Run_cache = Levioso_uarch.Run_cache
 
 let quick = ref false
 let only : string list ref = ref []
 let run_bechamel = ref false
 let json_out : string option ref = ref None
+let jobs = ref 0 (* 0 = auto: Domain.recommended_domain_count *)
+let use_cache = ref true
+let cache_dir = ref (Filename.concat "bench" ".cache")
+
+let effective_jobs () = if !jobs > 0 then !jobs else Parallel.default_size ()
 
 let workloads () =
   if !quick then List.filteri (fun i _ -> i mod 2 = 0) Suite.all else Suite.all
 
 let paper_schemes = Registry.paper_schemes
 
+(* sweep axes, shared between the figures and the parallel prefetch *)
+let fig5_sizes () = if !quick then [ 48; 96 ] else [ 48; 96; 192 ]
+
+let fig6_predictors =
+  [ Config.Always_taken; Config.Bimodal; Config.Gshare; Config.Tage ]
+
+let fig7_budgets () = if !quick then [ 1; 8 ] else [ 1; 2; 4; 8; 16 ]
+let sweep_schemes = [ "delay"; "dom"; "stt"; "levioso" ]
+
+let fig8_schemes =
+  [
+    "fence"; "delay"; "dom"; "stt"; "nda"; "levioso-static"; "levioso";
+    "levioso-ctrl";
+  ]
+
 (* ------------------------------------------------------------------ *)
-(* shared simulation matrix: one run per (workload, policy)           *)
+(* shared simulation matrix: one run per (config, workload, policy)   *)
 (* ------------------------------------------------------------------ *)
 
 let run_cell config (w : Workload.t) policy =
@@ -46,35 +81,137 @@ let run_cell config (w : Workload.t) policy =
   Pipeline.run pipe;
   pipe
 
-let run_stats config w policy = Pipeline.stats (run_cell config w policy)
-
 (* Pipelines are too big to cache whole (8 MB of simulated memory each),
    so each cell keeps its counters plus the machine-readable summary the
-   --json report reuses. *)
-type cell_result = { stats : Sim_stats.t; summary : Json.t }
+   --json report and the on-disk cache reuse. *)
+type cell_result = {
+  stats : Sim_stats.t;
+  summary : Json.t;
+  wall_s : float;
+  source : string; (* "sim" | "disk" *)
+}
 
-let matrix : (string * string, cell_result) Hashtbl.t = Hashtbl.create 64
+let matrix : (Config.t * string * string, cell_result) Hashtbl.t =
+  Hashtbl.create 256
 
-(* default-config runs are cached so figures 2/3/4/7 share them *)
-let cell w policy =
-  let key = (w.Workload.name, policy) in
-  match Hashtbl.find_opt matrix key with
+let matrix_mutex = Mutex.create ()
+let disk : Run_cache.t option ref = ref None
+
+let simulate config (w : Workload.t) policy =
+  let t0 = Unix.gettimeofday () in
+  let pipe = run_cell config w policy in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  {
+    stats = Pipeline.stats pipe;
+    summary = Summary.of_pipeline ~workload:w.Workload.name ~policy pipe;
+    wall_s;
+    source = "sim";
+  }
+
+let compute_cell config (w : Workload.t) policy =
+  match !disk with
+  | None -> simulate config w policy
+  | Some cache -> (
+    let workload = w.Workload.name in
+    let fresh () =
+      let c = simulate config w policy in
+      Run_cache.store cache ~config ~workload ~policy c.summary;
+      c
+    in
+    let t0 = Unix.gettimeofday () in
+    match Run_cache.find cache ~config ~workload ~policy with
+    | None -> fresh ()
+    | Some summary -> (
+      (* the stored summary carries everything the figures read *)
+      match Option.map Sim_stats.of_json (Json.member "stats" summary) with
+      | Some (Ok stats) ->
+        { stats; summary; wall_s = Unix.gettimeofday () -. t0; source = "disk" }
+      | Some (Error _) | None -> fresh ()))
+
+(* Memoized, thread-safe access: the simulation itself runs outside the
+   lock (the prefetch pass deduplicates keys, so no cell is computed
+   twice), and figures running after the prefetch hit the memo. *)
+let get_cell config (w : Workload.t) policy =
+  let key = (config, w.Workload.name, policy) in
+  match Mutex.protect matrix_mutex (fun () -> Hashtbl.find_opt matrix key) with
   | Some c -> c
   | None ->
-    let pipe = run_cell Config.default w policy in
-    let c =
-      {
-        stats = Pipeline.stats pipe;
-        summary =
-          Summary.of_pipeline ~workload:w.Workload.name ~policy pipe;
-      }
-    in
-    Hashtbl.replace matrix key c;
-    c
+    let c = compute_cell config w policy in
+    Mutex.protect matrix_mutex (fun () ->
+        match Hashtbl.find_opt matrix key with
+        | Some first -> first
+        | None ->
+          Hashtbl.replace matrix key c;
+          c)
+
+let cell w policy = get_cell Config.default w policy
+let run_stats config w policy = (get_cell config w policy).stats
 
 let norm_time w policy =
   let base = (cell w "unsafe").stats.Sim_stats.cycles in
   float_of_int (cell w policy).stats.Sim_stats.cycles /. float_of_int base
+
+(* Exactly the cells each experiment reads — the parallel prefetch must
+   neither miss one (it would serialize into the figure) nor invent one
+   (the --json export would differ between -j 1 and -j N). *)
+let cells_of id =
+  let ws = workloads () in
+  let cross configs ws ps =
+    List.concat_map
+      (fun c -> List.concat_map (fun w -> List.map (fun p -> (c, w, p)) ps) ws)
+      configs
+  in
+  let dflt ps = cross [ Config.default ] ws ps in
+  match id with
+  | "fig2" -> dflt [ "delay"; "levioso" ]
+  | "fig3" -> dflt (("unsafe" :: paper_schemes) @ [ "levioso-ctrl" ])
+  | "fig4" -> dflt paper_schemes
+  | "fig5" ->
+    cross
+      (List.map
+         (fun n -> { Config.default with Config.rob_size = n })
+         (fig5_sizes ()))
+      ws
+      ("unsafe" :: sweep_schemes)
+  | "fig6" ->
+    cross
+      (List.map
+         (fun p -> { Config.default with Config.predictor = p })
+         fig6_predictors)
+      ws
+      ("unsafe" :: sweep_schemes)
+  | "fig7" ->
+    cross
+      (List.map
+         (fun k -> { Config.default with Config.depset_budget = k })
+         (fig7_budgets ()))
+      ws [ "levioso" ]
+    @ dflt [ "unsafe"; "levioso-ctrl"; "levioso-static"; "delay" ]
+  | "fig8" -> dflt ("unsafe" :: fig8_schemes)
+  | "fig9" ->
+    cross [ Config.default ] Levioso_workload.Levsuite.all
+      ("unsafe" :: paper_schemes)
+  | _ -> []
+
+let prefetch_matrix ids =
+  let seen = Hashtbl.create 256 in
+  let todo =
+    List.filter
+      (fun ((c, w, p) : Config.t * Workload.t * string) ->
+        let key = (c, w.Workload.name, p) in
+        if Hashtbl.mem seen key || Hashtbl.mem matrix key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      (List.concat_map cells_of ids)
+  in
+  let n = effective_jobs () in
+  if n > 1 && List.length todo > 1 then
+    Parallel.with_pool ~size:n (fun pool ->
+        Parallel.iter pool
+          (fun (c, w, p) -> ignore (get_cell c w p : cell_result))
+          todo)
 
 (* ------------------------------------------------------------------ *)
 (* experiments                                                         *)
@@ -264,13 +401,12 @@ let print_sweep ~title ~axis configs schemes =
   print_endline (Report.table ~header:(axis :: schemes) ~rows)
 
 let fig5 () =
-  let sizes = if !quick then [ 48; 96 ] else [ 48; 96; 192 ] in
   print_sweep ~title:"fig5: sensitivity — geomean normalized time vs ROB size"
     ~axis:"ROB"
     (List.map
        (fun n -> (string_of_int n, { Config.default with Config.rob_size = n }))
-       sizes)
-    [ "delay"; "dom"; "stt"; "levioso" ]
+       (fig5_sizes ()))
+    sweep_schemes
 
 let fig6 () =
   print_sweep
@@ -280,13 +416,13 @@ let fig6 () =
        (fun p ->
          ( Config.predictor_kind_to_string p,
            { Config.default with Config.predictor = p } ))
-       [ Config.Always_taken; Config.Bimodal; Config.Gshare; Config.Tage ])
-    [ "delay"; "dom"; "stt"; "levioso" ]
+       fig6_predictors)
+    sweep_schemes
 
 let fig7 () =
   print_endline
     (Report.section "fig7: ablation — Levioso dependency-set hardware budget");
-  let budgets = if !quick then [ 1; 8 ] else [ 1; 2; 4; 8; 16 ] in
+  let budgets = fig7_budgets () in
   let rows =
     List.map
       (fun k ->
@@ -325,17 +461,11 @@ let fig8 () =
   print_endline
     (Report.section
        "fig8 (appendix): the full defense spectrum — geomean normalized time");
-  let all_schemes =
-    [
-      "fence"; "delay"; "dom"; "stt"; "nda"; "levioso-static"; "levioso";
-      "levioso-ctrl";
-    ]
-  in
   let series =
     List.map
       (fun p ->
         (p, Stats.geomean (List.map (fun w -> norm_time w p) (workloads ()))))
-      all_schemes
+      fig8_schemes
   in
   print_endline
     (Report.bar_chart ~title:"geomean normalized execution time (1.0 = unsafe)" ()
@@ -379,7 +509,31 @@ let fig9 () =
 (* bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* The pipeline hot-loop regression check: simulated cycles per second of
+   wall clock, on cells covering both cheap (unsafe) and query-heavy
+   (delay/stt/levioso consult the unresolved-branch view every cycle)
+   policies. *)
+let sim_speed () =
+  print_endline
+    (Report.section "bech: simulator throughput (simulated cycles per second)");
+  List.iter
+    (fun (wname, policy) ->
+      let w = Suite.find_exn wname in
+      let t0 = Unix.gettimeofday () in
+      let pipe = run_cell Config.default w policy in
+      let wall = Unix.gettimeofday () -. t0 in
+      let cyc = (Pipeline.stats pipe).Sim_stats.cycles in
+      Printf.printf "  %-10s %-10s %9d cyc  %7.2f Mcyc/s\n" wname policy cyc
+        (float_of_int cyc /. wall /. 1e6))
+    [
+      ("matmul", "unsafe");
+      ("matmul", "levioso");
+      ("graph", "delay");
+      ("compact", "stt");
+    ]
+
 let bechamel () =
+  sim_speed ();
   print_endline (Report.section "bech: simulator micro-benchmarks (Bechamel)");
   let open Bechamel in
   let open Toolkit in
@@ -445,6 +599,50 @@ let experiments =
     ("fig9", fig9);
   ]
 
+(* BENCH_matrix.json: the run's trajectory artifact — per-cell wall clock
+   and provenance (simulated vs replayed from bench/.cache) plus totals.
+   Timing-only by design: the deterministic results live in --json. *)
+let write_bench_matrix ~total_wall_s =
+  let cells =
+    Hashtbl.fold (fun key c acc -> (key, c) :: acc) matrix []
+    |> List.sort (fun ((c1, w1, p1), _) ((c2, w2, p2), _) ->
+           compare (w1, p1, c1) (w2, p2, c2))
+  in
+  let entry ((config, w, p), c) =
+    Json.Obj
+      [
+        ("workload", Json.String w);
+        ("policy", Json.String p);
+        ("config", Json.String (Run_cache.config_key config));
+        ("default_config", Json.Bool (config = Config.default));
+        ("cycles", Json.Int c.stats.Sim_stats.cycles);
+        ("wall_s", Json.Float c.wall_s);
+        ("source", Json.String c.source);
+      ]
+  in
+  let simulated = List.filter (fun (_, c) -> c.source = "sim") cells in
+  let artifact =
+    Json.Obj
+      [
+        ("schema", Json.String "levioso-bench-matrix/v1");
+        ("jobs", Json.Int (effective_jobs ()));
+        ("cache", Json.Bool (!disk <> None));
+        ("quick", Json.Bool !quick);
+        ("cells", Json.Int (List.length cells));
+        ("simulated", Json.Int (List.length simulated));
+        ("replayed", Json.Int (List.length cells - List.length simulated));
+        ( "cell_wall_s",
+          Json.Float (List.fold_left (fun a (_, c) -> a +. c.wall_s) 0.0 cells)
+        );
+        ("total_wall_s", Json.Float total_wall_s);
+        ("matrix", Json.List (List.map entry cells));
+      ]
+  in
+  let oc = open_out "BENCH_matrix.json" in
+  Json.to_channel oc artifact;
+  output_char oc '\n';
+  close_out oc
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse = function
@@ -461,6 +659,23 @@ let () =
     | "--json" :: file :: rest ->
       json_out := Some file;
       parse rest
+    | ("-j" | "--jobs") :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 0 -> jobs := n
+      | Some _ | None ->
+        prerr_endline "-j expects a non-negative integer (0 = auto)";
+        exit 2);
+      parse rest
+    | "--cache" :: rest ->
+      use_cache := true;
+      parse rest
+    | "--no-cache" :: rest ->
+      use_cache := false;
+      parse rest
+    | "--cache-dir" :: dir :: rest ->
+      cache_dir := dir;
+      use_cache := true;
+      parse rest
     | "--list" :: _ ->
       List.iter (fun (id, _) -> print_endline id) experiments;
       print_endline "bech";
@@ -470,16 +685,25 @@ let () =
       exit 2
   in
   parse args;
+  if !use_cache then disk := Some (Run_cache.create ~dir:!cache_dir ());
+  let t_start = Unix.gettimeofday () in
   let selected id = !only = [] || List.mem id !only in
+  let ids = List.filter_map (fun (id, _) -> if selected id then Some id else None) experiments in
+  (* Fill the matrix on the domain pool before any figure prints; the
+     figures then read memoized cells in deterministic order. *)
+  prefetch_matrix ids;
   List.iter (fun (id, f) -> if selected id then f ()) experiments;
-  (* every cached default-config cell, with its stall breakdown, through
-     the same serializer levioso_sim --json uses *)
+  (* every default-config cell, with its stall breakdown, through the
+     same serializer levioso_sim --json uses *)
   (match !json_out with
   | None -> ()
   | Some file ->
     let cells =
-      Hashtbl.fold (fun key c acc -> (key, c.summary) :: acc) matrix []
-      |> List.sort compare
+      Hashtbl.fold
+        (fun (config, w, p) c acc ->
+          if config = Config.default then ((w, p), c.summary) :: acc else acc)
+        matrix []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
       |> List.map snd
     in
     let oc = open_out file in
@@ -487,6 +711,7 @@ let () =
     output_char oc '\n';
     close_out oc;
     Printf.printf "\nwrote %d run summaries to %s\n" (List.length cells) file);
+  write_bench_matrix ~total_wall_s:(Unix.gettimeofday () -. t_start);
   (* micro-benchmarks run on full sweeps by default; skip with --quick *)
   if
     !run_bechamel || List.mem "bech" !only

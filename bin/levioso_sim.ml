@@ -6,7 +6,14 @@
      levioso_sim -w stream -p levioso -v  # one cell, verbose stats
      levioso_sim -w pchase --rob 384 --predictor bimodal
      levioso_sim -w stream -p unsafe -p levioso --json    # machine-readable
-     levioso_sim -w stream -p levioso --trace-out t.json  # Perfetto trace *)
+     levioso_sim -w stream -p levioso --trace-out t.json  # Perfetto trace
+     levioso_sim -j 8                     # cells on 8 domains
+
+   Every (workload, policy) cell owns all of its mutable state, so the
+   matrix runs on a domain pool (-j, default all cores) with output
+   bit-identical to a serial run.  Tracing interleaves events from one
+   cell at a time, so -j is forced to 1 when --trace/--trace-out is
+   given. *)
 
 module Config = Levioso_uarch.Config
 module Pipeline = Levioso_uarch.Pipeline
@@ -22,6 +29,7 @@ module Workload = Levioso_workload.Workload
 module Suite = Levioso_workload.Suite
 module Report = Levioso_util.Report
 module Stats = Levioso_util.Stats
+module Parallel = Levioso_util.Parallel
 
 let trace_event_of = function
   | Pipeline.Fetched { seq; pc } ->
@@ -59,19 +67,24 @@ let run_one ?(trace = 0) ?sink ~registry config workload policy =
   Pipeline.run pipe;
   pipe
 
-let verbose_report pipe =
+(* Rendered to a string so parallel runs can print cell reports in
+   deterministic workload x policy order after the pool drains. *)
+let verbose_report w p pipe =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "== %s / %s ==\n" w p);
   List.iter
-    (fun (k, v) -> Printf.printf "  %-32s %s\n" k v)
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %s\n" k v))
     (Sim_stats.to_rows (Pipeline.stats pipe));
   List.iter
-    (fun (k, v) -> Printf.printf "  %-32s %d\n" k v)
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %d\n" k v))
     (Cache.Hierarchy.stats (Pipeline.hierarchy pipe));
   List.iter
-    (fun (k, v) -> Printf.printf "  %-32s %s\n" k v)
-    (Stall.to_rows (Pipeline.stall_attribution pipe))
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %s\n" k v))
+    (Stall.to_rows (Pipeline.stall_attribution pipe));
+  Buffer.contents buf
 
 let main workload_names policy_names rob predictor budget verbose trace json
-    trace_out trace_every =
+    trace_out trace_every jobs =
   let config =
     {
       Config.default with
@@ -98,6 +111,7 @@ let main workload_names policy_names rob predictor budget verbose trace json
       names
   in
   if trace_every < 1 then `Error (false, "--trace-every must be >= 1")
+  else if jobs < 0 then `Error (false, "-j expects a non-negative integer")
   else begin
     let trace_channel = Option.map open_out trace_out in
     let sink =
@@ -109,35 +123,64 @@ let main workload_names policy_names rob predictor budget verbose trace json
           Trace.to_channel ~every:trace_every ~format oc)
         trace_channel
     in
-    (* Telemetry instruments from every cell share one root registry,
-       scoped "<workload>/<policy>/..." so concurrent runs stay apart. *)
-    let root = Telemetry.create () in
+    (* Tracing funnels every cell's events into one channel in run
+       order, so it pins the matrix to one domain. *)
+    let jobs =
+      if sink <> None || trace > 0 then 1
+      else if jobs = 0 then Parallel.default_size ()
+      else jobs
+    in
+    let cells =
+      List.concat_map (fun w -> List.map (fun p -> (w, p)) policies) workloads
+    in
+    let run_cell ((w : Workload.t), p) =
+      (match sink with
+      | Some s -> Trace.begin_process s ~name:(w.Workload.name ^ "/" ^ p)
+      | None -> ());
+      (* Each cell gets a private registry scoped "<workload>/<policy>/"
+         — same instrument names as one shared root would give, without
+         cross-domain mutation of a shared table. *)
+      let registry =
+        Telemetry.scope
+          (Telemetry.scope (Telemetry.create ()) w.Workload.name)
+          p
+      in
+      let pipe = run_one ~trace ?sink ~registry config w p in
+      let verbose_text =
+        if verbose then begin
+          let text = verbose_report w.Workload.name p pipe in
+          (* serial runs keep the report interleaved with the cell's
+             trace output, exactly as before *)
+          if jobs = 1 then begin
+            print_string text;
+            None
+          end
+          else Some text
+        end
+        else None
+      in
+      ( p,
+        (Pipeline.stats pipe).Sim_stats.cycles,
+        Summary.of_pipeline ~workload:w.Workload.name ~policy:p pipe,
+        verbose_text )
+    in
+    let results = Parallel.with_pool ~size:jobs (fun pool ->
+        Parallel.map pool run_cell cells)
+    in
+    List.iter
+      (fun (_, _, _, verbose_text) -> Option.iter print_string verbose_text)
+      results;
     let rows =
-      List.map
-        (fun w ->
-          let cells =
-            List.map
-              (fun p ->
-                (match sink with
-                | Some s ->
-                  Trace.begin_process s ~name:(w.Workload.name ^ "/" ^ p)
-                | None -> ());
-                let registry =
-                  Telemetry.scope (Telemetry.scope root w.Workload.name) p
-                in
-                let pipe = run_one ~trace ?sink ~registry config w p in
-                if verbose then begin
-                  Printf.printf "== %s / %s ==\n" w.Workload.name p;
-                  verbose_report pipe
-                end;
-                ( p,
-                  (Pipeline.stats pipe).Sim_stats.cycles,
-                  Summary.of_pipeline ~workload:w.Workload.name ~policy:p pipe
-                ))
-              policies
-          in
-          (w, cells))
-        workloads
+      (* regroup the flat, order-preserved cell list by workload *)
+      let rec chunk = function
+        | [] -> []
+        | results ->
+          let n = List.length policies in
+          let row = List.filteri (fun i _ -> i < n) results in
+          let rest = List.filteri (fun i _ -> i >= n) results in
+          List.map (fun (p, c, s, _) -> (p, c, s)) row :: chunk rest
+      in
+      List.map2 (fun w cells -> (w, cells)) workloads (chunk results)
     in
     (match sink with
     | Some s ->
@@ -260,6 +303,15 @@ let trace_every_arg =
     & info [ "trace-every" ] ~docv:"K"
         ~doc:"Sample the structured trace: keep every K-th event (default 1).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Simulate (workload x policy) cells on $(docv) domains; 0 (the \
+           default) uses every core.  Results are bit-identical to -j 1.  \
+           Tracing (--trace/--trace-out) forces serial execution.")
+
 let cmd =
   let doc = "simulate workloads under secure-speculation defenses" in
   let info = Cmd.info "levioso_sim" ~doc in
@@ -268,6 +320,6 @@ let cmd =
       ret
         (const main $ workloads_arg $ policies_arg $ rob_arg $ predictor_arg
        $ budget_arg $ verbose_arg $ trace_arg $ json_arg $ trace_out_arg
-       $ trace_every_arg))
+       $ trace_every_arg $ jobs_arg))
 
 let () = exit (Cmd.eval cmd)

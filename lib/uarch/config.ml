@@ -119,4 +119,15 @@ let validate t =
   in
   let* () = check (t.mshrs > 0) "mshrs must be positive" in
   let* () = check (t.depset_budget > 0) "depset_budget must be positive" in
+  (* The pipeline's completion calendar schedules every instruction a
+     bounded, positive number of cycles ahead; a zero or negative latency
+     would let a completion land in the cycle being drained. *)
+  let* () =
+    check
+      (t.alu_latency > 0 && t.mul_latency > 0 && t.div_latency > 0
+     && t.branch_exec_latency > 0 && t.forward_latency > 0
+     && t.l1.hit_latency > 0 && t.l2.hit_latency > 0 && t.memory_latency > 0)
+      "execution and memory latencies must be positive"
+  in
+  let* () = check (t.redirect_penalty >= 0) "redirect_penalty must be >= 0" in
   Ok ()

@@ -101,7 +101,21 @@ type t = {
   stats : Sim_stats.t;
   stall : Stall.t;
   reg : Registry.t;
-  completions : (int, int list) Hashtbl.t;
+  (* Completion calendar: a power-of-two ring of buckets indexed by
+     completion cycle.  Sized so the largest configured latency never
+     wraps past an undrained bucket; each bucket keeps its seqs sorted
+     ascending so completion order is deterministic without a per-cycle
+     sort.  Replaces a (cycle -> seq list) Hashtbl whose
+     find_opt/replace double lookup and per-cycle [List.sort compare]
+     dominated the complete phase. *)
+  completions : int list array;
+  completions_mask : int;
+  (* In-flight unresolved conditional branches, ascending by seq.
+     Maintained at dispatch/resolve/squash so the policy-facing queries
+     [exists_older_unresolved_branch] (O(1): compare against the head)
+     and [older_unresolved_branches] (O(branches), not O(window)) no
+     longer rescan the whole ROB per waiting instruction per cycle. *)
+  mutable unresolved_branches : int list;
   mutable tracer : (cycle:int -> event -> unit) option;
 }
 
@@ -137,23 +151,16 @@ let is_unresolved_branch t seq =
   Ir.is_branch e.instr && not e.resolved
 
 let older_unresolved_branches t ~seq =
-  let rec collect s acc =
-    if s >= seq || s >= t.tail_seq then List.rev acc
-    else
-      let e = entry_exn t s in
-      let acc = if Ir.is_branch e.instr && not e.resolved then s :: acc else acc in
-      collect (s + 1) acc
+  let rec take = function
+    | s :: rest when s < seq -> s :: take rest
+    | _ :: _ | [] -> []
   in
-  collect t.head_seq []
+  take t.unresolved_branches
 
 let exists_older_unresolved_branch t ~seq =
-  let rec scan s =
-    if s >= seq || s >= t.tail_seq then false
-    else
-      let e = entry_exn t s in
-      (Ir.is_branch e.instr && not e.resolved) || scan (s + 1)
-  in
-  scan t.head_seq
+  match t.unresolved_branches with
+  | [] -> false
+  | oldest :: _ -> oldest < seq
 
 let producers_of t seq = (entry_exn t seq).producers
 
@@ -262,6 +269,9 @@ let dispatch_one t =
   in
   t.slots.(slot_of t seq) <- Some e;
   t.tail_seq <- seq + 1;
+  (* [seq] exceeds every in-flight seq, so appending keeps the list
+     ascending; squash trims it back before any seq is reused. *)
+  if is_br then t.unresolved_branches <- t.unresolved_branches @ [ seq ];
   t.stats.Sim_stats.fetched <- t.stats.Sim_stats.fetched + 1;
   emit t (Fetched { seq; pc });
   (* Rename the destination after capturing sources. *)
@@ -331,6 +341,8 @@ let squash t ~boundary =
     t.slots.(slot_of t seq) <- None
   done;
   t.tail_seq <- boundary + 1;
+  t.unresolved_branches <-
+    List.filter (fun s -> s <= boundary) t.unresolved_branches;
   (* Restore the rename table from the branch's snapshot, dropping mappings
      whose producers have committed meanwhile (their values are in the
      register file). *)
@@ -345,12 +357,21 @@ let squash t ~boundary =
 
 (* --- completion ----------------------------------------------------- *)
 
+(* Ascending insert: buckets hold at most a few seqs (one issue group's
+   worth), so this beats sorting the whole bucket when it drains. *)
+let rec insert_sorted (seq : int) = function
+  | [] -> [ seq ]
+  | x :: _ as l when seq <= x -> seq :: l
+  | x :: rest -> x :: insert_sorted seq rest
+
 let schedule_completion t seq done_cycle =
-  let existing = Option.value ~default:[] (Hashtbl.find_opt t.completions done_cycle) in
-  Hashtbl.replace t.completions done_cycle (seq :: existing)
+  let b = done_cycle land t.completions_mask in
+  t.completions.(b) <- insert_sorted seq t.completions.(b)
 
 let resolve_branch t e =
   e.resolved <- true;
+  t.unresolved_branches <-
+    List.filter (fun s -> s <> e.seq) t.unresolved_branches;
   emit t
     (Branch_resolved
        {
@@ -376,13 +397,13 @@ let resolve_branch t e =
   end
 
 let complete t =
-  match Hashtbl.find_opt t.completions t.cyc with
-  | None -> ()
-  | Some seqs ->
-    Hashtbl.remove t.completions t.cyc;
-    (* Oldest first so that the oldest mispredicted branch squashes the
-       younger ones before they act. *)
-    let seqs = List.sort compare seqs in
+  let b = t.cyc land t.completions_mask in
+  match t.completions.(b) with
+  | [] -> ()
+  | seqs ->
+    t.completions.(b) <- [];
+    (* Buckets are kept sorted ascending at insertion, so the oldest
+       mispredicted branch squashes the younger ones before they act. *)
     List.iter
       (fun seq ->
         if in_flight t seq then
@@ -638,6 +659,28 @@ let run ?(max_cycles = 100_000_000) ?(deadlock_window = 100_000) t =
               t.policy.policy_name))
   done
 
+(* Smallest power of two strictly greater than the largest latency any
+   instruction can be scheduled with (all latencies come from the config,
+   which [validate] requires to be positive), so a bucket is always
+   drained before the wheel can wrap back onto it. *)
+let completion_wheel_size cfg =
+  let open Config in
+  let worst =
+    List.fold_left max 1
+      [
+        cfg.alu_latency;
+        cfg.mul_latency;
+        cfg.div_latency;
+        cfg.branch_exec_latency;
+        cfg.forward_latency;
+        cfg.l1.hit_latency;
+        cfg.l2.hit_latency;
+        cfg.memory_latency;
+      ]
+  in
+  let rec pow2 n = if n > worst then n else pow2 (2 * n) in
+  pow2 1
+
 let create ?(mem_init = fun _ -> ()) ?registry cfg ~policy program =
   (match Config.validate cfg with
   | Ok () -> ()
@@ -673,7 +716,9 @@ let create ?(mem_init = fun _ -> ()) ?registry cfg ~policy program =
       stats = Sim_stats.create ();
       stall = Stall.create ~num_pcs:(Array.length program);
       reg;
-      completions = Hashtbl.create 64;
+      completions = Array.make (completion_wheel_size cfg) [];
+      completions_mask = completion_wheel_size cfg - 1;
+      unresolved_branches = [];
       tracer = None;
     }
   in

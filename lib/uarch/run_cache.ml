@@ -1,0 +1,57 @@
+module Json = Levioso_telemetry.Json
+
+type t = { dir : string; stamp : string }
+
+let code_stamp_memo =
+  lazy
+    (try Digest.to_hex (Digest.file Sys.executable_name)
+     with Sys_error _ -> "unstamped")
+
+let code_stamp () = Lazy.force code_stamp_memo
+
+let config_key (config : Config.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string config []))
+
+let create ?stamp ~dir () =
+  let stamp =
+    match stamp with
+    | Some s -> s
+    | None -> code_stamp ()
+  in
+  { dir; stamp }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let path t ~config ~workload ~policy =
+  let key =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\x00" [ config_key config; workload; policy; t.stamp ]))
+  in
+  (* The readable prefix is cosmetic (workload/policy names are [a-z0-9-]);
+     the digest alone distinguishes entries. *)
+  Filename.concat t.dir
+    (Printf.sprintf "%s__%s__%s.json" workload policy (String.sub key 0 16))
+
+let find t ~config ~workload ~policy =
+  let file = path t ~config ~workload ~policy in
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception Sys_error _ -> None
+  | contents -> (
+    match Json.of_string contents with
+    | Ok j -> Some j
+    | Error _ -> None)
+
+let store t ~config ~workload ~policy summary =
+  mkdir_p t.dir;
+  let file = path t ~config ~workload ~policy in
+  let tmp = file ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Json.to_channel oc summary;
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp file

@@ -1,0 +1,40 @@
+(** On-disk cache of finished (config, workload, policy) run summaries.
+
+    One JSON file per simulated cell, keyed by a digest of the full
+    microarchitectural {!Config.t}, the workload and policy names, and a
+    {e code-version stamp} (by default a digest of the running
+    executable).  Any config tweak or rebuild therefore misses cleanly —
+    there is no invalidation protocol, just keys that stop matching.
+
+    The payload is whatever {!Summary.of_pipeline} produced, stored and
+    replayed verbatim, so a cache-served [--json] report is bit-identical
+    to a freshly simulated one.  Writes go through a rename so a killed
+    run never leaves a torn file; unreadable or unparsable files are
+    treated as misses. *)
+
+type t
+
+val create : ?stamp:string -> dir:string -> unit -> t
+(** [stamp] defaults to {!code_stamp}.  The directory is created lazily
+    on the first {!store}. *)
+
+val code_stamp : unit -> string
+(** Digest of the running executable ([Sys.executable_name]), memoized.
+    ["unstamped"] when the binary cannot be read. *)
+
+val config_key : Config.t -> string
+(** Hex digest of the marshalled config — every field participates. *)
+
+val path : t -> config:Config.t -> workload:string -> policy:string -> string
+(** The file a cell is stored at (exists or not). *)
+
+val find :
+  t -> config:Config.t -> workload:string -> policy:string ->
+  Levioso_telemetry.Json.t option
+(** [None] on missing, unreadable or unparsable entries. *)
+
+val store :
+  t -> config:Config.t -> workload:string -> policy:string ->
+  Levioso_telemetry.Json.t -> unit
+(** Atomic (write-then-rename).  Concurrent stores of distinct cells are
+    safe; the bench memo table ensures a given cell is stored once. *)

@@ -100,3 +100,31 @@ let to_json t =
       ("wrong_path_transmits_dropped", J.Int t.wrong_path_transmits_dropped);
       ("max_rob_occupancy", J.Int t.max_rob_occupancy);
     ]
+
+let of_json j =
+  let module J = Levioso_telemetry.Json in
+  match
+    let int k = J.to_int_exn (J.member_exn k j) in
+    {
+      cycles = int "cycles";
+      committed = int "committed";
+      committed_loads = int "committed_loads";
+      committed_stores = int "committed_stores";
+      committed_branches = int "committed_branches";
+      committed_transmitters = int "committed_transmitters";
+      fetched = int "fetched";
+      squashed = int "squashed";
+      mispredicts = int "mispredicts";
+      policy_stall_cycles = int "policy_stall_cycles";
+      transmit_stall_cycles = int "transmit_stall_cycles";
+      restricted_committed = int "restricted_committed";
+      restricted_transmitters = int "restricted_transmitters";
+      wrong_path_executed_loads = int "wrong_path_executed_loads";
+      wrong_path_transmits = [];
+      wrong_path_transmit_count = int "wrong_path_transmits";
+      wrong_path_transmits_dropped = int "wrong_path_transmits_dropped";
+      max_rob_occupancy = int "max_rob_occupancy";
+    }
+  with
+  | t -> Ok t
+  | exception Invalid_argument msg -> Error ("Sim_stats.of_json: " ^ msg)

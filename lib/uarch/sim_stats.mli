@@ -47,3 +47,8 @@ val to_rows : t -> (string * string) list
 val to_json : t -> Levioso_telemetry.Json.t
 (** Every counter plus derived [ipc]/[mpki], as a flat object.
     [wrong_path_transmits] serializes as its count, not the pair list. *)
+
+val of_json : Levioso_telemetry.Json.t -> (t, string) result
+(** Inverse of {!to_json}, used by the bench result cache to replay runs
+    without re-simulating.  The [wrong_path_transmits] pair list is not
+    serialized, so it comes back empty; its count round-trips. *)

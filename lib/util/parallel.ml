@@ -1,0 +1,122 @@
+type task = Task of (unit -> unit) | Stop
+
+type t = {
+  pool_size : int;
+  tasks : task Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable workers : unit Domain.t list;
+  mutable stopped : bool;
+}
+
+let default_size () = Domain.recommended_domain_count ()
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.tasks do
+    Condition.wait pool.nonempty pool.mutex
+  done;
+  let task = Queue.pop pool.tasks in
+  Mutex.unlock pool.mutex;
+  match task with
+  | Stop -> ()
+  | Task f ->
+    f ();
+    worker_loop pool
+
+let create ?size () =
+  let size =
+    match size with
+    | Some n -> max 1 n
+    | None -> default_size ()
+  in
+  let pool =
+    {
+      pool_size = size;
+      tasks = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      workers = [];
+      stopped = false;
+    }
+  in
+  if size > 1 then
+    pool.workers <-
+      List.init size (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size t = t.pool_size
+
+let submit t task =
+  Mutex.lock t.mutex;
+  Queue.push task t.tasks;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    List.iter (fun _ -> submit t Stop) t.workers;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+(* One slot per input element; a worker never touches another element's
+   slot, and the caller reads slots only after the countdown says every
+   element is done (synchronized through [done_mutex]), so slot access is
+   race-free. *)
+type 'b slot =
+  | Pending
+  | Value of 'b
+  | Raised of exn * Printexc.raw_backtrace
+
+let map t f xs =
+  if t.stopped then invalid_arg "Parallel.map: pool has been shut down";
+  if t.pool_size <= 1 then List.map f xs
+  else begin
+    let n = List.length xs in
+    if n = 0 then []
+    else begin
+      let slots = Array.make n Pending in
+      let remaining = Atomic.make n in
+      let done_mutex = Mutex.create () in
+      let done_cond = Condition.create () in
+      List.iteri
+        (fun i x ->
+          submit t
+            (Task
+               (fun () ->
+                 (slots.(i) <-
+                   (match f x with
+                   | y -> Value y
+                   | exception e -> Raised (e, Printexc.get_raw_backtrace ())));
+                 if Atomic.fetch_and_add remaining (-1) = 1 then begin
+                   Mutex.lock done_mutex;
+                   Condition.broadcast done_cond;
+                   Mutex.unlock done_mutex
+                 end)))
+        xs;
+      Mutex.lock done_mutex;
+      while Atomic.get remaining > 0 do
+        Condition.wait done_cond done_mutex
+      done;
+      Mutex.unlock done_mutex;
+      (* The lowest-indexed failure wins, independent of completion order,
+         so error reporting is as deterministic as the results. *)
+      Array.iter
+        (function
+          | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+          | Pending | Value _ -> ())
+        slots;
+      List.init n (fun i ->
+          match slots.(i) with
+          | Value y -> y
+          | Pending | Raised _ -> assert false)
+    end
+  end
+
+let iter t f xs = ignore (map t (fun x -> f x) xs : unit list)
+
+let with_pool ?size f =
+  let pool = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

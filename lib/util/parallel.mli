@@ -1,0 +1,49 @@
+(** A small fixed-size pool of worker domains (OCaml 5 multicore).
+
+    Built for the evaluation harness: the (workload x policy) simulation
+    matrix is embarrassingly parallel, each cell owning all of its
+    mutable state, so a bounded set of domains plus an order-preserving
+    [map] is all the machinery needed.
+
+    Semantics worth relying on:
+
+    - {!map} returns results in input order, whatever order the workers
+      finish in — parallel runs are output-identical to serial ones as
+      long as [f] itself is deterministic and shares no mutable state.
+    - A pool of size [<= 1] degenerates to plain [List.map] in the
+      calling domain: no domains are spawned, no synchronization runs.
+    - If [f] raises, {!map} re-raises the exception of the {e
+      lowest-indexed} failing element (again independent of scheduling)
+      after all submitted work has drained, so the pool stays usable. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [create ?size ()] spawns [size] worker domains when [size > 1]; a
+    pool of size 1 spawns none.  [size] defaults to
+    [Domain.recommended_domain_count ()] and is clamped to at least 1. *)
+
+val size : t -> int
+(** Worker parallelism of the pool (>= 1); 1 means serial. *)
+
+val default_size : unit -> int
+(** [Domain.recommended_domain_count ()] — the [create] default, exposed
+    so CLIs can report what [-j 0 (auto)] resolves to. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element on the pool's workers
+    and returns the results in input order.
+
+    @raise Invalid_argument if the pool has been shut down.
+    @raise exn the exception raised by [f] on the lowest-indexed failing
+    element, with its original backtrace, once all elements finished. *)
+
+val iter : t -> ('a -> unit) -> 'a list -> unit
+(** [iter pool f xs = ignore (map pool f xs)]. *)
+
+val shutdown : t -> unit
+(** Joins all worker domains.  Idempotent.  Any later {!map} raises. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [with_pool ?size f] runs [f] on a fresh pool and shuts it down
+    afterwards, also on exception. *)

@@ -21,6 +21,8 @@ let () =
       Test_branch_dep.suite;
       Test_loops.suite;
       Test_config.suite;
+      Test_parallel.suite;
+      Test_run_cache.suite;
       Test_predictor.suite;
       Test_tage.suite;
       Test_cache.suite;

@@ -1,0 +1,134 @@
+(* The domain pool: ordering, degeneration to serial, exception
+   propagation — and the property the evaluation harness rests on, that
+   a parallel (workload x policy) matrix is bit-identical to a serial
+   one. *)
+
+module Parallel = Levioso_util.Parallel
+module Ir = Levioso_ir.Ir
+module Parser = Levioso_ir.Parser
+module Config = Levioso_uarch.Config
+module Pipeline = Levioso_uarch.Pipeline
+module Summary = Levioso_uarch.Summary
+module Json = Levioso_telemetry.Json
+module Registry = Levioso_core.Registry
+
+let test_map_preserves_order () =
+  Parallel.with_pool ~size:4 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "same as List.map" (List.map (fun x -> x * x) xs)
+        (Parallel.map pool (fun x -> x * x) xs))
+
+let test_empty_and_singleton () =
+  Parallel.with_pool ~size:4 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Parallel.map pool Fun.id []);
+      Alcotest.(check (list int)) "singleton" [ 7 ] (Parallel.map pool Fun.id [ 7 ]))
+
+let test_size_one_is_serial () =
+  Parallel.with_pool ~size:1 (fun pool ->
+      Alcotest.(check int) "clamped size" 1 (Parallel.size pool);
+      let caller = Domain.self () in
+      let ran_in =
+        Parallel.map pool (fun _ -> Domain.self ()) (List.init 8 Fun.id)
+      in
+      List.iter
+        (fun d ->
+          Alcotest.(check bool) "ran in calling domain" true (d = caller))
+        ran_in)
+
+let test_size_clamped () =
+  Parallel.with_pool ~size:(-3) (fun pool ->
+      Alcotest.(check int) "negative clamps to 1" 1 (Parallel.size pool))
+
+let test_exceptions_propagate () =
+  Parallel.with_pool ~size:4 (fun pool ->
+      Alcotest.check_raises "raises" (Failure "boom-3") (fun () ->
+          ignore
+            (Parallel.map pool
+               (fun x -> if x = 3 then failwith "boom-3" else x)
+               (List.init 10 Fun.id)
+              : int list));
+      (* lowest-indexed failure wins, whatever order workers finish in *)
+      Alcotest.check_raises "first by index" (Failure "boom-2") (fun () ->
+          ignore
+            (Parallel.map pool
+               (fun x -> if x >= 2 then failwith (Printf.sprintf "boom-%d" x) else x)
+               (List.init 10 Fun.id)
+              : int list));
+      (* the pool survives a failed map *)
+      Alcotest.(check (list int))
+        "pool usable after exception" [ 0; 1; 2 ]
+        (Parallel.map pool Fun.id [ 0; 1; 2 ]))
+
+let test_map_after_shutdown_raises () =
+  let pool = Parallel.create ~size:2 () in
+  Parallel.shutdown pool;
+  Parallel.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Parallel.map: pool has been shut down") (fun () ->
+      ignore (Parallel.map pool Fun.id [ 1 ] : int list))
+
+(* --- parallel simulation determinism ------------------------------- *)
+
+let kernel =
+  {|
+      mov r1, #0
+      mov r2, #0
+    head:
+      bge r1, #40, out
+      and r3, r1, #63
+      load r4, [r3 + #1024]
+      rem r5, r4, #3
+      beq r5, #0, skip
+      add r2, r2, r4
+    skip:
+      add r1, r1, #1
+      jump head
+    out:
+      store [r0 + #500], r2
+      halt
+  |}
+
+let kernel_mem mem =
+  for i = 0 to 63 do
+    mem.(1024 + i) <- (i * 17) mod 29
+  done
+
+let config = { Config.default with Config.mem_words = 65536 }
+
+let summary_string policy =
+  let pipe =
+    Pipeline.create ~mem_init:kernel_mem config
+      ~policy:(Registry.find_exn policy) (Parser.parse_exn kernel)
+  in
+  Pipeline.run pipe;
+  Json.to_string (Summary.of_pipeline ~workload:"kernel" ~policy pipe)
+
+let test_parallel_matrix_bit_identical () =
+  let policies =
+    [ "unsafe"; "fence"; "delay"; "dom"; "stt"; "levioso"; "levioso-static" ]
+  in
+  let serial = List.map summary_string policies in
+  let parallel =
+    Parallel.with_pool ~size:4 (fun pool ->
+        Parallel.map pool summary_string policies)
+  in
+  List.iter2
+    (fun s p -> Alcotest.(check string) "summary bit-identical" s p)
+    serial parallel
+
+let suite =
+  ( "parallel",
+    [
+      Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+      Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+      Alcotest.test_case "size 1 degenerates to serial" `Quick
+        test_size_one_is_serial;
+      Alcotest.test_case "size is clamped" `Quick test_size_clamped;
+      Alcotest.test_case "exceptions propagate" `Quick test_exceptions_propagate;
+      Alcotest.test_case "map after shutdown raises" `Quick
+        test_map_after_shutdown_raises;
+      Alcotest.test_case "parallel matrix bit-identical to serial" `Slow
+        test_parallel_matrix_bit_identical;
+    ] )

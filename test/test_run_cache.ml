@@ -1,0 +1,123 @@
+(* The bench result cache: round-trip, key sensitivity (config, names,
+   code stamp), corruption tolerance, and the Sim_stats JSON round-trip
+   that cache replay leans on. *)
+
+module Config = Levioso_uarch.Config
+module Run_cache = Levioso_uarch.Run_cache
+module Sim_stats = Levioso_uarch.Sim_stats
+module Json = Levioso_telemetry.Json
+
+(* [temp_file] hands out a unique name; the cache creates the directory
+   itself on first store. *)
+let fresh_dir () =
+  let f = Filename.temp_file "levioso-run-cache" "" in
+  Sys.remove f;
+  f
+
+let summary = Json.Obj [ ("stats", Json.Obj [ ("cycles", Json.Int 123) ]) ]
+
+let find_cycles cache ~config ~workload ~policy =
+  Option.map
+    (fun j -> Json.to_string j)
+    (Run_cache.find cache ~config ~workload ~policy)
+
+let test_round_trip () =
+  let cache = Run_cache.create ~stamp:"s1" ~dir:(fresh_dir ()) () in
+  let config = Config.default in
+  Alcotest.(check (option string))
+    "miss before store" None
+    (find_cycles cache ~config ~workload:"w" ~policy:"p");
+  Run_cache.store cache ~config ~workload:"w" ~policy:"p" summary;
+  Alcotest.(check (option string))
+    "hit after store"
+    (Some (Json.to_string summary))
+    (find_cycles cache ~config ~workload:"w" ~policy:"p")
+
+let test_key_sensitivity () =
+  let dir = fresh_dir () in
+  let cache = Run_cache.create ~stamp:"s1" ~dir () in
+  let config = Config.default in
+  Run_cache.store cache ~config ~workload:"w" ~policy:"p" summary;
+  (* any config field change misses *)
+  Alcotest.(check (option string))
+    "config change invalidates" None
+    (find_cycles cache
+       ~config:{ config with Config.rob_size = 48 }
+       ~workload:"w" ~policy:"p");
+  Alcotest.(check bool)
+    "config_key differs" false
+    (Run_cache.config_key config
+    = Run_cache.config_key { config with Config.depset_budget = 4 });
+  (* so do workload and policy names *)
+  Alcotest.(check (option string))
+    "workload miss" None
+    (find_cycles cache ~config ~workload:"w2" ~policy:"p");
+  Alcotest.(check (option string))
+    "policy miss" None
+    (find_cycles cache ~config ~workload:"w" ~policy:"p2");
+  (* and a different code-version stamp over the same directory *)
+  let rebuilt = Run_cache.create ~stamp:"s2" ~dir () in
+  Alcotest.(check (option string))
+    "stamp change invalidates" None
+    (find_cycles rebuilt ~config ~workload:"w" ~policy:"p")
+
+let test_corrupt_entry_is_a_miss () =
+  let cache = Run_cache.create ~stamp:"s1" ~dir:(fresh_dir ()) () in
+  let config = Config.default in
+  Run_cache.store cache ~config ~workload:"w" ~policy:"p" summary;
+  let file = Run_cache.path cache ~config ~workload:"w" ~policy:"p" in
+  let oc = open_out file in
+  output_string oc "{ not json";
+  close_out oc;
+  Alcotest.(check (option string))
+    "corrupt file treated as miss" None
+    (find_cycles cache ~config ~workload:"w" ~policy:"p")
+
+let test_sim_stats_round_trip () =
+  let s = Sim_stats.create () in
+  s.Sim_stats.cycles <- 1000;
+  s.Sim_stats.committed <- 750;
+  s.Sim_stats.committed_loads <- 80;
+  s.Sim_stats.committed_stores <- 20;
+  s.Sim_stats.committed_branches <- 90;
+  s.Sim_stats.committed_transmitters <- 81;
+  s.Sim_stats.fetched <- 1200;
+  s.Sim_stats.squashed <- 300;
+  s.Sim_stats.mispredicts <- 33;
+  s.Sim_stats.policy_stall_cycles <- 44;
+  s.Sim_stats.transmit_stall_cycles <- 22;
+  s.Sim_stats.restricted_committed <- 11;
+  s.Sim_stats.restricted_transmitters <- 7;
+  s.Sim_stats.wrong_path_executed_loads <- 13;
+  Sim_stats.record_wrong_path_transmit s ~branch_pc:4 ~pc:9;
+  s.Sim_stats.max_rob_occupancy <- 96;
+  match Sim_stats.of_json (Sim_stats.to_json s) with
+  | Error msg -> Alcotest.fail msg
+  | Ok back ->
+    (* the pair list is not serialized; every counter round-trips *)
+    let expect = { s with Sim_stats.wrong_path_transmits = [] } in
+    Alcotest.(check bool) "all counters round-trip" true (back = expect);
+    Alcotest.(check int)
+      "pair-list count survives" 1 back.Sim_stats.wrong_path_transmit_count
+
+let test_sim_stats_rejects_garbage () =
+  Alcotest.(check bool)
+    "missing fields rejected" true
+    (Result.is_error (Sim_stats.of_json (Json.Obj [ ("cycles", Json.Int 1) ])));
+  Alcotest.(check bool)
+    "non-object rejected" true
+    (Result.is_error (Sim_stats.of_json (Json.String "nope")))
+
+let suite =
+  ( "run_cache",
+    [
+      Alcotest.test_case "store/find round-trip" `Quick test_round_trip;
+      Alcotest.test_case "config/name/stamp key sensitivity" `Quick
+        test_key_sensitivity;
+      Alcotest.test_case "corrupt entry is a miss" `Quick
+        test_corrupt_entry_is_a_miss;
+      Alcotest.test_case "Sim_stats JSON round-trip" `Quick
+        test_sim_stats_round_trip;
+      Alcotest.test_case "Sim_stats.of_json rejects garbage" `Quick
+        test_sim_stats_rejects_garbage;
+    ] )
