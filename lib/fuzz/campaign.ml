@@ -1,0 +1,210 @@
+module Ir = Levioso_ir.Ir
+module Config = Levioso_uarch.Config
+module Parallel = Levioso_util.Parallel
+module Treg = Levioso_telemetry.Registry
+module Json = Levioso_telemetry.Json
+
+type options = {
+  seed : int;
+  iters : int;
+  time_budget : float option;
+  jobs : int;
+  oracles : Oracle.t list;
+  corpus_dir : string option;
+  shrink_budget : int;
+  max_failures : int option;
+  config : Config.t;
+}
+
+let default_options =
+  {
+    seed = 1;
+    iters = 500;
+    time_budget = None;
+    jobs = 1;
+    oracles = Oracle.all;
+    corpus_dir = Some Corpus.default_dir;
+    shrink_budget = 2000;
+    max_failures = Some 20;
+    config = Gen.default_config;
+  }
+
+type failure = {
+  oracle : string;
+  seed : int;
+  detail : string;
+  original_len : int;
+  shrunk_len : int;
+  program : Ir.program;
+  source : string option;
+  path : string option;
+}
+
+type report = {
+  base_seed : int;
+  iterations : int;
+  failures : failure list;
+  counters : Treg.t;
+}
+
+(* SplitMix64 finalizer over (base, i): O(1) random access to iteration
+   seeds, so workers need no shared generator state and any single
+   iteration can be replayed in isolation. *)
+let iter_seed base i =
+  let open Int64 in
+  let z =
+    add (of_int base) (mul (of_int (i + 1)) 0x9E3779B97F4A7C15L)
+  in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (logand z 0x3FFFFFFFFFFFFFFFL)
+
+let run (o : options) =
+  if o.iters = 0 && o.time_budget = None then
+    invalid_arg "Campaign.run: iters = 0 requires a time budget";
+  if o.oracles = [] then invalid_arg "Campaign.run: no oracles selected";
+  let oracles = Array.of_list o.oracles in
+  let n = Array.length oracles in
+  let counters = Treg.create () in
+  let runs_of name = Treg.counter counters (name ^ "/runs") in
+  let failures_of name = Treg.counter counters (name ^ "/failures") in
+  (* materialize every counter up front so reports list all oracles even
+     at zero, and JSON key sets don't depend on which iterations ran *)
+  Array.iter
+    (fun (o : Oracle.t) ->
+      ignore (runs_of o.Oracle.name);
+      ignore (failures_of o.Oracle.name))
+    oracles;
+  let failures = ref [] in
+  let handle (i, outcome) =
+    let oracle = oracles.(i mod n) in
+    let seed = iter_seed o.seed i in
+    Treg.Counter.incr (runs_of oracle.Oracle.name);
+    List.iter
+      (fun (key, v) ->
+        Treg.Counter.add
+          (Treg.counter counters (oracle.Oracle.name ^ "/" ^ key))
+          v)
+      outcome.Oracle.extras;
+    match outcome.Oracle.verdict with
+    | Oracle.Pass -> ()
+    | Oracle.Fail f ->
+      Treg.Counter.incr (failures_of oracle.Oracle.name);
+      let shrunk =
+        match f.Oracle.still_fails with
+        | Some keep -> Shrink.run ~budget:o.shrink_budget ~keep f.Oracle.program
+        | None -> f.Oracle.program
+      in
+      let path =
+        Option.map
+          (fun dir ->
+            Corpus.save ~dir
+              {
+                Corpus.oracle = oracle.Oracle.name;
+                seed;
+                verdict = "fail";
+                detail = f.Oracle.detail;
+                source = f.Oracle.source;
+                program = shrunk;
+              })
+          o.corpus_dir
+      in
+      failures :=
+        {
+          oracle = oracle.Oracle.name;
+          seed;
+          detail = f.Oracle.detail;
+          original_len = Array.length f.Oracle.program;
+          shrunk_len = Array.length shrunk;
+          program = shrunk;
+          source = f.Oracle.source;
+          path;
+        }
+        :: !failures
+  in
+  let start = Unix.gettimeofday () in
+  let out_of_time () =
+    match o.time_budget with
+    | None -> false
+    | Some s -> Unix.gettimeofday () -. start >= s
+  in
+  let executed = ref 0 in
+  Parallel.with_pool ~size:(max 1 o.jobs) (fun pool ->
+      (* fixed chunk size, independent of the pool: early-stop decisions
+         (time budget, max_failures) land on the same iteration whatever
+         -j is, keeping parallel runs bit-identical to serial ones *)
+      let chunk = 32 in
+      let too_many_failures () =
+        match o.max_failures with
+        | None -> false
+        | Some n -> List.length !failures >= n
+      in
+      let continue () =
+        (o.iters = 0 || !executed < o.iters)
+        && (not (out_of_time ()))
+        && not (too_many_failures ())
+      in
+      while continue () do
+        let upper =
+          if o.iters = 0 then !executed + chunk
+          else min o.iters (!executed + chunk)
+        in
+        let idxs = List.init (upper - !executed) (fun k -> !executed + k) in
+        Parallel.map pool
+          (fun i ->
+            let oracle = oracles.(i mod n) in
+            (i, oracle.Oracle.run ~config:o.config ~seed:(iter_seed o.seed i)))
+          idxs
+        |> List.iter handle;
+        executed := upper
+      done);
+  {
+    base_seed = o.seed;
+    iterations = !executed;
+    failures = List.rev !failures;
+    counters;
+  }
+
+let to_json report =
+  Json.Obj
+    [
+      ("seed", Json.Int report.base_seed);
+      ("iterations", Json.Int report.iterations);
+      ("counters", Treg.to_json report.counters);
+      ( "failures",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Obj
+                 [
+                   ("oracle", Json.String f.oracle);
+                   ("seed", Json.Int f.seed);
+                   ("detail", Json.String f.detail);
+                   ("original_len", Json.Int f.original_len);
+                   ("shrunk_len", Json.Int f.shrunk_len);
+                   ( "path",
+                     match f.path with
+                     | Some p -> Json.String p
+                     | None -> Json.Null );
+                 ])
+             report.failures) );
+    ]
+
+let print oc report =
+  Printf.fprintf oc "fuzz campaign: seed %d, %d iterations\n" report.base_seed
+    report.iterations;
+  List.iter
+    (fun (name, value) -> Printf.fprintf oc "  %-42s %s\n" name value)
+    (Treg.to_rows report.counters);
+  if report.failures = [] then Printf.fprintf oc "  no failures\n"
+  else
+    List.iter
+      (fun f ->
+        Printf.fprintf oc
+          "  FAIL %s seed %d: %s\n       shrunk %d -> %d instrs%s\n" f.oracle
+          f.seed f.detail f.original_len f.shrunk_len
+          (match f.path with
+          | Some p -> Printf.sprintf " (saved to %s)" p
+          | None -> ""))
+      report.failures

@@ -1,0 +1,252 @@
+module Ir = Levioso_ir.Ir
+module Builder = Levioso_ir.Builder
+module Rng = Levioso_util.Rng
+module Config = Levioso_uarch.Config
+
+let data_base = 1024
+let data_size = 512
+
+let default_config =
+  {
+    Config.default with
+    Config.mem_words = 4096;
+    rob_size = 48;
+    predictor = Config.Bimodal;
+  }
+
+(* --- unconstrained structured programs ------------------------------- *)
+
+let random_operand rng =
+  if Rng.bool rng then Ir.Reg (Rng.int_in rng 1 10)
+  else Ir.Imm (Rng.int_in rng (-8) 64)
+
+let alu_ops =
+  [| Ir.Add; Ir.Sub; Ir.Mul; Ir.Div; Ir.Rem; Ir.And; Ir.Or; Ir.Xor |]
+
+let cmps = [| Ir.Eq; Ir.Ne; Ir.Lt; Ir.Le; Ir.Gt; Ir.Ge |]
+
+let random_program seed =
+  let rng = Rng.create seed in
+  let b = Builder.create () in
+  let reg () = Rng.int_in rng 1 10 in
+  let addr_operand () =
+    (* keep data accesses inside a window; the machine masks anyway, but a
+       small window makes store/load aliasing (and thus forwarding and
+       disambiguation paths) common *)
+    Ir.Imm (data_base + Rng.int rng data_size)
+  in
+  let rec statement depth =
+    match Rng.int rng 12 with
+    | 0 | 1 | 2 | 3 ->
+      Builder.alu b (Rng.pick rng alu_ops) (reg ()) (random_operand rng)
+        (random_operand rng)
+    | 4 ->
+      Builder.alu b
+        (Ir.Set (Rng.pick rng cmps))
+        (reg ()) (random_operand rng) (random_operand rng)
+    | 5 | 6 ->
+      let base = if Rng.bool rng then Ir.Reg (reg ()) else addr_operand () in
+      Builder.load b (reg ()) base (Ir.Imm (Rng.int rng 16))
+    | 7 ->
+      let base = if Rng.bool rng then Ir.Reg (reg ()) else addr_operand () in
+      Builder.store b base (Ir.Imm (Rng.int rng 16)) (random_operand rng)
+    | 8 | 9 when depth < 3 ->
+      let cond = (Rng.pick rng cmps, random_operand rng, random_operand rng) in
+      if Rng.bool rng then
+        Builder.if_then_else b ~cond
+          (fun () -> block (depth + 1))
+          (fun () -> block (depth + 1))
+      else Builder.if_then b ~cond (fun () -> block (depth + 1))
+    | 10 when depth < 2 ->
+      let counter = Rng.int_in rng 11 14 in
+      Builder.for_down b ~counter ~from:(Ir.Imm (Rng.int_in rng 1 6)) (fun () ->
+          block (depth + 1))
+    | 8 | 9 | 10 | 11 ->
+      Builder.alu b Ir.Add (reg ()) (random_operand rng) (random_operand rng)
+    | _ -> assert false
+  and block depth =
+    for _ = 1 to Rng.int_in rng 1 4 do
+      statement depth
+    done
+  in
+  for _ = 1 to Rng.int_in rng 3 10 do
+    statement 0
+  done;
+  Builder.halt b;
+  Builder.build b
+
+let mem_init seed mem =
+  let rng = Rng.create (seed lxor 0x5eed) in
+  for i = 0 to data_size - 1 do
+    mem.(data_base + i) <- Rng.int_in rng (-100) 100
+  done
+
+(* --- noninterference cases ------------------------------------------- *)
+
+(* Word-address layout inside default_config's 4096-word memory.  The
+   public window, the gadget machinery and the probe arrays are pairwise
+   disjoint; architectural execution only ever touches the public window
+   and the gadget constants. *)
+let ni_guard_ind_addr = 64 (* holds ni_guard_addr: indirection delays the guard *)
+let ni_guard_addr = 72
+let ni_arr_base = 256
+let ni_arr_size = 16
+let ni_secret_base = 512 (* above the array, so [idx < size] really excludes it *)
+let ni_public_base = 1024
+let ni_public_mask = 255 (* window [1024, 1024+255+15]: clear of the probes *)
+let ni_probe_base = 2048
+let ni_probe_lines = 32
+let ni_max_gadgets = 2
+
+type ni_case = {
+  program : Ir.program;
+  num_secrets : int;
+  secret_addrs : int array;
+  probe_addrs : int array;
+  mem_init : secrets:int array -> int array -> unit;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let probe_base_of ~line_words gadget =
+  ni_probe_base + (gadget * ni_probe_lines * line_words)
+
+(* One Spectre-v1 gadget over its own probe array and secret slot.  Uses
+   registers r15-r22 and loop counters r15/r16 — disjoint from the public
+   blocks (r1-r10, counters r11-r14), so the public code can never clobber
+   gadget state.  The final round flushes the guard indirection (late
+   branch resolution) and the probe array, then aims the index at the
+   secret slot; the transmit index is masked into the probe range so the
+   speculative footprint always lands inside the (flushed) probe array,
+   whatever value was planted. *)
+let emit_gadget b ~line_words ~gadget ~training =
+  let lshift = log2 line_words in
+  let t = 15 and s1 = 16 and s2 = 17 in
+  let idx = 18 and size = 19 and guard_ptr = 20 and v = 21 and junk = 22 in
+  let probe_b = probe_base_of ~line_words gadget in
+  let oob = ni_secret_base + gadget - ni_arr_base in
+  Builder.for_down b ~counter:t ~from:(Ir.Imm (training + 1)) (fun () ->
+      Builder.alu b Ir.And idx (Ir.Reg t) (Ir.Imm (ni_arr_size - 1));
+      Builder.if_then b
+        ~cond:(Ir.Eq, Ir.Reg t, Ir.Imm 0)
+        (fun () ->
+          Builder.mov b idx (Ir.Imm oob);
+          Builder.flush b (Ir.Imm ni_guard_ind_addr) (Ir.Imm 0);
+          Builder.flush b (Ir.Imm ni_guard_addr) (Ir.Imm 0);
+          Builder.for_down b ~counter:s1 ~from:(Ir.Imm ni_probe_lines)
+            (fun () ->
+              Builder.alu b Ir.Shl s2 (Ir.Reg s1) (Ir.Imm lshift);
+              Builder.flush b (Ir.Reg s2) (Ir.Imm probe_b)));
+      (* the victim: late-resolving bounds check, then the leaky access *)
+      Builder.load b guard_ptr (Ir.Imm ni_guard_ind_addr) (Ir.Imm 0);
+      Builder.load b size (Ir.Reg guard_ptr) (Ir.Imm 0);
+      Builder.if_then b
+        ~cond:(Ir.Lt, Ir.Reg idx, Ir.Reg size)
+        (fun () ->
+          Builder.load b v (Ir.Reg idx) (Ir.Imm ni_arr_base);
+          Builder.alu b Ir.And v (Ir.Reg v) (Ir.Imm (ni_probe_lines - 1));
+          Builder.alu b Ir.Shl v (Ir.Reg v) (Ir.Imm lshift);
+          Builder.load b junk (Ir.Reg v) (Ir.Imm probe_b)))
+
+(* Public computation between gadgets: the same statement grammar as
+   {!random_program}, except every memory access first masks its address
+   into the public window.  The mask is part of the dataflow, so even
+   wrong-path replays of these instructions stay inside the window. *)
+let emit_public_block rng b ~stmts =
+  let reg () = Rng.int_in rng 1 10 in
+  let confined_base () =
+    let a = reg () in
+    Builder.alu b Ir.And a (random_operand rng) (Ir.Imm ni_public_mask);
+    Builder.add b a (Ir.Reg a) (Ir.Imm ni_public_base);
+    a
+  in
+  let rec statement depth =
+    match Rng.int rng 13 with
+    | 0 | 1 | 2 | 3 ->
+      Builder.alu b (Rng.pick rng alu_ops) (reg ()) (random_operand rng)
+        (random_operand rng)
+    | 4 ->
+      Builder.alu b
+        (Ir.Set (Rng.pick rng cmps))
+        (reg ()) (random_operand rng) (random_operand rng)
+    | 5 | 6 ->
+      let a = confined_base () in
+      Builder.load b (reg ()) (Ir.Reg a) (Ir.Imm (Rng.int rng 16))
+    | 7 ->
+      let a = confined_base () in
+      Builder.store b (Ir.Reg a) (Ir.Imm (Rng.int rng 16)) (random_operand rng)
+    | 8 ->
+      let a = confined_base () in
+      Builder.flush b (Ir.Reg a) (Ir.Imm (Rng.int rng 16))
+    | 9 when depth < 2 ->
+      let cond = (Rng.pick rng cmps, random_operand rng, random_operand rng) in
+      if Rng.bool rng then
+        Builder.if_then_else b ~cond
+          (fun () -> block (depth + 1))
+          (fun () -> block (depth + 1))
+      else Builder.if_then b ~cond (fun () -> block (depth + 1))
+    | 10 when depth < 1 ->
+      let counter = Rng.int_in rng 11 14 in
+      Builder.for_down b ~counter ~from:(Ir.Imm (Rng.int_in rng 1 4)) (fun () ->
+          block (depth + 1))
+    | 11 -> Builder.rdcycle b (reg ())
+    | 9 | 10 | 12 ->
+      Builder.alu b Ir.Add (reg ()) (random_operand rng) (random_operand rng)
+    | _ -> assert false
+  and block depth =
+    for _ = 1 to Rng.int_in rng 1 3 do
+      statement depth
+    done
+  in
+  for _ = 1 to stmts do
+    statement 0
+  done
+
+let ni_case seed =
+  let rng = Rng.create (seed lxor 0x2e51) in
+  let line_words = default_config.Config.l1.Config.line_words in
+  let gadgets = Rng.int_in rng 1 ni_max_gadgets in
+  let b = Builder.create () in
+  for g = 0 to gadgets - 1 do
+    emit_public_block rng b ~stmts:(Rng.int_in rng 2 5);
+    emit_gadget b ~line_words ~gadget:g ~training:(Rng.int_in rng 8 14)
+  done;
+  emit_public_block rng b ~stmts:(Rng.int_in rng 2 5);
+  Builder.halt b;
+  let program = Builder.build b in
+  let public_seed = Rng.int rng 0x3FFFFFFF in
+  let mem_init ~secrets mem =
+    let prng = Rng.create (public_seed lxor 0xDA7A) in
+    for i = 0 to ni_public_mask + 15 do
+      mem.(ni_public_base + i) <- Rng.int_in prng (-100) 100
+    done;
+    for i = 0 to ni_arr_size - 1 do
+      (* benign in-bounds data transmits an arbitrary (public) line *)
+      mem.(ni_arr_base + i) <- Rng.int prng ni_probe_lines
+    done;
+    mem.(ni_guard_ind_addr) <- ni_guard_addr;
+    mem.(ni_guard_addr) <- ni_arr_size;
+    Array.iteri (fun g s -> mem.(ni_secret_base + g) <- s) secrets
+  in
+  {
+    program;
+    num_secrets = gadgets;
+    secret_addrs = Array.init gadgets (fun g -> ni_secret_base + g);
+    probe_addrs =
+      Array.init (gadgets * ni_probe_lines) (fun i ->
+          let g = i / ni_probe_lines and l = i mod ni_probe_lines in
+          probe_base_of ~line_words g + (l * line_words));
+    mem_init;
+  }
+
+let ni_secret_pair seed case =
+  let rng = Rng.create (seed lxor 0x5ec2e7) in
+  let a = Array.init case.num_secrets (fun _ -> Rng.int rng ni_probe_lines) in
+  let b =
+    Array.map
+      (fun s -> (s + 1 + Rng.int rng (ni_probe_lines - 1)) mod ni_probe_lines)
+      a
+  in
+  (a, b)

@@ -1,0 +1,208 @@
+module Ast = Levioso_lang.Ast
+module Rng = Levioso_util.Rng
+
+let mem_words = 4096
+let data_base = 1024
+let out_base = 256
+
+let binops =
+  [|
+    Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Rem; Ast.And; Ast.Or; Ast.Xor;
+    Ast.Shl; Ast.Shr; Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge;
+    Ast.Logic_and; Ast.Logic_or;
+  |]
+
+(* every load address is masked into the seeded data window *)
+let confined_load e =
+  Ast.Load (Ast.Binop (Ast.Add, Ast.Lit data_base, Ast.Binop (Ast.And, e, Ast.Lit 255)))
+
+let confined_out e = Ast.Binop (Ast.Add, Ast.Lit out_base, Ast.Binop (Ast.And, e, Ast.Lit 63))
+
+let random_ast seed =
+  let rng = Rng.create (seed lxor 0x1e57) in
+  let fresh =
+    let n = ref 0 in
+    fun prefix ->
+      incr n;
+      Printf.sprintf "%s%d" prefix !n
+  in
+  (* The codegen's fixed register slots (variables, inline-expansion
+     params and results) are never freed, so the whole program shares one
+     pool of 31.  Track the total cost as we generate and refuse any
+     construct that would overrun: [fns] carries each helper's per-call
+     cost (params + result + everything its body allocates), and every
+     declaration or call site must [spend] its cost first.  16 leaves
+     ample headroom for expression temporaries (and the documented
+     trapped-temp leak at call sites). *)
+  let fixed_limit = 16 in
+  let fixed = ref 0 in
+  let spend n =
+    if !fixed + n <= fixed_limit then begin
+      fixed := !fixed + n;
+      true
+    end
+    else false
+  in
+  let rec expr ~vars ~fns depth =
+    if depth = 0 || Rng.chance rng 0.35 then
+      if vars <> [] && Rng.bool rng then
+        Ast.Var (Rng.pick rng (Array.of_list vars))
+      else Ast.Lit (Rng.int_in rng (-50) 100)
+    else
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 | 3 ->
+        Ast.Binop
+          ( Rng.pick rng binops,
+            expr ~vars ~fns (depth - 1),
+            expr ~vars ~fns (depth - 1) )
+      | 4 -> Ast.Neg (expr ~vars ~fns (depth - 1))
+      | 5 -> Ast.Not (expr ~vars ~fns (depth - 1))
+      | 6 | 7 -> confined_load (expr ~vars ~fns (depth - 1))
+      | (8 | 9) when fns <> [] -> (
+        let name, arity, cost = Rng.pick rng (Array.of_list fns) in
+        (* call arguments stay shallow and call-free: inlining multiplies
+           the cost of nested calls *)
+        if spend cost then
+          Ast.Call (name, List.init arity (fun _ -> expr ~vars ~fns:[] 1))
+        else confined_load (expr ~vars ~fns (depth - 1)))
+      | _ ->
+        Ast.Binop
+          ( Ast.Add,
+            expr ~vars ~fns (depth - 1),
+            expr ~vars ~fns (depth - 1) )
+  in
+  let rec stmts ~vars ~fns depth budget =
+    if budget = 0 then ([], vars)
+    else
+      let store_stmt () =
+        (Ast.Store (confined_out (expr ~vars ~fns 2), expr ~vars ~fns 3), vars)
+      in
+      let s, vars =
+        match Rng.int rng 11 with
+        | (0 | 1) when spend 1 ->
+          let x = fresh "v" in
+          (Ast.Decl (x, expr ~vars ~fns 3), x :: vars)
+        | 2 | 3 when vars <> [] ->
+          ( Ast.Assign (Rng.pick rng (Array.of_list vars), expr ~vars ~fns 3),
+            vars )
+        | 4 | 5 -> store_stmt ()
+        | 6 when depth > 0 ->
+          let inner, _ = stmts ~vars ~fns (depth - 1) (Rng.int_in rng 1 3) in
+          let else_ =
+            if Rng.bool rng then
+              Some (fst (stmts ~vars ~fns (depth - 1) (Rng.int_in rng 1 3)))
+            else None
+          in
+          (Ast.If (expr ~vars ~fns 2, inner, else_), vars)
+        | 7 when depth > 0 && spend 1 ->
+          (* bounded loop: a fresh counter, invisible to the body's
+             statements, counts down to zero *)
+          let c = fresh "loop" in
+          let body, _ = stmts ~vars ~fns (depth - 1) (Rng.int_in rng 1 3) in
+          let body =
+            body @ [ Ast.Assign (c, Ast.Binop (Ast.Sub, Ast.Var c, Ast.Lit 1)) ]
+          in
+          ( Ast.If
+              ( Ast.Lit 1,
+                [
+                  Ast.Decl (c, Ast.Lit (Rng.int_in rng 1 5));
+                  Ast.While (Ast.Binop (Ast.Gt, Ast.Var c, Ast.Lit 0), body);
+                ],
+                None ),
+            vars )
+        | 8 ->
+          ( Ast.Flush
+              (Ast.Binop
+                 ( Ast.Add,
+                   Ast.Lit data_base,
+                   Ast.Binop (Ast.And, expr ~vars ~fns 2, Ast.Lit 255) )),
+            vars )
+        | 9 when fns <> [] -> (
+          let name, arity, cost = Rng.pick rng (Array.of_list fns) in
+          if spend cost then
+            ( Ast.Expr_stmt
+                (Ast.Call
+                   (name, List.init arity (fun _ -> expr ~vars ~fns:[] 2))),
+              vars )
+          else store_stmt ())
+        | _ when spend 1 ->
+          let x = fresh "t" in
+          (Ast.Decl (x, expr ~vars ~fns 2), x :: vars)
+        | _ -> store_stmt ()
+      in
+      let rest, vars = stmts ~vars ~fns depth (budget - 1) in
+      (s :: rest, vars)
+  in
+  let helper ~fns i =
+    let arity = Rng.int rng 3 in
+    let params = List.init arity (fun k -> Printf.sprintf "p%d_%d" i k) in
+    (* measure the body's own fixed-slot appetite with the shared budget
+       machinery, then roll it back: the cost is paid per call site *)
+    let before = !fixed in
+    let body, vars = stmts ~vars:params ~fns 1 (Rng.int_in rng 1 3) in
+    let body = body @ [ Ast.Return (Some (expr ~vars ~fns 2)) ] in
+    let body_cost = !fixed - before in
+    fixed := before;
+    ( { Ast.name = Printf.sprintf "fn%d" i; params; body; line = 1 },
+      arity + 1 + body_cost )
+  in
+  let n_helpers = Rng.int rng 3 in
+  let helpers = ref [] and callable = ref [] in
+  for i = 1 to n_helpers do
+    let f, cost = helper ~fns:!callable i in
+    helpers := f :: !helpers;
+    callable := (f.Ast.name, List.length f.Ast.params, cost) :: !callable
+  done;
+  let body, _ = stmts ~vars:[] ~fns:!callable 2 (Rng.int_in rng 3 8) in
+  List.rev !helpers @ [ { Ast.name = "main"; params = []; body; line = 1 } ]
+
+(* --- concrete-syntax printer ----------------------------------------- *)
+
+let to_source program =
+  let buf = Buffer.create 1024 in
+  let pad n = String.make (2 * n) ' ' in
+  let line n s = Buffer.add_string buf (pad n ^ s ^ "\n") in
+  let e2s = Ast.expr_to_string in
+  let rec stmt n = function
+    | Ast.Decl (x, e) -> line n (Printf.sprintf "var %s = %s;" x (e2s e))
+    | Ast.Assign (x, e) -> line n (Printf.sprintf "%s = %s;" x (e2s e))
+    | Ast.If (c, b, else_) ->
+      line n (Printf.sprintf "if (%s) {" (e2s c));
+      List.iter (stmt (n + 1)) b;
+      (match else_ with
+      | None -> line n "}"
+      | Some b2 ->
+        line n "} else {";
+        List.iter (stmt (n + 1)) b2;
+        line n "}")
+    | Ast.While (c, b) ->
+      line n (Printf.sprintf "while (%s) {" (e2s c));
+      List.iter (stmt (n + 1)) b;
+      line n "}"
+    | Ast.Store (a, v) -> line n (Printf.sprintf "store(%s, %s);" (e2s a) (e2s v))
+    | Ast.Flush a -> line n (Printf.sprintf "flush(%s);" (e2s a))
+    | Ast.Expr_stmt e ->
+      (* only calls are generated as expression statements — the grammar
+         admits nothing else here *)
+      line n (e2s e ^ ";")
+    | Ast.Return None -> line n "return;"
+    | Ast.Return (Some e) -> line n (Printf.sprintf "return %s;" (e2s e))
+    | Ast.Halt -> line n "halt;"
+  in
+  List.iter
+    (fun (f : Ast.fn) ->
+      line 0
+        (Printf.sprintf "fn %s(%s) {" f.Ast.name (String.concat ", " f.Ast.params));
+      List.iter (stmt 1) f.Ast.body;
+      line 0 "}";
+      Buffer.add_char buf '\n')
+    program;
+  Buffer.contents buf
+
+let random_source seed = to_source (random_ast seed)
+
+let init_mem seed mem =
+  let rng = Rng.create (seed lxor 0xDA7A) in
+  for i = 0 to 255 do
+    mem.(data_base + i) <- Rng.int_in rng (-100) 100
+  done

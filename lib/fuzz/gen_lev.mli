@@ -1,0 +1,36 @@
+(** Seeded generation of Lev {e source text}, exercising the full
+    compiler path (lexer → parser → resolver → inlining codegen →
+    optimizer) rather than just the codegen back end.
+
+    Programs are generated as ASTs (so the reference interpreter can run
+    them without a parse step), then printed to concrete syntax; the
+    differential oracle compiles the {e printed text}, which makes the
+    printer↔parser agreement part of what is being fuzzed.
+
+    Guarantees by construction: the resolver accepts every program
+    (helpers are declared before use, never recursive, called with the
+    right arity); all loops count a dedicated variable down to zero, so
+    execution always terminates; [load]s stay inside the seeded data
+    window and [store]s inside a disjoint output window; [rdcycle] is
+    never generated (its value differs between the interpreter and the
+    machine, so it must not reach memory). *)
+
+val mem_words : int
+val data_base : int
+(** Loads read from [\[data_base, data_base + 256)]. *)
+
+val out_base : int
+(** Stores write into [\[out_base, out_base + 64)]. *)
+
+val random_ast : int -> Levioso_lang.Ast.program
+(** [random_ast seed] — deterministic in [seed]. *)
+
+val to_source : Levioso_lang.Ast.program -> string
+(** Concrete syntax that lexes, parses and resolves back to an
+    equivalent program. *)
+
+val random_source : int -> string
+(** [to_source (random_ast seed)]. *)
+
+val init_mem : int -> int array -> unit
+(** Seed-derived contents for the data window. *)

@@ -1,0 +1,94 @@
+module Ir = Levioso_ir.Ir
+module Emulator = Levioso_ir.Emulator
+module Config = Levioso_uarch.Config
+module Pipeline = Levioso_uarch.Pipeline
+module Sim_stats = Levioso_uarch.Sim_stats
+module Cache = Levioso_uarch.Cache
+module Registry = Levioso_core.Registry
+
+type t = {
+  regs : int array;
+  mem : int array;
+  cycles : int;
+  committed : int;
+  wrong_path_transmits : int;
+  probe : int array;
+}
+
+let level_code = function
+  | Cache.Hierarchy.L1 -> 0
+  | Cache.Hierarchy.L2 -> 1
+  | Cache.Hierarchy.Memory -> 2
+
+let run ?(probe_addrs = [||]) ?(max_cycles = 1_000_000) ~config ~policy
+    ~mem_init program =
+  let pipe =
+    Pipeline.create ~mem_init config ~policy:(Registry.find_exn policy) program
+  in
+  Pipeline.run ~max_cycles pipe;
+  let stats = Pipeline.stats pipe in
+  let h = Pipeline.hierarchy pipe in
+  {
+    regs = Array.copy (Pipeline.regs pipe);
+    mem = Array.copy (Pipeline.mem pipe);
+    cycles = stats.Sim_stats.cycles;
+    committed = stats.Sim_stats.committed;
+    wrong_path_transmits = stats.Sim_stats.wrong_path_transmit_count;
+    probe = Array.map (fun a -> level_code (Cache.Hierarchy.probe h a)) probe_addrs;
+  }
+
+let equal ?(ignore_mem = [||]) a b =
+  let ignored addr = Array.exists (fun x -> x = addr) ignore_mem in
+  let fail fmt = Printf.ksprintf (fun msg -> Error msg) fmt in
+  let rec find_reg r =
+    if r >= Array.length a.regs then Ok ()
+    else if r <> Ir.zero_reg && a.regs.(r) <> b.regs.(r) then
+      fail "r%d: %d vs %d" r a.regs.(r) b.regs.(r)
+    else find_reg (r + 1)
+  in
+  let rec find_mem i =
+    if i >= Array.length a.mem then Ok ()
+    else if (not (ignored i)) && a.mem.(i) <> b.mem.(i) then
+      fail "mem[%d]: %d vs %d" i a.mem.(i) b.mem.(i)
+    else find_mem (i + 1)
+  in
+  let rec find_probe i =
+    if i >= Array.length a.probe then Ok ()
+    else if a.probe.(i) <> b.probe.(i) then
+      fail "probe line %d: level %d vs %d" i a.probe.(i) b.probe.(i)
+    else find_probe (i + 1)
+  in
+  if a.cycles <> b.cycles then fail "cycles: %d vs %d" a.cycles b.cycles
+  else if a.committed <> b.committed then
+    fail "retired: %d vs %d" a.committed b.committed
+  else
+    match find_reg 0 with
+    | Error _ as e -> e
+    | Ok () -> (
+      match find_mem 0 with
+      | Error _ as e -> e
+      | Ok () -> find_probe 0)
+
+let against_emulator ~reference obs =
+  let fail fmt = Printf.ksprintf (fun msg -> Error msg) fmt in
+  let rec find_reg r =
+    if r >= Array.length obs.regs then Ok ()
+    else if r <> Ir.zero_reg && obs.regs.(r) <> reference.Emulator.regs.(r) then
+      fail "r%d: pipeline %d, emulator %d" r obs.regs.(r)
+        reference.Emulator.regs.(r)
+    else find_reg (r + 1)
+  in
+  let rec find_mem i =
+    if i >= Array.length obs.mem then Ok ()
+    else if obs.mem.(i) <> reference.Emulator.mem.(i) then
+      fail "mem[%d]: pipeline %d, emulator %d" i obs.mem.(i)
+        reference.Emulator.mem.(i)
+    else find_mem (i + 1)
+  in
+  if obs.committed <> reference.Emulator.retired then
+    fail "retired: pipeline %d, emulator %d" obs.committed
+      reference.Emulator.retired
+  else
+    match find_reg 0 with
+    | Error _ as e -> e
+    | Ok () -> find_mem 0

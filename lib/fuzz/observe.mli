@@ -1,0 +1,49 @@
+(** Run a program on the pipeline under a named policy and capture
+    everything the fuzz oracles compare: final architectural state, the
+    retired-instruction and cycle counts, the squashed-transmitter count,
+    and (optionally) a cache probe trace — the attacker's view of which
+    hierarchy level holds each probed line after the run. *)
+
+type t = {
+  regs : int array;  (** final architectural register file *)
+  mem : int array;  (** final memory image *)
+  cycles : int;
+  committed : int;  (** instructions retired *)
+  wrong_path_transmits : int;
+      (** transmitters that executed and were then squashed *)
+  probe : int array;
+      (** one entry per requested probe address: 0 = L1, 1 = L2,
+          2 = memory (cold) — empty when no probes were requested *)
+}
+
+val run :
+  ?probe_addrs:int array ->
+  ?max_cycles:int ->
+  config:Levioso_uarch.Config.t ->
+  policy:string ->
+  mem_init:(int array -> unit) ->
+  Levioso_ir.Ir.program ->
+  t
+(** Simulate to completion on a private pipeline (fresh telemetry, no
+    shared mutable state — safe to call from worker domains).
+    [max_cycles] defaults to one million — far beyond any generated
+    program, but low enough that a shrinker-created runaway is cut off
+    quickly.
+    @raise Invalid_argument on unknown policy names
+    @raise Levioso_uarch.Pipeline.Deadlock on policy bugs
+    @raise Failure when [max_cycles] is exceeded. *)
+
+val equal :
+  ?ignore_mem:int array -> t -> t -> (unit, string) result
+(** Structural equality of two observations; [Error] describes the first
+    difference found (register, memory word, cycle count, retired count
+    or probe level).  [ignore_mem] lists word addresses excluded from the
+    memory comparison (the planted secret slots, which differ by
+    construction).  [wrong_path_transmits] is {e not} compared — it is a
+    diagnostic, not an architectural observable. *)
+
+val against_emulator :
+  reference:Levioso_ir.Emulator.state -> t -> (unit, string) result
+(** Compare a pipeline observation with the architectural emulator's
+    final registers, memory and retired count (the oracle-equivalence
+    check: no defense may change architectural results). *)

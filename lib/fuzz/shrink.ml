@@ -1,0 +1,142 @@
+module Ir = Levioso_ir.Ir
+
+let nop = Ir.Alu { op = Ir.Add; dst = Ir.zero_reg; a = Ir.Imm 0; b = Ir.Imm 0 }
+
+(* Delete [i, j) and remap control-flow targets across the gap; targets
+   inside the deleted range collapse to its start (the instruction that
+   now sits where the range began). *)
+let remove_range p i j =
+  let removed = j - i in
+  let remap t = if t >= j then t - removed else if t > i then i else t in
+  let fix = function
+    | Ir.Branch { cmp; a; b; target } ->
+      Ir.Branch { cmp; a; b; target = remap target }
+    | Ir.Jump { target } -> Ir.Jump { target = remap target }
+    | other -> other
+  in
+  Array.init
+    (Array.length p - removed)
+    (fun k -> fix (if k < i then p.(k) else p.(k + removed)))
+
+let simpler_operands = function
+  | Ir.Reg r when r <> Ir.zero_reg -> [ Ir.Imm 0 ]
+  | Ir.Imm 0 | Ir.Reg _ -> []
+  | Ir.Imm n -> Ir.Imm 0 :: (if n / 2 <> n then [ Ir.Imm (n / 2) ] else [])
+
+(* Structurally simpler variants of one instruction: each operand
+   position simplified independently (cartesian blowup is not worth it —
+   the fixpoint loop composes single steps). *)
+let simpler_instrs instr =
+  let with_ops build ops =
+    List.concat
+      (List.mapi
+         (fun i op ->
+           List.map
+             (fun op' -> build (List.mapi (fun j o -> if i = j then op' else o) ops))
+             (simpler_operands op))
+         ops)
+  in
+  match instr with
+  | Ir.Alu { op; dst; a; b } ->
+    with_ops
+      (function
+        | [ a; b ] -> Ir.Alu { op; dst; a; b }
+        | _ -> assert false)
+      [ a; b ]
+  | Ir.Load { dst; base; off } ->
+    with_ops
+      (function
+        | [ base; off ] -> Ir.Load { dst; base; off }
+        | _ -> assert false)
+      [ base; off ]
+  | Ir.Store { base; off; src } ->
+    with_ops
+      (function
+        | [ base; off; src ] -> Ir.Store { base; off; src }
+        | _ -> assert false)
+      [ base; off; src ]
+  | Ir.Branch { cmp; a; b; target } ->
+    with_ops
+      (function
+        | [ a; b ] -> Ir.Branch { cmp; a; b; target }
+        | _ -> assert false)
+      [ a; b ]
+  | Ir.Flush { base; off } ->
+    with_ops
+      (function
+        | [ base; off ] -> Ir.Flush { base; off }
+        | _ -> assert false)
+      [ base; off ]
+  | Ir.Rdcycle { dst; after } ->
+    with_ops
+      (function
+        | [ after ] -> Ir.Rdcycle { dst; after }
+        | _ -> assert false)
+      [ after ]
+  | Ir.Jump _ | Ir.Halt -> []
+
+let run ?(budget = 2000) ~keep p0 =
+  let budget = ref budget in
+  let try_keep p =
+    if !budget <= 0 then false
+    else begin
+      decr budget;
+      match Ir.validate p with
+      | Ok () -> keep p
+      | Error _ -> false
+    end
+  in
+  if not (try_keep p0) then p0
+  else begin
+    let cur = ref p0 in
+    let changed = ref true in
+    let attempt candidate =
+      if Array.length candidate < Array.length !cur || candidate <> !cur then
+        if try_keep candidate then begin
+          cur := candidate;
+          changed := true;
+          true
+        end
+        else false
+      else false
+    in
+    while !changed && !budget > 0 do
+      changed := false;
+      (* pass 1: ddmin-style range removal, largest chunks first *)
+      let size = ref (max 1 (Array.length !cur / 2)) in
+      while !size >= 1 && !budget > 0 do
+        let i = ref 0 in
+        while !i < Array.length !cur && !budget > 0 do
+          let j = min (Array.length !cur) (!i + !size) in
+          if j > !i && not (attempt (remove_range !cur !i j)) then i := !i + !size
+        done;
+        size := !size / 2
+      done;
+      (* pass 2: weaken single instructions to a no-op *)
+      let pc = ref 0 in
+      while !pc < Array.length !cur && !budget > 0 do
+        let p = !cur in
+        (if p.(!pc) <> nop && p.(!pc) <> Ir.Halt then begin
+           let candidate = Array.copy p in
+           candidate.(!pc) <- nop;
+           ignore (attempt candidate : bool)
+         end);
+        incr pc
+      done;
+      (* pass 3: simplify operands in place *)
+      let pc = ref 0 in
+      while !pc < Array.length !cur && !budget > 0 do
+        let variants = simpler_instrs (!cur).(!pc) in
+        List.iter
+          (fun instr ->
+            if !budget > 0 then begin
+              let candidate = Array.copy !cur in
+              candidate.(!pc) <- instr;
+              ignore (attempt candidate : bool)
+            end)
+          variants;
+        incr pc
+      done
+    done;
+    !cur
+  end

@@ -1,0 +1,30 @@
+(** Greedy minimization of failing programs.
+
+    Given a predicate [keep] that holds on a failing program ("this still
+    reproduces the bug"), {!run} searches for a smaller/simpler program on
+    which [keep] still holds, by iterating three passes to a fixpoint:
+
+    - {b block removal} (ddmin-style): delete contiguous instruction
+      ranges of halving size, remapping branch/jump targets across the
+      gap (targets inside a deleted range collapse to its start);
+    - {b instruction weakening}: replace single instructions with an
+      architectural no-op (a write to r0), which keeps all targets
+      stable;
+    - {b operand simplification}: registers become [#0], immediates head
+      toward zero by halving (this is also what shrinks loop bounds,
+      since loop trip counts are immediates moved into counter
+      registers).
+
+    Every candidate is checked with {!Levioso_ir.Ir.validate} before
+    [keep] is consulted, so [keep] only ever sees well-formed programs.
+    The search is deterministic and bounded by [budget] calls to [keep]. *)
+
+val run :
+  ?budget:int ->
+  keep:(Levioso_ir.Ir.program -> bool) ->
+  Levioso_ir.Ir.program ->
+  Levioso_ir.Ir.program
+(** [run ~keep p] returns a program on which [keep] holds — [p] itself if
+    nothing smaller reproduces (or if [keep p] is already false, in which
+    case there is nothing to preserve and [p] comes straight back).
+    [budget] defaults to 2000 predicate evaluations. *)

@@ -12,7 +12,10 @@ exception Out_of_fuel
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
 let create ?(mem_words = 65536) program =
-  assert (is_power_of_two mem_words);
+  if not (is_power_of_two mem_words) then
+    invalid_arg
+      (Printf.sprintf "Emulator.create: mem_words must be a power of two, got %d"
+         mem_words);
   {
     regs = Array.make Ir.num_regs 0;
     mem = Array.make mem_words 0;

@@ -22,8 +22,9 @@ type state = {
 }
 
 val create : ?mem_words:int -> Ir.program -> state
-(** Fresh state: zeroed registers and memory (default 65536 words, must be a
-    power of two), pc 0. *)
+(** Fresh state: zeroed registers and memory (default 65536 words), pc 0.
+    @raise Invalid_argument when [mem_words] is not a power of two (the
+    message carries the offending value). *)
 
 exception Out_of_fuel
 (** Raised by {!run} when the step budget is exhausted. *)

@@ -2,9 +2,11 @@
    labels on a first pass, then assemble each line.  Operands are [rN],
    [#imm] (decimal, optionally negative) or a bare label (branch targets). *)
 
-exception Parse_error of int * string
+exception Parse_error of string
+(* internal: carries the line number until [parse] renders the message *)
+exception Syntax_error of int * string
 
-let fail line msg = raise (Parse_error (line, msg))
+let fail line msg = raise (Syntax_error (line, msg))
 
 let strip_comment s =
   match String.index_opt s ';' with
@@ -198,9 +200,9 @@ let parse text =
     match Ir.validate program with
     | Ok () -> Ok program
     | Error msg -> Error msg
-  with Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  with Syntax_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
 
 let parse_exn text =
   match parse text with
   | Ok p -> p
-  | Error msg -> failwith ("Parser.parse_exn: " ^ msg)
+  | Error msg -> raise (Parse_error msg)

@@ -17,10 +17,13 @@
         halt
     v} *)
 
+exception Parse_error of string
+(** Raised by {!parse_exn}; the message carries the line number. *)
+
 val parse : string -> (Ir.program, string) result
 (** Parse a full listing.  Errors carry a line number and message.
     Branch targets may be labels or absolute [@pc] references (the form
     {!Ir.program_to_string} prints), so print → parse round-trips. *)
 
 val parse_exn : string -> Ir.program
-(** @raise Failure on parse errors. *)
+(** @raise Parse_error on parse errors. *)

@@ -34,4 +34,5 @@ let () =
       Test_attack.suite;
       Test_annotation.suite;
       Test_props.suite;
+      Test_fuzz.suite;
     ]

@@ -3,11 +3,8 @@
    compiler analyses are checked on the same random population. *)
 
 module Ir = Levioso_ir.Ir
-module Builder = Levioso_ir.Builder
 module Cfg = Levioso_ir.Cfg
 module Emulator = Levioso_ir.Emulator
-module Rng = Levioso_util.Rng
-module Config = Levioso_uarch.Config
 module Pipeline = Levioso_uarch.Pipeline
 module Sim_stats = Levioso_uarch.Sim_stats
 module Registry = Levioso_core.Registry
@@ -17,82 +14,16 @@ module Reconvergence = Levioso_analysis.Reconvergence
 module Control_dep = Levioso_analysis.Control_dep
 module Branch_dep = Levioso_analysis.Branch_dep
 
-let config =
-  {
-    Config.default with
-    Config.mem_words = 4096;
-    rob_size = 48;
-    predictor = Config.Bimodal;
-  }
+(* The random-program generator lives in the fuzzing subsystem now
+   (lib/fuzz/gen.ml) — these tests consume it through Levioso_fuzz.Gen so
+   the property-test population and the fuzzer population stay one and
+   the same. *)
 
-(* --- random structured program generation --------------------------- *)
+module Gen = Levioso_fuzz.Gen
 
-let data_base = 1024
-let data_size = 512
-
-let random_operand rng =
-  if Rng.bool rng then Ir.Reg (Rng.int_in rng 1 10)
-  else Ir.Imm (Rng.int_in rng (-8) 64)
-
-let random_program seed =
-  let rng = Rng.create seed in
-  let b = Builder.create () in
-  let reg () = Rng.int_in rng 1 10 in
-  let addr_operand () =
-    (* keep data accesses inside a window; the machine masks anyway, but a
-       small window makes store/load aliasing (and thus forwarding and
-       disambiguation paths) common *)
-    Ir.Imm (data_base + Rng.int rng data_size)
-  in
-  let alu_ops =
-    [| Ir.Add; Ir.Sub; Ir.Mul; Ir.Div; Ir.Rem; Ir.And; Ir.Or; Ir.Xor |]
-  in
-  let cmps = [| Ir.Eq; Ir.Ne; Ir.Lt; Ir.Le; Ir.Gt; Ir.Ge |] in
-  let rec statement depth =
-    match Rng.int rng 12 with
-    | 0 | 1 | 2 | 3 ->
-      Builder.alu b (Rng.pick rng alu_ops) (reg ()) (random_operand rng)
-        (random_operand rng)
-    | 4 ->
-      Builder.alu b
-        (Ir.Set (Rng.pick rng cmps))
-        (reg ()) (random_operand rng) (random_operand rng)
-    | 5 | 6 ->
-      let base = if Rng.bool rng then Ir.Reg (reg ()) else addr_operand () in
-      Builder.load b (reg ()) base (Ir.Imm (Rng.int rng 16))
-    | 7 ->
-      let base = if Rng.bool rng then Ir.Reg (reg ()) else addr_operand () in
-      Builder.store b base (Ir.Imm (Rng.int rng 16)) (random_operand rng)
-    | 8 | 9 when depth < 3 ->
-      let cond = (Rng.pick rng cmps, random_operand rng, random_operand rng) in
-      if Rng.bool rng then
-        Builder.if_then_else b ~cond
-          (fun () -> block (depth + 1))
-          (fun () -> block (depth + 1))
-      else Builder.if_then b ~cond (fun () -> block (depth + 1))
-    | 10 when depth < 2 ->
-      let counter = Rng.int_in rng 11 14 in
-      Builder.for_down b ~counter ~from:(Ir.Imm (Rng.int_in rng 1 6)) (fun () ->
-          block (depth + 1))
-    | 8 | 9 | 10 | 11 ->
-      Builder.alu b Ir.Add (reg ()) (random_operand rng) (random_operand rng)
-    | _ -> assert false
-  and block depth =
-    for _ = 1 to Rng.int_in rng 1 4 do
-      statement depth
-    done
-  in
-  for _ = 1 to Rng.int_in rng 3 10 do
-    statement 0
-  done;
-  Builder.halt b;
-  Builder.build b
-
-let mem_init seed mem =
-  let rng = Rng.create (seed lxor 0x5eed) in
-  for i = 0 to data_size - 1 do
-    mem.(data_base + i) <- Rng.int_in rng (-100) 100
-  done
+let config = Gen.default_config
+let random_program = Gen.random_program
+let mem_init = Gen.mem_init
 
 (* --- properties ------------------------------------------------------ *)
 
