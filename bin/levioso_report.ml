@@ -1,0 +1,284 @@
+(* levioso_report: render, track and compare evaluation results.
+
+   Modes (first matching wins):
+
+     levioso_report --compare OLD.json NEW.json --tolerance 15
+         Regression gate: compare the latest bench-history entries (or
+         bare matrix files); exit 1 when any overlapping cell slowed
+         down by more than the tolerance.
+
+     levioso_report --diff POLICY MATRIX.json [--baseline unsafe]
+         Differential attribution: per-cause and per-PC overhead deltas
+         of POLICY against the baseline, per workload.
+
+     levioso_report MATRIX.json [-o report.html] [--append HIST --label L]
+         Render the matrix as a self-contained HTML report (inline SVG,
+         no external resources); optionally append the run's cycles to a
+         history file.
+
+   MATRIX.json is anything with a "runs" list (levioso_sim --json,
+   levioso_bench --json) or a BENCH_matrix.json trajectory (reduced to
+   cycles-only runs). *)
+
+module Json = Levioso_telemetry.Json
+module Schema = Levioso_telemetry.Schema
+module Html_report = Levioso_uarch.Html_report
+module Diff_report = Levioso_uarch.Diff_report
+module Bench_history = Levioso_uarch.Bench_history
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("levioso_report: " ^ msg); exit 2) fmt
+
+let read_json path =
+  match open_in_bin path with
+  | exception Sys_error msg -> die "%s" msg
+  | ic ->
+    let body = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    (match Json.of_string body with
+    | Ok j -> j
+    | Error msg -> die "%s: %s" path msg)
+
+(* Accept either a runs file or a BENCH_matrix trajectory; reduce the
+   latter to cycles-only run summaries (default config cells only, so
+   sweep configs don't collide with the default-config cell of the same
+   workload/policy pair). *)
+let normalize_runs path j =
+  match Json.member "runs" j with
+  | Some (Json.List _) ->
+    (match Schema.check ~what:path j with
+    | Ok () -> j
+    | Error msg -> die "%s" msg)
+  | Some _ -> die "%s: \"runs\" is not a list" path
+  | None -> (
+    match Json.member "matrix" j with
+    | Some (Json.List cells) ->
+      (match Schema.check ~what:path j with
+      | Ok () -> ()
+      | Error msg -> die "%s" msg);
+      let runs =
+        List.filter_map
+          (fun cell ->
+            let keep =
+              match Json.member "default_config" cell with
+              | Some (Json.Bool b) -> b
+              | _ -> true
+            in
+            if not keep then None
+            else
+              match
+                ( Json.member "workload" cell,
+                  Json.member "policy" cell,
+                  Json.member "cycles" cell )
+              with
+              | Some w, Some p, Some c ->
+                Some
+                  (Json.Obj
+                     [
+                       ("workload", w);
+                       ("policy", p);
+                       ("stats", Json.Obj [ ("cycles", c) ]);
+                     ])
+              | _ -> None)
+          cells
+      in
+      Schema.tag [ ("runs", Json.List runs) ]
+    | _ -> die "%s: neither a \"runs\" file nor a bench trajectory" path)
+
+let runs_of path j =
+  match Json.member "runs" (normalize_runs path j) with
+  | Some (Json.List runs) -> runs
+  | _ -> assert false
+
+let mode_compare old_path new_path tolerance =
+  let load path =
+    match Bench_history.load path with
+    | Ok entries -> entries
+    | Error msg -> die "%s" msg
+  in
+  let old_ = load old_path and new_ = load new_path in
+  match Bench_history.compare_latest ~tolerance ~old_ ~new_ with
+  | Error msg -> die "%s" msg
+  | Ok [] ->
+    Printf.printf "no regression beyond %.1f%% (%s -> %s)\n" tolerance
+      old_path new_path;
+    0
+  | Ok regressions ->
+    Printf.printf "%d regression(s) beyond %.1f%%:\n"
+      (List.length regressions) tolerance;
+    List.iter
+      (fun r -> print_endline ("  " ^ Bench_history.regression_to_string r))
+      regressions;
+    1
+
+let mode_diff policy baseline workload top_k as_json path =
+  let runs = runs_of path (read_json path) in
+  let field k run =
+    match Json.member k run with Some (Json.String s) -> Some s | _ -> None
+  in
+  let find p w =
+    List.find_opt
+      (fun run -> field "policy" run = Some p && field "workload" run = w)
+      runs
+  in
+  let workloads =
+    match workload with
+    | Some w -> [ Some w ]
+    | None ->
+      List.filter_map
+        (fun run ->
+          if field "policy" run = Some policy then Some (field "workload" run)
+          else None)
+        runs
+      |> List.sort_uniq compare
+  in
+  if workloads = [] then die "no %s runs in %s" policy path;
+  let diffs =
+    List.filter_map
+      (fun w ->
+        match (find policy w, find baseline w) with
+        | Some p, Some b -> (
+          match Diff_report.compute ~top_k ~baseline:b p with
+          | Ok d -> Some d
+          | Error msg -> die "%s" msg)
+        | None, _ ->
+          die "no %s run%s in %s" policy
+            (match w with Some w -> " for " ^ w | None -> "")
+            path
+        | _, None ->
+          die "no %s baseline run%s in %s (needed by --diff)" baseline
+            (match w with Some w -> " for " ^ w | None -> "")
+            path)
+      workloads
+  in
+  if as_json then
+    print_endline
+      (Json.to_string
+         (Schema.tag
+            [ ("diffs", Json.List (List.map Diff_report.to_json diffs)) ]))
+  else
+    List.iter
+      (fun d ->
+        List.iter
+          (fun (k, v) -> Printf.printf "%-34s %s\n" k v)
+          (Diff_report.to_rows d);
+        print_newline ())
+      diffs;
+  0
+
+let mode_render path out title append label =
+  let matrix = normalize_runs path (read_json path) in
+  let html =
+    match Html_report.render ~title matrix with
+    | Ok html -> html
+    | Error msg -> die "%s" msg
+  in
+  let oc = open_out_bin out in
+  output_string oc html;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n" out (String.length html);
+  (match append with
+  | None -> ()
+  | Some hist_path -> (
+    match Bench_history.of_matrix ~label matrix with
+    | Error msg -> die "%s" msg
+    | Ok entry -> (
+      match Bench_history.append ~path:hist_path entry with
+      | Error msg -> die "%s" msg
+      | Ok n ->
+        Printf.printf "appended %S to %s (%d entries)\n" label hist_path n)));
+  0
+
+let main compare files diff baseline workload tolerance top_k as_json out
+    title append label =
+  match (compare, diff, files) with
+  | true, _, [ old_path; new_path ] -> mode_compare old_path new_path tolerance
+  | true, _, _ -> die "--compare needs exactly two files: OLD NEW"
+  | false, Some policy, [ path ] ->
+    mode_diff policy baseline workload top_k as_json path
+  | false, Some _, _ -> die "--diff needs exactly one matrix file"
+  | false, None, [ path ] -> mode_render path out title append label
+  | false, None, _ -> die "expected one matrix file (try --help)"
+
+open Cmdliner
+
+let files_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"FILE")
+
+let compare_arg =
+  Arg.(
+    value & flag
+    & info [ "compare" ]
+        ~doc:
+          "Regression gate: compare the latest entries of two history (or \
+           matrix) files; exit 1 when a cell slowed down beyond \
+           --tolerance.")
+
+let diff_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "diff" ] ~docv:"POLICY"
+        ~doc:
+          "Differential attribution of $(docv) against --baseline, per \
+           workload of the matrix file.")
+
+let baseline_arg =
+  Arg.(
+    value & opt string "unsafe"
+    & info [ "baseline" ] ~docv:"POLICY"
+        ~doc:"Baseline policy for --diff (default unsafe).")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "workload" ] ~docv:"NAME" ~doc:"Restrict --diff to one workload.")
+
+let tolerance_arg =
+  Arg.(
+    value & opt float 15.0
+    & info [ "tolerance" ] ~docv:"PCT"
+        ~doc:"Allowed per-cell cycle growth for --compare, in percent.")
+
+let top_k_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "top-k" ] ~docv:"K" ~doc:"PCs listed in --diff output.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit --diff output as JSON.")
+
+let out_arg =
+  Arg.(
+    value & opt string "report.html"
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"HTML output path.")
+
+let title_arg =
+  Arg.(
+    value & opt string "Levioso report"
+    & info [ "title" ] ~docv:"TITLE" ~doc:"HTML report title.")
+
+let append_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "append" ] ~docv:"HISTORY"
+        ~doc:
+          "Also append the matrix's (workload, policy, cycles) cells as one \
+           entry to this bench-history file (created if missing).")
+
+let label_arg =
+  Arg.(
+    value & opt string "run"
+    & info [ "label" ] ~docv:"LABEL" ~doc:"Entry label for --append.")
+
+let cmd =
+  let doc = "render, track and compare Levioso evaluation results" in
+  let info = Cmd.info "levioso_report" ~doc in
+  Cmd.v info
+    Term.(
+      const main $ compare_arg $ files_arg $ diff_arg $ baseline_arg
+      $ workload_arg $ tolerance_arg $ top_k_arg $ json_arg $ out_arg
+      $ title_arg $ append_arg $ label_arg)
+
+let () = exit (Cmd.eval' cmd)

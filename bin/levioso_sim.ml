@@ -25,6 +25,8 @@ module Telemetry = Levioso_telemetry.Registry
 module Json = Levioso_telemetry.Json
 module Trace = Levioso_telemetry.Trace
 module Stall = Levioso_telemetry.Stall
+module Audit = Levioso_telemetry.Audit
+module Explain = Levioso_core.Explain
 module Workload = Levioso_workload.Workload
 module Suite = Levioso_workload.Suite
 module Report = Levioso_util.Report
@@ -46,11 +48,11 @@ let trace_event_of = function
   | Pipeline.Squashed { boundary; count } ->
     ("squash", boundary, -1, [ ("count", Json.Int count) ])
 
-let run_one ?(trace = 0) ?sink ~registry config workload policy =
+let run_one ?(trace = 0) ?sink ?audit ~registry config workload policy =
   let maker = Registry.find_exn policy in
   let pipe =
-    Pipeline.create ~mem_init:workload.Workload.mem_init ~registry config
-      ~policy:maker workload.Workload.program
+    Pipeline.create ~mem_init:workload.Workload.mem_init ~registry ?audit
+      config ~policy:maker workload.Workload.program
   in
   let text_remaining = ref trace in
   if trace > 0 || sink <> None then
@@ -81,10 +83,16 @@ let verbose_report w p pipe =
   List.iter
     (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %s\n" k v))
     (Stall.to_rows (Pipeline.stall_attribution pipe));
+  (match Pipeline.audit pipe with
+  | Some a ->
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %s\n" k v))
+      (Audit.to_rows a)
+  | None -> ());
   Buffer.contents buf
 
 let main workload_names policy_names rob predictor budget verbose trace json
-    trace_out trace_every jobs =
+    trace_out trace_every jobs audit_flag audit_out =
   let config =
     {
       Config.default with
@@ -123,10 +131,21 @@ let main workload_names policy_names rob predictor budget verbose trace json
           Trace.to_channel ~every:trace_every ~format oc)
         trace_channel
     in
-    (* Tracing funnels every cell's events into one channel in run
-       order, so it pins the matrix to one domain. *)
+    let audit_channel = Option.map open_out audit_out in
+    let audit_sink =
+      Option.map
+        (fun oc ->
+          Trace.to_channel
+            ~format:(Trace.format_of_filename (Option.get audit_out))
+            oc)
+        audit_channel
+    in
+    let audit_flag = audit_flag || audit_sink <> None in
+    (* Tracing (and an audit event stream) funnels every cell's events
+       into one channel in run order, so it pins the matrix to one
+       domain. *)
     let jobs =
-      if sink <> None || trace > 0 then 1
+      if sink <> None || audit_sink <> None || trace > 0 then 1
       else if jobs = 0 then Parallel.default_size ()
       else jobs
     in
@@ -137,6 +156,9 @@ let main workload_names policy_names rob predictor budget verbose trace json
       (match sink with
       | Some s -> Trace.begin_process s ~name:(w.Workload.name ^ "/" ^ p)
       | None -> ());
+      (match audit_sink with
+      | Some s -> Trace.begin_process s ~name:(w.Workload.name ^ "/" ^ p)
+      | None -> ());
       (* Each cell gets a private registry scoped "<workload>/<policy>/"
          — same instrument names as one shared root would give, without
          cross-domain mutation of a shared table. *)
@@ -145,7 +167,15 @@ let main workload_names policy_names rob predictor budget verbose trace json
           (Telemetry.scope (Telemetry.create ()) w.Workload.name)
           p
       in
-      let pipe = run_one ~trace ?sink ~registry config w p in
+      let audit =
+        if audit_flag then begin
+          let a = Explain.audit_for w.Workload.program in
+          Option.iter (fun s -> Audit.attach_sink a s) audit_sink;
+          Some a
+        end
+        else None
+      in
+      let pipe = run_one ~trace ?sink ?audit ~registry config w p in
       let verbose_text =
         if verbose then begin
           let text = verbose_report w.Workload.name p pipe in
@@ -189,6 +219,14 @@ let main workload_names policy_names rob predictor budget verbose trace json
       if not json then
         Printf.eprintf "trace: wrote %d of %d events to %s\n%!"
           (Trace.written s) (Trace.seen s) (Option.get trace_out)
+    | None -> ());
+    (match audit_sink with
+    | Some s ->
+      Trace.close s;
+      Option.iter close_out audit_channel;
+      if not json then
+        Printf.eprintf "audit: wrote %d restriction events to %s\n%!"
+          (Trace.written s) (Option.get audit_out)
     | None -> ());
     if json then
       print_endline
@@ -310,7 +348,28 @@ let jobs_arg =
         ~doc:
           "Simulate (workload x policy) cells on $(docv) domains; 0 (the \
            default) uses every core.  Results are bit-identical to -j 1.  \
-           Tracing (--trace/--trace-out) forces serial execution.")
+           Tracing (--trace/--trace-out/--audit-out) forces serial \
+           execution.")
+
+let audit_arg =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "Record restriction provenance: every policy refusal becomes an \
+           audit event with its cause (the gating branches or tainted \
+           producers) and a necessary/unnecessary classification against \
+           the static branch-dependence analysis.  Verbose and --json \
+           output gain an audit section.")
+
+let audit_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "audit-out" ] ~docv:"FILE"
+        ~doc:
+          "Stream every audit event to $(docv) (implies --audit): Chrome \
+           trace_event JSON, or JSONL when the file ends in .jsonl.")
 
 let cmd =
   let doc = "simulate workloads under secure-speculation defenses" in
@@ -320,6 +379,6 @@ let cmd =
       ret
         (const main $ workloads_arg $ policies_arg $ rob_arg $ predictor_arg
        $ budget_arg $ verbose_arg $ trace_arg $ json_arg $ trace_out_arg
-       $ trace_every_arg $ jobs_arg))
+       $ trace_every_arg $ jobs_arg $ audit_arg $ audit_out_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,13 @@
+module Cfg = Levioso_ir.Cfg
+module Branch_dep = Levioso_analysis.Branch_dep
+module Int_set = Levioso_analysis.Branch_dep.Int_set
+module Audit = Levioso_telemetry.Audit
+
+let classifier program =
+  let bd = Branch_dep.compute (Cfg.build program) in
+  let n = Array.length program in
+  fun ~pc ~branch_pc ->
+    pc >= 0 && pc < n && Int_set.mem branch_pc (Branch_dep.deps_of_pc bd pc)
+
+let audit_for ?capacity program =
+  Audit.create ?capacity ~is_true_dep:(classifier program) ()

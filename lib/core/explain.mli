@@ -1,0 +1,27 @@
+(** Necessity classification for restriction-provenance auditing.
+
+    The audit layer ([Levioso_telemetry.Audit]) labels each restriction
+    episode {e necessary} or {e unnecessary}; the oracle it needs —
+    "is this instruction truly dependent on that branch?" — is exactly
+    the static analysis Levioso's compiler pass runs
+    ([Levioso_analysis.Branch_dep]).  This module packages that analysis
+    as the closure the (dependency-free) telemetry layer expects.
+
+    A restriction is {e necessary} when at least one of the unresolved
+    branches gating it has the gated instruction in its static
+    dependency cone — i.e. a conservative defense would also have to
+    wait there.  Anything else is pure over-restriction: the cycles a
+    dependency-aware defense (Levioso) gets back. *)
+
+val classifier :
+  Levioso_ir.Ir.program -> pc:int -> branch_pc:int -> bool
+(** [classifier program ~pc ~branch_pc] is true when the instruction at
+    [pc] is (control- or data-) dependent on the branch at [branch_pc]
+    per [Branch_dep.compute].  The analysis runs once, at partial
+    application time — apply to the program first and reuse the
+    closure. *)
+
+val audit_for :
+  ?capacity:int -> Levioso_ir.Ir.program -> Levioso_telemetry.Audit.t
+(** An audit recorder whose necessity oracle is [classifier program].
+    [capacity] bounds the event ring as in [Audit.create]. *)

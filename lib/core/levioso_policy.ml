@@ -88,6 +88,20 @@ let maker ?annotation ?(track_data = true) () (config : Config.t) program pipe =
       depsets
   in
   let on_commit ~seq = Hashtbl.remove depsets seq in
+  (* Provenance: the still-unresolved dynamic branch instances in the
+     dependency set, or the overflow marker after a budget blowout. *)
+  let explain ~seq =
+    match depset_of seq with
+    | All -> Levioso_telemetry.Audit.Overflow
+    | Deps branches ->
+      Levioso_telemetry.Audit.Branch_dep
+        (List.filter_map
+           (fun s ->
+             if Pipeline.is_unresolved_branch pipe s then
+               Some (s, Pipeline.pc_of pipe s)
+             else None)
+           branches)
+  in
   {
     Pipeline.policy_name = (if track_data then "levioso" else "levioso-ctrl");
     on_decode;
@@ -96,4 +110,5 @@ let maker ?annotation ?(track_data = true) () (config : Config.t) program pipe =
     on_commit;
     may_execute;
     load_visibility = (fun ~seq:_ -> Pipeline.Normal);
+    explain;
   }

@@ -27,8 +27,22 @@ let maker (config : Config.t) program pipe =
              (fun b -> Int_set.mem (Pipeline.pc_of pipe b) set)
              (Pipeline.older_unresolved_branches pipe ~seq))
   in
+  (* Provenance: the older unresolved branches whose static pc is in the
+     instruction's dependency set (all of them after an overflow). *)
+  let explain ~seq =
+    match deps.(Pipeline.pc_of pipe seq) with
+    | None -> Levioso_telemetry.Audit.Overflow
+    | Some set ->
+      Levioso_telemetry.Audit.Branch_dep
+        (List.filter_map
+           (fun b ->
+             let bpc = Pipeline.pc_of pipe b in
+             if Int_set.mem bpc set then Some (b, bpc) else None)
+           (Pipeline.older_unresolved_branches pipe ~seq))
+  in
   {
     Pipeline.always_execute_policy with
     policy_name = "levioso-static";
     may_execute;
+    explain;
   }

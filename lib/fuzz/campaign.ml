@@ -167,7 +167,7 @@ let run (o : options) =
   }
 
 let to_json report =
-  Json.Obj
+  Levioso_telemetry.Schema.tag
     [
       ("seed", Json.Int report.base_seed);
       ("iterations", Json.Int report.iterations);

@@ -250,3 +250,42 @@ let ni_secret_pair seed case =
       a
   in
   (a, b)
+
+(* ------------------------------------------------------------------ *)
+(* random JSON trees (round-trip property fodder)                      *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Levioso_telemetry.Json
+
+let json_string rng =
+  let n = Rng.int rng 8 in
+  String.init n (fun _ ->
+      (* printable ASCII plus the escapes the printer special-cases *)
+      match Rng.int rng 20 with
+      | 0 -> '"'
+      | 1 -> '\\'
+      | 2 -> '\n'
+      | 3 -> '\t'
+      | _ -> Char.chr (32 + Rng.int rng 95))
+
+let rec json_value rng ~depth =
+  match if depth = 0 then Rng.int rng 4 else Rng.int rng 6 with
+  | 0 -> Json.Null
+  | 1 -> Json.Bool (Rng.bool rng)
+  | 2 -> Json.Int (Rng.int_in rng (-1_000_000) 1_000_000)
+  | 3 ->
+    (* quarters round-trip exactly through the %.6g printer *)
+    Json.Float (float_of_int (Rng.int_in rng (-2000) 2000) /. 4.0)
+  | 4 -> Json.String (json_string rng)
+  | 5 when Rng.bool rng ->
+    Json.List
+      (List.init (Rng.int rng 4) (fun _ -> json_value rng ~depth:(depth - 1)))
+  | _ ->
+    Json.Obj
+      (List.init (Rng.int rng 4) (fun i ->
+           (Printf.sprintf "k%d_%s" i (json_string rng),
+            json_value rng ~depth:(depth - 1))))
+
+let json seed =
+  let rng = Rng.create seed in
+  json_value rng ~depth:3

@@ -73,3 +73,12 @@ val ni_secret_pair : int -> ni_case -> int array * int array
 (** [ni_secret_pair seed case] draws the two secret vectors for the two
     runs; every slot differs between the vectors, so a leak of any slot
     is observable. *)
+
+(** {1 Random JSON trees} *)
+
+val json : int -> Levioso_telemetry.Json.t
+(** [json seed] — a random JSON tree, deterministic in [seed], built
+    only from values that survive a print/parse round trip exactly
+    (floats are quarter-integers; strings draw from printable ASCII and
+    the escaped control characters).  For the serializer round-trip
+    property. *)

@@ -1,4 +1,13 @@
 module Pipeline = Levioso_uarch.Pipeline
+module Audit = Levioso_telemetry.Audit
+
+(* Both baselines restrict purely because older branches are unresolved,
+   so their provenance is exactly that branch set. *)
+let explain_branches pipe ~seq =
+  Audit.Branch_dep
+    (List.map
+       (fun s -> (s, Pipeline.pc_of pipe s))
+       (Pipeline.older_unresolved_branches pipe ~seq))
 
 let unsafe _config _program _pipe =
   { Pipeline.always_execute_policy with policy_name = "unsafe" }
@@ -9,6 +18,7 @@ let fence _config _program pipe =
     policy_name = "fence";
     may_execute =
       (fun ~seq -> not (Pipeline.exists_older_unresolved_branch pipe ~seq));
+    explain = (fun ~seq -> explain_branches pipe ~seq);
   }
 
 let delay _config _program pipe =
@@ -19,4 +29,5 @@ let delay _config _program pipe =
       (fun ~seq ->
         (not (Pipeline.is_transmitter (Pipeline.instr_of pipe seq)))
         || not (Pipeline.exists_older_unresolved_branch pipe ~seq));
+    explain = (fun ~seq -> explain_branches pipe ~seq);
   }

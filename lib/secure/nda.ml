@@ -14,4 +14,18 @@ let maker _config _program pipe =
   let may_execute ~seq =
     not (List.exists producer_quarantined (Pipeline.producers_of pipe seq))
   in
-  { Pipeline.always_execute_policy with policy_name = "nda"; may_execute }
+  (* Provenance: the still-quarantined producer loads feeding the operands. *)
+  let explain ~seq =
+    Levioso_telemetry.Audit.Taint
+      (List.filter_map
+         (fun p ->
+           if producer_quarantined p then Some (p, Pipeline.pc_of pipe p)
+           else None)
+         (Pipeline.producers_of pipe seq))
+  in
+  {
+    Pipeline.always_execute_policy with
+    policy_name = "nda";
+    may_execute;
+    explain;
+  }

@@ -80,6 +80,19 @@ let maker (config : Config.t) _program pipe =
       taints
   in
   let on_commit ~seq = Hashtbl.remove taints seq in
+  let explain ~seq =
+    match operand_taint seq with
+    | Conservative -> Levioso_telemetry.Audit.Overflow
+    | Roots roots ->
+      Levioso_telemetry.Audit.Taint
+        (List.filter_map
+           (fun root ->
+             if root_bound root then None
+             else if Pipeline.in_flight pipe root then
+               Some (root, Pipeline.pc_of pipe root)
+             else Some (root, -1))
+           roots)
+  in
   {
     Pipeline.policy_name = "stt";
     on_decode;
@@ -88,4 +101,5 @@ let maker (config : Config.t) _program pipe =
     on_commit;
     may_execute;
     load_visibility = (fun ~seq:_ -> Pipeline.Normal);
+    explain;
   }

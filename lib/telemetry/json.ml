@@ -25,10 +25,20 @@ let escape_string buf s =
     s;
   Buffer.add_char buf '"'
 
+(* NaN/infinity policy: JSON has no encoding for non-finite numbers, and
+   silently printing them as [null] created a print→parse asymmetry
+   (a [Float nan] came back as [Null]).  The producer is responsible:
+   [Json.float] maps non-finite values to [Null] explicitly, and a
+   non-finite [Float] reaching the printer is a bug, reported loudly. *)
 let float_repr f =
-  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  if Float.is_nan f || Float.abs f = Float.infinity then
+    invalid_arg
+      (Printf.sprintf
+         "Json.to_string: non-finite float %h (sanitize with Json.float)" f)
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else Printf.sprintf "%.6g" f
+
+let float f = if Float.is_nan f || Float.abs f = Float.infinity then Null else Float f
 
 let rec write ~minify buf indent = function
   | Null -> Buffer.add_string buf "null"

@@ -14,10 +14,20 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
+val float : float -> t
+(** Producer-side sanitizer: [Float f] for finite [f], [Null] for
+    NaN/±infinity.  JSON has no encoding for non-finite numbers; the
+    policy here is to make the substitution explicit at the producer
+    (use this constructor wherever a division might blow up) rather
+    than silently at print time. *)
+
 val to_string : ?minify:bool -> t -> string
 (** [minify] defaults to [false]: two-space indented, newline-separated.
-    Floats print with up to 6 significant decimals; NaN/infinity become
-    [null] (JSON has no encoding for them). *)
+    Floats print with up to 6 significant decimals.
+    @raise Invalid_argument on a non-finite [Float] — sanitize with
+    {!float} at the producer.  Every tree built only from {!float} (and
+    finite literals) round-trips through {!of_string} up to float
+    formatting precision. *)
 
 val to_channel : ?minify:bool -> out_channel -> t -> unit
 

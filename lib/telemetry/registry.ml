@@ -8,31 +8,67 @@ module Counter = struct
 end
 
 module Histogram = struct
-  (* Observations are kept verbatim in a growable buffer; simulator runs
-     observe at most a few hundred thousand values, and exact percentiles
-     are worth more here than a bucketed sketch. *)
+  (* Observations are kept verbatim in a growable buffer while they fit;
+     a histogram created with a [bound] switches to uniform reservoir
+     sampling (Vitter's Algorithm R) once the bound is reached, so
+     memory stays O(bound) under millions of observations.  Count, sum,
+     mean and max stay exact; percentiles come from the reservoir.  The
+     replacement stream is SplitMix64 seeded from the instrument name,
+     so sampled percentiles are deterministic run-to-run and across
+     domains. *)
   type h = {
     h_name : string;
     mutable data : int array;
-    mutable len : int;
+    mutable len : int;  (* stored samples *)
+    mutable seen : int;  (* total observations *)
     mutable max_v : int;
     mutable sum : int;
+    bound : int;  (* 0 = unbounded (exact) *)
+    mutable rng : int64;
   }
 
+  let seed_of name = Int64.of_int (Hashtbl.hash name + 1)
+
+  (* SplitMix64 step, inlined (this library has no dependencies). *)
+  let next_rng h =
+    let open Int64 in
+    let z = add h.rng 0x9E3779B97F4A7C15L in
+    h.rng <- z;
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  (* uniform in [0, bound) — bound is at most a few million, so a simple
+     modulo over 62 random bits has negligible bias *)
+  let rand_below h bound =
+    Int64.to_int (Int64.logand (next_rng h) 0x3FFFFFFFFFFFFFFFL) mod bound
+
   let observe h v =
-    if h.len = Array.length h.data then begin
-      let bigger = Array.make (max 16 (2 * h.len)) 0 in
-      Array.blit h.data 0 bigger 0 h.len;
-      h.data <- bigger
-    end;
-    h.data.(h.len) <- v;
-    h.len <- h.len + 1;
+    h.seen <- h.seen + 1;
     h.sum <- h.sum + v;
-    if v > h.max_v then h.max_v <- v
+    if v > h.max_v then h.max_v <- v;
+    if h.bound > 0 && h.len >= h.bound then begin
+      (* Algorithm R: the i-th observation replaces a random reservoir
+         slot with probability bound/i, keeping the sample uniform. *)
+      let j = rand_below h h.seen in
+      if j < h.bound then h.data.(j) <- v
+    end
+    else begin
+      if h.len = Array.length h.data then begin
+        let bigger = Array.make (max 16 (2 * h.len)) 0 in
+        Array.blit h.data 0 bigger 0 h.len;
+        h.data <- bigger
+      end;
+      h.data.(h.len) <- v;
+      h.len <- h.len + 1
+    end
 
-  let count h = h.len
+  let count h = h.seen
 
-  let mean h = if h.len = 0 then 0.0 else float_of_int h.sum /. float_of_int h.len
+  let stored h = h.len
+
+  let mean h =
+    if h.seen = 0 then 0.0 else float_of_int h.sum /. float_of_int h.seen
 
   let percentile h p =
     if h.len = 0 then invalid_arg "Histogram.percentile: empty histogram";
@@ -46,8 +82,10 @@ module Histogram = struct
 
   let reset h =
     h.len <- 0;
+    h.seen <- 0;
     h.max_v <- 0;
-    h.sum <- 0
+    h.sum <- 0;
+    h.rng <- seed_of h.h_name
 end
 
 type instrument =
@@ -71,7 +109,8 @@ let counter t name =
     Hashtbl.add t.table full (I_counter c);
     c
 
-let histogram t name =
+let histogram ?(bound = 0) t name =
+  if bound < 0 then invalid_arg "Registry.histogram: negative bound";
   let full = t.prefix ^ name in
   match Hashtbl.find_opt t.table full with
   | Some (I_histogram h) -> h
@@ -79,7 +118,16 @@ let histogram t name =
     invalid_arg ("Registry.histogram: " ^ full ^ " exists as a counter")
   | None ->
     let h =
-      { Histogram.h_name = full; data = [||]; len = 0; max_v = 0; sum = 0 }
+      {
+        Histogram.h_name = full;
+        data = [||];
+        len = 0;
+        seen = 0;
+        max_v = 0;
+        sum = 0;
+        bound;
+        rng = Histogram.seed_of full;
+      }
     in
     Hashtbl.add t.table full (I_histogram h);
     h

@@ -7,8 +7,13 @@
     ["levioso/issue_stalls"]) — this is how per-policy instrumentation
     stays separable when several policies run in one process.
 
-    Counters are plain [int]s; histograms record every observation and
-    report count / mean / p50 / p95 / max.  Creation is idempotent:
+    Counters are plain [int]s; histograms record observations and
+    report count / mean / p50 / p95 / max.  An unbounded histogram keeps
+    every observation (exact percentiles); one created with [~bound:k]
+    keeps a uniform [k]-sample reservoir (Algorithm R, deterministic
+    replacement stream seeded from the instrument name) so memory stays
+    O(k) — count, mean and max remain exact, percentiles are sampled.
+    Creation is idempotent:
     asking for an existing name returns the existing instrument (so a
     policy re-created for another run accumulates into the same series
     unless the registry is fresh). *)
@@ -28,10 +33,18 @@ module Histogram : sig
   type h
 
   val observe : h -> int -> unit
+
   val count : h -> int
+  (** Total observations (exact, even past a reservoir bound). *)
+
+  val stored : h -> int
+  (** Observations actually held (= [count] while unbounded or under the
+      bound; = the bound afterwards). *)
+
   val mean : h -> float
   val percentile : h -> float -> int
-  (** [percentile h 95.0] — nearest-rank on the recorded observations.
+  (** [percentile h 95.0] — nearest-rank on the stored observations
+      (exact when unbounded, sampled past a reservoir bound).
       @raise Invalid_argument on an empty histogram. *)
 
   val max_value : h -> int
@@ -50,9 +63,11 @@ val counter : t -> string -> Counter.c
 (** Find-or-create. @raise Invalid_argument if the name exists as a
     histogram. *)
 
-val histogram : t -> string -> Histogram.h
-(** Find-or-create. @raise Invalid_argument if the name exists as a
-    counter. *)
+val histogram : ?bound:int -> t -> string -> Histogram.h
+(** Find-or-create.  [bound] (default 0 = unbounded) caps stored
+    observations via reservoir sampling; it applies at creation and is
+    ignored when the instrument already exists.
+    @raise Invalid_argument if the name exists as a counter. *)
 
 val counter_value : t -> string -> int option
 (** Read a counter by (fully scoped relative) name without creating it. *)

@@ -1,0 +1,158 @@
+module Json = Levioso_telemetry.Json
+module Schema = Levioso_telemetry.Schema
+
+type cell = { workload : string; policy : string; cycles : int }
+type entry = { label : string; cells : cell list }
+
+let cell_of_run run =
+  let str k = Option.map Json.to_string_exn (Json.member k run) in
+  match (str "workload", str "policy") with
+  | Some workload, Some policy -> (
+    match Json.member "stats" run with
+    | Some stats -> (
+      match Json.member "cycles" stats with
+      | Some c -> Ok { workload; policy; cycles = Json.to_int_exn c }
+      | None -> Error "run has no stats.cycles")
+    | None -> Error "run has no stats")
+  | _ -> Error "run has no workload/policy labels"
+
+let of_matrix ~label j =
+  match Json.member "runs" j with
+  | Some (Json.List runs) ->
+    let rec collect acc = function
+      | [] -> Ok { label; cells = List.rev acc }
+      | run :: rest -> (
+        match cell_of_run run with
+        | Ok c -> collect (c :: acc) rest
+        | Error e -> Error e)
+    in
+    collect [] runs
+  | _ -> Error "matrix JSON has no \"runs\" list"
+
+let cell_to_json c =
+  Json.Obj
+    [
+      ("workload", Json.String c.workload);
+      ("policy", Json.String c.policy);
+      ("cycles", Json.Int c.cycles);
+    ]
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("label", Json.String e.label);
+      ("cells", Json.List (List.map cell_to_json e.cells));
+    ]
+
+let cell_of_json j =
+  {
+    workload = Json.to_string_exn (Json.member_exn "workload" j);
+    policy = Json.to_string_exn (Json.member_exn "policy" j);
+    cycles = Json.to_int_exn (Json.member_exn "cycles" j);
+  }
+
+let entry_of_json j =
+  {
+    label = Json.to_string_exn (Json.member_exn "label" j);
+    cells = List.map cell_of_json (Json.to_list_exn (Json.member_exn "cells" j));
+  }
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s
+  | exception Sys_error msg -> Error msg
+
+let load path =
+  match read_file path with
+  | Error msg -> Error msg
+  | Ok body -> (
+    match Json.of_string body with
+    | Error msg -> Error (path ^ ": " ^ msg)
+    | Ok j -> (
+      match Schema.check ~what:path j with
+      | Error msg -> Error msg
+      | Ok () -> (
+        match Json.member "entries" j with
+        | Some (Json.List entries) -> (
+          match List.map entry_of_json entries with
+          | entries -> Ok entries
+          | exception Invalid_argument msg -> Error (path ^ ": " ^ msg))
+        | Some _ -> Error (path ^ ": \"entries\" is not a list")
+        | None -> (
+          (* fall back: a bare matrix file *)
+          match of_matrix ~label:"matrix" j with
+          | Ok e -> Ok [ e ]
+          | Error msg -> Error (path ^ ": " ^ msg)))))
+
+let save path entries =
+  let j = Schema.tag [ ("entries", Json.List (List.map entry_to_json entries)) ] in
+  let oc = open_out_bin path in
+  Json.to_channel oc j;
+  output_char oc '\n';
+  close_out oc
+
+let append ~path entry =
+  let existing =
+    if Sys.file_exists path then load path else Ok []
+  in
+  match existing with
+  | Error msg -> Error msg
+  | Ok entries ->
+    let entries = entries @ [ entry ] in
+    save path entries;
+    Ok (List.length entries)
+
+type regression = {
+  r_workload : string;
+  r_policy : string;
+  old_cycles : int;
+  new_cycles : int;
+  pct : float;
+}
+
+let compare_latest ~tolerance ~old_ ~new_ =
+  match (List.rev old_, List.rev new_) with
+  | [], _ -> Error "old history is empty"
+  | _, [] -> Error "new history is empty"
+  | o :: _, n :: _ ->
+    let overlap = ref 0 in
+    let regressions =
+      List.filter_map
+        (fun nc ->
+          match
+            List.find_opt
+              (fun oc -> oc.workload = nc.workload && oc.policy = nc.policy)
+              o.cells
+          with
+          | None -> None
+          | Some oc ->
+            incr overlap;
+            if oc.cycles = 0 then None
+            else
+              let pct =
+                100.0
+                *. float_of_int (nc.cycles - oc.cycles)
+                /. float_of_int oc.cycles
+              in
+              if pct > tolerance then
+                Some
+                  {
+                    r_workload = nc.workload;
+                    r_policy = nc.policy;
+                    old_cycles = oc.cycles;
+                    new_cycles = nc.cycles;
+                    pct;
+                  }
+              else None)
+        n.cells
+    in
+    if !overlap = 0 then Error "no overlapping cells between histories"
+    else Ok regressions
+
+let regression_to_string r =
+  Printf.sprintf "%s/%s: %d -> %d cycles (%+.1f%%)" r.r_workload r.r_policy
+    r.old_cycles r.new_cycles r.pct

@@ -1,0 +1,48 @@
+(** Bench-run history: append-only per-cell cycle records and regression
+    comparison.
+
+    A history file is schema-tagged JSON
+    [{"schema_version": …, "entries": [{"label": …, "cells": […]}]}];
+    each entry is one bench run reduced to its (workload, policy,
+    cycles) cells.  The simulator is deterministic, so cycle counts are
+    comparable across machines and an entry checked into the repo works
+    as a CI baseline. *)
+
+type cell = { workload : string; policy : string; cycles : int }
+type entry = { label : string; cells : cell list }
+
+val of_matrix :
+  label:string -> Levioso_telemetry.Json.t -> (entry, string) result
+(** Reduce a {!Summary.matrix} / [BENCH_matrix.json] value to an entry.
+    [Error] when the value has no ["runs"] list or a run lacks
+    workload/policy/stats.cycles. *)
+
+val load : string -> (entry list, string) result
+(** Read a history file.  Also accepts a bare matrix JSON file (one
+    entry labelled ["matrix"]) so [--compare] can take either form. *)
+
+val save : string -> entry list -> unit
+(** Write (overwrite) a history file. *)
+
+val append : path:string -> entry -> (int, string) result
+(** Append to [path], creating it if missing; returns the new entry
+    count.  [Error] if the existing file is unreadable. *)
+
+type regression = {
+  r_workload : string;
+  r_policy : string;
+  old_cycles : int;
+  new_cycles : int;
+  pct : float;  (** 100 * (new - old) / old; positive = slower *)
+}
+
+val compare_latest :
+  tolerance:float -> old_:entry list -> new_:entry list ->
+  (regression list, string) result
+(** Compare the last entry of each history: every cell present in both
+    whose cycle count grew by more than [tolerance] percent is a
+    regression.  Cells present in only one side are ignored (matrix
+    shape may evolve).  [Error] when either history is empty or no cell
+    overlaps. *)
+
+val regression_to_string : regression -> string

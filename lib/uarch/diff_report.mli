@@ -1,0 +1,60 @@
+(** Differential overhead attribution between two run summaries.
+
+    Takes two {!Summary.of_pipeline} JSON values for the same workload —
+    a defense policy and a baseline (normally ["unsafe"]) — and charges
+    the cycle difference to stall causes and static PCs:
+
+    "defense X costs +N cycles (+P%), of which the policy gate accounts
+    for M stall-cycles, Q% of the audited restriction cycles were
+    unnecessary, concentrated at these top-K PCs."
+
+    Inputs are JSON (not live pipelines) so the diff can run over
+    [--json] files, bench matrix cells, and cached summaries alike. *)
+
+type pc_delta = {
+  pc : int;
+  policy_stalls : int;  (** total stall-cycles charged at this PC *)
+  baseline_stalls : int;
+  delta : int;  (** [policy_stalls - baseline_stalls] *)
+  audit_necessary_cycles : int;
+      (** necessary restriction cycles audited at this PC (0 without audit) *)
+  audit_unnecessary_cycles : int;
+}
+
+type t = {
+  workload : string option;
+  policy : string;
+  baseline : string;
+  policy_cycles : int;
+  baseline_cycles : int;
+  overhead_cycles : int;  (** [policy_cycles - baseline_cycles] *)
+  overhead_pct : float;  (** 100 * overhead / baseline *)
+  cause_delta : (string * int) list;
+      (** per stall cause, policy minus baseline, taxonomy order *)
+  audited_cycles : int;  (** total audited restriction cycles, 0 without audit *)
+  audited_unnecessary_cycles : int;
+  unnecessary_share : float;  (** of audited cycles; 0 without audit *)
+  top_pcs : pc_delta list;  (** largest positive delta first *)
+}
+
+val compute :
+  ?top_k:int ->
+  baseline:Levioso_telemetry.Json.t ->
+  Levioso_telemetry.Json.t ->
+  (t, string) result
+(** [compute ~baseline policy_summary] — both arguments are single-run
+    summary objects (elements of a ["runs"] list, or [--json] output).
+    [top_k] (default 10) bounds [top_pcs].  [Error] on summaries missing
+    the stats/stalls sections. *)
+
+val compute_exn :
+  ?top_k:int ->
+  baseline:Levioso_telemetry.Json.t ->
+  Levioso_telemetry.Json.t ->
+  t
+
+val to_json : t -> Levioso_telemetry.Json.t
+(** Schema-tagged object mirroring the record. *)
+
+val to_rows : t -> (string * string) list
+(** Human-readable table for console output. *)

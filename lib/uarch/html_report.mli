@@ -1,0 +1,24 @@
+(** Self-contained HTML rendering of a bench matrix.
+
+    [render] turns a {!Summary.matrix} JSON value (the shape
+    [levioso_bench --json] and [BENCH_matrix.json] emit) into one HTML
+    document with inline CSS and inline SVG charts — no external
+    resources, no scripts, so the file opens anywhere and the output is
+    byte-deterministic for golden tests:
+
+    - normalized execution overhead per policy, grouped by workload
+      (the paper's fig. 3 shape), baseline = the ["unsafe"] run of the
+      same workload when present;
+    - stacked stall-cause bars per run;
+    - the necessary/unnecessary restriction split per audited run;
+    - a top-K restricted-PC table per audited run.
+
+    Numbers are rendered with fixed precision; nothing in the output
+    depends on time, locale or environment. *)
+
+val render :
+  ?title:string -> Levioso_telemetry.Json.t -> (string, string) result
+(** [render matrix] is the full HTML document.  [Error] when [matrix]
+    has no ["runs"] list. *)
+
+val render_exn : ?title:string -> Levioso_telemetry.Json.t -> string

@@ -1,6 +1,7 @@
 module Ir = Levioso_ir.Ir
 module Stall = Levioso_telemetry.Stall
 module Registry = Levioso_telemetry.Registry
+module Audit = Levioso_telemetry.Audit
 
 type load_visibility =
   | Normal
@@ -14,6 +15,7 @@ type policy = {
   on_commit : seq:int -> unit;
   may_execute : seq:int -> bool;
   load_visibility : seq:int -> load_visibility;
+  explain : seq:int -> Audit.reason;
 }
 
 let always_execute_policy =
@@ -25,6 +27,7 @@ let always_execute_policy =
     on_commit = (fun ~seq:_ -> ());
     may_execute = (fun ~seq:_ -> true);
     load_visibility = (fun ~seq:_ -> Normal);
+    explain = (fun ~seq:_ -> Audit.Unspecified);
   }
 
 type event =
@@ -58,6 +61,15 @@ type state =
   | Inflight of int  (* completion cycle *)
   | Done
 
+(* One open restriction episode (audit enabled only): captured at the
+   first policy refusal, closed — one audit event — when the entry
+   issues or is squashed. *)
+type gate = {
+  g_reason : Audit.reason;
+  g_necessary : bool;
+  mutable g_cycles : int;
+}
+
 type entry = {
   seq : int;
   pc : int;
@@ -74,6 +86,7 @@ type entry = {
   mutable started : bool;
   mutable is_miss : bool;  (* holds an MSHR while in flight *)
   mutable policy_stalled : bool;
+  mutable gate : gate option;  (* open audit episode, audit enabled only *)
   (* branches carry recovery snapshots *)
   rename_snap : int option array;
   hist_snap : Predictor.snapshot;
@@ -117,6 +130,7 @@ type t = {
      longer rescan the whole ROB per waiting instruction per cycle. *)
   mutable unresolved_branches : int list;
   mutable tracer : (cycle:int -> event -> unit) option;
+  audit : Audit.t option;
 }
 
 type policy_maker = Config.t -> Ir.program -> t -> policy
@@ -169,6 +183,7 @@ let mem t = t.memory
 let cycle t = t.cyc
 let stats t = t.stats
 let stall_attribution t = t.stall
+let audit t = t.audit
 let registry t = t.reg
 let hierarchy t = t.hierarchy
 let config t = t.cfg
@@ -207,6 +222,45 @@ let load_address_if_ready t seq =
   | Ir.Load _ | Ir.Alu _ | Ir.Store _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _
   | Ir.Rdcycle _ | Ir.Halt ->
     None
+
+(* --- restriction audit ---------------------------------------------- *)
+
+(* Open an episode at the first refusal: capture the policy's own
+   explanation and classify necessity against the older unresolved
+   branches standing at this moment — an instruction restricted while
+   none of them is a true static branch dependency of its PC was
+   restricted unnecessarily. *)
+let audit_gate t a e seq =
+  match e.gate with
+  | Some g -> g.g_cycles <- g.g_cycles + 1
+  | None ->
+    let branch_pcs =
+      List.map (fun s -> (entry_exn t s).pc) (older_unresolved_branches t ~seq)
+    in
+    e.gate <-
+      Some
+        {
+          g_reason = t.policy.explain ~seq;
+          g_necessary = Audit.necessary a ~pc:e.pc ~branch_pcs;
+          g_cycles = 1;
+        }
+
+let audit_close t a e outcome =
+  match e.gate with
+  | None -> ()
+  | Some g ->
+    e.gate <- None;
+    Audit.record a
+      {
+        Audit.seq = e.seq;
+        pc = e.pc;
+        policy = t.policy.policy_name;
+        reason = g.g_reason;
+        necessary = g.g_necessary;
+        cycles = g.g_cycles;
+        end_cycle = t.cyc;
+        outcome;
+      }
 
 (* --- dispatch ------------------------------------------------------- *)
 
@@ -263,6 +317,7 @@ let dispatch_one t =
       started = false;
       is_miss = false;
       policy_stalled = false;
+      gate = None;
       rename_snap;
       hist_snap;
     }
@@ -322,6 +377,9 @@ let squash t ~boundary =
   emit t (Squashed { boundary; count = t.tail_seq - boundary - 1 });
   for seq = t.tail_seq - 1 downto boundary + 1 do
     let e = entry_exn t seq in
+    (match t.audit with
+    | Some a -> audit_close t a e Audit.Squashed
+    | None -> ());
     t.stats.Sim_stats.squashed <- t.stats.Sim_stats.squashed + 1;
     if e.is_miss then begin
       e.is_miss <- false;
@@ -555,7 +613,12 @@ let issue t =
         Stall.charge t.stall ~cause:Stall.Operand_wait ~pc:e.pc
       else if !budget > 0 then begin
         if t.policy.may_execute ~seq:!seq then begin
-          if try_issue t e then decr budget
+          if try_issue t e then begin
+            decr budget;
+            match t.audit with
+            | Some a -> audit_close t a e Audit.Issued
+            | None -> ()
+          end
           else Stall.charge t.stall ~cause:Stall.Lsq_order ~pc:e.pc
         end
         else begin
@@ -565,7 +628,10 @@ let issue t =
           if is_transmitter e.instr then
             t.stats.Sim_stats.transmit_stall_cycles <-
               t.stats.Sim_stats.transmit_stall_cycles + 1;
-          Stall.charge t.stall ~cause:Stall.Policy_gate ~pc:e.pc
+          Stall.charge t.stall ~cause:Stall.Policy_gate ~pc:e.pc;
+          match t.audit with
+          | Some a -> audit_gate t a e !seq
+          | None -> ()
         end
       end
       else if load_order_blocked t e then
@@ -681,7 +747,7 @@ let completion_wheel_size cfg =
   let rec pow2 n = if n > worst then n else pow2 (2 * n) in
   pow2 1
 
-let create ?(mem_init = fun _ -> ()) ?registry cfg ~policy program =
+let create ?(mem_init = fun _ -> ()) ?registry ?audit cfg ~policy program =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Pipeline.create: bad config: " ^ msg));
@@ -720,6 +786,7 @@ let create ?(mem_init = fun _ -> ()) ?registry cfg ~policy program =
       completions_mask = completion_wheel_size cfg - 1;
       unresolved_branches = [];
       tracer = None;
+      audit;
     }
   in
   mem_init t.memory;

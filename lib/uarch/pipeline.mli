@@ -48,6 +48,11 @@ type policy = {
   may_execute : seq:int -> bool;
   load_visibility : seq:int -> load_visibility;
       (** consulted when an approved load accesses the hierarchy *)
+  explain : seq:int -> Levioso_telemetry.Audit.reason;
+      (** why [may_execute] just refused [seq] — consulted (once per
+          restriction episode, at the first refusal) only when auditing
+          is enabled, so it may allocate.  Policies with no better
+          answer inherit [Unspecified] from {!always_execute_policy}. *)
 }
 
 type policy_maker = Config.t -> Levioso_ir.Ir.program -> t -> policy
@@ -62,6 +67,7 @@ val always_execute_policy : policy
 val create :
   ?mem_init:(int array -> unit) ->
   ?registry:Levioso_telemetry.Registry.t ->
+  ?audit:Levioso_telemetry.Audit.t ->
   Config.t ->
   policy:policy_maker ->
   Levioso_ir.Ir.program ->
@@ -70,7 +76,15 @@ val create :
     hierarchy's counters register under its ["cache"] scope); a private
     registry is created when omitted.  Pass a
     [Levioso_telemetry.Registry.scope]d view to keep several concurrent
-    runs (e.g. one per policy) separable. *)
+    runs (e.g. one per policy) separable.
+
+    [audit] enables restriction provenance: every policy-refusal episode
+    is recorded as one [Levioso_telemetry.Audit] event when it closes
+    (the instruction issues or is squashed).  Episodes still open when
+    the run halts are not recorded, so the audited cycle total is a
+    lower bound on — and in practice almost equal to —
+    [Sim_stats.policy_stall_cycles].  Off (no audit argument) the hooks
+    cost one branch per refusal. *)
 
 exception Deadlock of string
 (** No instruction committed for an implausibly long time — almost always a
@@ -109,6 +123,9 @@ val stall_attribution : t -> Levioso_telemetry.Stall.t
 
 val registry : t -> Levioso_telemetry.Registry.t
 (** The telemetry registry passed to (or created by) {!create}. *)
+
+val audit : t -> Levioso_telemetry.Audit.t option
+(** The restriction-provenance recorder passed to {!create}, if any. *)
 
 (** {1 View functions for policies}
 

@@ -1,5 +1,7 @@
 module Json = Levioso_telemetry.Json
 module Stall = Levioso_telemetry.Stall
+module Audit = Levioso_telemetry.Audit
+module Schema = Levioso_telemetry.Schema
 
 let of_pipeline ?workload ?policy ?(top_k = 10) pipe =
   let label key v =
@@ -7,8 +9,13 @@ let of_pipeline ?workload ?policy ?(top_k = 10) pipe =
     | Some s -> [ (key, Json.String s) ]
     | None -> []
   in
+  let audit =
+    match Pipeline.audit pipe with
+    | None -> []
+    | Some a -> [ ("audit", Audit.to_json ~top_k a) ]
+  in
   Json.Obj
-    (label "workload" workload
+    (Schema.field :: label "workload" workload
     @ label "policy" policy
     @ [
         ("stats", Sim_stats.to_json (Pipeline.stats pipe));
@@ -18,9 +25,10 @@ let of_pipeline ?workload ?policy ?(top_k = 10) pipe =
                (fun (k, v) -> (k, Json.Int v))
                (Cache.Hierarchy.stats (Pipeline.hierarchy pipe))) );
         ("stalls", Stall.to_json ~top_k (Pipeline.stall_attribution pipe));
-      ])
+      ]
+    @ audit)
 
-let runs summaries = Json.Obj [ ("runs", Json.List summaries) ]
+let runs summaries = Schema.tag [ ("runs", Json.List summaries) ]
 
 let matrix cells =
   runs

@@ -9,19 +9,22 @@
      "stats": {cycles, ipc, mpki, …},
      "cache": {l1_hits, …},
      "stalls": {total, by_cause: {policy_gate, operand_wait, lsq_order,
-                rob_full, exec_port}, top_pcs: […]}}
+                rob_full, exec_port}, top_pcs: […]},
+     "audit": {…}}          (only when the run was audited)
     v} *)
 
 val of_pipeline :
   ?workload:string -> ?policy:string -> ?top_k:int -> Pipeline.t -> Levioso_telemetry.Json.t
 (** Summarize one finished run.  [workload]/[policy] label the cell when
-    given; [top_k] (default 10) bounds the costliest-PC list in the
-    stall breakdown. *)
+    given; [top_k] (default 10) bounds the costliest-PC lists in the
+    stall and audit breakdowns.  When the pipeline was created with an
+    audit recorder, an ["audit"] section
+    ([Levioso_telemetry.Audit.to_json]) is appended. *)
 
 val runs : Levioso_telemetry.Json.t list -> Levioso_telemetry.Json.t
-(** Wrap per-run summaries as [{"runs": […]}] — for harnesses that
-    serialize each cell as it finishes instead of keeping every pipeline
-    (8 MB of simulated memory each) alive. *)
+(** Wrap per-run summaries as [{"schema_version": …, "runs": […]}] — for
+    harnesses that serialize each cell as it finishes instead of keeping
+    every pipeline (8 MB of simulated memory each) alive. *)
 
 val matrix :
   (string * string * Pipeline.t) list -> Levioso_telemetry.Json.t

@@ -35,4 +35,6 @@ let () =
       Test_annotation.suite;
       Test_props.suite;
       Test_fuzz.suite;
+      Test_audit.suite;
+      Test_report.suite;
     ]

@@ -1,0 +1,211 @@
+(* Reporting pipeline: differential overhead attribution on real runs,
+   byte-deterministic HTML rendering against a checked-in golden file,
+   and bench-history regression gating. *)
+
+module Json = Levioso_telemetry.Json
+module Schema = Levioso_telemetry.Schema
+module Config = Levioso_uarch.Config
+module Pipeline = Levioso_uarch.Pipeline
+module Summary = Levioso_uarch.Summary
+module Diff_report = Levioso_uarch.Diff_report
+module Html_report = Levioso_uarch.Html_report
+module Bench_history = Levioso_uarch.Bench_history
+module Registry = Levioso_core.Registry
+module Explain = Levioso_core.Explain
+module Workload = Levioso_workload.Workload
+module Suite = Levioso_workload.Suite
+
+let read_file path =
+  let ic = open_in_bin path in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  body
+
+(* --- differential attribution on real simulator output ---------------- *)
+
+let audited_summary ~workload ~policy =
+  let w = Suite.find_exn workload in
+  let audit = Explain.audit_for w.Workload.program in
+  let pipe =
+    Pipeline.create ~mem_init:w.Workload.mem_init ~audit Config.default
+      ~policy:(Registry.find_exn policy) w.Workload.program
+  in
+  Pipeline.run pipe;
+  Summary.of_pipeline ~workload ~policy pipe
+
+let test_diff_on_real_runs () =
+  let baseline = audited_summary ~workload:"stream" ~policy:"unsafe" in
+  let delay = audited_summary ~workload:"stream" ~policy:"delay" in
+  let d = Diff_report.compute_exn ~baseline delay in
+  Alcotest.(check (option string)) "workload" (Some "stream") d.Diff_report.workload;
+  Alcotest.(check string) "policy" "delay" d.Diff_report.policy;
+  Alcotest.(check string) "baseline" "unsafe" d.Diff_report.baseline;
+  Alcotest.(check int) "overhead is the cycle difference"
+    (d.Diff_report.policy_cycles - d.Diff_report.baseline_cycles)
+    d.Diff_report.overhead_cycles;
+  Alcotest.(check bool) "delay costs cycles" true (d.Diff_report.overhead_cycles > 0);
+  let gate_delta =
+    try List.assoc "policy_gate" d.Diff_report.cause_delta
+    with Not_found -> Alcotest.fail "no policy_gate cause in delta"
+  in
+  Alcotest.(check bool) "gate delta positive" true (gate_delta > 0);
+  Alcotest.(check bool) "audited cycles present" true
+    (d.Diff_report.audited_cycles > 0);
+  Alcotest.(check bool) "audited cycles bounded by gate stalls" true
+    (d.Diff_report.audited_cycles <= gate_delta);
+  Alcotest.(check bool) "delay over-restricts stream" true
+    (d.Diff_report.unnecessary_share > 0.0);
+  Alcotest.(check bool) "share is a ratio" true
+    (d.Diff_report.unnecessary_share <= 1.0);
+  (match d.Diff_report.top_pcs with
+  | [] -> Alcotest.fail "no top PCs in diff"
+  | pcs ->
+    let deltas = List.map (fun p -> p.Diff_report.delta) pcs in
+    Alcotest.(check (list int)) "top PCs sorted by delta desc" deltas
+      (List.sort (fun a b -> compare b a) deltas));
+  Alcotest.(check bool) "diff json schema-tagged" true
+    (Schema.check (Diff_report.to_json d) = Ok ());
+  Alcotest.(check bool) "rows render" true (Diff_report.to_rows d <> [])
+
+let test_diff_rejects_garbage () =
+  match
+    Diff_report.compute ~baseline:(Json.Obj []) (Json.Obj [ ("x", Json.Int 1) ])
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "diff of summaries without stats should fail"
+
+(* --- HTML golden ------------------------------------------------------ *)
+
+let golden_matrix () =
+  match Json.of_string (read_file "golden_matrix.json") with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "golden_matrix.json: %s" msg
+
+let test_html_golden () =
+  let html = Html_report.render_exn (golden_matrix ()) in
+  let golden = read_file "golden_report.html" in
+  if not (String.equal html golden) then
+    Alcotest.failf
+      "rendered HTML differs from golden_report.html (%d vs %d bytes); \
+       regenerate with: dune exec bin/levioso_report.exe -- \
+       test/golden_matrix.json -o test/golden_report.html"
+      (String.length html) (String.length golden)
+
+let test_html_deterministic_and_total () =
+  let m = golden_matrix () in
+  Alcotest.(check string)
+    "two renders are byte-identical" (Html_report.render_exn m)
+    (Html_report.render_exn m);
+  (* a matrix straight out of the simulator renders too *)
+  let runs =
+    [
+      audited_summary ~workload:"bsearch" ~policy:"unsafe";
+      audited_summary ~workload:"bsearch" ~policy:"levioso";
+    ]
+  in
+  let html =
+    Html_report.render_exn (Schema.tag [ ("runs", Json.List runs) ])
+  in
+  Alcotest.(check bool) "has doctype" true
+    (String.length html > 15 && String.sub html 0 15 = "<!DOCTYPE html>");
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "mentions the workload" true (contains "bsearch" html);
+  match Html_report.render (Json.Obj []) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "rendering a runs-less object should fail"
+
+(* --- bench history ---------------------------------------------------- *)
+
+let cell workload policy cycles = { Bench_history.workload; policy; cycles }
+
+let entry label cells = { Bench_history.label; cells }
+
+let test_history_roundtrip_and_append () =
+  let path = Filename.temp_file "levioso_hist" ".json" in
+  let e1 =
+    entry "first" [ cell "stream" "unsafe" 1000; cell "stream" "levioso" 1100 ]
+  in
+  let e2 =
+    entry "second" [ cell "stream" "unsafe" 1000; cell "stream" "levioso" 1105 ]
+  in
+  Bench_history.save path [ e1 ];
+  (match Bench_history.load path with
+  | Ok [ e ] ->
+    Alcotest.(check string) "label" "first" e.Bench_history.label;
+    Alcotest.(check int) "cells" 2 (List.length e.Bench_history.cells)
+  | Ok es -> Alcotest.failf "expected 1 entry, got %d" (List.length es)
+  | Error msg -> Alcotest.fail msg);
+  (match Bench_history.append ~path e2 with
+  | Ok n -> Alcotest.(check int) "append count" 2 n
+  | Error msg -> Alcotest.fail msg);
+  (match Bench_history.load path with
+  | Ok entries ->
+    Alcotest.(check (list string))
+      "order preserved" [ "first"; "second" ]
+      (List.map (fun e -> e.Bench_history.label) entries)
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
+let test_history_of_matrix () =
+  match Bench_history.of_matrix ~label:"golden" (golden_matrix ()) with
+  | Error msg -> Alcotest.fail msg
+  | Ok e ->
+    Alcotest.(check int) "one cell per run" 6 (List.length e.Bench_history.cells);
+    let c = List.hd e.Bench_history.cells in
+    Alcotest.(check string) "workload" "alpha" c.Bench_history.workload;
+    Alcotest.(check string) "policy" "unsafe" c.Bench_history.policy;
+    Alcotest.(check int) "cycles" 1000 c.Bench_history.cycles
+
+let test_compare_flags_regression () =
+  let old_ =
+    [ entry "base" [ cell "w" "levioso" 1000; cell "w" "delay" 4000 ] ]
+  in
+  (* levioso slows down 20%, delay improves: only levioso flagged *)
+  let new_ =
+    [
+      entry "old-run" [ cell "w" "levioso" 900; cell "w" "delay" 4100 ];
+      entry "current" [ cell "w" "levioso" 1200; cell "w" "delay" 3900 ];
+    ]
+  in
+  (match Bench_history.compare_latest ~tolerance:15.0 ~old_ ~new_ with
+  | Ok [ r ] ->
+    Alcotest.(check string) "flagged policy" "levioso" r.Bench_history.r_policy;
+    Alcotest.(check int) "old cycles" 1000 r.Bench_history.old_cycles;
+    Alcotest.(check int) "new cycles" 1200 r.Bench_history.new_cycles;
+    Alcotest.(check (float 0.01)) "pct" 20.0 r.Bench_history.pct
+  | Ok rs -> Alcotest.failf "expected 1 regression, got %d" (List.length rs)
+  | Error msg -> Alcotest.fail msg);
+  (* within tolerance: clean *)
+  (match Bench_history.compare_latest ~tolerance:25.0 ~old_ ~new_ with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "20% growth within 25% tolerance was flagged"
+  | Error msg -> Alcotest.fail msg);
+  (* disjoint matrices can't be compared *)
+  (match
+     Bench_history.compare_latest ~tolerance:15.0 ~old_
+       ~new_:[ entry "other" [ cell "x" "fence" 5 ] ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "no-overlap comparison should error");
+  match Bench_history.compare_latest ~tolerance:15.0 ~old_:[] ~new_ with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty history comparison should error"
+
+let suite =
+  ( "report",
+    [
+      Alcotest.test_case "diff on real runs" `Quick test_diff_on_real_runs;
+      Alcotest.test_case "diff rejects garbage" `Quick test_diff_rejects_garbage;
+      Alcotest.test_case "html golden" `Quick test_html_golden;
+      Alcotest.test_case "html deterministic and total" `Quick
+        test_html_deterministic_and_total;
+      Alcotest.test_case "history roundtrip and append" `Quick
+        test_history_roundtrip_and_append;
+      Alcotest.test_case "history of matrix" `Quick test_history_of_matrix;
+      Alcotest.test_case "compare flags regression" `Quick
+        test_compare_flags_regression;
+    ] )

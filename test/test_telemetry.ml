@@ -345,6 +345,136 @@ let test_wrong_path_counter_tracks_length () =
   Alcotest.(check int) "list length" 100
     (List.length s.Sim_stats.wrong_path_transmits)
 
+(* --- schema versioning ---------------------------------------------- *)
+
+module Schema = Levioso_telemetry.Schema
+
+let test_schema_tag_and_check () =
+  let tagged = Schema.tag [ ("x", Json.Int 1) ] in
+  Alcotest.(check bool) "tagged passes" true (Schema.check tagged = Ok ());
+  Alcotest.(check int)
+    "version field first"
+    Schema.version
+    (Json.to_int_exn (Json.member_exn "schema_version" tagged));
+  Alcotest.(check bool)
+    "untagged fails" true
+    (Result.is_error (Schema.check (Json.Obj [ ("x", Json.Int 1) ])));
+  Alcotest.(check bool)
+    "wrong version fails" true
+    (Result.is_error
+       (Schema.check
+          (Json.Obj [ ("schema_version", Json.Int (Schema.version + 1)) ])));
+  match Schema.check ~what:"history" (Json.Obj []) with
+  | Error msg ->
+    Alcotest.(check bool)
+      "error names the artifact" true
+      (String.length msg >= 7 && String.sub msg 0 7 = "history")
+  | Ok () -> Alcotest.fail "expected a version error"
+
+(* --- non-finite float policy ----------------------------------------- *)
+
+let test_json_nonfinite_policy () =
+  Alcotest.(check bool) "nan sanitizes" true (Json.float Float.nan = Json.Null);
+  Alcotest.(check bool)
+    "inf sanitizes" true
+    (Json.float Float.infinity = Json.Null);
+  Alcotest.(check bool)
+    "-inf sanitizes" true
+    (Json.float Float.neg_infinity = Json.Null);
+  Alcotest.(check bool) "finite passes" true (Json.float 2.5 = Json.Float 2.5);
+  List.iter
+    (fun f ->
+      match Json.to_string (Json.Obj [ ("x", Json.Float f) ]) with
+      | (_ : string) -> Alcotest.fail "printing a non-finite float must raise"
+      | exception Invalid_argument _ -> ())
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+(* Every tree the sanitizing constructors can build survives a print ->
+   parse round trip bit-exactly (generator restricted to exactly
+   representable floats). *)
+let test_json_roundtrip_property () =
+  for seed = 0 to 249 do
+    let v = Levioso_fuzz.Gen.json seed in
+    List.iter
+      (fun minify ->
+        match Json.of_string (Json.to_string ~minify v) with
+        | Ok parsed ->
+          if parsed <> v then
+            Alcotest.failf "seed %d (minify %b): %s reparsed as %s" seed minify
+              (Json.to_string ~minify:true v)
+              (Json.to_string ~minify:true parsed)
+        | Error msg ->
+          Alcotest.failf "seed %d (minify %b): parse error %s" seed minify msg)
+      [ false; true ]
+  done
+
+(* --- reservoir histograms -------------------------------------------- *)
+
+let test_reservoir_bounds_memory () =
+  let r = Registry.create () in
+  let h = Registry.histogram ~bound:1024 r "lat" in
+  (* 1M observations, uniform over [0, 1000) by construction *)
+  for i = 0 to 999_999 do
+    Registry.Histogram.observe h (i mod 1000)
+  done;
+  Alcotest.(check int) "count exact" 1_000_000 (Registry.Histogram.count h);
+  Alcotest.(check int) "stored = bound" 1024 (Registry.Histogram.stored h);
+  Alcotest.(check int) "max exact" 999 (Registry.Histogram.max_value h);
+  Alcotest.(check (float 0.001)) "mean exact" 499.5 (Registry.Histogram.mean h);
+  let p50 = Registry.Histogram.percentile h 50.0 in
+  let p95 = Registry.Histogram.percentile h 95.0 in
+  (* sampled percentiles: 4-sigma tolerance for a 1024-sample reservoir *)
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 %d within tolerance" p50)
+    true
+    (abs (p50 - 500) <= 65);
+  Alcotest.(check bool)
+    (Printf.sprintf "p95 %d within tolerance" p95)
+    true
+    (abs (p95 - 950) <= 40);
+  (* deterministic: same name, same stream -> same reservoir *)
+  let r2 = Registry.create () in
+  let h2 = Registry.histogram ~bound:1024 r2 "lat" in
+  for i = 0 to 999_999 do
+    Registry.Histogram.observe h2 (i mod 1000)
+  done;
+  Alcotest.(check int)
+    "deterministic p95" p95
+    (Registry.Histogram.percentile h2 95.0)
+
+let test_reservoir_json_schema_matches_unbounded () =
+  let keys j =
+    match j with
+    | Json.Obj fields -> List.map fst fields
+    | _ -> []
+  in
+  let render bound =
+    let r = Registry.create () in
+    let h = Registry.histogram ?bound r "lat" in
+    for i = 1 to 100 do
+      Registry.Histogram.observe h i
+    done;
+    keys (Json.member_exn "lat" (Registry.to_json r))
+  in
+  Alcotest.(check (list string))
+    "same keys" (render None)
+    (render (Some 16))
+
+let test_reservoir_exact_under_bound () =
+  let r = Registry.create () in
+  let h = Registry.histogram ~bound:1000 r "lat" in
+  for i = 1 to 100 do
+    Registry.Histogram.observe h i
+  done;
+  (* under the bound nothing is sampled: exact percentiles *)
+  Alcotest.(check int) "p50 exact" 50 (Registry.Histogram.percentile h 50.0);
+  Alcotest.(check int) "p95 exact" 95 (Registry.Histogram.percentile h 95.0);
+  Alcotest.(check bool)
+    "negative bound rejected" true
+    (match Registry.histogram ~bound:(-1) r "neg" with
+    | (_ : Registry.Histogram.h) -> false
+    | exception Invalid_argument _ -> true)
+
 let suite =
   ( "telemetry",
     [
@@ -370,4 +500,16 @@ let suite =
       Alcotest.test_case "summary golden keys" `Quick test_summary_golden_keys;
       Alcotest.test_case "wrong-path record is O(1)" `Quick
         test_wrong_path_counter_tracks_length;
+      Alcotest.test_case "schema tag and check" `Quick
+        test_schema_tag_and_check;
+      Alcotest.test_case "json non-finite policy" `Quick
+        test_json_nonfinite_policy;
+      Alcotest.test_case "json roundtrip property" `Quick
+        test_json_roundtrip_property;
+      Alcotest.test_case "reservoir bounds memory" `Quick
+        test_reservoir_bounds_memory;
+      Alcotest.test_case "reservoir json schema" `Quick
+        test_reservoir_json_schema_matches_unbounded;
+      Alcotest.test_case "reservoir exact under bound" `Quick
+        test_reservoir_exact_under_bound;
     ] )
