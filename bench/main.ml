@@ -12,6 +12,9 @@
      dune exec bench/main.exe -- --no-cache # ignore bench/.cache
      dune exec bench/main.exe -- --audit    # restriction provenance
                                             # (implies --no-cache)
+     dune exec bench/main.exe -- --progress # live status line (stderr)
+     dune exec bench/main.exe -- --progress-file progress.json
+     dune exec bench/main.exe -- --metrics metrics.prom  # OpenMetrics
 
    Every (config, workload, policy) simulation the figures need is
    independent, so the matrix is computed up front on a domain pool
@@ -42,6 +45,8 @@ module Report = Levioso_util.Report
 module Stats = Levioso_util.Stats
 module Parallel = Levioso_util.Parallel
 module Run_cache = Levioso_uarch.Run_cache
+module Monitor = Levioso_telemetry.Monitor
+module Hostprof = Levioso_telemetry.Hostprof
 
 let quick = ref false
 let only : string list ref = ref []
@@ -51,6 +56,14 @@ let jobs = ref 0 (* 0 = auto: Domain.recommended_domain_count *)
 let use_cache = ref true
 let cache_dir = ref (Filename.concat "bench" ".cache")
 let audit = ref false
+let progress = ref false
+let progress_file : string option ref = ref None
+let metrics_file : string option ref = ref None
+
+(* Live heartbeat for the matrix prefetch.  Strictly observational: the
+   monitor never touches cell computation, so --json output stays
+   bit-identical with it on or off (and across -j N). *)
+let monitor : Monitor.t option ref = ref None
 
 let effective_jobs () = if !jobs > 0 then !jobs else Parallel.default_size ()
 
@@ -94,6 +107,10 @@ type cell_result = {
   summary : Json.t;
   wall_s : float;
   source : string; (* "sim" | "disk" *)
+  host : Json.t;
+      (* host self-profiling phases (wall clock + Gc.quick_stat deltas);
+         lands in BENCH_matrix.json, deliberately NOT in the --json
+         summaries, which are byte-compared across -j N *)
 }
 
 let matrix : (Config.t * string * string, cell_result) Hashtbl.t =
@@ -108,13 +125,20 @@ let simulate config (w : Workload.t) policy =
   let audit_rec =
     if !audit then Some (Explain.audit_for w.Workload.program) else None
   in
-  let pipe = run_cell ?audit:audit_rec config w policy in
+  let pipe, create_span =
+    Hostprof.measure (fun () ->
+        Pipeline.create ~mem_init:w.Workload.mem_init ?audit:audit_rec config
+          ~policy:(Registry.find_exn policy) w.Workload.program)
+  in
+  let (), run_span = Hostprof.measure (fun () -> Pipeline.run pipe) in
   let wall_s = Unix.gettimeofday () -. t0 in
   {
     stats = Pipeline.stats pipe;
     summary = Summary.of_pipeline ~workload:w.Workload.name ~policy pipe;
     wall_s;
     source = "sim";
+    host =
+      Hostprof.phases_to_json [ ("create", create_span); ("run", run_span) ];
   }
 
 let compute_cell config (w : Workload.t) policy =
@@ -127,25 +151,33 @@ let compute_cell config (w : Workload.t) policy =
       Run_cache.store cache ~config ~workload ~policy c.summary;
       c
     in
-    let t0 = Unix.gettimeofday () in
-    match Run_cache.find cache ~config ~workload ~policy with
+    let replayed, replay_span =
+      Hostprof.measure (fun () ->
+          match Run_cache.find cache ~config ~workload ~policy with
+          | None -> None
+          | Some summary -> (
+            (* the stored summary carries everything the figures read; an
+               entry from a different schema generation is a miss, not a
+               misread *)
+            match Schema.check ~what:"cached summary" summary with
+            | Error _ -> None
+            | Ok () -> (
+              match
+                Option.map Sim_stats.of_json (Json.member "stats" summary)
+              with
+              | Some (Ok stats) -> Some (stats, summary)
+              | Some (Error _) | None -> None)))
+    in
+    match replayed with
     | None -> fresh ()
-    | Some summary -> (
-      (* the stored summary carries everything the figures read; an
-         entry from a different schema generation is a miss, not a
-         misread *)
-      match Schema.check ~what:"cached summary" summary with
-      | Error _ -> fresh ()
-      | Ok () -> (
-        match Option.map Sim_stats.of_json (Json.member "stats" summary) with
-        | Some (Ok stats) ->
-          {
-            stats;
-            summary;
-            wall_s = Unix.gettimeofday () -. t0;
-            source = "disk";
-          }
-        | Some (Error _) | None -> fresh ())))
+    | Some (stats, summary) ->
+      {
+        stats;
+        summary;
+        wall_s = replay_span.Hostprof.wall_s;
+        source = "disk";
+        host = Hostprof.phases_to_json [ ("replay", replay_span) ];
+      })
 
 (* Memoized, thread-safe access: the simulation itself runs outside the
    lock (the prefetch pass deduplicates keys, so no cell is computed
@@ -227,11 +259,22 @@ let prefetch_matrix ids =
       (List.concat_map cells_of ids)
   in
   let n = effective_jobs () in
+  (match !monitor with
+  | Some m -> Monitor.set_total m (List.length todo)
+  | None -> ());
+  let work ((c, w, p) : Config.t * Workload.t * string) =
+    (match !monitor with
+    | Some m -> Monitor.start m (w.Workload.name ^ "/" ^ p)
+    | None -> ());
+    let r = get_cell c w p in
+    match !monitor with
+    | Some m -> Monitor.item_done m ~wall_s:r.wall_s ()
+    | None -> ()
+  in
   if n > 1 && List.length todo > 1 then
-    Parallel.with_pool ~size:n (fun pool ->
-        Parallel.iter pool
-          (fun (c, w, p) -> ignore (get_cell c w p : cell_result))
-          todo)
+    Parallel.with_pool ~size:n (fun pool -> Parallel.iter pool work todo)
+  else List.iter work todo;
+  match !monitor with Some m -> Monitor.close m | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* experiments                                                         *)
@@ -687,6 +730,7 @@ let write_bench_matrix ~total_wall_s =
         ("cycles", Json.Int c.stats.Sim_stats.cycles);
         ("wall_s", Json.Float c.wall_s);
         ("source", Json.String c.source);
+        ("host", c.host);
       ]
   in
   let simulated = List.filter (fun (_, c) -> c.source = "sim") cells in
@@ -749,6 +793,15 @@ let () =
       cache_dir := dir;
       use_cache := true;
       parse rest
+    | "--progress" :: rest ->
+      progress := true;
+      parse rest
+    | "--progress-file" :: file :: rest ->
+      progress_file := Some file;
+      parse rest
+    | "--metrics" :: file :: rest ->
+      metrics_file := Some file;
+      parse rest
     | "--list" :: _ ->
       List.iter (fun (id, _) -> print_endline id) experiments;
       print_endline "bech";
@@ -762,6 +815,13 @@ let () =
      section and the cache key doesn't cover the flag. *)
   if !audit then use_cache := false;
   if !use_cache then disk := Some (Run_cache.create ~dir:!cache_dir ());
+  if !progress || !progress_file <> None || !metrics_file <> None then
+    monitor :=
+      Some
+        (Monitor.create
+           ?ansi:(if !progress then Some stderr else None)
+           ?json_path:!progress_file ?metrics_path:!metrics_file
+           ~label:"bench" ());
   let t_start = Unix.gettimeofday () in
   let selected id = !only = [] || List.mem id !only in
   let ids = List.filter_map (fun (id, _) -> if selected id then Some id else None) experiments in

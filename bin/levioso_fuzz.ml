@@ -6,6 +6,7 @@
      levioso_fuzz --oracle noninterference --time-budget 30
      levioso_fuzz --json --no-persist          # machine-readable, no corpus
      levioso_fuzz --replay fuzz/corpus         # regression-check the corpus
+     levioso_fuzz --iters 50000 --progress     # live status line on stderr
      levioso_fuzz --list-oracles
 
    Iteration seeds derive from --seed by a SplitMix64 finalizer, and
@@ -19,6 +20,7 @@ module Oracle = Levioso_fuzz.Oracle
 module Campaign = Levioso_fuzz.Campaign
 module Corpus = Levioso_fuzz.Corpus
 module Json = Levioso_telemetry.Json
+module Monitor = Levioso_telemetry.Monitor
 
 let list_oracles () =
   List.iter
@@ -102,7 +104,8 @@ let record_anchors ~config ~dir specs =
   | e :: _ -> `Error (false, e)
 
 let main seed iters time_budget jobs oracle_names corpus_dir no_persist
-    shrink_budget max_failures json replay record list =
+    shrink_budget max_failures json replay record list progress progress_file
+    metrics_file =
   if list then list_oracles ()
   else
     let config = Levioso_fuzz.Gen.default_config in
@@ -127,6 +130,28 @@ let main seed iters time_budget jobs oracle_names corpus_dir no_persist
           | [] -> Oracle.all
           | names -> List.filter_map Oracle.find names
         in
+        (* the monitor hangs off the campaign's chunk-boundary callback;
+           it is observational only, so the report (and exit status) is
+           the same with or without it *)
+        let monitor =
+          if progress || progress_file <> None || metrics_file <> None then begin
+            let m =
+              Monitor.create
+                ?ansi:(if progress then Some stderr else None)
+                ?json_path:progress_file ?metrics_path:metrics_file
+                ~label:"levioso_fuzz" ()
+            in
+            if iters > 0 then Monitor.set_total m iters;
+            Some m
+          end
+          else None
+        in
+        let on_progress =
+          Option.map
+            (fun m ~executed ~failures ->
+              Monitor.progress m ~failures ~done_:executed ())
+            monitor
+        in
         let options =
           {
             Campaign.default_options with
@@ -139,9 +164,11 @@ let main seed iters time_budget jobs oracle_names corpus_dir no_persist
             shrink_budget;
             max_failures =
               (if max_failures <= 0 then None else Some max_failures);
+            on_progress;
           }
         in
         let report = Campaign.run options in
+        Option.iter Monitor.close monitor;
         if json then Json.to_channel stdout (Campaign.to_json report)
         else Campaign.print stdout report;
         if report.Campaign.failures = [] then `Ok ()
@@ -246,6 +273,32 @@ let list_arg =
   Arg.(
     value & flag & info [ "list-oracles" ] ~doc:"List oracles and exit.")
 
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Show an in-place status line on stderr, updated at chunk \
+           boundaries (observational: the report is unchanged).")
+
+let progress_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "progress-file" ] ~docv:"FILE"
+        ~doc:
+          "Atomically rewrite $(docv) with a JSON progress snapshot at \
+           chunk boundaries.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Atomically rewrite $(docv) in OpenMetrics text format at \
+           chunk boundaries.")
+
 let cmd =
   let doc = "fuzz the simulator: differential and security oracles" in
   let info = Cmd.info "levioso_fuzz" ~doc in
@@ -254,6 +307,7 @@ let cmd =
       ret
         (const main $ seed_arg $ iters_arg $ time_budget_arg $ jobs_arg
        $ oracle_arg $ corpus_arg $ no_persist_arg $ shrink_budget_arg
-       $ max_failures_arg $ json_arg $ replay_arg $ record_arg $ list_arg))
+       $ max_failures_arg $ json_arg $ replay_arg $ record_arg $ list_arg
+       $ progress_arg $ progress_file_arg $ metrics_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -71,13 +71,19 @@ let normalize_runs path j =
                   Json.member "cycles" cell )
               with
               | Some w, Some p, Some c ->
+                let host =
+                  match Json.member "host" cell with
+                  | Some h -> [ ("host", h) ]
+                  | None -> []
+                in
                 Some
                   (Json.Obj
-                     [
-                       ("workload", w);
-                       ("policy", p);
-                       ("stats", Json.Obj [ ("cycles", c) ]);
-                     ])
+                     ([
+                        ("workload", w);
+                        ("policy", p);
+                        ("stats", Json.Obj [ ("cycles", c) ]);
+                      ]
+                     @ host))
               | _ -> None)
           cells
       in
@@ -89,14 +95,16 @@ let runs_of path j =
   | Some (Json.List runs) -> runs
   | _ -> assert false
 
-let mode_compare old_path new_path tolerance =
+let mode_compare old_path new_path tolerance alloc_tolerance =
   let load path =
     match Bench_history.load path with
     | Ok entries -> entries
     | Error msg -> die "%s" msg
   in
   let old_ = load old_path and new_ = load new_path in
-  match Bench_history.compare_latest ~tolerance ~old_ ~new_ with
+  match
+    Bench_history.compare_latest ~tolerance ?alloc_tolerance ~old_ ~new_ ()
+  with
   | Error msg -> die "%s" msg
   | Ok [] ->
     Printf.printf "no regression beyond %.1f%% (%s -> %s)\n" tolerance
@@ -188,10 +196,11 @@ let mode_render path out title append label =
         Printf.printf "appended %S to %s (%d entries)\n" label hist_path n)));
   0
 
-let main compare files diff baseline workload tolerance top_k as_json out
-    title append label =
+let main compare files diff baseline workload tolerance alloc_tolerance top_k
+    as_json out title append label =
   match (compare, diff, files) with
-  | true, _, [ old_path; new_path ] -> mode_compare old_path new_path tolerance
+  | true, _, [ old_path; new_path ] ->
+    mode_compare old_path new_path tolerance alloc_tolerance
   | true, _, _ -> die "--compare needs exactly two files: OLD NEW"
   | false, Some policy, [ path ] ->
     mode_diff policy baseline workload top_k as_json path
@@ -240,6 +249,16 @@ let tolerance_arg =
     & info [ "tolerance" ] ~docv:"PCT"
         ~doc:"Allowed per-cell cycle growth for --compare, in percent.")
 
+let alloc_tolerance_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "alloc-tolerance" ] ~docv:"PCT"
+        ~doc:
+          "Allowed per-cell host-allocation growth for --compare, in percent \
+           (defaults to --tolerance; only checked for cells whose histories \
+           recorded host profiles on both sides).")
+
 let top_k_arg =
   Arg.(
     value & opt int 10
@@ -278,7 +297,7 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ compare_arg $ files_arg $ diff_arg $ baseline_arg
-      $ workload_arg $ tolerance_arg $ top_k_arg $ json_arg $ out_arg
-      $ title_arg $ append_arg $ label_arg)
+      $ workload_arg $ tolerance_arg $ alloc_tolerance_arg $ top_k_arg
+      $ json_arg $ out_arg $ title_arg $ append_arg $ label_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -32,6 +32,10 @@ module Suite = Levioso_workload.Suite
 module Report = Levioso_util.Report
 module Stats = Levioso_util.Stats
 module Parallel = Levioso_util.Parallel
+module Timeline = Levioso_telemetry.Timeline
+module Monitor = Levioso_telemetry.Monitor
+module Hostprof = Levioso_telemetry.Hostprof
+module Konata = Levioso_uarch.Konata
 
 let trace_event_of = function
   | Pipeline.Fetched { seq; pc } ->
@@ -48,26 +52,38 @@ let trace_event_of = function
   | Pipeline.Squashed { boundary; count } ->
     ("squash", boundary, -1, [ ("count", Json.Int count) ])
 
-let run_one ?(trace = 0) ?sink ?audit ~registry config workload policy =
+let run_one ?(trace = 0) ?sink ?audit ?timeline ~registry config workload
+    policy =
   let maker = Registry.find_exn policy in
-  let pipe =
-    Pipeline.create ~mem_init:workload.Workload.mem_init ~registry ?audit
-      config ~policy:maker workload.Workload.program
+  let pipe, create_span =
+    Hostprof.measure (fun () ->
+        Pipeline.create ~mem_init:workload.Workload.mem_init ~registry ?audit
+          config ~policy:maker workload.Workload.program)
   in
   let text_remaining = ref trace in
-  if trace > 0 || sink <> None then
+  (* [set_tracer] holds a single callback, so text tracing, the
+     structured sink and the timeline multiplex inside one closure. *)
+  if trace > 0 || sink <> None || timeline <> None then
     Pipeline.set_tracer pipe (fun ~cycle event ->
         if !text_remaining > 0 then begin
           decr text_remaining;
           Printf.printf "[%6d] %s\n" cycle (Pipeline.event_to_string event)
         end;
+        (match timeline with
+        | Some tl -> Konata.feed tl ~cycle event
+        | None -> ());
         match sink with
         | None -> ()
         | Some s ->
           let stage, seq, pc, args = trace_event_of event in
           Trace.emit s { Trace.cycle; seq; pc; stage; args });
-  Pipeline.run pipe;
-  pipe
+  (match timeline with
+  | Some tl ->
+    Pipeline.set_stall_tracer pipe (fun ~cycle ~seq ~pc ~cause ->
+        Konata.feed_stall tl ~cycle ~seq ~pc ~cause)
+  | None -> ());
+  let (), run_span = Hostprof.measure (fun () -> Pipeline.run pipe) in
+  (pipe, [ ("create", create_span); ("run", run_span) ])
 
 (* Rendered to a string so parallel runs can print cell reports in
    deterministic workload x policy order after the pool drains. *)
@@ -91,8 +107,21 @@ let verbose_report w p pipe =
   | None -> ());
   Buffer.contents buf
 
+let parse_window = function
+  | None -> Ok None
+  | Some s -> (
+    match String.index_opt s ':' with
+    | Some i -> (
+      let a = String.sub s 0 i
+      and b = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b when a >= 0 && a <= b -> Ok (Some (a, b))
+      | _ -> Error (Printf.sprintf "--timeline-window: bad range %S" s))
+    | None -> Error (Printf.sprintf "--timeline-window expects A:B, got %S" s))
+
 let main workload_names policy_names rob predictor budget verbose trace json
-    trace_out trace_every jobs audit_flag audit_out =
+    trace_out trace_every jobs audit_flag audit_out timeline_out
+    timeline_window progress progress_file metrics_file =
   let config =
     {
       Config.default with
@@ -120,7 +149,20 @@ let main workload_names policy_names rob predictor budget verbose trace json
   in
   if trace_every < 1 then `Error (false, "--trace-every must be >= 1")
   else if jobs < 0 then `Error (false, "-j expects a non-negative integer")
+  else if
+    timeline_out <> None
+    && (List.length workloads <> 1 || List.length policies <> 1)
+  then
+    `Error
+      ( false,
+        "--timeline records a single cell: pick exactly one workload (-w) \
+         and one policy (-p)" )
+  else if timeline_out = None && timeline_window <> None then
+    `Error (false, "--timeline-window needs --timeline")
   else begin
+    match parse_window timeline_window with
+    | Error msg -> `Error (false, msg)
+    | Ok window ->
     let trace_channel = Option.map open_out trace_out in
     let sink =
       Option.map
@@ -143,16 +185,37 @@ let main workload_names policy_names rob predictor budget verbose trace json
     let audit_flag = audit_flag || audit_sink <> None in
     (* Tracing (and an audit event stream) funnels every cell's events
        into one channel in run order, so it pins the matrix to one
-       domain. *)
+       domain.  A timeline is single-cell by construction. *)
     let jobs =
-      if sink <> None || audit_sink <> None || trace > 0 then 1
+      if sink <> None || audit_sink <> None || trace > 0 || timeline_out <> None
+      then 1
       else if jobs = 0 then Parallel.default_size ()
       else jobs
     in
     let cells =
       List.concat_map (fun w -> List.map (fun p -> (w, p)) policies) workloads
     in
+    (* Single cell when --timeline is given, so one builder suffices. *)
+    let timeline =
+      Option.map
+        (fun _ ->
+          Konata.timeline ?window
+            (List.hd workloads).Workload.program)
+        timeline_out
+    in
+    let monitor =
+      if progress || progress_file <> None || metrics_file <> None then
+        Some
+          (Monitor.create
+             ?ansi:(if progress then Some stderr else None)
+             ?json_path:progress_file ?metrics_path:metrics_file
+             ~total:(List.length cells) ~label:"levioso_sim" ())
+      else None
+    in
     let run_cell ((w : Workload.t), p) =
+      Option.iter
+        (fun m -> Monitor.start m (w.Workload.name ^ "/" ^ p))
+        monitor;
       (match sink with
       | Some s -> Trace.begin_process s ~name:(w.Workload.name ^ "/" ^ p)
       | None -> ());
@@ -175,7 +238,14 @@ let main workload_names policy_names rob predictor budget verbose trace json
         end
         else None
       in
-      let pipe = run_one ~trace ?sink ?audit ~registry config w p in
+      let pipe, host = run_one ~trace ?sink ?audit ?timeline ~registry config w p in
+      Option.iter
+        (fun m ->
+          let wall_s =
+            List.fold_left (fun acc (_, s) -> acc +. s.Hostprof.wall_s) 0. host
+          in
+          Monitor.item_done m ~wall_s ())
+        monitor;
       let verbose_text =
         if verbose then begin
           let text = verbose_report w.Workload.name p pipe in
@@ -191,12 +261,13 @@ let main workload_names policy_names rob predictor budget verbose trace json
       in
       ( p,
         (Pipeline.stats pipe).Sim_stats.cycles,
-        Summary.of_pipeline ~workload:w.Workload.name ~policy:p pipe,
+        Summary.of_pipeline ~workload:w.Workload.name ~policy:p ~host pipe,
         verbose_text )
     in
     let results = Parallel.with_pool ~size:jobs (fun pool ->
         Parallel.map pool run_cell cells)
     in
+    Option.iter Monitor.close monitor;
     List.iter
       (fun (_, _, _, verbose_text) -> Option.iter print_string verbose_text)
       results;
@@ -228,6 +299,21 @@ let main workload_names policy_names rob predictor budget verbose trace json
         Printf.eprintf "audit: wrote %d restriction events to %s\n%!"
           (Trace.written s) (Option.get audit_out)
     | None -> ());
+    (match (timeline, timeline_out) with
+    | Some tl, Some path ->
+      let meta =
+        [
+          ("workload", (List.hd workloads).Workload.name);
+          ("policy", List.hd policies);
+        ]
+      in
+      let oc = open_out_bin path in
+      Timeline.write_konata ~meta tl oc;
+      close_out oc;
+      Printf.eprintf
+        "timeline: wrote %d of %d instructions to %s (open in Konata)\n%!"
+        (Timeline.recorded tl) (Timeline.seen tl) path
+    | _ -> ());
     if json then
       print_endline
         (Json.to_string
@@ -371,6 +457,53 @@ let audit_out_arg =
           "Stream every audit event to $(docv) (implies --audit): Chrome \
            trace_event JSON, or JSONL when the file ends in .jsonl.")
 
+let timeline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeline" ] ~docv:"FILE"
+        ~doc:
+          "Write an instruction-lifecycle pipeline trace (Kanata 0004 \
+           format, open in Konata) to $(docv).  Records a single cell: \
+           requires exactly one -w and one -p.  Stages F/I/X/C on lane 0, \
+           per-cycle stall causes on lane 1, squashes as flush markers.")
+
+let timeline_window_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeline-window" ] ~docv:"A:B"
+        ~doc:
+          "Record only instructions fetched in cycles A..B (inclusive), so \
+           million-cycle runs stay tractable.  Needs --timeline.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Render an in-place live status line on stderr (cells done/total, \
+           ETA, what each domain is simulating).  Purely observational: \
+           results are bit-identical with or without it.")
+
+let progress_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "progress-file" ] ~docv:"FILE"
+        ~doc:
+          "Periodically write a machine-readable progress snapshot to \
+           $(docv) (atomic rename, safe to tail/poll).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Periodically write progress gauges in OpenMetrics text format to \
+           $(docv) (atomic rename, scrapable).")
+
 let cmd =
   let doc = "simulate workloads under secure-speculation defenses" in
   let info = Cmd.info "levioso_sim" ~doc in
@@ -379,6 +512,8 @@ let cmd =
       ret
         (const main $ workloads_arg $ policies_arg $ rob_arg $ predictor_arg
        $ budget_arg $ verbose_arg $ trace_arg $ json_arg $ trace_out_arg
-       $ trace_every_arg $ jobs_arg $ audit_arg $ audit_out_arg))
+       $ trace_every_arg $ jobs_arg $ audit_arg $ audit_out_arg
+       $ timeline_arg $ timeline_window_arg $ progress_arg
+       $ progress_file_arg $ metrics_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -14,6 +14,7 @@ type options = {
   shrink_budget : int;
   max_failures : int option;
   config : Config.t;
+  on_progress : (executed:int -> failures:int -> unit) option;
 }
 
 let default_options =
@@ -27,6 +28,7 @@ let default_options =
     shrink_budget = 2000;
     max_failures = Some 20;
     config = Gen.default_config;
+    on_progress = None;
   }
 
 type failure = {
@@ -157,7 +159,12 @@ let run (o : options) =
             (i, oracle.Oracle.run ~config:o.config ~seed:(iter_seed o.seed i)))
           idxs
         |> List.iter handle;
-        executed := upper
+        executed := upper;
+        (* chunk-boundary heartbeat, on the calling domain; purely
+           observational, so -j N reports stay bit-identical *)
+        match o.on_progress with
+        | Some f -> f ~executed:!executed ~failures:(List.length !failures)
+        | None -> ()
       done);
   {
     base_seed = o.seed;

@@ -31,12 +31,18 @@ type options = {
           been collected (shrinking every failure of a badly broken
           policy is expensive and redundant); [None] = keep going *)
   config : Levioso_uarch.Config.t;  (** simulated machine *)
+  on_progress : (executed:int -> failures:int -> unit) option;
+      (** called on the calling domain after each chunk is folded in —
+          long campaigns are no longer silent until the end.  Strictly
+          observational (feed it a [Levioso_telemetry.Monitor]): it must
+          not influence the run, and the report stays bit-identical with
+          or without it. *)
 }
 
 val default_options : options
 (** seed 1, 500 iterations, no time budget, serial, every oracle,
     {!Corpus.default_dir}, shrink budget 2000, at most 20 failures,
-    {!Gen.default_config}. *)
+    {!Gen.default_config}, no progress callback. *)
 
 type failure = {
   oracle : string;

@@ -1,0 +1,225 @@
+type t = {
+  label : string;
+  ansi : out_channel option;
+  json_path : string option;
+  metrics_path : string option;
+  min_interval : float;
+  mu : Mutex.t;
+  started : float;
+  mutable total : int option;
+  mutable done_ : int;
+  mutable failures : int option;
+  mutable current : (int * string * float) list;  (* domain id, what, since *)
+  mutable wall_sum : float;
+  mutable wall_max : float;
+  mutable wall_n : int;
+  mutable last_render : float;
+  mutable closed : bool;
+}
+
+let create ?ansi ?json_path ?metrics_path ?(min_interval = 0.5) ?total ~label ()
+    =
+  {
+    label;
+    ansi;
+    json_path;
+    metrics_path;
+    min_interval;
+    mu = Mutex.create ();
+    started = Unix.gettimeofday ();
+    total;
+    done_ = 0;
+    failures = None;
+    current = [];
+    wall_sum = 0.;
+    wall_max = 0.;
+    wall_n = 0;
+    last_render = neg_infinity;
+    closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let domain_id () = (Domain.self () :> int)
+
+(* --- snapshot rendering (call with the lock held) --- *)
+
+let eta_s t elapsed =
+  match t.total with
+  | Some tot when t.done_ >= tot -> Some 0.
+  | Some tot when t.done_ > 0 ->
+      Some (elapsed /. float_of_int t.done_ *. float_of_int (tot - t.done_))
+  | _ -> None
+
+let snapshot_json_locked t now =
+  let elapsed = now -. t.started in
+  let current =
+    List.sort compare t.current
+    |> List.map (fun (d, what, since) ->
+           Json.Obj
+             [
+               ("domain", Json.Int d);
+               ("what", Json.String what);
+               ("for_s", Json.float (now -. since));
+             ])
+  in
+  Schema.tag
+    [
+      ("monitor", Json.String "levioso-progress/v1");
+      ("label", Json.String t.label);
+      ("done", Json.Int t.done_);
+      ("total", match t.total with Some n -> Json.Int n | None -> Json.Null);
+      ( "failures",
+        match t.failures with Some n -> Json.Int n | None -> Json.Null );
+      ("elapsed_s", Json.float elapsed);
+      ( "rate_per_s",
+        if elapsed > 0. then Json.float (float_of_int t.done_ /. elapsed)
+        else Json.Null );
+      ("eta_s", match eta_s t elapsed with Some e -> Json.float e | None -> Json.Null);
+      ( "cell_wall",
+        Json.Obj
+          [
+            ( "mean_s",
+              if t.wall_n > 0 then
+                Json.float (t.wall_sum /. float_of_int t.wall_n)
+              else Json.Null );
+            ("max_s", if t.wall_n > 0 then Json.float t.wall_max else Json.Null);
+            ("count", Json.Int t.wall_n);
+          ] );
+      ("current", Json.List current);
+    ]
+
+let om_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let openmetrics_locked t now =
+  let elapsed = now -. t.started in
+  let buf = Buffer.create 512 in
+  let labels = Printf.sprintf "{job=\"%s\"}" (om_escape t.label) in
+  let gauge name help v =
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "%s%s %s\n" name labels v)
+  in
+  gauge "levioso_progress_done" "Items completed."
+    (string_of_int t.done_);
+  (match t.total with
+  | Some tot ->
+      gauge "levioso_progress_total" "Items planned." (string_of_int tot)
+  | None -> ());
+  (match t.failures with
+  | Some f ->
+      gauge "levioso_progress_failures" "Failures observed."
+        (string_of_int f)
+  | None -> ());
+  gauge "levioso_progress_elapsed_seconds" "Wall clock since start."
+    (Printf.sprintf "%.3f" elapsed);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let status_line_locked t now =
+  let elapsed = now -. t.started in
+  let frac =
+    match t.total with
+    | Some tot when tot > 0 ->
+        Printf.sprintf "%d/%d (%.0f%%)" t.done_ tot
+          (100. *. float_of_int t.done_ /. float_of_int tot)
+    | _ -> Printf.sprintf "%d" t.done_
+  in
+  let eta =
+    match eta_s t elapsed with
+    | Some e -> Printf.sprintf " eta %.1fs" e
+    | None -> ""
+  in
+  let fails =
+    match t.failures with
+    | Some f when f > 0 -> Printf.sprintf " failures %d" f
+    | _ -> ""
+  in
+  let cur =
+    match List.sort compare t.current with
+    | [] -> ""
+    | l ->
+        " | "
+        ^ String.concat " " (List.map (fun (_, what, _) -> what) l)
+  in
+  let line =
+    Printf.sprintf "%s: %s elapsed %.1fs%s%s%s" t.label frac elapsed eta fails
+      cur
+  in
+  if String.length line > 120 then String.sub line 0 117 ^ "..." else line
+
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+let render_locked ?(final = false) t =
+  let now = Unix.gettimeofday () in
+  if final || now -. t.last_render >= t.min_interval then (
+    t.last_render <- now;
+    (match t.json_path with
+    | Some p -> write_atomic p (Json.to_string (snapshot_json_locked t now) ^ "\n")
+    | None -> ());
+    (match t.metrics_path with
+    | Some p -> write_atomic p (openmetrics_locked t now)
+    | None -> ());
+    match t.ansi with
+    | Some oc ->
+        output_string oc ("\r\027[2K" ^ status_line_locked t now);
+        if final then output_char oc '\n';
+        flush oc
+    | None -> ())
+
+let set_total t n = locked t (fun () -> t.total <- Some n)
+
+let start t what =
+  locked t (fun () ->
+      let d = domain_id () in
+      let now = Unix.gettimeofday () in
+      t.current <- (d, what, now) :: List.filter (fun (d', _, _) -> d' <> d) t.current;
+      render_locked t)
+
+let item_done t ?wall_s () =
+  locked t (fun () ->
+      let d = domain_id () in
+      t.current <- List.filter (fun (d', _, _) -> d' <> d) t.current;
+      t.done_ <- t.done_ + 1;
+      (match wall_s with
+      | Some w ->
+          t.wall_sum <- t.wall_sum +. w;
+          t.wall_max <- Float.max t.wall_max w;
+          t.wall_n <- t.wall_n + 1
+      | None -> ());
+      render_locked t)
+
+let progress t ?failures ~done_ () =
+  locked t (fun () ->
+      t.done_ <- done_;
+      (match failures with Some f -> t.failures <- Some f | None -> ());
+      render_locked t)
+
+let snapshot_json t =
+  locked t (fun () -> snapshot_json_locked t (Unix.gettimeofday ()))
+
+let openmetrics t =
+  locked t (fun () -> openmetrics_locked t (Unix.gettimeofday ()))
+
+let close t =
+  locked t (fun () ->
+      if not t.closed then (
+        t.closed <- true;
+        render_locked ~final:true t))

@@ -1,0 +1,57 @@
+(** Live run monitor: a heartbeat for long matrix runs and fuzz
+    campaigns.
+
+    Bench matrix runs, [levioso_sim] sweeps and fuzz campaigns report
+    item starts/completions into a monitor; it periodically renders
+
+    - an in-place ANSI status line (done/total, percent, elapsed, ETA,
+      the workload×policy each domain is currently simulating), and
+    - atomic machine-readable snapshots: a [progress.json] file
+      (schema-tagged) and/or an OpenMetrics text file suitable for
+      scraping — both written via temp-file + rename so a tailing
+      reader never sees a torn write.
+
+    The monitor is strictly a side channel: it never touches simulation
+    state, so results are bit-identical with it on or off, and it is
+    mutex-guarded so [-j N] workers can report concurrently without
+    perturbing the (ordered, deterministic) result collection. *)
+
+type t
+
+val create :
+  ?ansi:out_channel ->
+  ?json_path:string ->
+  ?metrics_path:string ->
+  ?min_interval:float ->
+  ?total:int ->
+  label:string ->
+  unit ->
+  t
+(** [min_interval] (seconds, default 0.5) rate-limits rendering; the
+    final [close] snapshot is always written.  [total] may be set later
+    via {!set_total} once the work list is known. *)
+
+val set_total : t -> int -> unit
+
+val start : t -> string -> unit
+(** [start t what] notes that the calling domain began working on
+    [what] (e.g. ["matmul/levioso"]). *)
+
+val item_done : t -> ?wall_s:float -> unit -> unit
+(** The calling domain finished its current item; increments the done
+    counter and feeds the per-cell wall-clock aggregate. *)
+
+val progress : t -> ?failures:int -> done_:int -> unit -> unit
+(** Absolute progress update (fuzz campaigns report executed-iteration
+    counts after each chunk rather than per-item start/finish). *)
+
+val snapshot_json : t -> Json.t
+(** The current snapshot, as written to [json_path]. *)
+
+val openmetrics : t -> string
+(** The current snapshot in OpenMetrics text format (ends with
+    [# EOF]). *)
+
+val close : t -> unit
+(** Forces a final snapshot (files + status line, which gets a
+    terminating newline).  Idempotent. *)

@@ -1,8 +1,26 @@
 module Json = Levioso_telemetry.Json
 module Schema = Levioso_telemetry.Schema
 
-type cell = { workload : string; policy : string; cycles : int }
+type cell = {
+  workload : string;
+  policy : string;
+  cycles : int;
+  alloc_mwords : float option;
+}
+
 type entry = { label : string; cells : cell list }
+
+(* Host sections carry {phases, total:{minor_words, major_words,
+   promoted_words, ...}}; the regression-tracked scalar is words
+   allocated (minor + major - promoted) in millions. *)
+let alloc_of_host host =
+  match Json.member "total" host with
+  | None -> None
+  | Some total -> (
+    let f k = Option.map Json.to_float_exn (Json.member k total) in
+    match (f "minor_words", f "major_words", f "promoted_words") with
+    | Some mi, Some ma, Some pr -> Some ((mi +. ma -. pr) /. 1e6)
+    | _ -> None)
 
 let cell_of_run run =
   let str k = Option.map Json.to_string_exn (Json.member k run) in
@@ -11,7 +29,13 @@ let cell_of_run run =
     match Json.member "stats" run with
     | Some stats -> (
       match Json.member "cycles" stats with
-      | Some c -> Ok { workload; policy; cycles = Json.to_int_exn c }
+      | Some c ->
+        let alloc_mwords =
+          match Json.member "host" run with
+          | Some host -> alloc_of_host host
+          | None -> None
+        in
+        Ok { workload; policy; cycles = Json.to_int_exn c; alloc_mwords }
       | None -> Error "run has no stats.cycles")
     | None -> Error "run has no stats")
   | _ -> Error "run has no workload/policy labels"
@@ -31,11 +55,15 @@ let of_matrix ~label j =
 
 let cell_to_json c =
   Json.Obj
-    [
-      ("workload", Json.String c.workload);
-      ("policy", Json.String c.policy);
-      ("cycles", Json.Int c.cycles);
-    ]
+    ([
+       ("workload", Json.String c.workload);
+       ("policy", Json.String c.policy);
+       ("cycles", Json.Int c.cycles);
+     ]
+    @
+    match c.alloc_mwords with
+    | Some a -> [ ("alloc_mwords", Json.float a) ]
+    | None -> [])
 
 let entry_to_json e =
   Json.Obj
@@ -49,6 +77,10 @@ let cell_of_json j =
     workload = Json.to_string_exn (Json.member_exn "workload" j);
     policy = Json.to_string_exn (Json.member_exn "policy" j);
     cycles = Json.to_int_exn (Json.member_exn "cycles" j);
+    alloc_mwords =
+      (match Json.member "alloc_mwords" j with
+      | Some (Json.Null) | None -> None
+      | Some v -> Some (Json.to_float_exn v));
   }
 
 let entry_of_json j =
@@ -109,50 +141,74 @@ let append ~path entry =
 type regression = {
   r_workload : string;
   r_policy : string;
-  old_cycles : int;
-  new_cycles : int;
+  r_metric : string;
+  r_old : float;
+  r_new : float;
   pct : float;
 }
 
-let compare_latest ~tolerance ~old_ ~new_ =
+let check_metric ~metric ~tolerance ~workload ~policy ~old_v ~new_v =
+  if old_v <= 0. then None
+  else
+    let pct = 100.0 *. (new_v -. old_v) /. old_v in
+    if pct > tolerance then
+      Some
+        {
+          r_workload = workload;
+          r_policy = policy;
+          r_metric = metric;
+          r_old = old_v;
+          r_new = new_v;
+          pct;
+        }
+    else None
+
+let compare_latest ~tolerance ?alloc_tolerance ~old_ ~new_ () =
+  let alloc_tolerance =
+    match alloc_tolerance with Some t -> t | None -> tolerance
+  in
   match (List.rev old_, List.rev new_) with
   | [], _ -> Error "old history is empty"
   | _, [] -> Error "new history is empty"
   | o :: _, n :: _ ->
     let overlap = ref 0 in
     let regressions =
-      List.filter_map
+      List.concat_map
         (fun nc ->
           match
             List.find_opt
               (fun oc -> oc.workload = nc.workload && oc.policy = nc.policy)
               o.cells
           with
-          | None -> None
+          | None -> []
           | Some oc ->
             incr overlap;
-            if oc.cycles = 0 then None
-            else
-              let pct =
-                100.0
-                *. float_of_int (nc.cycles - oc.cycles)
-                /. float_of_int oc.cycles
-              in
-              if pct > tolerance then
-                Some
-                  {
-                    r_workload = nc.workload;
-                    r_policy = nc.policy;
-                    old_cycles = oc.cycles;
-                    new_cycles = nc.cycles;
-                    pct;
-                  }
-              else None)
+            let cycles =
+              check_metric ~metric:"cycles" ~tolerance ~workload:nc.workload
+                ~policy:nc.policy
+                ~old_v:(float_of_int oc.cycles)
+                ~new_v:(float_of_int nc.cycles)
+            in
+            let alloc =
+              (* Only comparable when both sides were host-profiled;
+                 old baselines without host sections simply opt out. *)
+              match (oc.alloc_mwords, nc.alloc_mwords) with
+              | Some oa, Some na ->
+                check_metric ~metric:"alloc_mwords" ~tolerance:alloc_tolerance
+                  ~workload:nc.workload ~policy:nc.policy ~old_v:oa ~new_v:na
+              | _ -> None
+            in
+            List.filter_map Fun.id [ cycles; alloc ])
         n.cells
     in
     if !overlap = 0 then Error "no overlapping cells between histories"
     else Ok regressions
 
 let regression_to_string r =
-  Printf.sprintf "%s/%s: %d -> %d cycles (%+.1f%%)" r.r_workload r.r_policy
-    r.old_cycles r.new_cycles r.pct
+  let fmt v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.3f" v
+  in
+  Printf.sprintf "%s/%s: %s -> %s %s (%+.1f%%)" r.r_workload r.r_policy
+    (fmt r.r_old) (fmt r.r_new) r.r_metric r.pct

@@ -8,14 +8,26 @@
     comparable across machines and an entry checked into the repo works
     as a CI baseline. *)
 
-type cell = { workload : string; policy : string; cycles : int }
+type cell = {
+  workload : string;
+  policy : string;
+  cycles : int;
+  alloc_mwords : float option;
+      (** host words allocated over the cell (minor + major - promoted),
+          in millions — present when the producing run carried a [host]
+          self-profiling section.  Near-deterministic for a
+          deterministic simulation, hence usable as a regression
+          metric. *)
+}
+
 type entry = { label : string; cells : cell list }
 
 val of_matrix :
   label:string -> Levioso_telemetry.Json.t -> (entry, string) result
 (** Reduce a {!Summary.matrix} / [BENCH_matrix.json] value to an entry.
-    [Error] when the value has no ["runs"] list or a run lacks
-    workload/policy/stats.cycles. *)
+    Each run's [host] section, when present, is folded into
+    [alloc_mwords].  [Error] when the value has no ["runs"] list or a
+    run lacks workload/policy/stats.cycles. *)
 
 val load : string -> (entry list, string) result
 (** Read a history file.  Also accepts a bare matrix JSON file (one
@@ -31,18 +43,25 @@ val append : path:string -> entry -> (int, string) result
 type regression = {
   r_workload : string;
   r_policy : string;
-  old_cycles : int;
-  new_cycles : int;
-  pct : float;  (** 100 * (new - old) / old; positive = slower *)
+  r_metric : string;  (** ["cycles"] or ["alloc_mwords"] *)
+  r_old : float;
+  r_new : float;
+  pct : float;  (** 100 * (new - old) / old; positive = worse *)
 }
 
 val compare_latest :
-  tolerance:float -> old_:entry list -> new_:entry list ->
+  tolerance:float ->
+  ?alloc_tolerance:float ->
+  old_:entry list ->
+  new_:entry list ->
+  unit ->
   (regression list, string) result
 (** Compare the last entry of each history: every cell present in both
-    whose cycle count grew by more than [tolerance] percent is a
-    regression.  Cells present in only one side are ignored (matrix
-    shape may evolve).  [Error] when either history is empty or no cell
-    overlaps. *)
+    whose cycle count grew by more than [tolerance] percent — or whose
+    host allocation grew by more than [alloc_tolerance] percent
+    (defaults to [tolerance]; only checked when both sides recorded
+    [alloc_mwords]) — is a regression.  Cells present in only one side
+    are ignored (matrix shape may evolve).  [Error] when either history
+    is empty or no cell overlaps. *)
 
 val regression_to_string : regression -> string

@@ -1,0 +1,38 @@
+module Ir = Levioso_ir.Ir
+module Stall = Levioso_telemetry.Stall
+module Timeline = Levioso_telemetry.Timeline
+
+let cause_code = function
+  | Stall.Policy_gate -> "Gp"
+  | Stall.Operand_wait -> "Op"
+  | Stall.Lsq_order -> "Lq"
+  | Stall.Exec_port -> "Xp"
+  | Stall.Rob_full -> "Rf"
+
+let timeline ?window program =
+  let disasm pc =
+    if pc >= 0 && pc < Array.length program then Ir.instr_to_string program.(pc)
+    else Printf.sprintf "pc=%d" pc
+  in
+  Timeline.create ?window ~disasm ()
+
+let feed tl ~cycle (event : Pipeline.event) =
+  match event with
+  | Pipeline.Fetched { seq; pc } -> Timeline.fetch tl ~cycle ~seq ~pc
+  | Pipeline.Issued { seq; _ } -> Timeline.issue tl ~cycle ~seq
+  | Pipeline.Completed { seq; _ } -> Timeline.complete tl ~cycle ~seq
+  | Pipeline.Committed { seq; _ } -> Timeline.commit tl ~cycle ~seq
+  | Pipeline.Branch_resolved { seq; taken; mispredicted; _ } ->
+      Timeline.resolve tl ~cycle ~seq ~taken ~mispredicted
+  | Pipeline.Squashed { boundary; count } ->
+      Timeline.squash tl ~cycle ~boundary ~count
+
+let feed_stall tl ~cycle ~seq ~pc:_ ~cause =
+  Timeline.stall tl ~cycle ~seq
+    ~cause:(Stall.cause_to_string cause)
+    ~code:(cause_code cause)
+
+let attach tl pipe =
+  Pipeline.set_tracer pipe (fun ~cycle ev -> feed tl ~cycle ev);
+  Pipeline.set_stall_tracer pipe (fun ~cycle ~seq ~pc ~cause ->
+      feed_stall tl ~cycle ~seq ~pc ~cause)

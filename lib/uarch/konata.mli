@@ -1,0 +1,35 @@
+(** Pipeline → {!Levioso_telemetry.Timeline} adapter.
+
+    Translates {!Pipeline.event}s and {!Levioso_telemetry.Stall.cause}s
+    into the generic timeline builder, disassembling left-pane labels
+    from the program.  The resulting trace is written in the Kanata 0004
+    format and loads directly in Konata. *)
+
+module Timeline = Levioso_telemetry.Timeline
+
+val cause_code : Levioso_telemetry.Stall.cause -> string
+(** Short lane-1 stage label Konata colors by: [Policy_gate -> "Gp"],
+    [Operand_wait -> "Op"], [Lsq_order -> "Lq"], [Exec_port -> "Xp"],
+    [Rob_full -> "Rf"]. *)
+
+val timeline : ?window:int * int -> Levioso_ir.Ir.program -> Timeline.t
+(** A timeline whose disassembly labels come from [program]. *)
+
+val feed : Timeline.t -> cycle:int -> Pipeline.event -> unit
+(** Record one pipeline event.  Call from a {!Pipeline.set_tracer}
+    callback (or multiplex inside an existing one). *)
+
+val feed_stall :
+  Timeline.t ->
+  cycle:int ->
+  seq:int ->
+  pc:int ->
+  cause:Levioso_telemetry.Stall.cause ->
+  unit
+(** Record one waiting-cycle attribution.  Call from a
+    {!Pipeline.set_stall_tracer} callback. *)
+
+val attach : Timeline.t -> Pipeline.t -> unit
+(** Installs both tracers.  Convenience for callers that need no other
+    tracer ({!Pipeline.set_tracer} holds a single callback — multiplex
+    manually if you also want text/Chrome tracing). *)

@@ -2,6 +2,7 @@ module Ir = Levioso_ir.Ir
 module Stall = Levioso_telemetry.Stall
 module Registry = Levioso_telemetry.Registry
 module Audit = Levioso_telemetry.Audit
+module Ring = Levioso_telemetry.Timeline.Ring
 
 type load_visibility =
   | Normal
@@ -130,18 +131,61 @@ type t = {
      longer rescan the whole ROB per waiting instruction per cycle. *)
   mutable unresolved_branches : int list;
   mutable tracer : (cycle:int -> event -> unit) option;
+  mutable stall_tracer :
+    (cycle:int -> seq:int -> pc:int -> cause:Stall.cause -> unit) option;
+  (* Always-on bounded window of recent events for deadlock diagnostics
+     (and post-mortem inspection); cheap: one ring store per event. *)
+  recent : (int * event) Ring.t;
+  mutable head_stall_cause : Stall.cause option;
   audit : Audit.t option;
 }
 
 type policy_maker = Config.t -> Ir.program -> t -> policy
 
-exception Deadlock of string
+type deadlock = {
+  dl_cycle : int;
+  dl_last_commit_cycle : int;
+  dl_policy : string;
+  dl_head_seq : int;
+  dl_head_pc : int;
+  dl_head_cause : Stall.cause option;
+  dl_recent_events : (int * event) list;
+}
+
+exception Deadlock of deadlock
+
+let deadlock_to_string d =
+  let cause =
+    match d.dl_head_cause with
+    | Some c -> Stall.cause_to_string c
+    | None -> "unknown"
+  in
+  let events =
+    match d.dl_recent_events with
+    | [] -> "none"
+    | evs ->
+      String.concat "; "
+        (List.map
+           (fun (c, ev) -> Printf.sprintf "[%d] %s" c (event_to_string ev))
+           evs)
+  in
+  Printf.sprintf
+    "no commit since cycle %d (now %d): head seq %d pc %d stalled on %s \
+     (policy %s); recent events: %s"
+    d.dl_last_commit_cycle d.dl_cycle d.dl_head_seq d.dl_head_pc cause
+    d.dl_policy events
+
+let () =
+  Printexc.register_printer (function
+    | Deadlock d -> Some ("Pipeline.Deadlock: " ^ deadlock_to_string d)
+    | _ -> None)
 
 let is_transmitter = function
   | Ir.Load _ | Ir.Flush _ -> true
   | Ir.Alu _ | Ir.Store _ | Ir.Branch _ | Ir.Jump _ | Ir.Rdcycle _ | Ir.Halt ->
     false
 
+let recent_events_capacity = 32
 let vb_size t = 2 * t.cfg.Config.rob_size
 
 let slot_of t seq = seq mod t.cfg.Config.rob_size
@@ -190,10 +234,24 @@ let config t = t.cfg
 let halted t = t.is_halted
 
 let set_tracer t f = t.tracer <- Some f
+let set_stall_tracer t f = t.stall_tracer <- Some f
+let recent_events t = Ring.to_list t.recent
 
 let emit t event =
+  Ring.push t.recent (t.cyc, event);
   match t.tracer with
   | Some f -> f ~cycle:t.cyc event
+  | None -> ()
+
+(* One waiting cycle attributed to [cause] for entry [e]: feeds the
+   aggregate table, the head-of-window diagnostic (what the oldest
+   instruction is blocked on right now), and the optional per-cycle
+   stall tracer (timeline rendering). *)
+let charge_entry t e cause =
+  Stall.charge t.stall ~cause ~pc:e.pc;
+  if e.seq = t.head_seq then t.head_stall_cause <- Some cause;
+  match t.stall_tracer with
+  | Some f -> f ~cycle:t.cyc ~seq:e.seq ~pc:e.pc ~cause
   | None -> ()
 
 let mask_addr t addr = addr land (Array.length t.memory - 1)
@@ -610,7 +668,7 @@ let issue t =
     (match e.st with
     | Waiting ->
       if not (operands_ready t e) then
-        Stall.charge t.stall ~cause:Stall.Operand_wait ~pc:e.pc
+        charge_entry t e Stall.Operand_wait
       else if !budget > 0 then begin
         if t.policy.may_execute ~seq:!seq then begin
           if try_issue t e then begin
@@ -619,7 +677,7 @@ let issue t =
             | Some a -> audit_close t a e Audit.Issued
             | None -> ()
           end
-          else Stall.charge t.stall ~cause:Stall.Lsq_order ~pc:e.pc
+          else charge_entry t e Stall.Lsq_order
         end
         else begin
           e.policy_stalled <- true;
@@ -628,15 +686,15 @@ let issue t =
           if is_transmitter e.instr then
             t.stats.Sim_stats.transmit_stall_cycles <-
               t.stats.Sim_stats.transmit_stall_cycles + 1;
-          Stall.charge t.stall ~cause:Stall.Policy_gate ~pc:e.pc;
+          charge_entry t e Stall.Policy_gate;
           match t.audit with
           | Some a -> audit_gate t a e !seq
           | None -> ()
         end
       end
       else if load_order_blocked t e then
-        Stall.charge t.stall ~cause:Stall.Lsq_order ~pc:e.pc
-      else Stall.charge t.stall ~cause:Stall.Exec_port ~pc:e.pc
+        charge_entry t e Stall.Lsq_order
+      else charge_entry t e Stall.Exec_port
     | Inflight _ | Done -> ());
     incr seq
   done
@@ -674,7 +732,8 @@ let commit_one t e =
   t.policy.on_commit ~seq:e.seq;
   emit t (Committed { seq = e.seq; pc = e.pc });
   t.slots.(slot_of t e.seq) <- None;
-  t.head_seq <- e.seq + 1
+  t.head_seq <- e.seq + 1;
+  t.head_stall_cause <- None
 
 let commit t =
   let budget = ref t.cfg.Config.commit_width in
@@ -718,11 +777,15 @@ let run ?(max_cycles = 100_000_000) ?(deadlock_window = 100_000) t =
     else if t.cyc - !last_progress_cycle > deadlock_window then
       raise
         (Deadlock
-           (Printf.sprintf
-              "no commit since cycle %d (head seq %d, pc %d, policy %s)"
-              !last_progress_cycle t.head_seq
-              (try (entry_exn t t.head_seq).pc with _ -> -1)
-              t.policy.policy_name))
+           {
+             dl_cycle = t.cyc;
+             dl_last_commit_cycle = !last_progress_cycle;
+             dl_policy = t.policy.policy_name;
+             dl_head_seq = t.head_seq;
+             dl_head_pc = (try (entry_exn t t.head_seq).pc with _ -> -1);
+             dl_head_cause = t.head_stall_cause;
+             dl_recent_events = Ring.to_list t.recent;
+           })
   done
 
 (* Smallest power of two strictly greater than the largest latency any
@@ -786,6 +849,9 @@ let create ?(mem_init = fun _ -> ()) ?registry ?audit cfg ~policy program =
       completions_mask = completion_wheel_size cfg - 1;
       unresolved_branches = [];
       tracer = None;
+      stall_tracer = None;
+      recent = Ring.create recent_events_capacity;
+      head_stall_cause = None;
       audit;
     }
   in

@@ -86,10 +86,6 @@ val create :
     [Sim_stats.policy_stall_cycles].  Off (no audit argument) the hooks
     cost one branch per refusal. *)
 
-exception Deadlock of string
-(** No instruction committed for an implausibly long time — almost always a
-    defense policy bug (gating the oldest instruction). *)
-
 val step : t -> unit
 (** Advance one cycle. *)
 
@@ -183,7 +179,43 @@ type event =
 
 val set_tracer : t -> (cycle:int -> event -> unit) -> unit
 
+val set_stall_tracer :
+  t -> (cycle:int -> seq:int -> pc:int -> cause:Levioso_telemetry.Stall.cause -> unit) -> unit
+(** Per-cycle stall attribution stream: invoked once per waiting
+    in-window instruction per cycle, with the cause it was charged to
+    (the same charge recorded in {!stall_attribution}; [Rob_full]
+    fetch-side charges have no instruction and are not reported).  This
+    is what timeline rendering uses to label gated instructions.  Zero
+    cost when not installed. *)
+
 val event_to_string : event -> string
 (** The instructions whose {e execution} leaks through the cache channel:
     loads and flushes.  Stores are not transmitters here because they only
     touch the cache at commit (non-speculatively). *)
+
+(** {1 Diagnostics} *)
+
+val recent_events : t -> (int * event) list
+(** A bounded window (last 32) of [(cycle, event)] pairs, oldest first.
+    Always on — kept in a ring so the cost is one store per event. *)
+
+type deadlock = {
+  dl_cycle : int;  (** cycle at which the deadlock was declared *)
+  dl_last_commit_cycle : int;  (** cycle of the last observed commit *)
+  dl_policy : string;
+  dl_head_seq : int;
+  dl_head_pc : int;  (** -1 when the head entry is gone *)
+  dl_head_cause : Levioso_telemetry.Stall.cause option;
+      (** what the head-of-window instruction was charged to on its most
+          recent waiting cycle — for a policy bug (gating the oldest
+          instruction) this reads [Policy_gate] *)
+  dl_recent_events : (int * event) list;  (** see {!recent_events} *)
+}
+
+exception Deadlock of deadlock
+(** No instruction committed for an implausibly long time — almost always a
+    defense policy bug (gating the oldest instruction).  A printer is
+    registered, so an uncaught [Deadlock] renders via
+    {!deadlock_to_string}. *)
+
+val deadlock_to_string : deadlock -> string

@@ -2,8 +2,9 @@ module Json = Levioso_telemetry.Json
 module Stall = Levioso_telemetry.Stall
 module Audit = Levioso_telemetry.Audit
 module Schema = Levioso_telemetry.Schema
+module Hostprof = Levioso_telemetry.Hostprof
 
-let of_pipeline ?workload ?policy ?(top_k = 10) pipe =
+let of_pipeline ?workload ?policy ?host ?(top_k = 10) pipe =
   let label key v =
     match v with
     | Some s -> [ (key, Json.String s) ]
@@ -13,6 +14,11 @@ let of_pipeline ?workload ?policy ?(top_k = 10) pipe =
     match Pipeline.audit pipe with
     | None -> []
     | Some a -> [ ("audit", Audit.to_json ~top_k a) ]
+  in
+  let host =
+    match host with
+    | None -> []
+    | Some phases -> [ ("host", Hostprof.phases_to_json phases) ]
   in
   Json.Obj
     (Schema.field :: label "workload" workload
@@ -26,7 +32,7 @@ let of_pipeline ?workload ?policy ?(top_k = 10) pipe =
                (Cache.Hierarchy.stats (Pipeline.hierarchy pipe))) );
         ("stalls", Stall.to_json ~top_k (Pipeline.stall_attribution pipe));
       ]
-    @ audit)
+    @ audit @ host)
 
 let runs summaries = Schema.tag [ ("runs", Json.List summaries) ]
 

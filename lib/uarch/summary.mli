@@ -10,16 +10,27 @@
      "cache": {l1_hits, …},
      "stalls": {total, by_cause: {policy_gate, operand_wait, lsq_order,
                 rob_full, exec_port}, top_pcs: […]},
-     "audit": {…}}          (only when the run was audited)
+     "audit": {…},          (only when the run was audited)
+     "host": {phases: {…}, total: {wall_s, minor_words, …}}}
+                            (only when host profiling was requested)
     v} *)
 
 val of_pipeline :
-  ?workload:string -> ?policy:string -> ?top_k:int -> Pipeline.t -> Levioso_telemetry.Json.t
+  ?workload:string ->
+  ?policy:string ->
+  ?host:(string * Levioso_telemetry.Hostprof.span) list ->
+  ?top_k:int ->
+  Pipeline.t ->
+  Levioso_telemetry.Json.t
 (** Summarize one finished run.  [workload]/[policy] label the cell when
     given; [top_k] (default 10) bounds the costliest-PC lists in the
     stall and audit breakdowns.  When the pipeline was created with an
     audit recorder, an ["audit"] section
-    ([Levioso_telemetry.Audit.to_json]) is appended. *)
+    ([Levioso_telemetry.Audit.to_json]) is appended.  [host] attaches a
+    host self-profiling section (named phases measured with
+    [Levioso_telemetry.Hostprof.measure]); note the section carries wall
+    clock, so summaries meant to be byte-compared across runs should
+    omit it. *)
 
 val runs : Levioso_telemetry.Json.t list -> Levioso_telemetry.Json.t
 (** Wrap per-run summaries as [{"schema_version": …, "runs": […]}] — for

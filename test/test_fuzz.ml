@@ -226,6 +226,10 @@ let test_checked_in_corpus_replays () =
 (* --- campaign --------------------------------------------------------- *)
 
 let campaign_json ~jobs =
+  (* attach a progress callback so determinism is asserted with the
+     monitor hook live, not just in the silent configuration *)
+  let beats = ref 0 in
+  let last = ref 0 in
   let report =
     Campaign.run
       {
@@ -234,8 +238,15 @@ let campaign_json ~jobs =
         iters = 40;
         jobs;
         corpus_dir = None;
+        on_progress =
+          Some
+            (fun ~executed ~failures:_ ->
+              incr beats;
+              last := executed);
       }
   in
+  Alcotest.(check bool) "progress callback fired" true (!beats > 0);
+  Alcotest.(check int) "final heartbeat saw every iteration" 40 !last;
   Json.to_string (Campaign.to_json report)
 
 let test_campaign_parallel_deterministic () =

@@ -37,4 +37,5 @@ let () =
       Test_fuzz.suite;
       Test_audit.suite;
       Test_report.suite;
+      Test_timeline.suite;
     ]

@@ -231,11 +231,34 @@ let test_deadlock_detection () =
   in
   let program = Parser.parse_exn "add r1, r1, #1\nhalt" in
   let pipe = Pipeline.create small_config ~policy:gate_everything program in
-  Alcotest.(check bool) "raises Deadlock" true
-    (try
-       Pipeline.run ~deadlock_window:2000 pipe;
-       false
-     with Pipeline.Deadlock _ -> true)
+  match Pipeline.run ~deadlock_window:2000 pipe with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Pipeline.Deadlock d ->
+    (* the diagnostic must name the culprit: head instruction, what it
+       is stalled on, which policy gated it, and the recent event tail *)
+    Alcotest.(check int) "head seq" 0 d.Pipeline.dl_head_seq;
+    Alcotest.(check int) "head pc" 0 d.Pipeline.dl_head_pc;
+    Alcotest.(check string) "policy" "gate-everything" d.Pipeline.dl_policy;
+    (match d.Pipeline.dl_head_cause with
+    | Some Levioso_telemetry.Stall.Policy_gate -> ()
+    | Some c ->
+      Alcotest.failf "head cause %s, expected policy_gate"
+        (Levioso_telemetry.Stall.cause_to_string c)
+    | None -> Alcotest.fail "no head stall cause recorded");
+    Alcotest.(check bool) "recent events captured" true
+      (d.Pipeline.dl_recent_events <> []);
+    Alcotest.(check bool) "deadlock window respected" true
+      (d.Pipeline.dl_cycle - d.Pipeline.dl_last_commit_cycle >= 2000);
+    let msg = Pipeline.deadlock_to_string d in
+    let contains needle hay =
+      let n = String.length needle and h = String.length hay in
+      let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+      at 0
+    in
+    Alcotest.(check bool) "message names the cause" true
+      (contains "policy_gate" msg);
+    Alcotest.(check bool) "message names the policy" true
+      (contains "gate-everything" msg)
 
 let test_tiny_rob () =
   let config = { small_config with Config.rob_size = 4 } in

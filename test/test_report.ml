@@ -120,7 +120,8 @@ let test_html_deterministic_and_total () =
 
 (* --- bench history ---------------------------------------------------- *)
 
-let cell workload policy cycles = { Bench_history.workload; policy; cycles }
+let cell ?alloc workload policy cycles =
+  { Bench_history.workload; policy; cycles; alloc_mwords = alloc }
 
 let entry label cells = { Bench_history.label; cells }
 
@@ -171,16 +172,17 @@ let test_compare_flags_regression () =
       entry "current" [ cell "w" "levioso" 1200; cell "w" "delay" 3900 ];
     ]
   in
-  (match Bench_history.compare_latest ~tolerance:15.0 ~old_ ~new_ with
+  (match Bench_history.compare_latest ~tolerance:15.0 ~old_ ~new_ () with
   | Ok [ r ] ->
     Alcotest.(check string) "flagged policy" "levioso" r.Bench_history.r_policy;
-    Alcotest.(check int) "old cycles" 1000 r.Bench_history.old_cycles;
-    Alcotest.(check int) "new cycles" 1200 r.Bench_history.new_cycles;
+    Alcotest.(check string) "metric" "cycles" r.Bench_history.r_metric;
+    Alcotest.(check (float 0.01)) "old cycles" 1000.0 r.Bench_history.r_old;
+    Alcotest.(check (float 0.01)) "new cycles" 1200.0 r.Bench_history.r_new;
     Alcotest.(check (float 0.01)) "pct" 20.0 r.Bench_history.pct
   | Ok rs -> Alcotest.failf "expected 1 regression, got %d" (List.length rs)
   | Error msg -> Alcotest.fail msg);
   (* within tolerance: clean *)
-  (match Bench_history.compare_latest ~tolerance:25.0 ~old_ ~new_ with
+  (match Bench_history.compare_latest ~tolerance:25.0 ~old_ ~new_ () with
   | Ok [] -> ()
   | Ok _ -> Alcotest.fail "20% growth within 25% tolerance was flagged"
   | Error msg -> Alcotest.fail msg);
@@ -188,12 +190,53 @@ let test_compare_flags_regression () =
   (match
      Bench_history.compare_latest ~tolerance:15.0 ~old_
        ~new_:[ entry "other" [ cell "x" "fence" 5 ] ]
+       ()
    with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "no-overlap comparison should error");
-  match Bench_history.compare_latest ~tolerance:15.0 ~old_:[] ~new_ with
+  match Bench_history.compare_latest ~tolerance:15.0 ~old_:[] ~new_ () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "empty history comparison should error"
+
+let test_compare_flags_alloc_regression () =
+  (* cycles hold steady but the host section shows a 50% allocation
+     growth: only the alloc metric is flagged *)
+  let old_ = [ entry "base" [ cell ~alloc:10.0 "w" "levioso" 1000 ] ] in
+  let new_ = [ entry "current" [ cell ~alloc:15.0 "w" "levioso" 1000 ] ] in
+  (match Bench_history.compare_latest ~tolerance:5.0 ~old_ ~new_ () with
+  | Ok [ r ] ->
+    Alcotest.(check string) "metric" "alloc_mwords" r.Bench_history.r_metric;
+    Alcotest.(check (float 0.01)) "old alloc" 10.0 r.Bench_history.r_old;
+    Alcotest.(check (float 0.01)) "new alloc" 15.0 r.Bench_history.r_new;
+    Alcotest.(check (float 0.01)) "pct" 50.0 r.Bench_history.pct
+  | Ok rs -> Alcotest.failf "expected 1 regression, got %d" (List.length rs)
+  | Error msg -> Alcotest.fail msg);
+  (* a looser alloc-specific tolerance silences it without loosening the
+     cycle gate *)
+  (match
+     Bench_history.compare_latest ~tolerance:5.0 ~alloc_tolerance:60.0 ~old_
+       ~new_ ()
+   with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "50% alloc growth within 60% tolerance was flagged"
+  | Error msg -> Alcotest.fail msg);
+  (* histories recorded before host profiling existed have no alloc
+     numbers; comparison must not invent them *)
+  let bare = [ entry "pre-host" [ cell "w" "levioso" 1000 ] ] in
+  (match Bench_history.compare_latest ~tolerance:5.0 ~old_:bare ~new_ () with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "alloc flagged against a baseline without alloc"
+  | Error msg -> Alcotest.fail msg);
+  (* alloc numbers survive the JSON round-trip *)
+  let path = Filename.temp_file "levioso_hist" ".json" in
+  Bench_history.save path new_;
+  (match Bench_history.load path with
+  | Ok [ e ] -> (
+    match (List.hd e.Bench_history.cells).Bench_history.alloc_mwords with
+    | Some v -> Alcotest.(check (float 0.01)) "alloc round-trips" 15.0 v
+    | None -> Alcotest.fail "alloc_mwords lost in round-trip")
+  | Ok _ | Error _ -> Alcotest.fail "round-trip load failed");
+  Sys.remove path
 
 let suite =
   ( "report",
@@ -208,4 +251,6 @@ let suite =
       Alcotest.test_case "history of matrix" `Quick test_history_of_matrix;
       Alcotest.test_case "compare flags regression" `Quick
         test_compare_flags_regression;
+      Alcotest.test_case "compare flags alloc regression" `Quick
+        test_compare_flags_alloc_regression;
     ] )
