@@ -818,8 +818,9 @@ let () =
   if !progress || !progress_file <> None || !metrics_file <> None then
     monitor :=
       Some
-        (Monitor.create
-           ?ansi:(if !progress then Some stderr else None)
+        (* status line on a TTY, auto-suppressed when stderr is piped;
+           --progress forces it regardless *)
+        (Monitor.create ~ansi:stderr ~force_ansi:!progress
            ?json_path:!progress_file ?metrics_path:!metrics_file
            ~label:"bench" ());
   let t_start = Unix.gettimeofday () in

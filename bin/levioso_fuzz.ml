@@ -40,11 +40,11 @@ let replay_corpus ~config ~json dir =
       List.map
         (fun path ->
           match Corpus.load path with
-          | Error msg -> (path, Error msg)
-          | Ok entry -> (path, Corpus.replay ~config entry))
+          | Error msg -> (path, None, Error msg)
+          | Ok entry -> (path, entry.Corpus.leak, Corpus.replay ~config entry))
         files
     in
-    let bad = List.filter (fun (_, r) -> Result.is_error r) results in
+    let bad = List.filter (fun (_, _, r) -> Result.is_error r) results in
     if json then
       Json.to_channel stdout
         (Json.Obj
@@ -54,7 +54,7 @@ let replay_corpus ~config ~json dir =
              ( "results",
                Json.List
                  (List.map
-                    (fun (path, r) ->
+                    (fun (path, leak, r) ->
                       Json.Obj
                         [
                           ("path", Json.String path);
@@ -62,15 +62,25 @@ let replay_corpus ~config ~json dir =
                             match r with
                             | Ok () -> Json.Bool true
                             | Error msg -> Json.String msg );
+                          ( "leak",
+                            match leak with
+                            | Some chain -> Json.String chain
+                            | None -> Json.Null );
                         ])
                     results) );
            ])
     else
       List.iter
-        (fun (path, r) ->
-          match r with
+        (fun (path, leak, r) ->
+          (match r with
           | Ok () -> Printf.printf "ok   %s\n" path
-          | Error msg -> Printf.printf "FAIL %s: %s\n" path msg)
+          | Error msg -> Printf.printf "FAIL %s: %s\n" path msg);
+          (* recorded leak provenance rides along with the repro *)
+          match leak with
+          | Some chain ->
+            String.split_on_char '\n' (String.trim chain)
+            |> List.iter (fun l -> Printf.printf "     | %s\n" l)
+          | None -> ())
         results;
     if bad = [] then `Ok () else `Error (false, "corpus replay disagreed")
   end
@@ -90,7 +100,15 @@ let record_anchors ~config ~dir specs =
         let program, source = Oracle.input_of oracle ~seed in
         let path =
           Corpus.save ~dir
-            { Corpus.oracle = name; seed; verdict; detail; source; program }
+            {
+              Corpus.oracle = name;
+              seed;
+              verdict;
+              detail;
+              source;
+              leak = None;
+              program;
+            }
         in
         Printf.printf "recorded %s (%s)\n" path verdict;
         Ok ()
@@ -136,8 +154,9 @@ let main seed iters time_budget jobs oracle_names corpus_dir no_persist
         let monitor =
           if progress || progress_file <> None || metrics_file <> None then begin
             let m =
-              Monitor.create
-                ?ansi:(if progress then Some stderr else None)
+              (* the status line shows on a TTY, is auto-suppressed when
+                 stderr is piped, and --progress forces it regardless *)
+              Monitor.create ~ansi:stderr ~force_ansi:progress
                 ?json_path:progress_file ?metrics_path:metrics_file
                 ~label:"levioso_fuzz" ()
             in

@@ -173,10 +173,24 @@ let mode_diff policy baseline workload top_k as_json path =
       diffs;
   0
 
-let mode_render path out title append label =
+let mode_render path out title append label leak_trace =
   let matrix = normalize_runs path (read_json path) in
+  let leak =
+    Option.map
+      (fun p ->
+        let j = read_json p in
+        (match Json.member "kind" j with
+        | Some (Json.String "levioso-flowtrace") -> ()
+        | _ ->
+          die
+            "%s: not a levioso-flowtrace document (want levioso_sim \
+             --leak-trace FILE.json output)"
+            p);
+        j)
+      leak_trace
+  in
   let html =
-    match Html_report.render ~title matrix with
+    match Html_report.render ~title ?leak matrix with
     | Ok html -> html
     | Error msg -> die "%s" msg
   in
@@ -197,7 +211,7 @@ let mode_render path out title append label =
   0
 
 let main compare files diff baseline workload tolerance alloc_tolerance top_k
-    as_json out title append label =
+    as_json out title append label leak_trace =
   match (compare, diff, files) with
   | true, _, [ old_path; new_path ] ->
     mode_compare old_path new_path tolerance alloc_tolerance
@@ -205,7 +219,7 @@ let main compare files diff baseline workload tolerance alloc_tolerance top_k
   | false, Some policy, [ path ] ->
     mode_diff policy baseline workload top_k as_json path
   | false, Some _, _ -> die "--diff needs exactly one matrix file"
-  | false, None, [ path ] -> mode_render path out title append label
+  | false, None, [ path ] -> mode_render path out title append label leak_trace
   | false, None, _ -> die "expected one matrix file (try --help)"
 
 open Cmdliner
@@ -291,6 +305,16 @@ let label_arg =
     value & opt string "run"
     & info [ "label" ] ~docv:"LABEL" ~doc:"Entry label for --append.")
 
+let leak_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "leak-trace" ] ~docv:"FILE"
+        ~doc:
+          "Embed the leak graph from $(docv) (a levioso-flowtrace JSON \
+           document written by levioso_sim --leak-trace FILE.json) as a \
+           \"Speculative leakage provenance\" section of the HTML report.")
+
 let cmd =
   let doc = "render, track and compare Levioso evaluation results" in
   let info = Cmd.info "levioso_report" ~doc in
@@ -298,6 +322,7 @@ let cmd =
     Term.(
       const main $ compare_arg $ files_arg $ diff_arg $ baseline_arg
       $ workload_arg $ tolerance_arg $ alloc_tolerance_arg $ top_k_arg
-      $ json_arg $ out_arg $ title_arg $ append_arg $ label_arg)
+      $ json_arg $ out_arg $ title_arg $ append_arg $ label_arg
+      $ leak_trace_arg)
 
 let () = exit (Cmd.eval' cmd)

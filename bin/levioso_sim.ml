@@ -36,6 +36,8 @@ module Timeline = Levioso_telemetry.Timeline
 module Monitor = Levioso_telemetry.Monitor
 module Hostprof = Levioso_telemetry.Hostprof
 module Konata = Levioso_uarch.Konata
+module Flowtrace = Levioso_telemetry.Flowtrace
+module Gadget = Levioso_attack.Gadget
 
 let trace_event_of = function
   | Pipeline.Fetched { seq; pc } ->
@@ -52,7 +54,7 @@ let trace_event_of = function
   | Pipeline.Squashed { boundary; count } ->
     ("squash", boundary, -1, [ ("count", Json.Int count) ])
 
-let run_one ?(trace = 0) ?sink ?audit ?timeline ~registry config workload
+let run_one ?(trace = 0) ?sink ?audit ?timeline ?flow ~registry config workload
     policy =
   let maker = Registry.find_exn policy in
   let pipe, create_span =
@@ -82,6 +84,9 @@ let run_one ?(trace = 0) ?sink ?audit ?timeline ~registry config workload
     Pipeline.set_stall_tracer pipe (fun ~cycle ~seq ~pc ~cause ->
         Konata.feed_stall tl ~cycle ~seq ~pc ~cause)
   | None -> ());
+  (match flow with
+  | Some (secret_ranges, cb) -> Pipeline.set_flow_tracer pipe ~secret_ranges cb
+  | None -> ());
   let (), run_span = Hostprof.measure (fun () -> Pipeline.run pipe) in
   (pipe, [ ("create", create_span); ("run", run_span) ])
 
@@ -109,19 +114,38 @@ let verbose_report w p pipe =
 
 let parse_window = function
   | None -> Ok None
-  | Some s -> (
-    match String.index_opt s ':' with
-    | Some i -> (
-      let a = String.sub s 0 i
-      and b = String.sub s (i + 1) (String.length s - i - 1) in
-      match (int_of_string_opt a, int_of_string_opt b) with
-      | Some a, Some b when a >= 0 && a <= b -> Ok (Some (a, b))
-      | _ -> Error (Printf.sprintf "--timeline-window: bad range %S" s))
-    | None -> Error (Printf.sprintf "--timeline-window expects A:B, got %S" s))
+  | Some s ->
+    Result.map Option.some (Flowtrace.parse_range ~what:"--timeline-window" s)
+
+let parse_secret_ranges specs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+      match Flowtrace.parse_range ~what:"--secret-range" s with
+      | Ok r -> go (r :: acc) rest
+      | Error _ as e -> e)
+  in
+  go [] specs
+
+(* The stock Spectre-v1 gadget as a pseudo-workload, so the leak tracer
+   has a canonical victim: `-w spectre-v1 -p unsafe --leak-trace ...`. *)
+let spectre_workload =
+  lazy
+    (let g = Gadget.bounds_check_bypass ~secret:42 () in
+     {
+       Workload.name = "spectre-v1";
+       description =
+         Printf.sprintf
+           "Spectre-v1 bounds-check-bypass gadget (secret at word %d)"
+           Gadget.oob_secret_addr;
+       program = g.Gadget.program;
+       mem_init = g.Gadget.mem_init;
+     })
 
 let main workload_names policy_names rob predictor budget verbose trace json
     trace_out trace_every jobs audit_flag audit_out timeline_out
-    timeline_window progress progress_file metrics_file =
+    timeline_window leak_trace secret_range_specs progress progress_file
+    metrics_file =
   let config =
     {
       Config.default with
@@ -131,9 +155,11 @@ let main workload_names policy_names rob predictor budget verbose trace json
     }
   in
   let find name =
-    match Suite.find name with
-    | Some w -> w
-    | None -> Levioso_workload.Levsuite.find_exn name
+    if name = "spectre-v1" then Lazy.force spectre_workload
+    else
+      match Suite.find name with
+      | Some w -> w
+      | None -> Levioso_workload.Levsuite.find_exn name
   in
   let workloads =
     match workload_names with
@@ -159,10 +185,37 @@ let main workload_names policy_names rob predictor budget verbose trace json
          and one policy (-p)" )
   else if timeline_out = None && timeline_window <> None then
     `Error (false, "--timeline-window needs --timeline")
+  else if
+    leak_trace <> None
+    && (List.length workloads <> 1 || List.length policies <> 1)
+  then
+    `Error
+      ( false,
+        "--leak-trace records a single cell: pick exactly one workload (-w) \
+         and one policy (-p)" )
+  else if leak_trace = None && secret_range_specs <> [] then
+    `Error (false, "--secret-range needs --leak-trace")
   else begin
-    match parse_window timeline_window with
-    | Error msg -> `Error (false, msg)
-    | Ok window ->
+    match
+      ( parse_window timeline_window,
+        parse_secret_ranges secret_range_specs )
+    with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok window, Ok secret_ranges ->
+    let secret_ranges =
+      (* the stock gadget's secret slot is the natural default *)
+      if
+        leak_trace <> None && secret_ranges = []
+        && List.exists (fun (w : Workload.t) -> w.Workload.name = "spectre-v1") workloads
+      then [ (Gadget.oob_secret_addr, Gadget.oob_secret_addr) ]
+      else secret_ranges
+    in
+    if leak_trace <> None && secret_ranges = [] then
+      `Error
+        ( false,
+          "--leak-trace needs at least one --secret-range A:B (only the \
+           spectre-v1 workload has a built-in default)" )
+    else begin
     let trace_channel = Option.map open_out trace_out in
     let sink =
       Option.map
@@ -203,11 +256,50 @@ let main workload_names policy_names rob predictor budget verbose trace json
             (List.hd workloads).Workload.program)
         timeline_out
     in
+    (* Leak tracing is single-cell too: one graph, and (for .jsonl
+       output) the raw event stream written as it happens. *)
+    let flow_graph = Option.map (fun _ -> Flowtrace.create ()) leak_trace in
+    let flow_jsonl =
+      match leak_trace with
+      | Some path when Filename.check_suffix path ".jsonl" ->
+        let oc = open_out path in
+        output_string oc
+          (Json.to_string ~minify:true
+             (Levioso_telemetry.Schema.tag
+                [ ("kind", Json.String "levioso-flowtrace-events") ])
+          ^ "\n");
+        Some oc
+      | _ -> None
+    in
+    (* With --timeline as well, tainted instructions get highlighted
+       source/transmit marks in the Konata view. *)
+    let flow_to_timeline =
+      match (timeline, flow_graph) with
+      | Some tl, Some _ -> Some (Konata.flow_feeder tl)
+      | _ -> None
+    in
+    let flow =
+      Option.map
+        (fun g ->
+          ( secret_ranges,
+            fun ~cycle ev ->
+              Flowtrace.feed g ~cycle ev;
+              Option.iter (fun f -> f ~cycle ev) flow_to_timeline;
+              match flow_jsonl with
+              | Some oc ->
+                output_string oc
+                  (Json.to_string ~minify:true
+                     (Flowtrace.event_to_json ~cycle ev)
+                  ^ "\n")
+              | None -> () ))
+        flow_graph
+    in
     let monitor =
       if progress || progress_file <> None || metrics_file <> None then
         Some
-          (Monitor.create
-             ?ansi:(if progress then Some stderr else None)
+          (* status line on a TTY, auto-suppressed when stderr is piped;
+             --progress forces it regardless *)
+          (Monitor.create ~ansi:stderr ~force_ansi:progress
              ?json_path:progress_file ?metrics_path:metrics_file
              ~total:(List.length cells) ~label:"levioso_sim" ())
       else None
@@ -238,7 +330,9 @@ let main workload_names policy_names rob predictor budget verbose trace json
         end
         else None
       in
-      let pipe, host = run_one ~trace ?sink ?audit ?timeline ~registry config w p in
+      let pipe, host =
+        run_one ~trace ?sink ?audit ?timeline ?flow ~registry config w p
+      in
       Option.iter
         (fun m ->
           let wall_s =
@@ -314,6 +408,29 @@ let main workload_names policy_names rob predictor budget verbose trace json
         "timeline: wrote %d of %d instructions to %s (open in Konata)\n%!"
         (Timeline.recorded tl) (Timeline.seen tl) path
     | _ -> ());
+    (match (flow_graph, leak_trace) with
+    | Some g, Some path -> (
+      match flow_jsonl with
+      | Some oc ->
+        close_out oc;
+        if not json then
+          Printf.eprintf "leak-trace: wrote event stream to %s\n%!" path
+      | None ->
+        let content =
+          if Filename.check_suffix path ".json" then
+            Json.to_string (Flowtrace.to_json g) ^ "\n"
+          else Flowtrace.render g
+        in
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        if not json then
+          Printf.eprintf "leak-trace: wrote %s to %s\n%!"
+            (if Flowtrace.is_empty g then
+               "empty leak graph (no tainted transmits)"
+             else "leak graph")
+            path)
+    | _ -> ());
     if json then
       print_endline
         (Json.to_string
@@ -348,6 +465,7 @@ let main workload_names policy_names rob predictor budget verbose trace json
       print_endline (Report.table ~header ~rows:body)
     end;
     `Ok ()
+    end
   end
 
 open Cmdliner
@@ -356,6 +474,8 @@ let workloads_arg =
   let doc =
     "Workload to run (repeatable). Known: "
     ^ String.concat ", " (Suite.names @ Levioso_workload.Levsuite.names)
+    ^ ", plus spectre-v1 (the stock bounds-check-bypass gadget, the \
+       canonical --leak-trace victim)."
   in
   Arg.(value & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
 
@@ -477,6 +597,28 @@ let timeline_window_arg =
           "Record only instructions fetched in cycles A..B (inclusive), so \
            million-cycle runs stay tractable.  Needs --timeline.")
 
+let leak_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "leak-trace" ] ~docv:"FILE"
+        ~doc:
+          "Trace speculative information flow from secret data to \
+           attacker-visible probes and write the leak graph to $(docv): \
+           human-readable text by default, the structured graph when the \
+           file ends in .json, or the raw event stream when it ends in \
+           .jsonl.  Records a single cell: requires exactly one -w and one \
+           -p.  Secret locations come from --secret-range (the spectre-v1 \
+           workload has a built-in default).")
+
+let secret_range_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "secret-range" ] ~docv:"A:B"
+        ~doc:
+          "Word-address range (inclusive) holding secret data, seeding the \
+           --leak-trace taint sources (repeatable).")
+
 let progress_arg =
   Arg.(
     value & flag
@@ -513,7 +655,7 @@ let cmd =
         (const main $ workloads_arg $ policies_arg $ rob_arg $ predictor_arg
        $ budget_arg $ verbose_arg $ trace_arg $ json_arg $ trace_out_arg
        $ trace_every_arg $ jobs_arg $ audit_arg $ audit_out_arg
-       $ timeline_arg $ timeline_window_arg $ progress_arg
-       $ progress_file_arg $ metrics_arg))
+       $ timeline_arg $ timeline_window_arg $ leak_trace_arg
+       $ secret_range_arg $ progress_arg $ progress_file_arg $ metrics_arg))
 
 let () = exit (Cmd.eval cmd)

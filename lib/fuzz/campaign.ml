@@ -40,6 +40,8 @@ type failure = {
   program : Ir.program;
   source : string option;
   path : string option;
+  leak : string option;
+  leak_path : string option;
 }
 
 type report = {
@@ -98,6 +100,13 @@ let run (o : options) =
         | Some keep -> Shrink.run ~budget:o.shrink_budget ~keep f.Oracle.program
         | None -> f.Oracle.program
       in
+      (* leak provenance is re-derived on the shrunk reproduction, so the
+         chain names the instructions a human will actually read *)
+      let leak =
+        match f.Oracle.leak with
+        | Some derive -> derive shrunk
+        | None -> None
+      in
       let path =
         Option.map
           (fun dir ->
@@ -108,9 +117,21 @@ let run (o : options) =
                 verdict = "fail";
                 detail = f.Oracle.detail;
                 source = f.Oracle.source;
+                leak;
                 program = shrunk;
               })
           o.corpus_dir
+      in
+      let leak_path =
+        match (path, leak) with
+        | Some p, Some chain ->
+          (* sidecar for CI artifact upload: the chain alone, as text *)
+          let lp = Filename.remove_extension p ^ ".leaktrace" in
+          let oc = open_out lp in
+          output_string oc chain;
+          close_out oc;
+          Some lp
+        | _, _ -> None
       in
       failures :=
         {
@@ -122,6 +143,8 @@ let run (o : options) =
           program = shrunk;
           source = f.Oracle.source;
           path;
+          leak;
+          leak_path;
         }
         :: !failures
   in
@@ -194,6 +217,14 @@ let to_json report =
                      match f.path with
                      | Some p -> Json.String p
                      | None -> Json.Null );
+                   ( "leak",
+                     match f.leak with
+                     | Some chain -> Json.String chain
+                     | None -> Json.Null );
+                   ( "leak_path",
+                     match f.leak_path with
+                     | Some p -> Json.String p
+                     | None -> Json.Null );
                  ])
              report.failures) );
     ]
@@ -213,5 +244,11 @@ let print oc report =
           f.seed f.detail f.original_len f.shrunk_len
           (match f.path with
           | Some p -> Printf.sprintf " (saved to %s)" p
-          | None -> ""))
+          | None -> "");
+        match f.leak with
+        | Some chain ->
+          Printf.fprintf oc "       leak chain:\n";
+          String.split_on_char '\n' (String.trim chain)
+          |> List.iter (fun l -> Printf.fprintf oc "         %s\n" l)
+        | None -> ())
       report.failures

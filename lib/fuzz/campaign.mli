@@ -53,6 +53,12 @@ type failure = {
   program : Levioso_ir.Ir.program;  (** the shrunk reproduction *)
   source : string option;
   path : string option;  (** corpus file, when persistence is on *)
+  leak : string option;
+      (** rendered speculative leak chain for the shrunk reproduction
+          (noninterference failures only — see {!Oracle.fail}) *)
+  leak_path : string option;
+      (** [.leaktrace] sidecar next to [path] holding [leak], for CI
+          artifact upload *)
 }
 
 type report = {

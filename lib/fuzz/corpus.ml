@@ -7,6 +7,7 @@ type entry = {
   verdict : string;
   detail : string;
   source : string option;
+  leak : string option;
   program : Ir.program;
 }
 
@@ -40,6 +41,11 @@ let save ~dir entry =
   | Some src ->
     String.split_on_char '\n' src
     |> List.iter (fun line -> meta "src" line));
+  (match entry.leak with
+  | None -> ()
+  | Some chain ->
+    String.split_on_char '\n' (String.trim chain)
+    |> List.iter (fun line -> meta "leak" line));
   Buffer.add_char buf '\n';
   Buffer.add_string buf (Ir.program_to_string entry.program);
   let oc = open_out path in
@@ -54,6 +60,7 @@ let load path =
   close_in ic;
   let meta = Hashtbl.create 8 in
   let src_lines = ref [] in
+  let leak_lines = ref [] in
   String.split_on_char '\n' text
   |> List.iter (fun line ->
          match String.index_opt line ':' with
@@ -71,6 +78,7 @@ let load path =
              else v
            in
            if key = "src" then src_lines := value :: !src_lines
+           else if key = "leak" then leak_lines := value :: !leak_lines
            else if not (Hashtbl.mem meta key) then Hashtbl.add meta key value
          | _ -> ());
   let get key =
@@ -93,12 +101,17 @@ let load path =
     | [] -> None
     | lines -> Some (String.concat "\n" (List.rev lines))
   in
+  let leak =
+    match !leak_lines with
+    | [] -> None
+    | lines -> Some (String.concat "\n" (List.rev lines))
+  in
   let* program =
     match Parser.parse text with
     | Ok p -> Ok p
     | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
   in
-  Ok { oracle; seed; verdict; detail; source; program }
+  Ok { oracle; seed; verdict; detail; source; leak; program }
 
 let files dir =
   if Sys.file_exists dir && Sys.is_directory dir then

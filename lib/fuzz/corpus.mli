@@ -21,6 +21,9 @@ type entry = {
   verdict : string;  (** ["fail"] or ["pass"] *)
   detail : string;  (** one-line description of the divergence *)
   source : string option;  (** original Lev source, when applicable *)
+  leak : string option;
+      (** rendered speculative leak chain ([; leak:] lines) — attached
+          by the campaign to noninterference failures *)
   program : Levioso_ir.Ir.program;  (** the (possibly shrunk) input *)
 }
 

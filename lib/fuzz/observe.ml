@@ -20,12 +20,7 @@ let level_code = function
   | Cache.Hierarchy.L2 -> 1
   | Cache.Hierarchy.Memory -> 2
 
-let run ?(probe_addrs = [||]) ?(max_cycles = 1_000_000) ~config ~policy
-    ~mem_init program =
-  let pipe =
-    Pipeline.create ~mem_init config ~policy:(Registry.find_exn policy) program
-  in
-  Pipeline.run ~max_cycles pipe;
+let observe ?(probe_addrs = [||]) pipe =
   let stats = Pipeline.stats pipe in
   let h = Pipeline.hierarchy pipe in
   {
@@ -36,6 +31,25 @@ let run ?(probe_addrs = [||]) ?(max_cycles = 1_000_000) ~config ~policy
     wrong_path_transmits = stats.Sim_stats.wrong_path_transmit_count;
     probe = Array.map (fun a -> level_code (Cache.Hierarchy.probe h a)) probe_addrs;
   }
+
+let run ?probe_addrs ?(max_cycles = 1_000_000) ~config ~policy ~mem_init
+    program =
+  let pipe =
+    Pipeline.create ~mem_init config ~policy:(Registry.find_exn policy) program
+  in
+  Pipeline.run ~max_cycles pipe;
+  observe ?probe_addrs pipe
+
+let run_traced ?probe_addrs ?(max_cycles = 1_000_000) ~secret_ranges ~config
+    ~policy ~mem_init program =
+  let pipe =
+    Pipeline.create ~mem_init config ~policy:(Registry.find_exn policy) program
+  in
+  let ft = Levioso_telemetry.Flowtrace.create () in
+  Pipeline.set_flow_tracer pipe ~secret_ranges (fun ~cycle ev ->
+      Levioso_telemetry.Flowtrace.feed ft ~cycle ev);
+  Pipeline.run ~max_cycles pipe;
+  (observe ?probe_addrs pipe, ft)
 
 let equal ?(ignore_mem = [||]) a b =
   let ignored addr = Array.exists (fun x -> x = addr) ignore_mem in

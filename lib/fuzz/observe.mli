@@ -33,6 +33,21 @@ val run :
     @raise Levioso_uarch.Pipeline.Deadlock on policy bugs
     @raise Failure when [max_cycles] is exceeded. *)
 
+val run_traced :
+  ?probe_addrs:int array ->
+  ?max_cycles:int ->
+  secret_ranges:(int * int) list ->
+  config:Levioso_uarch.Config.t ->
+  policy:string ->
+  mem_init:(int array -> unit) ->
+  Levioso_ir.Ir.program ->
+  t * Levioso_telemetry.Flowtrace.t
+(** Like {!run}, but with the speculative information-flow tracer
+    installed (taint seeded from [secret_ranges], inclusive address
+    pairs); returns the observation together with the accumulated leak
+    graph.  The observation itself is bit-identical to {!run}'s — the
+    tracer has the pipeline's zero-effect guarantee. *)
+
 val equal :
   ?ignore_mem:int array -> t -> t -> (unit, string) result
 (** Structural equality of two observations; [Error] describes the first

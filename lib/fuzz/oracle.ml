@@ -15,6 +15,7 @@ type fail = {
   program : Ir.program;
   source : string option;
   still_fails : (Ir.program -> bool) option;
+  leak : (Ir.program -> string option) option;
 }
 
 type verdict =
@@ -34,8 +35,8 @@ type t = {
 
 let pass = { verdict = Pass; extras = [] }
 
-let failure ?source ?still_fails program detail =
-  { verdict = Fail { detail; program; source; still_fails }; extras = [] }
+let failure ?source ?still_fails ?leak program detail =
+  { verdict = Fail { detail; program; source; still_fails; leak }; extras = [] }
 
 (* Fuel-guarded emulation.  [Error] means the program itself does not
    terminate within the budget — possible only for shrinker-mangled
@@ -376,6 +377,49 @@ let ni_pair_diverges ~config ~policy case secrets_a secrets_b program =
     | Error msg -> Ok (Some msg))
   | exception e -> Error ("pipeline raised " ^ Printexc.to_string e)
 
+(* Leak provenance for a noninterference failure: re-run the leaking
+   policy with the flow tracer seeded from the planted secret slots, and
+   render the chains whose transmit address lands on a probe line that
+   actually differed between the two runs (falling back to every chain
+   when the divergence was not a probe line — e.g. a cycle-count leak).
+   Evaluated lazily, on the {e shrunk} reproduction. *)
+let ni_leak_chain ~config ~policy case secrets_a secrets_b program =
+  let secret_ranges =
+    Array.to_list (Array.map (fun a -> (a, a)) case.Gen.secret_addrs)
+  in
+  match
+    ( Observe.run_traced ~probe_addrs:case.Gen.probe_addrs ~secret_ranges
+        ~config ~policy
+        ~mem_init:(case.Gen.mem_init ~secrets:secrets_a)
+        program,
+      Observe.run ~probe_addrs:case.Gen.probe_addrs ~config ~policy
+        ~mem_init:(case.Gen.mem_init ~secrets:secrets_b)
+        program )
+  with
+  | (obs_a, ft), obs_b ->
+    if Levioso_telemetry.Flowtrace.is_empty ft then None
+    else begin
+      let line_words = config.Config.l1.Config.line_words in
+      let diff_lines = ref [] in
+      Array.iteri
+        (fun i base ->
+          if
+            i < Array.length obs_b.Observe.probe
+            && obs_a.Observe.probe.(i) <> obs_b.Observe.probe.(i)
+          then diff_lines := base :: !diff_lines)
+        case.Gen.probe_addrs;
+      let probe_filter =
+        match !diff_lines with
+        | [] -> None
+        | lines ->
+          Some
+            (fun addr ->
+              List.exists (fun b -> addr >= b && addr < b + line_words) lines)
+      in
+      Some (Levioso_telemetry.Flowtrace.render ?probe_filter ft)
+    end
+  | exception _ -> None
+
 let noninterference =
   let run ~config ~seed =
     let case = Gen.ni_case seed in
@@ -414,7 +458,8 @@ let noninterference =
               | Ok (Some _) -> true
               | Ok None | Error _ -> false
             in
-            failure ~still_fails program
+            let leak = ni_leak_chain ~config ~policy case secrets_a secrets_b in
+            failure ~still_fails ~leak program
               (Printf.sprintf "policy %s leaks the secret: %s" policy msg)
           | Error msg ->
             failure program (Printf.sprintf "policy %s: %s" policy msg))

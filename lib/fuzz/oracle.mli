@@ -33,6 +33,12 @@ type fail = {
           this failure?  [None] when the failure is not meaningfully
           shrinkable at the IR level (e.g. a source-level compile
           error). *)
+  leak : (Levioso_ir.Ir.program -> string option) option;
+      (** leak provenance: re-run a (typically shrunk) reproduction with
+          the speculative flow tracer and render the leak chain —
+          mispredicted branch, tainted load, transmitter, probe address.
+          Only the noninterference oracle provides this; [None] when the
+          run produced no taint flow. *)
 }
 
 type verdict =

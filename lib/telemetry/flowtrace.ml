@@ -1,0 +1,293 @@
+type kind = Branch | Load | Store | Flush | Alu | Other
+
+type dep = Data | Address | Speculation
+
+type event =
+  | Node of { id : int; seq : int; pc : int; kind : kind; disasm : string }
+  | Source of { id : int; addr : int }
+  | Edge of { src : int; dst : int; dep : dep }
+  | Transmit of { id : int; addr : int }
+  | Resolved of { id : int; mispredicted : bool }
+  | Committed of { id : int }
+  | Squashed of { id : int }
+
+let kind_to_string = function
+  | Branch -> "branch"
+  | Load -> "load"
+  | Store -> "store"
+  | Flush -> "flush"
+  | Alu -> "alu"
+  | Other -> "other"
+
+let dep_to_string = function
+  | Data -> "data"
+  | Address -> "address"
+  | Speculation -> "speculation"
+
+let event_to_json ~cycle ev =
+  let base kind fields = Json.Obj (("event", Json.String kind) :: ("cycle", Json.Int cycle) :: fields) in
+  match ev with
+  | Node { id; seq; pc; kind; disasm } ->
+    base "node"
+      [ ("id", Json.Int id); ("seq", Json.Int seq); ("pc", Json.Int pc);
+        ("kind", Json.String (kind_to_string kind));
+        ("disasm", Json.String disasm) ]
+  | Source { id; addr } -> base "source" [ ("id", Json.Int id); ("addr", Json.Int addr) ]
+  | Edge { src; dst; dep } ->
+    base "edge"
+      [ ("src", Json.Int src); ("dst", Json.Int dst);
+        ("dep", Json.String (dep_to_string dep)) ]
+  | Transmit { id; addr } -> base "transmit" [ ("id", Json.Int id); ("addr", Json.Int addr) ]
+  | Resolved { id; mispredicted } ->
+    base "resolved" [ ("id", Json.Int id); ("mispredicted", Json.Bool mispredicted) ]
+  | Committed { id } -> base "committed" [ ("id", Json.Int id) ]
+  | Squashed { id } -> base "squashed" [ ("id", Json.Int id) ]
+
+(* ------------------------------------------------------------------ *)
+(* Leak-graph accumulator                                             *)
+
+type outcome = Inflight | Commit of int | Squash of int
+
+type node = {
+  id : int;
+  seq : int;
+  pc : int;
+  kind : kind;
+  disasm : string;
+  cycle : int;  (* cycle the node entered the graph *)
+  mutable source_addrs : int list;  (* reverse order of arrival *)
+  mutable transmit_addrs : int list;
+  mutable resolved : (int * bool) option;  (* cycle, mispredicted *)
+  mutable outcome : outcome;
+  mutable incoming : (int * dep) list;  (* src node id, reverse order *)
+}
+
+type t = {
+  nodes : (int, node) Hashtbl.t;
+  mutable order : int list;  (* node ids, reverse insertion order *)
+  mutable edges : (int * int * dep) list;  (* reverse order *)
+  mutable transmits : int list;  (* node ids with >= 1 transmit, reverse *)
+}
+
+let create () =
+  { nodes = Hashtbl.create 64; order = []; edges = []; transmits = [] }
+
+let feed t ~cycle ev =
+  match ev with
+  | Node { id; seq; pc; kind; disasm } ->
+    if not (Hashtbl.mem t.nodes id) then begin
+      Hashtbl.replace t.nodes id
+        { id; seq; pc; kind; disasm; cycle; source_addrs = [];
+          transmit_addrs = []; resolved = None; outcome = Inflight;
+          incoming = [] };
+      t.order <- id :: t.order
+    end
+  | Source { id; addr } -> (
+    match Hashtbl.find_opt t.nodes id with
+    | Some n -> n.source_addrs <- addr :: n.source_addrs
+    | None -> ())
+  | Edge { src; dst; dep } -> (
+    match Hashtbl.find_opt t.nodes dst with
+    | Some n ->
+      if not (List.exists (fun (s, d) -> s = src && d = dep) n.incoming)
+      then begin
+        n.incoming <- (src, dep) :: n.incoming;
+        t.edges <- (src, dst, dep) :: t.edges
+      end
+    | None -> ())
+  | Transmit { id; addr } -> (
+    match Hashtbl.find_opt t.nodes id with
+    | Some n ->
+      if n.transmit_addrs = [] then t.transmits <- id :: t.transmits;
+      n.transmit_addrs <- addr :: n.transmit_addrs
+    | None -> ())
+  | Resolved { id; mispredicted } -> (
+    match Hashtbl.find_opt t.nodes id with
+    | Some n -> if n.resolved = None then n.resolved <- Some (cycle, mispredicted)
+    | None -> ())
+  | Committed { id } -> (
+    match Hashtbl.find_opt t.nodes id with
+    | Some n -> if n.outcome = Inflight then n.outcome <- Commit cycle
+    | None -> ())
+  | Squashed { id } -> (
+    match Hashtbl.find_opt t.nodes id with
+    | Some n -> if n.outcome = Inflight then n.outcome <- Squash cycle
+    | None -> ())
+
+let is_empty t = t.transmits = []
+
+(* Backward closure from [root] over all incoming edges; returns the
+   member node ids sorted ascending (creation order). *)
+let closure t root =
+  let seen = Hashtbl.create 16 in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      match Hashtbl.find_opt t.nodes id with
+      | Some n -> List.iter (fun (src, _) -> go src) n.incoming
+      | None -> ()
+    end
+  in
+  go root;
+  Hashtbl.fold (fun id () acc -> id :: acc) seen []
+  |> List.sort compare
+
+let transmit_ids ?probe_filter t =
+  let all = List.rev t.transmits in
+  match probe_filter with
+  | None -> all
+  | Some f ->
+    let kept =
+      List.filter
+        (fun id ->
+          match Hashtbl.find_opt t.nodes id with
+          | Some n -> List.exists f n.transmit_addrs
+          | None -> false)
+        all
+    in
+    if kept = [] then all else kept
+
+let chains ?probe_filter t =
+  List.map (closure t) (transmit_ids ?probe_filter t)
+
+let node_json n =
+  let outcome, outcome_cycle =
+    match n.outcome with
+    | Inflight -> ("inflight", Json.Null)
+    | Commit c -> ("committed", Json.Int c)
+    | Squash c -> ("squashed", Json.Int c)
+  in
+  let fields =
+    [ ("id", Json.Int n.id); ("seq", Json.Int n.seq); ("pc", Json.Int n.pc);
+      ("kind", Json.String (kind_to_string n.kind));
+      ("disasm", Json.String n.disasm); ("cycle", Json.Int n.cycle);
+      ("outcome", Json.String outcome); ("outcome_cycle", outcome_cycle) ]
+  in
+  let fields =
+    match n.resolved with
+    | None -> fields
+    | Some (c, misp) ->
+      fields
+      @ [ ("resolved_cycle", Json.Int c); ("mispredicted", Json.Bool misp) ]
+  in
+  let fields =
+    match List.rev n.source_addrs with
+    | [] -> fields
+    | addrs ->
+      fields @ [ ("source_addrs", Json.List (List.map (fun a -> Json.Int a) addrs)) ]
+  in
+  let fields =
+    match List.rev n.transmit_addrs with
+    | [] -> fields
+    | addrs ->
+      fields @ [ ("transmit_addrs", Json.List (List.map (fun a -> Json.Int a) addrs)) ]
+  in
+  Json.Obj fields
+
+let to_json ?probe_filter t =
+  let ids = List.rev t.order in
+  let nodes =
+    List.map (fun id -> node_json (Hashtbl.find t.nodes id)) ids
+  in
+  let edges =
+    List.rev_map
+      (fun (src, dst, dep) ->
+        Json.Obj
+          [ ("src", Json.Int src); ("dst", Json.Int dst);
+            ("dep", Json.String (dep_to_string dep)) ])
+      t.edges
+  in
+  let chains =
+    List.map
+      (fun c -> Json.List (List.map (fun id -> Json.Int id) c))
+      (chains ?probe_filter t)
+  in
+  Schema.tag
+    [ ("kind", Json.String "levioso-flowtrace");
+      ("nodes", Json.List nodes); ("edges", Json.List edges);
+      ("chains", Json.List chains) ]
+
+let render ?probe_filter t =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "levioso-flowtrace v1 schema_version=%d\n" Schema.version;
+  let n_nodes = Hashtbl.length t.nodes in
+  let n_edges = List.length t.edges in
+  let n_sources =
+    Hashtbl.fold (fun _ n acc -> if n.source_addrs <> [] then acc + 1 else acc)
+      t.nodes 0
+  in
+  let n_transmits = List.length t.transmits in
+  let n_misp =
+    Hashtbl.fold
+      (fun _ n acc ->
+        match n.resolved with Some (_, true) -> acc + 1 | _ -> acc)
+      t.nodes 0
+  in
+  pf "nodes=%d edges=%d sources=%d transmits=%d mispredicts=%d\n" n_nodes
+    n_edges n_sources n_transmits n_misp;
+  let cs = chains ?probe_filter t in
+  if cs = [] then Buffer.add_string b "no leak chains\n"
+  else
+    List.iteri
+      (fun i chain ->
+        pf "chain %d (%d nodes)\n" i (List.length chain);
+        List.iter
+          (fun id ->
+            let n = Hashtbl.find t.nodes id in
+            let tag =
+              match (n.source_addrs, n.transmit_addrs, n.resolved) with
+              | _ :: _, _, _ -> " SOURCE"
+              | _, _ :: _, _ -> " TRANSMIT"
+              | _, _, Some (_, true) -> " MISPREDICT"
+              | _ -> ""
+            in
+            let outcome =
+              match n.outcome with
+              | Inflight -> "inflight"
+              | Commit _ -> "committed"
+              | Squash _ -> "squashed"
+            in
+            pf "  n%d pc=%d seq=%d %s [%s] %s%s" n.id n.pc n.seq
+              (kind_to_string n.kind) outcome n.disasm tag;
+            (match List.rev n.source_addrs with
+            | [] -> ()
+            | addrs ->
+              pf " secret@%s"
+                (String.concat "," (List.map string_of_int addrs)));
+            (match List.rev n.transmit_addrs with
+            | [] -> ()
+            | addrs ->
+              pf " probe@%s"
+                (String.concat "," (List.map string_of_int addrs)));
+            (match List.rev n.incoming with
+            | [] -> ()
+            | inc ->
+              let part (src, dep) =
+                Printf.sprintf "%s:n%d" (dep_to_string dep) src
+              in
+              pf " <- %s" (String.concat " " (List.map part inc)));
+            Buffer.add_char b '\n')
+          chain)
+      cs;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* CLI helpers                                                        *)
+
+let parse_range ~what s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "%s: malformed range %S — expected two integers A:B with 0 <= A <= B \
+          (e.g. 100:200)"
+         what s)
+  in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some i -> (
+    let a = String.sub s 0 i in
+    let b = String.sub s (i + 1) (String.length s - i - 1) in
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some a, Some b when 0 <= a && a <= b -> Ok (a, b)
+    | _ -> fail ())

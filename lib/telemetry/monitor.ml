@@ -17,8 +17,22 @@ type t = {
   mutable closed : bool;
 }
 
-let create ?ansi ?json_path ?metrics_path ?(min_interval = 0.5) ?total ~label ()
-    =
+(* The in-place ANSI status line is for humans at a terminal: when the
+   channel is piped or redirected (CI logs, `2> file`), the \r\027[2K
+   rewrites turn into noise, so drop it unless the caller forces it
+   (an explicit --progress flag). The JSON/OpenMetrics snapshots are
+   unaffected. *)
+let wants_ansi ~force oc =
+  force
+  || (try Unix.isatty (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> false)
+
+let create ?ansi ?(force_ansi = false) ?json_path ?metrics_path
+    ?(min_interval = 0.5) ?total ~label () =
+  let ansi =
+    match ansi with
+    | Some oc when not (wants_ansi ~force:force_ansi oc) -> None
+    | other -> other
+  in
   {
     label;
     ansi;

@@ -20,6 +20,7 @@ type t
 
 val create :
   ?ansi:out_channel ->
+  ?force_ansi:bool ->
   ?json_path:string ->
   ?metrics_path:string ->
   ?min_interval:float ->
@@ -29,7 +30,13 @@ val create :
   t
 (** [min_interval] (seconds, default 0.5) rate-limits rendering; the
     final [close] snapshot is always written.  [total] may be set later
-    via {!set_total} once the work list is known. *)
+    via {!set_total} once the work list is known.
+
+    The [ansi] status line is auto-suppressed when the channel is not a
+    terminal ([Unix.isatty]) — piping or redirecting stderr keeps logs
+    clean without losing the [json_path]/[metrics_path] snapshots.
+    [force_ansi] (an explicit [--progress] flag) overrides the
+    detection and keeps the line even when piped. *)
 
 val set_total : t -> int -> unit
 

@@ -343,6 +343,162 @@ let top_pc_tables b runs =
       | _ -> ())
     runs
 
+(* ---------- leak graph (from a levioso-flowtrace JSON document) ---------- *)
+
+type leak_node = {
+  l_id : int;
+  l_pc : int;
+  l_kind : string;
+  l_disasm : string;
+  l_sources : int;
+  l_transmits : int;
+  l_misp : bool;
+  l_outcome : string;
+}
+
+let dep_color = function
+  | "data" -> "#4e79a7"
+  | "address" -> "#f28e2b"
+  | "speculation" -> "#e15759"
+  | _ -> "#bab0ac"
+
+let leak_node_color n =
+  if n.l_sources > 0 then "#59a14f"
+  else if n.l_transmits > 0 then "#e15759"
+  else if n.l_misp then "#f28e2b"
+  else "#bab0ac"
+
+let leak_node_tag n =
+  if n.l_sources > 0 then " SOURCE"
+  else if n.l_transmits > 0 then " TRANSMIT"
+  else if n.l_misp then " MISPREDICT"
+  else ""
+
+let leak_max_nodes = 40
+
+let leak_chart b leak =
+  let nodes =
+    match Json.member "nodes" leak with
+    | Some (Json.List ns) ->
+      List.map
+        (fun n ->
+          {
+            l_id = mem_int "id" n;
+            l_pc = mem_int "pc" n;
+            l_kind = mem_str "kind" n;
+            l_disasm = mem_str "disasm" n;
+            l_sources =
+              (match Json.member "source_addrs" n with
+              | Some (Json.List a) -> List.length a
+              | _ -> 0);
+            l_transmits =
+              (match Json.member "transmit_addrs" n with
+              | Some (Json.List a) -> List.length a
+              | _ -> 0);
+            l_misp =
+              (match Json.member "mispredicted" n with
+              | Some (Json.Bool m) -> m
+              | _ -> false);
+            l_outcome = mem_str "outcome" n;
+          })
+        ns
+    | _ -> []
+  in
+  let edges =
+    match Json.member "edges" leak with
+    | Some (Json.List es) ->
+      List.map
+        (fun e -> (mem_int "src" e, mem_int "dst" e, mem_str "dep" e))
+        es
+    | _ -> []
+  in
+  let n_chains =
+    match Json.member "chains" leak with
+    | Some (Json.List cs) -> List.length cs
+    | _ -> 0
+  in
+  if nodes = [] || n_chains = 0 then
+    Buffer.add_string b
+      "<p class=\"leak-empty\">No tainted transmits: the leak graph is \
+       empty — under this policy no secret-dependent state ever reached an \
+       attacker-visible channel.</p>\n"
+  else begin
+    let total = List.length nodes in
+    let kept = List.filteri (fun i _ -> i < leak_max_nodes) nodes in
+    let row_of =
+      let tbl = Hashtbl.create 64 in
+      List.iteri (fun i n -> Hashtbl.replace tbl n.l_id i) kept;
+      fun id -> Hashtbl.find_opt tbl id
+    in
+    let edges =
+      List.filter_map
+        (fun (src, dst, dep) ->
+          match (row_of src, row_of dst) with
+          | Some rs, Some rd -> Some (rs, rd, src, dst, dep)
+          | _ -> None)
+        edges
+    in
+    let row_h = 22 and top = 8 in
+    let rail x = 10 + (x * 7) in
+    let node_x = rail (List.length edges) + 8 in
+    let y i = top + (i * row_h) + (row_h / 2) in
+    let width = node_x + 560 in
+    let height = top + (List.length kept * row_h) + 8 in
+    Buffer.add_string b
+      (fp
+         "<svg class=\"chart leak-graph\" width=\"%d\" height=\"%d\" \
+          viewBox=\"0 0 %d %d\">\n"
+         width height width height);
+    List.iteri
+      (fun i (rs, rd, src, dst, dep) ->
+        let x = rail i in
+        Buffer.add_string b
+          (fp
+             "<path d=\"M %d %d L %d %d L %d %d L %d %d\" fill=\"none\" \
+              stroke=\"%s\" stroke-width=\"1.5\"><title>n%d → n%d \
+              (%s)</title></path>\n"
+             node_x (y rs) x (y rs) x (y rd) node_x (y rd) (dep_color dep)
+             src dst (esc dep)))
+      edges;
+    List.iteri
+      (fun i n ->
+        Buffer.add_string b
+          (fp
+             "<circle cx=\"%d\" cy=\"%d\" r=\"5\" fill=\"%s\"><title>n%d \
+              (%s, %s)</title></circle>\n"
+             node_x (y i) (leak_node_color n) n.l_id (esc n.l_kind)
+             (esc n.l_outcome));
+        Buffer.add_string b
+          (fp
+             "<text x=\"%d\" y=\"%d\" class=\"label\">n%d pc=%d %s \
+              <tspan class=\"disasm\">%s</tspan>%s</text>\n"
+             (node_x + 12)
+             (y i + 4)
+             n.l_id n.l_pc (esc n.l_kind) (esc n.l_disasm)
+             (esc (leak_node_tag n))))
+      kept;
+    Buffer.add_string b "</svg>\n";
+    if total > leak_max_nodes then
+      Buffer.add_string b
+        (fp "<p class=\"legend\">Showing the first %d of %d nodes.</p>\n"
+           leak_max_nodes total);
+    Buffer.add_string b "<p class=\"legend\">";
+    List.iter
+      (fun (color, label) ->
+        Buffer.add_string b
+          (fp "<span class=\"swatch\" style=\"background:%s\"></span>%s \n"
+             color label))
+      [
+        ("#59a14f", "source (tainted load of a secret)");
+        ("#e15759", "transmit (tainted address reached the cache)");
+        ("#f28e2b", "mispredicted branch");
+        ("#4e79a7", "data edge");
+        ("#f28e2b", "address edge");
+        ("#e15759", "speculation edge");
+      ];
+    Buffer.add_string b "</p>\n"
+  end
+
 let summary_table b runs =
   Buffer.add_string b
     "<table><tr><th>workload</th><th>policy</th><th>cycles</th><th>IPC</th>\
@@ -378,7 +534,7 @@ let css =
    .swatch{display:inline-block;width:.9em;height:.9em;margin:0 .3em 0 .9em;\
    vertical-align:-.1em}"
 
-let render ?(title = "Levioso report") matrix =
+let render ?(title = "Levioso report") ?leak matrix =
   match Json.member "runs" matrix with
   | Some (Json.List run_json) ->
     let runs = List.map run_of_json run_json in
@@ -434,11 +590,23 @@ let render ?(title = "Levioso report") matrix =
     necessity_chart b runs;
     top_pc_tables b runs;
 
+    (match leak with
+    | None -> ()
+    | Some l ->
+      Buffer.add_string b "<h2>Speculative leakage provenance</h2>\n";
+      Buffer.add_string b
+        "<p>Taint-flow leak graph (from <code>levioso_sim \
+         --leak-trace</code>): the chain from a mispredicted branch through \
+         secret-tainted loads to the attacker-visible probe access.</p>\n";
+      leak_chart b l);
+
     Buffer.add_string b "<h2>Raw numbers</h2>\n";
     summary_table b runs;
     Buffer.add_string b "</body></html>\n";
     Ok (Buffer.contents b)
   | _ -> Error "Html_report.render: matrix JSON has no \"runs\" list"
 
-let render_exn ?title matrix =
-  match render ?title matrix with Ok s -> s | Error msg -> invalid_arg msg
+let render_exn ?title ?leak matrix =
+  match render ?title ?leak matrix with
+  | Ok s -> s
+  | Error msg -> invalid_arg msg

@@ -17,8 +17,20 @@
     depends on time, locale or environment. *)
 
 val render :
-  ?title:string -> Levioso_telemetry.Json.t -> (string, string) result
+  ?title:string ->
+  ?leak:Levioso_telemetry.Json.t ->
+  Levioso_telemetry.Json.t ->
+  (string, string) result
 (** [render matrix] is the full HTML document.  [Error] when [matrix]
-    has no ["runs"] list. *)
+    has no ["runs"] list.  When [?leak] is given (a
+    [levioso-flowtrace] JSON document from [levioso_sim --leak-trace
+    FILE.json]), the report gains a "Speculative leakage provenance"
+    section: an SVG leak graph, one row per node, edges colored by
+    dependence kind, capped at 40 nodes; an empty graph renders as an
+    explicit no-leak statement.  Output without [?leak] is unchanged. *)
 
-val render_exn : ?title:string -> Levioso_telemetry.Json.t -> string
+val render_exn :
+  ?title:string ->
+  ?leak:Levioso_telemetry.Json.t ->
+  Levioso_telemetry.Json.t ->
+  string

@@ -32,6 +32,27 @@ let feed_stall tl ~cycle ~seq ~pc:_ ~cause =
     ~cause:(Stall.cause_to_string cause)
     ~code:(cause_code cause)
 
+(* Taint highlighting: flow-tracer source/transmit events become lane-1
+   stage marks, so leaking instructions stand out in Konata's view.  The
+   feeder keeps its own node-id -> seq map (Source/Transmit events name
+   graph nodes, not ROB slots). *)
+let flow_feeder tl =
+  let module Flowtrace = Levioso_telemetry.Flowtrace in
+  let seq_of = Hashtbl.create 64 in
+  let mark ~cycle id cause code =
+    match Hashtbl.find_opt seq_of id with
+    | Some seq -> Timeline.stall tl ~cycle ~seq ~cause ~code
+    | None -> ()
+  in
+  fun ~cycle (ev : Flowtrace.event) ->
+    match ev with
+    | Flowtrace.Node { id; seq; _ } -> Hashtbl.replace seq_of id seq
+    | Flowtrace.Source { id; _ } -> mark ~cycle id "taint source" "Ts"
+    | Flowtrace.Transmit { id; _ } -> mark ~cycle id "tainted transmit" "Tn"
+    | Flowtrace.Edge _ | Flowtrace.Resolved _ | Flowtrace.Committed _
+    | Flowtrace.Squashed _ ->
+      ()
+
 let attach tl pipe =
   Pipeline.set_tracer pipe (fun ~cycle ev -> feed tl ~cycle ev);
   Pipeline.set_stall_tracer pipe (fun ~cycle ~seq ~pc ~cause ->

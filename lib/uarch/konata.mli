@@ -29,6 +29,15 @@ val feed_stall :
 (** Record one waiting-cycle attribution.  Call from a
     {!Pipeline.set_stall_tracer} callback. *)
 
+val flow_feeder :
+  Timeline.t -> cycle:int -> Levioso_telemetry.Flowtrace.event -> unit
+(** [flow_feeder tl] is a flow-tracer callback that highlights tainted
+    instructions in the timeline: taint sources get a ["Ts"] lane-1
+    mark, tainted transmits a ["Tn"] mark.  Multiplex it inside a
+    {!Pipeline.set_flow_tracer} callback alongside a leak-graph
+    accumulator.  (Partial application is intentional: the feeder owns
+    a node-id → seq map fed by [Node] events.) *)
+
 val attach : Timeline.t -> Pipeline.t -> unit
 (** Installs both tracers.  Convenience for callers that need no other
     tracer ({!Pipeline.set_tracer} holds a single callback — multiplex

@@ -3,6 +3,7 @@ module Stall = Levioso_telemetry.Stall
 module Registry = Levioso_telemetry.Registry
 module Audit = Levioso_telemetry.Audit
 module Ring = Levioso_telemetry.Timeline.Ring
+module Flowtrace = Levioso_telemetry.Flowtrace
 
 type load_visibility =
   | Normal
@@ -88,9 +89,33 @@ type entry = {
   mutable is_miss : bool;  (* holds an MSHR while in flight *)
   mutable policy_stalled : bool;
   mutable gate : gate option;  (* open audit episode, audit enabled only *)
+  (* flow tracing (enabled only): the entry's leak-graph node id (-1 =
+     no node yet), the taint marker on the value it produces (-1 =
+     clean, otherwise the node id of the tainting instruction), and the
+     per-source taint markers captured at rename for operands that
+     collapsed to literals (committed-register reads). *)
+  mutable fi_id : int;
+  mutable fi_v : int;
+  fi_src : int array;
   (* branches carry recovery snapshots *)
   rename_snap : int option array;
   hist_snap : Predictor.snapshot;
+}
+
+(* Shadow taint state for the speculative information-flow tracer.
+   Allocated only by [set_flow_tracer]; everything is Option-gated so a
+   tracer-off run executes not one extra instruction on the hot path.
+   Taint markers are leak-graph node ids: [fl_taint_regs]/[fl_taint_mem]
+   shadow the architectural register file and memory (written only at
+   commit, so squashes need no rollback), [fl_taint_buf] shadows
+   [value_buf] (written at completion, same aliasing argument). *)
+type flow = {
+  fl_ranges : (int * int) list;  (* secret address ranges, inclusive *)
+  fl_cb : cycle:int -> Flowtrace.event -> unit;
+  fl_taint_regs : int array;
+  fl_taint_mem : int array;
+  fl_taint_buf : int array;
+  mutable fl_next_id : int;
 }
 
 type t = {
@@ -133,6 +158,7 @@ type t = {
   mutable tracer : (cycle:int -> event -> unit) option;
   mutable stall_tracer :
     (cycle:int -> seq:int -> pc:int -> cause:Stall.cause -> unit) option;
+  mutable flow : flow option;
   (* Always-on bounded window of recent events for deadlock diagnostics
      (and post-mortem inspection); cheap: one ring store per event. *)
   recent : (int * event) Ring.t;
@@ -235,6 +261,25 @@ let halted t = t.is_halted
 
 let set_tracer t f = t.tracer <- Some f
 let set_stall_tracer t f = t.stall_tracer <- Some f
+
+let set_flow_tracer t ~secret_ranges f =
+  List.iter
+    (fun (lo, hi) ->
+      if lo < 0 || lo > hi then
+        invalid_arg
+          (Printf.sprintf "Pipeline.set_flow_tracer: bad secret range %d:%d" lo
+             hi))
+    secret_ranges;
+  t.flow <-
+    Some
+      {
+        fl_ranges = secret_ranges;
+        fl_cb = f;
+        fl_taint_regs = Array.make Ir.num_regs (-1);
+        fl_taint_mem = Array.make (Array.length t.memory) (-1);
+        fl_taint_buf = Array.make (2 * t.cfg.Config.rob_size) (-1);
+        fl_next_id = 0;
+      }
 let recent_events t = Ring.to_list t.recent
 
 let emit t event =
@@ -280,6 +325,120 @@ let load_address_if_ready t seq =
   | Ir.Load _ | Ir.Alu _ | Ir.Store _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _
   | Ir.Rdcycle _ | Ir.Halt ->
     None
+
+(* --- speculative information-flow tracing --------------------------- *)
+
+let flow_kind = function
+  | Ir.Branch _ -> Flowtrace.Branch
+  | Ir.Load _ -> Flowtrace.Load
+  | Ir.Store _ -> Flowtrace.Store
+  | Ir.Flush _ -> Flowtrace.Flush
+  | Ir.Alu _ -> Flowtrace.Alu
+  | Ir.Jump _ | Ir.Rdcycle _ | Ir.Halt -> Flowtrace.Other
+
+(* Lazy node creation: only instructions that carry or observe taint get
+   a node, so the graph stays small on big clean workloads. *)
+let flow_node t fl e =
+  if e.fi_id < 0 then begin
+    e.fi_id <- fl.fl_next_id;
+    fl.fl_next_id <- fl.fl_next_id + 1;
+    fl.fl_cb ~cycle:t.cyc
+      (Flowtrace.Node
+         {
+           id = e.fi_id;
+           seq = e.seq;
+           pc = e.pc;
+           kind = flow_kind e.instr;
+           disasm = Ir.instr_to_string e.instr;
+         })
+  end;
+  e.fi_id
+
+(* Taint marker of source operand [i]: committed-register reads collapse
+   to literals at rename, so their marker was captured into [fi_src]
+   then; in-flight producers are consulted live, committed ones through
+   the taint shadow of [value_buf]. *)
+let src_taint t fl e i =
+  match e.srcs.(i) with
+  | Imm_val _ -> if Array.length e.fi_src = 0 then -1 else e.fi_src.(i)
+  | From_seq s ->
+    if s < t.head_seq then fl.fl_taint_buf.(s mod vb_size t)
+    else (entry_exn t s).fi_v
+
+(* Called once per successful issue (flow tracing on).  Classifies each
+   operand as address- or data-carrying, decides whether the instruction
+   births taint (a load reading a secret range from the hierarchy),
+   transmits it (a tainted-address cache access), or merely propagates
+   it, and emits the matching graph events. *)
+let flow_on_issue t fl e ~forward ~touched_cache =
+  let addr_idx, data_idx =
+    match e.instr with
+    | Ir.Alu _ | Ir.Branch _ -> ([], [ 0; 1 ])
+    | Ir.Load _ | Ir.Flush _ -> ([ 0; 1 ], [])
+    | Ir.Store _ -> ([ 0; 1 ], [ 2 ])
+    | Ir.Rdcycle _ | Ir.Jump _ | Ir.Halt -> ([], [])
+  in
+  let tainted idx =
+    List.filter_map
+      (fun i ->
+        let m = src_taint t fl e i in
+        if m >= 0 then Some m else None)
+      idx
+  in
+  let addr_taints = tainted addr_idx in
+  let data_taints = tainted data_idx in
+  let mem_taint =
+    match (e.instr, forward) with
+    | Ir.Load _, Some store -> store.fi_v
+    | Ir.Load _, None -> fl.fl_taint_mem.(e.addr)
+    | _, _ -> -1
+  in
+  let in_range a = List.exists (fun (lo, hi) -> a >= lo && a <= hi) fl.fl_ranges in
+  let is_source =
+    match e.instr with
+    | Ir.Load _ -> forward = None && in_range e.addr
+    | _ -> false
+  in
+  let is_transmit = touched_cache && addr_taints <> [] in
+  let value_tainted =
+    is_source || data_taints <> [] || mem_taint >= 0
+    || (match e.instr with
+       | Ir.Load _ -> addr_taints <> []
+       | _ -> false)
+  in
+  if is_source || is_transmit || value_tainted || addr_taints <> [] then begin
+    let id = flow_node t fl e in
+    List.iter
+      (fun m -> fl.fl_cb ~cycle:t.cyc (Flowtrace.Edge { src = m; dst = id; dep = Flowtrace.Address }))
+      addr_taints;
+    List.iter
+      (fun m -> fl.fl_cb ~cycle:t.cyc (Flowtrace.Edge { src = m; dst = id; dep = Flowtrace.Data }))
+      data_taints;
+    if mem_taint >= 0 then
+      fl.fl_cb ~cycle:t.cyc
+        (Flowtrace.Edge { src = mem_taint; dst = id; dep = Flowtrace.Data });
+    if is_source then
+      fl.fl_cb ~cycle:t.cyc (Flowtrace.Source { id; addr = e.addr });
+    if is_source || is_transmit then
+      (* Speculation edges tie the leak to the branches it raced: one per
+         older unresolved branch, emitted only for sources and transmits
+         to keep the graph lean. *)
+      List.iter
+        (fun s ->
+          let be = entry_exn t s in
+          let bid = flow_node t fl be in
+          fl.fl_cb ~cycle:t.cyc
+            (Flowtrace.Edge { src = bid; dst = id; dep = Flowtrace.Speculation }))
+        (older_unresolved_branches t ~seq:e.seq);
+    if is_transmit then
+      fl.fl_cb ~cycle:t.cyc (Flowtrace.Transmit { id; addr = e.addr });
+    if value_tainted then e.fi_v <- id
+  end
+
+let flow_issue t e ~forward ~touched_cache =
+  match t.flow with
+  | None -> ()
+  | Some fl -> flow_on_issue t fl e ~forward ~touched_cache
 
 (* --- restriction audit ---------------------------------------------- *)
 
@@ -343,12 +502,26 @@ let source_operands instr =
   | Ir.Jump _ | Ir.Halt -> [||]
 
 let empty_snapshot = [||]
+let no_taints = [||]
 
 let dispatch_one t =
   let pc = t.fetch_pc in
   let instr = t.program.(pc) in
   let seq = t.tail_seq in
-  let srcs = Array.map (rename_operand t) (source_operands instr) in
+  let ops = source_operands instr in
+  let srcs = Array.map (rename_operand t) ops in
+  (* Rename collapses committed-register reads to literals, which would
+     lose their taint — capture the markers now, while the register
+     identity is still known. *)
+  let fi_src =
+    match t.flow with
+    | None -> no_taints
+    | Some fl ->
+      Array.init (Array.length ops) (fun i ->
+          match (ops.(i), srcs.(i)) with
+          | Ir.Reg r, Imm_val _ when r <> Ir.zero_reg -> fl.fl_taint_regs.(r)
+          | _, _ -> -1)
+  in
   let producers =
     Array.to_list srcs
     |> List.filter_map (function
@@ -376,6 +549,9 @@ let dispatch_one t =
       is_miss = false;
       policy_stalled = false;
       gate = None;
+      fi_id = -1;
+      fi_v = -1;
+      fi_src;
       rename_snap;
       hist_snap;
     }
@@ -454,6 +630,10 @@ let squash t ~boundary =
       if is_transmitter e.instr then
         Sim_stats.record_wrong_path_transmit t.stats ~branch_pc:branch.pc ~pc:e.pc
     end;
+    (match t.flow with
+    | Some fl when e.fi_id >= 0 ->
+      fl.fl_cb ~cycle:t.cyc (Flowtrace.Squashed { id = e.fi_id })
+    | Some _ | None -> ());
     t.slots.(slot_of t seq) <- None
   done;
   t.tail_seq <- boundary + 1;
@@ -497,6 +677,11 @@ let resolve_branch t e =
          mispredicted = e.taken <> e.pred_taken;
        });
   t.policy.on_resolve ~seq:e.seq;
+  (match t.flow with
+  | Some fl when e.fi_id >= 0 ->
+    fl.fl_cb ~cycle:t.cyc
+      (Flowtrace.Resolved { id = e.fi_id; mispredicted = e.taken <> e.pred_taken })
+  | Some _ | None -> ());
   if e.taken <> e.pred_taken then begin
     t.stats.Sim_stats.mispredicts <- t.stats.Sim_stats.mispredicts + 1;
     squash t ~boundary:e.seq;
@@ -532,6 +717,9 @@ let complete t =
               t.outstanding_misses <- t.outstanding_misses - 1
             end;
             t.value_buf.(seq mod vb_size t) <- e.value;
+            (match t.flow with
+            | Some fl -> fl.fl_taint_buf.(seq mod vb_size t) <- e.fi_v
+            | None -> ());
             emit t (Completed { seq; pc = e.pc });
             if Ir.is_branch e.instr then resolve_branch t e
           | Inflight _ | Waiting | Done -> ())
@@ -576,22 +764,26 @@ let try_issue t e =
   | Ir.Alu { op; _ } ->
     e.value <- Ir.eval_alu op (v 0) (v 1);
     start t e (t.cyc + latency_of_alu t op);
+    flow_issue t e ~forward:None ~touched_cache:false;
     true
   | Ir.Branch { cmp; _ } ->
     e.taken <- Ir.eval_cmp cmp (v 0) (v 1);
     start t e (t.cyc + t.cfg.Config.branch_exec_latency);
+    flow_issue t e ~forward:None ~touched_cache:false;
     true
   | Ir.Store _ ->
     e.addr <- mask_addr t (v 0 + v 1);
     e.addr_known <- true;
     e.value <- v 2;
     start t e (t.cyc + 1);
+    flow_issue t e ~forward:None ~touched_cache:false;
     true
   | Ir.Flush _ ->
     e.addr <- mask_addr t (v 0 + v 1);
     e.addr_known <- true;
     Cache.Hierarchy.flush t.hierarchy e.addr;
     start t e (t.cyc + 1);
+    flow_issue t e ~forward:None ~touched_cache:true;
     true
   | Ir.Rdcycle _ ->
     e.value <- t.cyc;
@@ -606,6 +798,8 @@ let try_issue t e =
       e.addr_known <- true;
       e.value <- store.value;
       start t e (t.cyc + t.cfg.Config.forward_latency);
+      (* a store-to-load forward never touches the cache hierarchy *)
+      flow_issue t e ~forward:(Some store) ~touched_cache:false;
       true
     | `Ready None ->
       (* an L1 miss needs an MSHR; when all are busy the load waits *)
@@ -620,8 +814,9 @@ let try_issue t e =
           e.is_miss <- true;
           t.outstanding_misses <- t.outstanding_misses + 1
         end;
+        let vis = t.policy.load_visibility ~seq:e.seq in
         let lat =
-          match t.policy.load_visibility ~seq:e.seq with
+          match vis with
           | Normal ->
             let lat, level = Cache.Hierarchy.load t.hierarchy addr in
             if t.cfg.Config.next_line_prefetch && level <> Cache.Hierarchy.L1
@@ -633,6 +828,8 @@ let try_issue t e =
         in
         e.value <- t.memory.(addr);
         start t e (t.cyc + lat);
+        (* an invisible (delayed-visibility) load leaves no cache trace *)
+        flow_issue t e ~forward:None ~touched_cache:(vis = Normal);
         true
       end)
   | Ir.Jump _ | Ir.Halt -> false
@@ -728,6 +925,21 @@ let commit_one t e =
     (match t.rename.(r) with
     | Some s when s = e.seq -> t.rename.(r) <- None
     | Some _ | None -> ())
+  | None -> ());
+  (match t.flow with
+  | Some fl ->
+    (* Shadow architectural state follows the real one: taint (or clear)
+       exactly what this commit wrote. *)
+    (match e.instr with
+    | Ir.Store _ -> fl.fl_taint_mem.(e.addr) <- e.fi_v
+    | Ir.Alu _ | Ir.Load _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _
+    | Ir.Rdcycle _ | Ir.Halt ->
+      ());
+    (match Ir.defs e.instr with
+    | Some r -> fl.fl_taint_regs.(r) <- e.fi_v
+    | None -> ());
+    if e.fi_id >= 0 then
+      fl.fl_cb ~cycle:t.cyc (Flowtrace.Committed { id = e.fi_id })
   | None -> ());
   t.policy.on_commit ~seq:e.seq;
   emit t (Committed { seq = e.seq; pc = e.pc });
@@ -850,6 +1062,7 @@ let create ?(mem_init = fun _ -> ()) ?registry ?audit cfg ~policy program =
       unresolved_branches = [];
       tracer = None;
       stall_tracer = None;
+      flow = None;
       recent = Ring.create recent_events_capacity;
       head_stall_cause = None;
       audit;

@@ -188,6 +188,24 @@ val set_stall_tracer :
     is what timeline rendering uses to label gated instructions.  Zero
     cost when not installed. *)
 
+val set_flow_tracer :
+  t ->
+  secret_ranges:(int * int) list ->
+  (cycle:int -> Levioso_telemetry.Flowtrace.event -> unit) ->
+  unit
+(** Speculative information-flow (taint) tracing.  Taint is born when a
+    load reads an address inside one of [secret_ranges] (inclusive
+    [lo, hi] pairs) from the memory hierarchy, propagates through
+    register/memory data flow and load-address computation, and is
+    reported as a {!Levioso_telemetry.Flowtrace.event} stream: node
+    creation, data/address/speculation edges, secret sources, cache
+    transmits, and branch-resolution / commit / squash outcomes.  Node
+    ids are monotonic across the run (sequence numbers are reused after
+    squashes; node ids never are).  Install before {!run}, like the
+    other tracers.  Zero cost — and bit-identical architectural results,
+    stats and stall attribution — when not installed.
+    @raise Invalid_argument on a range with [lo < 0] or [lo > hi]. *)
+
 val event_to_string : event -> string
 (** The instructions whose {e execution} leaks through the cache channel:
     loads and flushes.  Stores are not transmitters here because they only

@@ -162,6 +162,7 @@ let test_corpus_roundtrip () =
           verdict = "pass";
           detail = "regression anchor";
           source = Some "fn main() {\n  store(1, 2);\n}";
+          leak = Some "levioso-flowtrace v1\nchain 0 (2 nodes)\n  n0 pc=1";
           program = Gen.random_program 123;
         }
       in
@@ -178,6 +179,8 @@ let test_corpus_roundtrip () =
           loaded.Corpus.detail;
         Alcotest.(check bool) "source survives" true
           (entry.Corpus.source = loaded.Corpus.source);
+        Alcotest.(check bool) "leak survives" true
+          (entry.Corpus.leak = loaded.Corpus.leak);
         Alcotest.(check bool) "program survives" true
           (entry.Corpus.program = loaded.Corpus.program))
 
@@ -191,6 +194,7 @@ let test_corpus_replay_detects_verdict_drift () =
           verdict = "fail";
           detail = "made up";
           source = None;
+          leak = None;
           program = [| Ir.Halt |];
         }
       in

@@ -38,4 +38,5 @@ let () =
       Test_audit.suite;
       Test_report.suite;
       Test_timeline.suite;
+      Test_flowtrace.suite;
     ]
