@@ -12,6 +12,11 @@
      dune exec bench/main.exe -- --no-cache # ignore bench/.cache
      dune exec bench/main.exe -- --audit    # restriction provenance
                                             # (implies --no-cache)
+     dune exec bench/main.exe -- --sample 5000:2000:20  # two-tier sampled
+                                            # engine: cycles become
+                                            # estimates (implies
+                                            # --no-cache, excludes
+                                            # --audit)
      dune exec bench/main.exe -- --progress # live status line (stderr)
      dune exec bench/main.exe -- --progress-file progress.json
      dune exec bench/main.exe -- --metrics metrics.prom  # OpenMetrics
@@ -47,6 +52,7 @@ module Parallel = Levioso_util.Parallel
 module Run_cache = Levioso_uarch.Run_cache
 module Monitor = Levioso_telemetry.Monitor
 module Hostprof = Levioso_telemetry.Hostprof
+module Sampler = Levioso_uarch.Sampler
 
 let quick = ref false
 let only : string list ref = ref []
@@ -56,6 +62,7 @@ let jobs = ref 0 (* 0 = auto: Domain.recommended_domain_count *)
 let use_cache = ref true
 let cache_dir = ref (Filename.concat "bench" ".cache")
 let audit = ref false
+let sample : Sampler.spec option ref = ref None
 let progress = ref false
 let progress_file : string option ref = ref None
 let metrics_file : string option ref = ref None
@@ -91,14 +98,6 @@ let fig8_schemes =
 (* shared simulation matrix: one run per (config, workload, policy)   *)
 (* ------------------------------------------------------------------ *)
 
-let run_cell ?audit config (w : Workload.t) policy =
-  let pipe =
-    Pipeline.create ~mem_init:w.Workload.mem_init ?audit config
-      ~policy:(Registry.find_exn policy) w.Workload.program
-  in
-  Pipeline.run pipe;
-  pipe
-
 (* Pipelines are too big to cache whole (8 MB of simulated memory each),
    so each cell keeps its counters plus the machine-readable summary the
    --json report and the on-disk cache reuse. *)
@@ -106,7 +105,7 @@ type cell_result = {
   stats : Sim_stats.t;
   summary : Json.t;
   wall_s : float;
-  source : string; (* "sim" | "disk" *)
+  source : string; (* "sim" | "disk" | "sampled" *)
   host : Json.t;
       (* host self-profiling phases (wall clock + Gc.quick_stat deltas);
          lands in BENCH_matrix.json, deliberately NOT in the --json
@@ -119,7 +118,34 @@ let matrix : (Config.t * string * string, cell_result) Hashtbl.t =
 let matrix_mutex = Mutex.create ()
 let disk : Run_cache.t option ref = ref None
 
+(* Two-tier sampled cell: the Sampler replaces Pipeline.run, and the
+   extrapolated cycle estimate is written into stats.cycles so every
+   figure (they all read stats.cycles) transparently plots estimates.
+   The summary keeps the sampling block (estimate, error bound, interval
+   accounting) for the --json export. *)
+let simulate_sampled sp config (w : Workload.t) policy =
+  let t0 = Unix.gettimeofday () in
+  let r, run_span =
+    Hostprof.measure (fun () ->
+        Sampler.run ~mem_init:w.Workload.mem_init sp config
+          ~policy:(Registry.find_exn policy) w.Workload.program)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let summary = Summary.of_sampled ~workload:w.Workload.name ~policy r in
+  let stats = r.Sampler.stats in
+  stats.Sim_stats.cycles <- r.Sampler.estimated_cycles;
+  {
+    stats;
+    summary;
+    wall_s;
+    source = "sampled";
+    host = Hostprof.phases_to_json [ ("run", run_span) ];
+  }
+
 let simulate config (w : Workload.t) policy =
+  match !sample with
+  | Some sp -> simulate_sampled sp config w policy
+  | None ->
   let t0 = Unix.gettimeofday () in
   (* Each cell gets a private recorder, so -j N stays bit-identical. *)
   let audit_rec =
@@ -621,31 +647,56 @@ let audit_exp () =
 (* ------------------------------------------------------------------ *)
 
 (* The pipeline hot-loop regression check: simulated cycles per second of
-   wall clock, on cells covering both cheap (unsafe) and query-heavy
-   (delay/stt/levioso consult the unresolved-branch view every cycle)
-   policies. *)
+   wall clock AND minor words allocated per simulated cycle (the
+   zero-alloc detailed-core regression metric), on every defense scheme.
+   Rows are also stashed for BENCH_matrix.json so CI can gate on them. *)
+let microbench_results : Json.t list ref = ref []
+
 let sim_speed () =
   print_endline
-    (Report.section "bech: simulator throughput (simulated cycles per second)");
+    (Report.section
+       "bechamel: simulator throughput (Mcyc/s, minor words/cycle)");
+  microbench_results := [];
   List.iter
     (fun (wname, policy) ->
       let w = Suite.find_exn wname in
-      let t0 = Unix.gettimeofday () in
-      let pipe = run_cell Config.default w policy in
-      let wall = Unix.gettimeofday () -. t0 in
+      let pipe, create_span =
+        Hostprof.measure (fun () ->
+            Pipeline.create ~mem_init:w.Workload.mem_init Config.default
+              ~policy:(Registry.find_exn policy) w.Workload.program)
+      in
+      let (), run_span = Hostprof.measure (fun () -> Pipeline.run pipe) in
       let cyc = (Pipeline.stats pipe).Sim_stats.cycles in
-      Printf.printf "  %-10s %-10s %9d cyc  %7.2f Mcyc/s\n" wname policy cyc
-        (float_of_int cyc /. wall /. 1e6))
-    [
-      ("matmul", "unsafe");
-      ("matmul", "levioso");
-      ("graph", "delay");
-      ("compact", "stt");
-    ]
+      let words_per_cyc =
+        run_span.Hostprof.minor_words /. float_of_int (max 1 cyc)
+      in
+      Printf.printf "  %-10s %-14s %9d cyc  %7.2f Mcyc/s  %8.2f words/cyc\n"
+        wname policy cyc
+        (float_of_int cyc /. run_span.Hostprof.wall_s /. 1e6)
+        words_per_cyc;
+      microbench_results :=
+        Json.Obj
+          [
+            ("workload", Json.String wname);
+            ("policy", Json.String policy);
+            ("cycles", Json.Int cyc);
+            ( "mcyc_per_s",
+              Json.Float (float_of_int cyc /. run_span.Hostprof.wall_s /. 1e6)
+            );
+            ("minor_words_per_cycle", Json.Float words_per_cyc);
+            ( "host",
+              Hostprof.phases_to_json
+                [ ("create", create_span); ("run", run_span) ] );
+          ]
+        :: !microbench_results)
+    (List.map (fun p -> ("matmul", p)) ("unsafe" :: paper_schemes)
+    @ [ ("graph", "delay"); ("compact", "stt") ]);
+  microbench_results := List.rev !microbench_results
 
 let bechamel () =
   sim_speed ();
-  print_endline (Report.section "bech: simulator micro-benchmarks (Bechamel)");
+  print_endline
+    (Report.section "bechamel: simulator micro-benchmarks (Bechamel)");
   let open Bechamel in
   let open Toolkit in
   let small = Suite.find_exn "matmul" in
@@ -742,6 +793,10 @@ let write_bench_matrix ~total_wall_s =
         ("cache", Json.Bool (!disk <> None));
         ("quick", Json.Bool !quick);
         ("audit", Json.Bool !audit);
+        ( "sample",
+          match !sample with
+          | None -> Json.String "off"
+          | Some sp -> Json.String (Sampler.spec_to_string sp) );
         ("cells", Json.Int (List.length cells));
         ("simulated", Json.Int (List.length simulated));
         ("replayed", Json.Int (List.length cells - List.length simulated));
@@ -749,6 +804,7 @@ let write_bench_matrix ~total_wall_s =
           Json.Float (List.fold_left (fun a (_, c) -> a +. c.wall_s) 0.0 cells)
         );
         ("total_wall_s", Json.Float total_wall_s);
+        ("microbench", Json.List !microbench_results);
         ("matrix", Json.List (List.map entry cells));
       ]
   in
@@ -789,6 +845,13 @@ let () =
     | "--audit" :: rest ->
       audit := true;
       parse rest
+    | "--sample" :: spec :: rest ->
+      (match Sampler.parse spec with
+      | Ok s -> sample := s
+      | Error msg ->
+        prerr_endline ("--sample: " ^ msg);
+        exit 2);
+      parse rest
     | "--cache-dir" :: dir :: rest ->
       cache_dir := dir;
       use_cache := true;
@@ -804,7 +867,7 @@ let () =
       parse rest
     | "--list" :: _ ->
       List.iter (fun (id, _) -> print_endline id) experiments;
-      print_endline "bech";
+      print_endline "bechamel";
       exit 0
     | arg :: _ ->
       prerr_endline ("unknown argument: " ^ arg ^ " (try --list)");
@@ -814,6 +877,16 @@ let () =
   (* Audited runs can't replay from disk: cached summaries have no audit
      section and the cache key doesn't cover the flag. *)
   if !audit then use_cache := false;
+  if !sample <> None then begin
+    (* Sampled cells are estimates; never let them replay as (or pollute
+       the cache of) exact runs, and the two-tier engine has no per-event
+       audit stream to record. *)
+    if !audit then begin
+      prerr_endline "--sample cannot be combined with --audit";
+      exit 2
+    end;
+    use_cache := false
+  end;
   if !use_cache then disk := Some (Run_cache.create ~dir:!cache_dir ());
   if !progress || !progress_file <> None || !metrics_file <> None then
     monitor :=
@@ -848,9 +921,14 @@ let () =
     output_char oc '\n';
     close_out oc;
     Printf.printf "\nwrote %d run summaries to %s\n" (List.length cells) file);
-  write_bench_matrix ~total_wall_s:(Unix.gettimeofday () -. t_start);
-  (* micro-benchmarks run on full sweeps by default; skip with --quick *)
+  (* micro-benchmarks run on full sweeps by default; skip with --quick.
+     They run before write_bench_matrix so their throughput and
+     minor-words-per-cycle rows land in the artifact ("bech" is kept as
+     an --only alias for older scripts). *)
   if
-    !run_bechamel || List.mem "bech" !only
+    !run_bechamel
+    || List.mem "bechamel" !only
+    || List.mem "bech" !only
     || ((not !quick) && !only = [])
-  then bechamel ()
+  then bechamel ();
+  write_bench_matrix ~total_wall_s:(Unix.gettimeofday () -. t_start)

@@ -36,6 +36,7 @@ module Timeline = Levioso_telemetry.Timeline
 module Monitor = Levioso_telemetry.Monitor
 module Hostprof = Levioso_telemetry.Hostprof
 module Konata = Levioso_uarch.Konata
+module Sampler = Levioso_uarch.Sampler
 module Flowtrace = Levioso_telemetry.Flowtrace
 module Gadget = Levioso_attack.Gadget
 
@@ -142,10 +143,32 @@ let spectre_workload =
        mem_init = g.Gadget.mem_init;
      })
 
+let sampled_verbose_report w p (r : Sampler.result) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "== %s / %s (sampled %s) ==\n" w p
+       (Sampler.spec_to_string r.Sampler.spec));
+  Buffer.add_string buf
+    (Printf.sprintf "  %-32s %d (+/- %.2f%%)\n" "estimated cycles"
+       r.Sampler.estimated_cycles r.Sampler.error_pct);
+  Buffer.add_string buf
+    (Printf.sprintf "  %-32s %d of %d (%d intervals)\n" "instrs in detail"
+       r.Sampler.detailed_instrs r.Sampler.total_instrs r.Sampler.intervals);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %s\n" k v))
+    (Sim_stats.to_rows r.Sampler.stats);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %d\n" k v))
+    (Cache.Hierarchy.stats r.Sampler.hierarchy);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %s\n" k v))
+    (Stall.to_rows r.Sampler.stall);
+  Buffer.contents buf
+
 let main workload_names policy_names rob predictor budget verbose trace json
     trace_out trace_every jobs audit_flag audit_out timeline_out
     timeline_window leak_trace secret_range_specs progress progress_file
-    metrics_file =
+    metrics_file sample =
   let config =
     {
       Config.default with
@@ -173,8 +196,21 @@ let main workload_names policy_names rob predictor budget verbose trace json
       List.iter (fun n -> ignore (Registry.find_exn n : Pipeline.policy_maker)) names;
       names
   in
+  match Sampler.parse sample with
+  | Error msg -> `Error (false, msg)
+  | Ok sample_spec ->
   if trace_every < 1 then `Error (false, "--trace-every must be >= 1")
   else if jobs < 0 then `Error (false, "-j expects a non-negative integer")
+  else if
+    sample_spec <> None
+    && (trace > 0 || trace_out <> None || audit_flag || audit_out <> None
+       || timeline_out <> None || leak_trace <> None)
+  then
+    `Error
+      ( false,
+        "--sample runs the two-tier engine, which does not preserve the \
+         per-event streams: drop --trace/--trace-out/--audit/--audit-out/\
+         --timeline/--leak-trace or use --sample off" )
   else if
     timeline_out <> None
     && (List.length workloads <> 1 || List.length policies <> 1)
@@ -330,8 +366,28 @@ let main workload_names policy_names rob predictor budget verbose trace json
         end
         else None
       in
-      let pipe, host =
-        run_one ~trace ?sink ?audit ?timeline ?flow ~registry config w p
+      let cycles, summary, host, render_verbose =
+        match sample_spec with
+        | Some sp ->
+          let maker = Registry.find_exn p in
+          let r, run_span =
+            Hostprof.measure (fun () ->
+                Sampler.run ~registry ~mem_init:w.Workload.mem_init sp config
+                  ~policy:maker w.Workload.program)
+          in
+          let host = [ ("run", run_span) ] in
+          ( r.Sampler.estimated_cycles,
+            Summary.of_sampled ~workload:w.Workload.name ~policy:p ~host r,
+            host,
+            fun () -> sampled_verbose_report w.Workload.name p r )
+        | None ->
+          let pipe, host =
+            run_one ~trace ?sink ?audit ?timeline ?flow ~registry config w p
+          in
+          ( (Pipeline.stats pipe).Sim_stats.cycles,
+            Summary.of_pipeline ~workload:w.Workload.name ~policy:p ~host pipe,
+            host,
+            fun () -> verbose_report w.Workload.name p pipe )
       in
       Option.iter
         (fun m ->
@@ -342,7 +398,7 @@ let main workload_names policy_names rob predictor budget verbose trace json
         monitor;
       let verbose_text =
         if verbose then begin
-          let text = verbose_report w.Workload.name p pipe in
+          let text = render_verbose () in
           (* serial runs keep the report interleaved with the cell's
              trace output, exactly as before *)
           if jobs = 1 then begin
@@ -353,10 +409,7 @@ let main workload_names policy_names rob predictor budget verbose trace json
         end
         else None
       in
-      ( p,
-        (Pipeline.stats pipe).Sim_stats.cycles,
-        Summary.of_pipeline ~workload:w.Workload.name ~policy:p ~host pipe,
-        verbose_text )
+      (p, cycles, summary, verbose_text)
     in
     let results = Parallel.with_pool ~size:jobs (fun pool ->
         Parallel.map pool run_cell cells)
@@ -646,6 +699,21 @@ let metrics_arg =
           "Periodically write progress gauges in OpenMetrics text format to \
            $(docv) (atomic rename, scrapable).")
 
+let sample_arg =
+  Arg.(
+    value & opt string "off"
+    & info [ "sample" ] ~docv:"N:W[:P]"
+        ~doc:
+          "Two-tier sampled simulation: fast-forward architecturally with \
+           functional cache/predictor warming, and simulate in cycle-level \
+           detail only N instructions out of every P*N (default P = 10), \
+           after W detailed warmup instructions.  Reported cycles are an \
+           extrapolated estimate with a 95%-confidence error bound (the \
+           $(b,sampled) section of --json).  $(b,off) (the default) runs \
+           the ordinary full-detail simulation, bit-identical to builds \
+           without this flag.  Incompatible with the per-event streams \
+           (--trace/--audit/--timeline/--leak-trace).")
+
 let cmd =
   let doc = "simulate workloads under secure-speculation defenses" in
   let info = Cmd.info "levioso_sim" ~doc in
@@ -656,6 +724,7 @@ let cmd =
        $ budget_arg $ verbose_arg $ trace_arg $ json_arg $ trace_out_arg
        $ trace_every_arg $ jobs_arg $ audit_arg $ audit_out_arg
        $ timeline_arg $ timeline_window_arg $ leak_trace_arg
-       $ secret_range_arg $ progress_arg $ progress_file_arg $ metrics_arg))
+       $ secret_range_arg $ progress_arg $ progress_file_arg $ metrics_arg
+       $ sample_arg))
 
 let () = exit (Cmd.eval cmd)

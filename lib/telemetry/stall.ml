@@ -16,6 +16,14 @@ let cause_index = function
   | Rob_full -> 3
   | Exec_port -> 4
 
+let cause_of_index = function
+  | 0 -> Policy_gate
+  | 1 -> Operand_wait
+  | 2 -> Lsq_order
+  | 3 -> Rob_full
+  | 4 -> Exec_port
+  | i -> invalid_arg (Printf.sprintf "Stall.cause_of_index: %d" i)
+
 let cause_to_string = function
   | Policy_gate -> "policy_gate"
   | Operand_wait -> "operand_wait"
@@ -45,6 +53,16 @@ let charge t ~cause ~pc =
   let ci = cause_index cause in
   t.cells.((pc * num_causes) + ci) <- t.cells.((pc * num_causes) + ci) + 1;
   t.totals.(ci) <- t.totals.(ci) + 1
+
+let accumulate dst src =
+  if dst.num_pcs <> src.num_pcs then
+    invalid_arg "Stall.accumulate: different num_pcs";
+  for i = 0 to Array.length src.cells - 1 do
+    dst.cells.(i) <- dst.cells.(i) + src.cells.(i)
+  done;
+  for i = 0 to num_causes - 1 do
+    dst.totals.(i) <- dst.totals.(i) + src.totals.(i)
+  done
 
 let count t cause = t.totals.(cause_index cause)
 

@@ -30,6 +30,13 @@ type cause =
 val all_causes : cause list
 val cause_to_string : cause -> string
 
+val cause_index : cause -> int
+(** Dense index, taxonomy order — lets hot paths carry a cause as a bare
+    int (-1 for "none") instead of a [cause option]. *)
+
+val cause_of_index : int -> cause
+(** Inverse of {!cause_index}.  @raise Invalid_argument out of range. *)
+
 type t
 
 val create : num_pcs:int -> t
@@ -37,6 +44,11 @@ val create : num_pcs:int -> t
     [0, num_pcs) are rejected. *)
 
 val charge : t -> cause:cause -> pc:int -> unit
+
+val accumulate : t -> t -> unit
+(** [accumulate dst src] adds every charge in [src] into [dst] — used by
+    the sampled-simulation driver to aggregate per-interval attributions.
+    @raise Invalid_argument when the tables cover different programs. *)
 
 val total : t -> int
 (** Sum of every charge. *)

@@ -53,6 +53,43 @@ let of_matrix ~label j =
     collect [] runs
   | _ -> Error "matrix JSON has no \"runs\" list"
 
+(* BENCH_matrix.json trajectory files carry cycles directly on each
+   matrix cell (no nested stats object) plus the host phases; only
+   default-config cells are reducible — sweep configs reuse (workload,
+   policy) labels and would make the comparison key ambiguous. *)
+let cell_of_trajectory run =
+  let str k = Option.map Json.to_string_exn (Json.member k run) in
+  match (str "workload", str "policy", Json.member "cycles" run) with
+  | Some workload, Some policy, Some c ->
+    let alloc_mwords =
+      match Json.member "host" run with
+      | Some host -> alloc_of_host host
+      | None -> None
+    in
+    Ok { workload; policy; cycles = Json.to_int_exn c; alloc_mwords }
+  | _ -> Error "matrix cell has no workload/policy/cycles"
+
+let of_trajectory ~label j =
+  match Json.member "matrix" j with
+  | Some (Json.List runs) ->
+    let default_only =
+      List.filter
+        (fun run ->
+          match Json.member "default_config" run with
+          | Some (Json.Bool b) -> b
+          | _ -> true)
+        runs
+    in
+    let rec collect acc = function
+      | [] -> Ok { label; cells = List.rev acc }
+      | run :: rest -> (
+        match cell_of_trajectory run with
+        | Ok c -> collect (c :: acc) rest
+        | Error e -> Error e)
+    in
+    collect [] default_only
+  | _ -> Error "JSON has neither an \"entries\", \"runs\" nor \"matrix\" list"
+
 let cell_to_json c =
   Json.Obj
     ([
@@ -115,8 +152,13 @@ let load path =
           | exception Invalid_argument msg -> Error (path ^ ": " ^ msg))
         | Some _ -> Error (path ^ ": \"entries\" is not a list")
         | None -> (
-          (* fall back: a bare matrix file *)
-          match of_matrix ~label:"matrix" j with
+          (* fall back: a bare matrix file (summary runs) or a
+             BENCH_matrix.json trajectory artifact *)
+          let reduced =
+            if Json.member "runs" j <> None then of_matrix ~label:"matrix" j
+            else of_trajectory ~label:"matrix" j
+          in
+          match reduced with
           | Ok e -> Ok [ e ]
           | Error msg -> Error (path ^ ": " ^ msg)))))
 

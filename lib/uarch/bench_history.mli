@@ -29,9 +29,17 @@ val of_matrix :
     [alloc_mwords].  [Error] when the value has no ["runs"] list or a
     run lacks workload/policy/stats.cycles. *)
 
+val of_trajectory :
+  label:string -> Levioso_telemetry.Json.t -> (entry, string) result
+(** Reduce a [BENCH_matrix.json] trajectory artifact (cells carry
+    [cycles] and [host] directly under ["matrix"]) to an entry.
+    Non-default-config sweep cells are skipped — they reuse (workload,
+    policy) labels and would make the comparison key ambiguous. *)
+
 val load : string -> (entry list, string) result
-(** Read a history file.  Also accepts a bare matrix JSON file (one
-    entry labelled ["matrix"]) so [--compare] can take either form. *)
+(** Read a history file.  Also accepts a bare matrix JSON file or a
+    [BENCH_matrix.json] trajectory artifact (one entry labelled
+    ["matrix"]) so [--compare] can take any of the three forms. *)
 
 val save : string -> entry list -> unit
 (** Write (overwrite) a history file. *)

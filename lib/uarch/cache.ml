@@ -1,47 +1,83 @@
-(* Tags with LRU ordering per set.  [ways.(set)] lists line addresses in
-   most-recently-used-first order. *)
+(* Tags with LRU ordering per set, kept in one flat int array:
+   [data.(set * ways + i)] is the i-th most-recently-used line of [set]
+   (-1 = empty way).  Flat storage keeps lookup/fill allocation-free on
+   the pipeline's per-load hot path (the previous int-list sets consed a
+   fresh list per access). *)
 
 type t = {
   geometry : Config.cache_geometry;
-  sets : int list array;  (* MRU-first line addresses *)
+  ways : int;
+  data : int array;  (* sets * ways, MRU-first line addresses, -1 empty *)
 }
 
-let create geometry = { geometry; sets = Array.make geometry.Config.sets [] }
+let create geometry =
+  {
+    geometry;
+    ways = geometry.Config.ways;
+    data = Array.make (geometry.Config.sets * geometry.Config.ways) (-1);
+  }
 
 let line_of t addr = addr / t.geometry.Config.line_words
 
 let set_of t line = line land (t.geometry.Config.sets - 1)
 
+let find_way t base line =
+  let rec go i =
+    if i >= t.ways then -1 else if t.data.(base + i) = line then i else go (i + 1)
+  in
+  go 0
+
+let move_to_front t base i line =
+  for k = i downto 1 do
+    t.data.(base + k) <- t.data.(base + k - 1)
+  done;
+  t.data.(base) <- line
+
 let lookup t addr =
   let line = line_of t addr in
-  let s = set_of t line in
-  if List.mem line t.sets.(s) then begin
-    t.sets.(s) <- line :: List.filter (fun l -> l <> line) t.sets.(s);
+  let base = set_of t line * t.ways in
+  let i = find_way t base line in
+  if i < 0 then false
+  else begin
+    move_to_front t base i line;
     true
   end
-  else false
 
 let fill t addr =
   let line = line_of t addr in
-  let s = set_of t line in
-  let others = List.filter (fun l -> l <> line) t.sets.(s) in
-  let kept =
-    if List.length others >= t.geometry.Config.ways then
-      List.filteri (fun i _ -> i < t.geometry.Config.ways - 1) others
-    else others
-  in
-  t.sets.(s) <- line :: kept
+  let base = set_of t line * t.ways in
+  let i = find_way t base line in
+  if i >= 0 then move_to_front t base i line
+  else begin
+    (* insert at MRU, shifting the rest right (LRU way falls off) *)
+    move_to_front t base (t.ways - 1) line
+  end
 
 let invalidate t addr =
   let line = line_of t addr in
-  let s = set_of t line in
-  t.sets.(s) <- List.filter (fun l -> l <> line) t.sets.(s)
+  let base = set_of t line * t.ways in
+  let i = find_way t base line in
+  if i >= 0 then begin
+    for k = i to t.ways - 2 do
+      t.data.(base + k) <- t.data.(base + k + 1)
+    done;
+    t.data.(base + t.ways - 1) <- -1
+  end
 
 let probe t addr =
   let line = line_of t addr in
-  List.mem line t.sets.(set_of t line)
+  find_way t (set_of t line * t.ways) line >= 0
 
-let reset t = Array.fill t.sets 0 (Array.length t.sets) []
+let reset t = Array.fill t.data 0 (Array.length t.data) (-1)
+
+type snapshot = int array
+
+let snapshot t = Array.copy t.data
+
+let restore t s =
+  if Array.length s <> Array.length t.data then
+    invalid_arg "Cache.restore: snapshot geometry mismatch";
+  Array.blit s 0 t.data 0 (Array.length s)
 
 module Hierarchy = struct
   module Registry = Levioso_telemetry.Registry
@@ -88,25 +124,37 @@ module Hierarchy = struct
       n_l2_miss = Registry.counter registry "l2_misses";
     }
 
-  let load h addr =
+  (* Tuple-free load for the pipeline hot path: mutates exactly like
+     [load] and returns only the serving level; the latency comes from
+     [latency_of_level]. *)
+  let load_level h addr =
     if lookup h.l1 addr then begin
       Registry.Counter.incr h.n_l1_hit;
-      (h.l1_hit, L1)
+      L1
     end
     else begin
       Registry.Counter.incr h.n_l1_miss;
       if lookup h.l2 addr then begin
         Registry.Counter.incr h.n_l2_hit;
         fill h.l1 addr;
-        (h.l2_hit, L2)
+        L2
       end
       else begin
         Registry.Counter.incr h.n_l2_miss;
         fill h.l2 addr;
         fill h.l1 addr;
-        (h.mem_lat, Memory)
+        Memory
       end
     end
+
+  let latency_of_level h = function
+    | L1 -> h.l1_hit
+    | L2 -> h.l2_hit
+    | Memory -> h.mem_lat
+
+  let load h addr =
+    let level = load_level h addr in
+    (latency_of_level h level, level)
 
   let prefetch h addr =
     fill h.l2 addr;
@@ -131,6 +179,17 @@ module Hierarchy = struct
 
   let l1 h = h.l1
   let l2 h = h.l2
+
+  type hsnapshot = {
+    hs_l1 : snapshot;
+    hs_l2 : snapshot;
+  }
+
+  let snapshot h = { hs_l1 = snapshot h.l1; hs_l2 = snapshot h.l2 }
+
+  let restore h s =
+    restore h.l1 s.hs_l1;
+    restore h.l2 s.hs_l2
 
   let stats h =
     [

@@ -29,6 +29,20 @@ val probe : t -> int -> bool
 
 val reset : t -> unit
 
+(** {1 Snapshots}
+
+    Full microarchitectural state capture (tags + LRU order) for
+    checkpointed simulation: a snapshot of a warmed cache seeds the
+    detailed tier of the two-tier engine. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** @raise Invalid_argument when the snapshot came from a cache with a
+    different geometry. *)
+
 (** {1 Hierarchy} *)
 
 module Hierarchy : sig
@@ -47,6 +61,14 @@ module Hierarchy : sig
   (** [load h addr] performs a load access: returns the latency and the
       level that served it, filling lines on the way (this mutates cache
       state even for speculative wrong-path accesses — the side channel). *)
+
+  val load_level : h -> int -> level
+  (** Exactly [load] (same mutations, same counters) but returning only
+      the serving level — the pipeline's allocation-free load path; pair
+      with {!latency_of_level}. *)
+
+  val latency_of_level : h -> level -> int
+  (** The configured latency of a level (pure). *)
 
   val prefetch : h -> int -> unit
   (** Fill the line containing the address into L2 and L1 without counting
@@ -69,6 +91,14 @@ module Hierarchy : sig
   (** Direct access to the level-1 cache (tests and harnesses). *)
 
   val l2 : h -> t
+
+  type hsnapshot
+  (** Both levels' tag/LRU state (counters are not part of a snapshot). *)
+
+  val snapshot : h -> hsnapshot
+
+  val restore : h -> hsnapshot -> unit
+  (** @raise Invalid_argument on a geometry mismatch. *)
 
   val stats : h -> (string * int) list
   (** Access counters: l1 hits/misses, l2 hits/misses. *)

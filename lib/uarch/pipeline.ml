@@ -2,7 +2,6 @@ module Ir = Levioso_ir.Ir
 module Stall = Levioso_telemetry.Stall
 module Registry = Levioso_telemetry.Registry
 module Audit = Levioso_telemetry.Audit
-module Ring = Levioso_telemetry.Timeline.Ring
 module Flowtrace = Levioso_telemetry.Flowtrace
 
 type load_visibility =
@@ -51,17 +50,16 @@ let event_to_string = function
   | Squashed { boundary; count } ->
     Printf.sprintf "squash  boundary=%d count=%d" boundary count
 
-(* Operand sources are captured at rename: immediates and already-committed
-   register values become literals; in-flight producers are referenced by
-   sequence number. *)
-type src =
-  | Imm_val of int
-  | From_seq of int
+(* Hot-path state encodings.  The per-cycle structures avoid boxed
+   values entirely: source operands, in-flight state, the rename table,
+   completion buckets and the unresolved-branch queue are all bare ints
+   with -1 (or the codes below) as sentinels, so a tracer-off cycle
+   allocates nothing. *)
 
-type state =
-  | Waiting
-  | Inflight of int  (* completion cycle *)
-  | Done
+(* entry.st *)
+let st_waiting = 0
+let st_inflight = 1
+let st_done = 2
 
 (* One open restriction episode (audit enabled only): captured at the
    first policy refusal, closed — one audit event — when the entry
@@ -72,13 +70,22 @@ type gate = {
   mutable g_cycles : int;
 }
 
+(* ROB entries live in a preallocated arena ([t.slots]) and are reused
+   across instructions: dispatch overwrites every field in place, so the
+   per-instruction cost is stores into existing blocks, not a fresh
+   record + arrays.  Operand sources captured at rename: [src_kind.(i)]
+   is 0 for a literal (immediates and already-committed register reads,
+   value in [src_val]) and 1 for an in-flight producer ([src_val] holds
+   its seq). *)
 type entry = {
-  seq : int;
-  pc : int;
-  instr : Ir.instr;
-  srcs : src array;
-  producers : int list;
-  mutable st : state;
+  mutable seq : int;
+  mutable pc : int;
+  mutable instr : Ir.instr;
+  mutable n_srcs : int;
+  src_kind : int array;  (* length 3 *)
+  src_val : int array;  (* length 3 *)
+  mutable st : int;  (* st_waiting / st_inflight / st_done *)
+  mutable done_cycle : int;  (* meaningful when st_inflight *)
   mutable value : int;
   mutable addr : int;
   mutable addr_known : bool;
@@ -96,10 +103,10 @@ type entry = {
      collapsed to literals (committed-register reads). *)
   mutable fi_id : int;
   mutable fi_v : int;
-  fi_src : int array;
-  (* branches carry recovery snapshots *)
-  rename_snap : int option array;
-  hist_snap : Predictor.snapshot;
+  fi_src : int array;  (* length 3 *)
+  (* branches carry recovery snapshots (blitted in place at dispatch) *)
+  rename_snap : int array;  (* length num_regs; -1 = no mapping *)
+  mutable hist_snap : Predictor.snapshot;
 }
 
 (* Shadow taint state for the speculative information-flow tracer.
@@ -121,13 +128,16 @@ type flow = {
 type t = {
   cfg : Config.t;
   program : Ir.program;
+  rob : int;  (* cfg.rob_size *)
+  vb : int;  (* value_buf length = 2 * rob *)
   regs : int array;
   memory : int array;
+  mem_mask : int;
   hierarchy : Cache.Hierarchy.h;
   predictor : Predictor.t;
-  slots : entry option array;
+  slots : entry array;  (* arena, indexed seq mod rob *)
   value_buf : int array;
-  rename : int option array;
+  rename : int array;  (* -1 = architectural (no in-flight producer) *)
   mutable head_seq : int;
   mutable tail_seq : int;
   mutable fetch_pc : int;
@@ -141,28 +151,34 @@ type t = {
   stall : Stall.t;
   reg : Registry.t;
   (* Completion calendar: a power-of-two ring of buckets indexed by
-     completion cycle.  Sized so the largest configured latency never
-     wraps past an undrained bucket; each bucket keeps its seqs sorted
-     ascending so completion order is deterministic without a per-cycle
-     sort.  Replaces a (cycle -> seq list) Hashtbl whose
-     find_opt/replace double lookup and per-cycle [List.sort compare]
-     dominated the complete phase. *)
-  completions : int list array;
+     completion cycle, flattened into [comp_buf] ([comp_cap] ints per
+     bucket, occupancy in [comp_len]).  Sized so the largest configured
+     latency never wraps past an undrained bucket; each bucket keeps its
+     seqs sorted ascending (insertion shift) so completion order is
+     deterministic without a per-cycle sort or any list consing. *)
+  comp_buf : int array;
+  comp_len : int array;
+  comp_cap : int;
   completions_mask : int;
-  (* In-flight unresolved conditional branches, ascending by seq.
-     Maintained at dispatch/resolve/squash so the policy-facing queries
+  (* In-flight unresolved conditional branches, ascending by seq, in a
+     flat queue ([ub_len] live entries).  Maintained at dispatch /
+     resolve / squash so the policy-facing queries
      [exists_older_unresolved_branch] (O(1): compare against the head)
-     and [older_unresolved_branches] (O(branches), not O(window)) no
-     longer rescan the whole ROB per waiting instruction per cycle. *)
-  mutable unresolved_branches : int list;
+     and [older_unresolved_branches] (O(branches), not O(window)) never
+     rescan the whole ROB. *)
+  ub : int array;
+  mutable ub_len : int;
   mutable tracer : (cycle:int -> event -> unit) option;
   mutable stall_tracer :
     (cycle:int -> seq:int -> pc:int -> cause:Stall.cause -> unit) option;
   mutable flow : flow option;
   (* Always-on bounded window of recent events for deadlock diagnostics
-     (and post-mortem inspection); cheap: one ring store per event. *)
-  recent : (int * event) Ring.t;
-  mutable head_stall_cause : Stall.cause option;
+     (and post-mortem inspection), stored flat — 5 ints per event
+     (cycle, tag, a, b, c) — so recording never allocates; events are
+     materialized only by [recent_events]. *)
+  recent_buf : int array;
+  mutable recent_len : int;  (* total events ever pushed *)
+  mutable head_stall_cause : int;  (* Stall.cause_index, -1 = none *)
   audit : Audit.t option;
 }
 
@@ -212,16 +228,15 @@ let is_transmitter = function
     false
 
 let recent_events_capacity = 32
-let vb_size t = 2 * t.cfg.Config.rob_size
-
-let slot_of t seq = seq mod t.cfg.Config.rob_size
 
 let in_flight t seq = seq >= t.head_seq && seq < t.tail_seq
 
+(* In any window of <= rob in-flight seqs, [slot_of] is injective, so an
+   in-flight seq's slot necessarily holds its entry; anything outside
+   the window is stale arena contents. *)
 let entry_exn t seq =
-  match t.slots.(slot_of t seq) with
-  | Some e when e.seq = seq -> e
-  | Some _ | None -> invalid_arg (Printf.sprintf "Pipeline: seq %d not in flight" seq)
+  if seq >= t.head_seq && seq < t.tail_seq then t.slots.(seq mod t.rob)
+  else invalid_arg (Printf.sprintf "Pipeline: seq %d not in flight" seq)
 
 let instr_of t seq = (entry_exn t seq).instr
 let pc_of t seq = (entry_exn t seq).pc
@@ -235,18 +250,20 @@ let is_unresolved_branch t seq =
   Ir.is_branch e.instr && not e.resolved
 
 let older_unresolved_branches t ~seq =
-  let rec take = function
-    | s :: rest when s < seq -> s :: take rest
-    | _ :: _ | [] -> []
+  let rec count i = if i < t.ub_len && t.ub.(i) < seq then count (i + 1) else i in
+  let n = count 0 in
+  let rec build i acc = if i < 0 then acc else build (i - 1) (t.ub.(i) :: acc) in
+  build (n - 1) []
+
+let exists_older_unresolved_branch t ~seq = t.ub_len > 0 && t.ub.(0) < seq
+
+let producers_of t seq =
+  let e = entry_exn t seq in
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (if e.src_kind.(i) = 1 then e.src_val.(i) :: acc else acc)
   in
-  take t.unresolved_branches
-
-let exists_older_unresolved_branch t ~seq =
-  match t.unresolved_branches with
-  | [] -> false
-  | oldest :: _ -> oldest < seq
-
-let producers_of t seq = (entry_exn t seq).producers
+  go (e.n_srcs - 1) []
 
 let regs t = t.regs
 let mem t = t.memory
@@ -256,8 +273,15 @@ let stall_attribution t = t.stall
 let audit t = t.audit
 let registry t = t.reg
 let hierarchy t = t.hierarchy
+let predictor t = t.predictor
 let config t = t.cfg
 let halted t = t.is_halted
+
+let arch_pc t =
+  (* An empty window means no unresolved branch is in flight, so
+     [fetch_pc] is on the architecturally-correct path. *)
+  if t.head_seq < t.tail_seq then t.slots.(t.head_seq mod t.rob).pc
+  else t.fetch_pc
 
 let set_tracer t f = t.tracer <- Some f
 let set_stall_tracer t f = t.stall_tracer <- Some f
@@ -277,16 +301,79 @@ let set_flow_tracer t ~secret_ranges f =
         fl_cb = f;
         fl_taint_regs = Array.make Ir.num_regs (-1);
         fl_taint_mem = Array.make (Array.length t.memory) (-1);
-        fl_taint_buf = Array.make (2 * t.cfg.Config.rob_size) (-1);
+        fl_taint_buf = Array.make t.vb (-1);
         fl_next_id = 0;
       }
-let recent_events t = Ring.to_list t.recent
 
-let emit t event =
-  Ring.push t.recent (t.cyc, event);
+(* --- event recording ------------------------------------------------- *)
+
+(* Event tags in the flat ring.  For seq-carrying tags a=seq, b=pc; for
+   resolves c packs taken (bit 0) and mispredicted (bit 1); for squashes
+   a=boundary, b=count. *)
+let tag_fetched = 0
+let tag_issued = 1
+let tag_completed = 2
+let tag_committed = 3
+let tag_resolved = 4
+let tag_squashed = 5
+
+let decode_event tag a b c =
+  match tag with
+  | 0 -> Fetched { seq = a; pc = b }
+  | 1 -> Issued { seq = a; pc = b }
+  | 2 -> Completed { seq = a; pc = b }
+  | 3 -> Committed { seq = a; pc = b }
+  | 4 ->
+    Branch_resolved
+      { seq = a; pc = b; taken = c land 1 = 1; mispredicted = c land 2 = 2 }
+  | _ -> Squashed { boundary = a; count = b }
+
+let ring_store t tag a b c =
+  let i = t.recent_len mod recent_events_capacity * 5 in
+  t.recent_buf.(i) <- t.cyc;
+  t.recent_buf.(i + 1) <- tag;
+  t.recent_buf.(i + 2) <- a;
+  t.recent_buf.(i + 3) <- b;
+  t.recent_buf.(i + 4) <- c;
+  t.recent_len <- t.recent_len + 1
+
+(* The event variant is constructed only when a tracer is installed; the
+   always-on ring sees bare ints. *)
+let emit_seq t tag seq pc =
+  ring_store t tag seq pc 0;
   match t.tracer with
-  | Some f -> f ~cycle:t.cyc event
   | None -> ()
+  | Some f -> f ~cycle:t.cyc (decode_event tag seq pc 0)
+
+let emit_resolved t seq pc ~taken ~mispredicted =
+  let c = (if taken then 1 else 0) lor (if mispredicted then 2 else 0) in
+  ring_store t tag_resolved seq pc c;
+  match t.tracer with
+  | None -> ()
+  | Some f -> f ~cycle:t.cyc (Branch_resolved { seq; pc; taken; mispredicted })
+
+let emit_squashed t boundary count =
+  ring_store t tag_squashed boundary count 0;
+  match t.tracer with
+  | None -> ()
+  | Some f -> f ~cycle:t.cyc (Squashed { boundary; count })
+
+let recent_events t =
+  let n = min t.recent_len recent_events_capacity in
+  let rec go k acc =
+    if k < t.recent_len - n then acc
+    else
+      let i = k mod recent_events_capacity * 5 in
+      go (k - 1)
+        (( t.recent_buf.(i),
+           decode_event
+             t.recent_buf.(i + 1)
+             t.recent_buf.(i + 2)
+             t.recent_buf.(i + 3)
+             t.recent_buf.(i + 4) )
+        :: acc)
+  in
+  go (t.recent_len - 1) []
 
 (* One waiting cycle attributed to [cause] for entry [e]: feeds the
    aggregate table, the head-of-window diagnostic (what the oldest
@@ -294,37 +381,45 @@ let emit t event =
    stall tracer (timeline rendering). *)
 let charge_entry t e cause =
   Stall.charge t.stall ~cause ~pc:e.pc;
-  if e.seq = t.head_seq then t.head_stall_cause <- Some cause;
+  if e.seq = t.head_seq then t.head_stall_cause <- Stall.cause_index cause;
   match t.stall_tracer with
   | Some f -> f ~cycle:t.cyc ~seq:e.seq ~pc:e.pc ~cause
   | None -> ()
 
-let mask_addr t addr = addr land (Array.length t.memory - 1)
+let mask_addr t addr = addr land t.mem_mask
 
-let src_ready t = function
-  | Imm_val _ -> true
-  | From_seq s ->
-    s < t.head_seq
-    ||
-    let e = entry_exn t s in
-    e.st = Done
+let src_ready t e i =
+  e.src_kind.(i) = 0
+  ||
+  let s = e.src_val.(i) in
+  s < t.head_seq || t.slots.(s mod t.rob).st = st_done
 
-let src_value t = function
-  | Imm_val v -> v
-  | From_seq s ->
-    if s < t.head_seq then t.value_buf.(s mod vb_size t)
-    else (entry_exn t s).value
+let src_value t e i =
+  if e.src_kind.(i) = 0 then e.src_val.(i)
+  else
+    let s = e.src_val.(i) in
+    if s < t.head_seq then t.value_buf.(s mod t.vb)
+    else t.slots.(s mod t.rob).value
 
-let operands_ready t e = Array.for_all (src_ready t) e.srcs
+let operands_ready t e =
+  let n = e.n_srcs in
+  (n < 1 || src_ready t e 0)
+  && (n < 2 || src_ready t e 1)
+  && (n < 3 || src_ready t e 2)
 
 let load_address_if_ready t seq =
   let e = entry_exn t seq in
   match e.instr with
-  | Ir.Load _ when src_ready t e.srcs.(0) && src_ready t e.srcs.(1) ->
-    Some (mask_addr t (src_value t e.srcs.(0) + src_value t e.srcs.(1)))
+  | Ir.Load _ when src_ready t e 0 && src_ready t e 1 ->
+    Some (mask_addr t (src_value t e 0 + src_value t e 1))
   | Ir.Load _ | Ir.Alu _ | Ir.Store _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _
   | Ir.Rdcycle _ | Ir.Halt ->
     None
+
+let def_reg = function
+  | Ir.Alu { dst; _ } | Ir.Load { dst; _ } | Ir.Rdcycle { dst; _ } ->
+    if dst = Ir.zero_reg then -1 else dst
+  | Ir.Store _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _ | Ir.Halt -> -1
 
 (* --- speculative information-flow tracing --------------------------- *)
 
@@ -359,18 +454,19 @@ let flow_node t fl e =
    then; in-flight producers are consulted live, committed ones through
    the taint shadow of [value_buf]. *)
 let src_taint t fl e i =
-  match e.srcs.(i) with
-  | Imm_val _ -> if Array.length e.fi_src = 0 then -1 else e.fi_src.(i)
-  | From_seq s ->
-    if s < t.head_seq then fl.fl_taint_buf.(s mod vb_size t)
-    else (entry_exn t s).fi_v
+  if e.src_kind.(i) = 0 then e.fi_src.(i)
+  else
+    let s = e.src_val.(i) in
+    if s < t.head_seq then fl.fl_taint_buf.(s mod t.vb)
+    else t.slots.(s mod t.rob).fi_v
 
 (* Called once per successful issue (flow tracing on).  Classifies each
    operand as address- or data-carrying, decides whether the instruction
    births taint (a load reading a secret range from the hierarchy),
    transmits it (a tainted-address cache access), or merely propagates
-   it, and emits the matching graph events. *)
-let flow_on_issue t fl e ~forward ~touched_cache =
+   it, and emits the matching graph events.  [forward_seq] is the
+   forwarding store's seq for a store-to-load forward, -1 otherwise. *)
+let flow_on_issue t fl e ~forward_seq ~touched_cache =
   let addr_idx, data_idx =
     match e.instr with
     | Ir.Alu _ | Ir.Branch _ -> ([], [ 0; 1 ])
@@ -388,23 +484,30 @@ let flow_on_issue t fl e ~forward ~touched_cache =
   let addr_taints = tainted addr_idx in
   let data_taints = tainted data_idx in
   let mem_taint =
-    match (e.instr, forward) with
-    | Ir.Load _, Some store -> store.fi_v
-    | Ir.Load _, None -> fl.fl_taint_mem.(e.addr)
-    | _, _ -> -1
+    match e.instr with
+    | Ir.Load _ ->
+      if forward_seq >= 0 then t.slots.(forward_seq mod t.rob).fi_v
+      else fl.fl_taint_mem.(e.addr)
+    | Ir.Alu _ | Ir.Store _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _
+    | Ir.Rdcycle _ | Ir.Halt ->
+      -1
   in
   let in_range a = List.exists (fun (lo, hi) -> a >= lo && a <= hi) fl.fl_ranges in
   let is_source =
     match e.instr with
-    | Ir.Load _ -> forward = None && in_range e.addr
-    | _ -> false
+    | Ir.Load _ -> forward_seq < 0 && in_range e.addr
+    | Ir.Alu _ | Ir.Store _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _
+    | Ir.Rdcycle _ | Ir.Halt ->
+      false
   in
   let is_transmit = touched_cache && addr_taints <> [] in
   let value_tainted =
     is_source || data_taints <> [] || mem_taint >= 0
     || (match e.instr with
        | Ir.Load _ -> addr_taints <> []
-       | _ -> false)
+       | Ir.Alu _ | Ir.Store _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _
+       | Ir.Rdcycle _ | Ir.Halt ->
+         false)
   in
   if is_source || is_transmit || value_tainted || addr_taints <> [] then begin
     let id = flow_node t fl e in
@@ -435,10 +538,10 @@ let flow_on_issue t fl e ~forward ~touched_cache =
     if value_tainted then e.fi_v <- id
   end
 
-let flow_issue t e ~forward ~touched_cache =
+let flow_issue t e ~forward_seq ~touched_cache =
   match t.flow with
   | None -> ()
-  | Some fl -> flow_on_issue t fl e ~forward ~touched_cache
+  | Some fl -> flow_on_issue t fl e ~forward_seq ~touched_cache
 
 (* --- restriction audit ---------------------------------------------- *)
 
@@ -481,92 +584,96 @@ let audit_close t a e outcome =
 
 (* --- dispatch ------------------------------------------------------- *)
 
-let rename_operand t = function
-  | Ir.Imm i -> Imm_val i
-  | Ir.Reg r when r = Ir.zero_reg -> Imm_val 0
-  | Ir.Reg r -> (
-    match t.rename.(r) with
-    | None -> Imm_val t.regs.(r)
-    | Some s when s < t.head_seq ->
-      (* A rename-snapshot restore can resurrect a mapping to an
-         already-committed producer; its value is in the register file. *)
-      Imm_val t.regs.(r)
-    | Some s -> From_seq s)
-
-let source_operands instr =
-  match instr with
-  | Ir.Alu { a; b; _ } | Ir.Branch { a; b; _ } -> [| a; b |]
-  | Ir.Load { base; off; _ } | Ir.Flush { base; off } -> [| base; off |]
-  | Ir.Store { base; off; src } -> [| base; off; src |]
-  | Ir.Rdcycle { after; _ } -> [| after |]
-  | Ir.Jump _ | Ir.Halt -> [||]
-
-let empty_snapshot = [||]
-let no_taints = [||]
+(* Rename one source operand in place: immediates and already-committed
+   register values become literals (kind 0); in-flight producers are
+   referenced by seq (kind 1).  A rename-snapshot restore can resurrect
+   a mapping to an already-committed producer, hence the [< head_seq]
+   literal collapse (its value is in the register file). *)
+let set_src t e i op =
+  match op with
+  | Ir.Imm v ->
+    e.src_kind.(i) <- 0;
+    e.src_val.(i) <- v;
+    e.fi_src.(i) <- -1
+  | Ir.Reg r ->
+    if r = Ir.zero_reg then begin
+      e.src_kind.(i) <- 0;
+      e.src_val.(i) <- 0;
+      e.fi_src.(i) <- -1
+    end
+    else
+      let s = t.rename.(r) in
+      if s < t.head_seq then begin
+        e.src_kind.(i) <- 0;
+        e.src_val.(i) <- t.regs.(r);
+        (* the literal collapse would lose the register's taint — capture
+           the marker now, while the register identity is still known *)
+        e.fi_src.(i) <-
+          (match t.flow with
+          | Some fl -> fl.fl_taint_regs.(r)
+          | None -> -1)
+      end
+      else begin
+        e.src_kind.(i) <- 1;
+        e.src_val.(i) <- s;
+        e.fi_src.(i) <- -1
+      end
 
 let dispatch_one t =
   let pc = t.fetch_pc in
   let instr = t.program.(pc) in
   let seq = t.tail_seq in
-  let ops = source_operands instr in
-  let srcs = Array.map (rename_operand t) ops in
-  (* Rename collapses committed-register reads to literals, which would
-     lose their taint — capture the markers now, while the register
-     identity is still known. *)
-  let fi_src =
-    match t.flow with
-    | None -> no_taints
-    | Some fl ->
-      Array.init (Array.length ops) (fun i ->
-          match (ops.(i), srcs.(i)) with
-          | Ir.Reg r, Imm_val _ when r <> Ir.zero_reg -> fl.fl_taint_regs.(r)
-          | _, _ -> -1)
-  in
-  let producers =
-    Array.to_list srcs
-    |> List.filter_map (function
-         | From_seq s -> Some s
-         | Imm_val _ -> None)
-  in
+  let e = t.slots.(seq mod t.rob) in
+  e.seq <- seq;
+  e.pc <- pc;
+  e.instr <- instr;
+  e.st <- st_waiting;
+  e.done_cycle <- 0;
+  e.value <- 0;
+  e.addr <- 0;
+  e.addr_known <- false;
+  e.pred_taken <- false;
+  e.taken <- false;
+  e.resolved <- false;
+  e.started <- false;
+  e.is_miss <- false;
+  e.policy_stalled <- false;
+  e.gate <- None;
+  e.fi_id <- -1;
+  e.fi_v <- -1;
+  (match instr with
+  | Ir.Alu { a; b; _ } | Ir.Branch { a; b; _ } ->
+    e.n_srcs <- 2;
+    set_src t e 0 a;
+    set_src t e 1 b
+  | Ir.Load { base; off; _ } | Ir.Flush { base; off } ->
+    e.n_srcs <- 2;
+    set_src t e 0 base;
+    set_src t e 1 off
+  | Ir.Store { base; off; src } ->
+    e.n_srcs <- 3;
+    set_src t e 0 base;
+    set_src t e 1 off;
+    set_src t e 2 src
+  | Ir.Rdcycle { after; _ } ->
+    e.n_srcs <- 1;
+    set_src t e 0 after
+  | Ir.Jump _ | Ir.Halt -> e.n_srcs <- 0);
   let is_br = Ir.is_branch instr in
-  let rename_snap = if is_br then Array.copy t.rename else empty_snapshot in
-  let hist_snap = Predictor.snapshot t.predictor in
-  let e =
-    {
-      seq;
-      pc;
-      instr;
-      srcs;
-      producers;
-      st = Waiting;
-      value = 0;
-      addr = 0;
-      addr_known = false;
-      pred_taken = false;
-      taken = false;
-      resolved = false;
-      started = false;
-      is_miss = false;
-      policy_stalled = false;
-      gate = None;
-      fi_id = -1;
-      fi_v = -1;
-      fi_src;
-      rename_snap;
-      hist_snap;
-    }
-  in
-  t.slots.(slot_of t seq) <- Some e;
+  if is_br then Array.blit t.rename 0 e.rename_snap 0 (Array.length t.rename);
+  e.hist_snap <- Predictor.snapshot t.predictor;
   t.tail_seq <- seq + 1;
-  (* [seq] exceeds every in-flight seq, so appending keeps the list
+  (* [seq] exceeds every in-flight seq, so appending keeps the queue
      ascending; squash trims it back before any seq is reused. *)
-  if is_br then t.unresolved_branches <- t.unresolved_branches @ [ seq ];
+  if is_br then begin
+    t.ub.(t.ub_len) <- seq;
+    t.ub_len <- t.ub_len + 1
+  end;
   t.stats.Sim_stats.fetched <- t.stats.Sim_stats.fetched + 1;
-  emit t (Fetched { seq; pc });
+  emit_seq t tag_fetched seq pc;
   (* Rename the destination after capturing sources. *)
-  (match Ir.defs instr with
-  | Some r -> t.rename.(r) <- Some seq
-  | None -> ());
+  let d = def_reg instr in
+  if d >= 0 then t.rename.(d) <- seq;
   (* Steer fetch. *)
   (match instr with
   | Ir.Branch { target; _ } ->
@@ -574,43 +681,43 @@ let dispatch_one t =
     e.pred_taken <- dir;
     t.fetch_pc <- (if dir then target else pc + 1)
   | Ir.Jump { target } ->
-    e.st <- Done;
+    e.st <- st_done;
     t.fetch_pc <- target
   | Ir.Halt ->
-    e.st <- Done;
+    e.st <- st_done;
     t.fetch_stopped <- true
   | Ir.Alu _ | Ir.Load _ | Ir.Store _ | Ir.Flush _ | Ir.Rdcycle _ ->
     t.fetch_pc <- pc + 1);
   t.policy.on_decode ~seq
 
 let fetch t =
-  let budget = ref t.cfg.Config.fetch_width in
-  while
-    !budget > 0
-    && (not t.fetch_stopped)
-    && t.cyc >= t.fetch_resume
-    && t.tail_seq - t.head_seq < t.cfg.Config.rob_size
-  do
-    dispatch_one t;
-    decr budget
-  done;
-  (* Attribution: fetch wanted to dispatch but the window is full — one
-     Rob_full charge per blocked cycle, against the stalled fetch PC. *)
-  if
-    !budget > 0
-    && (not t.fetch_stopped)
-    && t.cyc >= t.fetch_resume
-    && t.tail_seq - t.head_seq >= t.cfg.Config.rob_size
-    && t.fetch_pc < Array.length t.program
-  then Stall.charge t.stall ~cause:Stall.Rob_full ~pc:t.fetch_pc
+  if (not t.fetch_stopped) && t.cyc >= t.fetch_resume then begin
+    let rec go budget =
+      if budget > 0 && (not t.fetch_stopped) && t.tail_seq - t.head_seq < t.rob
+      then begin
+        dispatch_one t;
+        go (budget - 1)
+      end
+      else budget
+    in
+    let remaining = go t.cfg.Config.fetch_width in
+    (* Attribution: fetch wanted to dispatch but the window is full — one
+       Rob_full charge per blocked cycle, against the stalled fetch PC. *)
+    if
+      remaining > 0
+      && (not t.fetch_stopped)
+      && t.tail_seq - t.head_seq >= t.rob
+      && t.fetch_pc < Array.length t.program
+    then Stall.charge t.stall ~cause:Stall.Rob_full ~pc:t.fetch_pc
+  end
 
 (* --- squash --------------------------------------------------------- *)
 
 let squash t ~boundary =
   let branch = entry_exn t boundary in
-  emit t (Squashed { boundary; count = t.tail_seq - boundary - 1 });
+  emit_squashed t boundary (t.tail_seq - boundary - 1);
   for seq = t.tail_seq - 1 downto boundary + 1 do
-    let e = entry_exn t seq in
+    let e = t.slots.(seq mod t.rob) in
     (match t.audit with
     | Some a -> audit_close t a e Audit.Squashed
     | None -> ());
@@ -630,59 +737,65 @@ let squash t ~boundary =
       if is_transmitter e.instr then
         Sim_stats.record_wrong_path_transmit t.stats ~branch_pc:branch.pc ~pc:e.pc
     end;
-    (match t.flow with
+    match t.flow with
     | Some fl when e.fi_id >= 0 ->
       fl.fl_cb ~cycle:t.cyc (Flowtrace.Squashed { id = e.fi_id })
-    | Some _ | None -> ());
-    t.slots.(slot_of t seq) <- None
+    | Some _ | None -> ()
   done;
   t.tail_seq <- boundary + 1;
-  t.unresolved_branches <-
-    List.filter (fun s -> s <= boundary) t.unresolved_branches;
+  (* ascending, so everything younger than the boundary is a suffix *)
+  let rec trim n = if n > 0 && t.ub.(n - 1) > boundary then trim (n - 1) else n in
+  t.ub_len <- trim t.ub_len;
   (* Restore the rename table from the branch's snapshot, dropping mappings
      whose producers have committed meanwhile (their values are in the
      register file). *)
-  Array.iteri
-    (fun r snap ->
-      t.rename.(r) <-
-        (match snap with
-        | Some s when s < t.head_seq -> None
-        | other -> other))
-    branch.rename_snap;
+  for r = 0 to Array.length t.rename - 1 do
+    let s = branch.rename_snap.(r) in
+    t.rename.(r) <- (if s >= 0 && s < t.head_seq then -1 else s)
+  done;
   t.policy.on_squash ~boundary
 
 (* --- completion ----------------------------------------------------- *)
 
-(* Ascending insert: buckets hold at most a few seqs (one issue group's
-   worth), so this beats sorting the whole bucket when it drains. *)
-let rec insert_sorted (seq : int) = function
-  | [] -> [ seq ]
-  | x :: _ as l when seq <= x -> seq :: l
-  | x :: rest -> x :: insert_sorted seq rest
-
+(* Ascending insertion shift: buckets hold at most a few seqs (one issue
+   group's worth), so this beats sorting the whole bucket at drain. *)
 let schedule_completion t seq done_cycle =
   let b = done_cycle land t.completions_mask in
-  t.completions.(b) <- insert_sorted seq t.completions.(b)
+  let base = b * t.comp_cap in
+  let len = t.comp_len.(b) in
+  assert (len < t.comp_cap);
+  let rec place i =
+    if i > 0 && t.comp_buf.(base + i - 1) > seq then begin
+      t.comp_buf.(base + i) <- t.comp_buf.(base + i - 1);
+      place (i - 1)
+    end
+    else t.comp_buf.(base + i) <- seq
+  in
+  place len;
+  t.comp_len.(b) <- len + 1
+
+let ub_remove t seq =
+  let n = t.ub_len in
+  let rec find i = if i >= n then n else if t.ub.(i) = seq then i else find (i + 1) in
+  let i = find 0 in
+  if i < n then begin
+    for k = i to n - 2 do
+      t.ub.(k) <- t.ub.(k + 1)
+    done;
+    t.ub_len <- n - 1
+  end
 
 let resolve_branch t e =
   e.resolved <- true;
-  t.unresolved_branches <-
-    List.filter (fun s -> s <> e.seq) t.unresolved_branches;
-  emit t
-    (Branch_resolved
-       {
-         seq = e.seq;
-         pc = e.pc;
-         taken = e.taken;
-         mispredicted = e.taken <> e.pred_taken;
-       });
+  ub_remove t e.seq;
+  let mispredicted = e.taken <> e.pred_taken in
+  emit_resolved t e.seq e.pc ~taken:e.taken ~mispredicted;
   t.policy.on_resolve ~seq:e.seq;
   (match t.flow with
   | Some fl when e.fi_id >= 0 ->
-    fl.fl_cb ~cycle:t.cyc
-      (Flowtrace.Resolved { id = e.fi_id; mispredicted = e.taken <> e.pred_taken })
+    fl.fl_cb ~cycle:t.cyc (Flowtrace.Resolved { id = e.fi_id; mispredicted })
   | Some _ | None -> ());
-  if e.taken <> e.pred_taken then begin
+  if mispredicted then begin
     t.stats.Sim_stats.mispredicts <- t.stats.Sim_stats.mispredicts + 1;
     squash t ~boundary:e.seq;
     Predictor.restore t.predictor e.hist_snap;
@@ -699,31 +812,34 @@ let resolve_branch t e =
 
 let complete t =
   let b = t.cyc land t.completions_mask in
-  match t.completions.(b) with
-  | [] -> ()
-  | seqs ->
-    t.completions.(b) <- [];
+  let n = t.comp_len.(b) in
+  if n > 0 then begin
+    t.comp_len.(b) <- 0;
+    let base = b * t.comp_cap in
     (* Buckets are kept sorted ascending at insertion, so the oldest
-       mispredicted branch squashes the younger ones before they act. *)
-    List.iter
-      (fun seq ->
-        if in_flight t seq then
-          let e = entry_exn t seq in
-          match e.st with
-          | Inflight c when c = t.cyc ->
-            e.st <- Done;
-            if e.is_miss then begin
-              e.is_miss <- false;
-              t.outstanding_misses <- t.outstanding_misses - 1
-            end;
-            t.value_buf.(seq mod vb_size t) <- e.value;
-            (match t.flow with
-            | Some fl -> fl.fl_taint_buf.(seq mod vb_size t) <- e.fi_v
-            | None -> ());
-            emit t (Completed { seq; pc = e.pc });
-            if Ir.is_branch e.instr then resolve_branch t e
-          | Inflight _ | Waiting | Done -> ())
-      seqs
+       mispredicted branch squashes the younger ones before they act;
+       nothing schedules completions during the drain, so iterating the
+       buffer in place is safe. *)
+    for k = 0 to n - 1 do
+      let seq = t.comp_buf.(base + k) in
+      if in_flight t seq then begin
+        let e = t.slots.(seq mod t.rob) in
+        if e.st = st_inflight && e.done_cycle = t.cyc then begin
+          e.st <- st_done;
+          if e.is_miss then begin
+            e.is_miss <- false;
+            t.outstanding_misses <- t.outstanding_misses - 1
+          end;
+          t.value_buf.(seq mod t.vb) <- e.value;
+          (match t.flow with
+          | Some fl -> fl.fl_taint_buf.(seq mod t.vb) <- e.fi_v
+          | None -> ());
+          emit_seq t tag_completed seq e.pc;
+          if Ir.is_branch e.instr then resolve_branch t e
+        end
+      end
+    done
+  end
 
 (* --- issue ---------------------------------------------------------- *)
 
@@ -735,73 +851,76 @@ let latency_of_alu t op =
     t.cfg.Config.alu_latency
 
 (* Conservative memory disambiguation: a load may issue only when every
-   older in-flight store has a known address (i.e. has issued). *)
-let older_stores_state t load_seq load_addr =
-  let rec scan seq youngest_match =
-    if seq >= load_seq then `Ready youngest_match
+   older in-flight store has a known address (i.e. has issued).  Result
+   coding: -2 blocked (unknown older store address), -1 ready with no
+   matching store, otherwise the youngest matching store's seq. *)
+let older_stores_scan t load_seq load_addr =
+  let rec scan seq youngest =
+    if seq >= load_seq then youngest
     else
-      let e = entry_exn t seq in
+      let e = t.slots.(seq mod t.rob) in
       match e.instr with
       | Ir.Store _ ->
-        if not e.addr_known then `Blocked
-        else if e.addr = load_addr then scan (seq + 1) (Some e)
-        else scan (seq + 1) youngest_match
+        if not e.addr_known then -2
+        else if e.addr = load_addr then scan (seq + 1) e.seq
+        else scan (seq + 1) youngest
       | Ir.Alu _ | Ir.Load _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _
       | Ir.Rdcycle _ | Ir.Halt ->
-        scan (seq + 1) youngest_match
+        scan (seq + 1) youngest
   in
-  scan t.head_seq None
+  scan t.head_seq (-1)
 
 let start t e done_cycle =
   e.started <- true;
-  e.st <- Inflight done_cycle;
-  emit t (Issued { seq = e.seq; pc = e.pc });
+  e.st <- st_inflight;
+  e.done_cycle <- done_cycle;
+  emit_seq t tag_issued e.seq e.pc;
   schedule_completion t e.seq done_cycle
 
 let try_issue t e =
-  let v i = src_value t e.srcs.(i) in
   match e.instr with
   | Ir.Alu { op; _ } ->
-    e.value <- Ir.eval_alu op (v 0) (v 1);
+    e.value <- Ir.eval_alu op (src_value t e 0) (src_value t e 1);
     start t e (t.cyc + latency_of_alu t op);
-    flow_issue t e ~forward:None ~touched_cache:false;
+    flow_issue t e ~forward_seq:(-1) ~touched_cache:false;
     true
   | Ir.Branch { cmp; _ } ->
-    e.taken <- Ir.eval_cmp cmp (v 0) (v 1);
+    e.taken <- Ir.eval_cmp cmp (src_value t e 0) (src_value t e 1);
     start t e (t.cyc + t.cfg.Config.branch_exec_latency);
-    flow_issue t e ~forward:None ~touched_cache:false;
+    flow_issue t e ~forward_seq:(-1) ~touched_cache:false;
     true
   | Ir.Store _ ->
-    e.addr <- mask_addr t (v 0 + v 1);
+    e.addr <- mask_addr t (src_value t e 0 + src_value t e 1);
     e.addr_known <- true;
-    e.value <- v 2;
+    e.value <- src_value t e 2;
     start t e (t.cyc + 1);
-    flow_issue t e ~forward:None ~touched_cache:false;
+    flow_issue t e ~forward_seq:(-1) ~touched_cache:false;
     true
   | Ir.Flush _ ->
-    e.addr <- mask_addr t (v 0 + v 1);
+    e.addr <- mask_addr t (src_value t e 0 + src_value t e 1);
     e.addr_known <- true;
     Cache.Hierarchy.flush t.hierarchy e.addr;
     start t e (t.cyc + 1);
-    flow_issue t e ~forward:None ~touched_cache:true;
+    flow_issue t e ~forward_seq:(-1) ~touched_cache:true;
     true
   | Ir.Rdcycle _ ->
     e.value <- t.cyc;
     start t e (t.cyc + 1);
     true
-  | Ir.Load _ -> (
-    let addr = mask_addr t (v 0 + v 1) in
-    match older_stores_state t e.seq addr with
-    | `Blocked -> false
-    | `Ready (Some store) ->
+  | Ir.Load _ ->
+    let addr = mask_addr t (src_value t e 0 + src_value t e 1) in
+    let store_seq = older_stores_scan t e.seq addr in
+    if store_seq = -2 then false
+    else if store_seq >= 0 then begin
       e.addr <- addr;
       e.addr_known <- true;
-      e.value <- store.value;
+      e.value <- t.slots.(store_seq mod t.rob).value;
       start t e (t.cyc + t.cfg.Config.forward_latency);
       (* a store-to-load forward never touches the cache hierarchy *)
-      flow_issue t e ~forward:(Some store) ~touched_cache:false;
+      flow_issue t e ~forward_seq:store_seq ~touched_cache:false;
       true
-    | `Ready None ->
+    end
+    else begin
       (* an L1 miss needs an MSHR; when all are busy the load waits *)
       let misses_l1 =
         Cache.Hierarchy.probe t.hierarchy addr <> Cache.Hierarchy.L1
@@ -818,20 +937,21 @@ let try_issue t e =
         let lat =
           match vis with
           | Normal ->
-            let lat, level = Cache.Hierarchy.load t.hierarchy addr in
+            let level = Cache.Hierarchy.load_level t.hierarchy addr in
             if t.cfg.Config.next_line_prefetch && level <> Cache.Hierarchy.L1
             then
               Cache.Hierarchy.prefetch t.hierarchy
                 (mask_addr t (addr + t.cfg.Config.l1.Config.line_words));
-            lat
+            Cache.Hierarchy.latency_of_level t.hierarchy level
           | Invisible -> Cache.Hierarchy.load_latency t.hierarchy addr
         in
         e.value <- t.memory.(addr);
         start t e (t.cyc + lat);
         (* an invisible (delayed-visibility) load leaves no cache trace *)
-        flow_issue t e ~forward:None ~touched_cache:(vis = Normal);
+        flow_issue t e ~forward_seq:(-1) ~touched_cache:(vis = Normal);
         true
-      end)
+      end
+    end
   | Ir.Jump _ | Ir.Halt -> false
 
 (* Would this ready load be refused by memory ordering right now?  Pure:
@@ -840,61 +960,72 @@ let try_issue t e =
 let load_order_blocked t e =
   match e.instr with
   | Ir.Load _ ->
-    let addr = mask_addr t (src_value t e.srcs.(0) + src_value t e.srcs.(1)) in
-    (match older_stores_state t e.seq addr with
-    | `Blocked -> true
-    | `Ready (Some _) -> false
-    | `Ready None ->
+    let addr = mask_addr t (src_value t e 0 + src_value t e 1) in
+    let store_seq = older_stores_scan t e.seq addr in
+    if store_seq = -2 then true
+    else if store_seq >= 0 then false
+    else
       Cache.Hierarchy.probe t.hierarchy addr <> Cache.Hierarchy.L1
-      && t.outstanding_misses >= t.cfg.Config.mshrs)
+      && t.outstanding_misses >= t.cfg.Config.mshrs
   | Ir.Alu _ | Ir.Store _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _ | Ir.Rdcycle _
   | Ir.Halt ->
     false
 
 let issue t =
-  let budget = ref t.cfg.Config.issue_width in
-  let seq = ref t.head_seq in
   (* The whole window is scanned every cycle so that each waiting
      instruction is charged to exactly one stall cause.  Issue decisions
-     (and the legacy policy-stall counters) are confined to [!budget > 0],
+     (and the legacy policy-stall counters) are confined to [budget > 0],
      preserving the original semantics where the scan stopped once the
      issue width was spent: the policy is never consulted for entries
      beyond the budget. *)
-  while !seq < t.tail_seq do
-    let e = entry_exn t !seq in
-    (match e.st with
-    | Waiting ->
-      if not (operands_ready t e) then
-        charge_entry t e Stall.Operand_wait
-      else if !budget > 0 then begin
-        if t.policy.may_execute ~seq:!seq then begin
-          if try_issue t e then begin
-            decr budget;
-            match t.audit with
-            | Some a -> audit_close t a e Audit.Issued
-            | None -> ()
+  let rec go seq budget =
+    if seq < t.tail_seq then begin
+      let e = t.slots.(seq mod t.rob) in
+      let budget =
+        if e.st <> st_waiting then budget
+        else if not (operands_ready t e) then begin
+          charge_entry t e Stall.Operand_wait;
+          budget
+        end
+        else if budget > 0 then begin
+          if t.policy.may_execute ~seq then
+            if try_issue t e then begin
+              (match t.audit with
+              | Some a -> audit_close t a e Audit.Issued
+              | None -> ());
+              budget - 1
+            end
+            else begin
+              charge_entry t e Stall.Lsq_order;
+              budget
+            end
+          else begin
+            e.policy_stalled <- true;
+            t.stats.Sim_stats.policy_stall_cycles <-
+              t.stats.Sim_stats.policy_stall_cycles + 1;
+            if is_transmitter e.instr then
+              t.stats.Sim_stats.transmit_stall_cycles <-
+                t.stats.Sim_stats.transmit_stall_cycles + 1;
+            charge_entry t e Stall.Policy_gate;
+            (match t.audit with
+            | Some a -> audit_gate t a e seq
+            | None -> ());
+            budget
           end
-          else charge_entry t e Stall.Lsq_order
+        end
+        else if load_order_blocked t e then begin
+          charge_entry t e Stall.Lsq_order;
+          budget
         end
         else begin
-          e.policy_stalled <- true;
-          t.stats.Sim_stats.policy_stall_cycles <-
-            t.stats.Sim_stats.policy_stall_cycles + 1;
-          if is_transmitter e.instr then
-            t.stats.Sim_stats.transmit_stall_cycles <-
-              t.stats.Sim_stats.transmit_stall_cycles + 1;
-          charge_entry t e Stall.Policy_gate;
-          match t.audit with
-          | Some a -> audit_gate t a e !seq
-          | None -> ()
+          charge_entry t e Stall.Exec_port;
+          budget
         end
-      end
-      else if load_order_blocked t e then
-        charge_entry t e Stall.Lsq_order
-      else charge_entry t e Stall.Exec_port
-    | Inflight _ | Done -> ());
-    incr seq
-  done
+      in
+      go (seq + 1) budget
+    end
+  in
+  go t.head_seq t.cfg.Config.issue_width
 
 (* --- commit --------------------------------------------------------- *)
 
@@ -919,13 +1050,11 @@ let commit_one t e =
     Predictor.update t.predictor ~pc:e.pc ~history:e.hist_snap ~taken:e.taken
   | Ir.Halt -> t.is_halted <- true
   | Ir.Alu _ | Ir.Jump _ | Ir.Flush _ | Ir.Rdcycle _ -> ());
-  (match Ir.defs e.instr with
-  | Some r ->
-    t.regs.(r) <- e.value;
-    (match t.rename.(r) with
-    | Some s when s = e.seq -> t.rename.(r) <- None
-    | Some _ | None -> ())
-  | None -> ());
+  let d = def_reg e.instr in
+  if d >= 0 then begin
+    t.regs.(d) <- e.value;
+    if t.rename.(d) = e.seq then t.rename.(d) <- -1
+  end;
   (match t.flow with
   | Some fl ->
     (* Shadow architectural state follows the real one: taint (or clear)
@@ -935,29 +1064,26 @@ let commit_one t e =
     | Ir.Alu _ | Ir.Load _ | Ir.Branch _ | Ir.Jump _ | Ir.Flush _
     | Ir.Rdcycle _ | Ir.Halt ->
       ());
-    (match Ir.defs e.instr with
-    | Some r -> fl.fl_taint_regs.(r) <- e.fi_v
-    | None -> ());
+    if d >= 0 then fl.fl_taint_regs.(d) <- e.fi_v;
     if e.fi_id >= 0 then
       fl.fl_cb ~cycle:t.cyc (Flowtrace.Committed { id = e.fi_id })
   | None -> ());
   t.policy.on_commit ~seq:e.seq;
-  emit t (Committed { seq = e.seq; pc = e.pc });
-  t.slots.(slot_of t e.seq) <- None;
+  emit_seq t tag_committed e.seq e.pc;
   t.head_seq <- e.seq + 1;
-  t.head_stall_cause <- None
+  t.head_stall_cause <- -1
 
 let commit t =
-  let budget = ref t.cfg.Config.commit_width in
-  let continue_ = ref true in
-  while !budget > 0 && !continue_ && t.head_seq < t.tail_seq && not t.is_halted do
-    let e = entry_exn t t.head_seq in
-    if e.st = Done then begin
-      commit_one t e;
-      decr budget
+  let rec go budget =
+    if budget > 0 && t.head_seq < t.tail_seq && not t.is_halted then begin
+      let e = t.slots.(t.head_seq mod t.rob) in
+      if e.st = st_done then begin
+        commit_one t e;
+        go (budget - 1)
+      end
     end
-    else continue_ := false
-  done
+  in
+  go t.cfg.Config.commit_width
 
 (* --- top level ------------------------------------------------------ *)
 
@@ -976,10 +1102,10 @@ let step t =
     t.stats.Sim_stats.cycles <- t.cyc
   end
 
-let run ?(max_cycles = 100_000_000) ?(deadlock_window = 100_000) t =
+let run_loop ~max_cycles ~deadlock_window ~stop t =
   let last_committed = ref t.stats.Sim_stats.committed in
   let last_progress_cycle = ref t.cyc in
-  while not t.is_halted do
+  while (not t.is_halted) && not (stop ()) do
     if t.cyc > max_cycles then failwith "Pipeline.run: max_cycles exceeded";
     step t;
     if t.stats.Sim_stats.committed <> !last_committed then begin
@@ -995,10 +1121,31 @@ let run ?(max_cycles = 100_000_000) ?(deadlock_window = 100_000) t =
              dl_policy = t.policy.policy_name;
              dl_head_seq = t.head_seq;
              dl_head_pc = (try (entry_exn t t.head_seq).pc with _ -> -1);
-             dl_head_cause = t.head_stall_cause;
-             dl_recent_events = Ring.to_list t.recent;
+             dl_head_cause =
+               (if t.head_stall_cause < 0 then None
+                else Some (Stall.cause_of_index t.head_stall_cause));
+             dl_recent_events = recent_events t;
            })
   done
+
+let run ?(max_cycles = 100_000_000) ?(deadlock_window = 100_000) t =
+  run_loop ~max_cycles ~deadlock_window ~stop:(fun () -> false) t
+
+let run_until_committed ?(max_cycles = 100_000_000) ?(deadlock_window = 100_000)
+    t target =
+  run_loop ~max_cycles ~deadlock_window
+    ~stop:(fun () -> t.stats.Sim_stats.committed >= target)
+    t
+
+let warm_start t ~regs ~pc =
+  if t.cyc <> 0 || t.tail_seq <> 0 then
+    invalid_arg "Pipeline.warm_start: pipeline has already run";
+  if Array.length regs <> Ir.num_regs then
+    invalid_arg "Pipeline.warm_start: bad register file size";
+  if pc < 0 || pc >= Array.length t.program then
+    invalid_arg (Printf.sprintf "Pipeline.warm_start: pc %d out of range" pc);
+  Array.blit regs 0 t.regs 0 Ir.num_regs;
+  t.fetch_pc <- pc
 
 (* Smallest power of two strictly greater than the largest latency any
    instruction can be scheduled with (all latencies come from the config,
@@ -1022,7 +1169,8 @@ let completion_wheel_size cfg =
   let rec pow2 n = if n > worst then n else pow2 (2 * n) in
   pow2 1
 
-let create ?(mem_init = fun _ -> ()) ?registry ?audit cfg ~policy program =
+let create ?(mem_init = fun _ -> ()) ?registry ?audit ?memory ?hierarchy
+    ?predictor cfg ~policy program =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Pipeline.create: bad config: " ^ msg));
@@ -1034,17 +1182,75 @@ let create ?(mem_init = fun _ -> ()) ?registry ?audit cfg ~policy program =
     | Some r -> r
     | None -> Registry.create ()
   in
+  let rob = cfg.Config.rob_size in
+  let memory =
+    match memory with
+    | Some m ->
+      if Array.length m <> cfg.Config.mem_words then
+        invalid_arg
+          (Printf.sprintf
+             "Pipeline.create: adopted memory has %d words, config wants %d"
+             (Array.length m) cfg.Config.mem_words);
+      m
+    | None -> Array.make cfg.Config.mem_words 0
+  in
+  let hierarchy =
+    match hierarchy with
+    | Some h -> h
+    | None -> Cache.Hierarchy.create ~registry:reg cfg
+  in
+  let predictor =
+    match predictor with
+    | Some p -> p
+    | None -> Predictor.create cfg
+  in
+  let hist0 = Predictor.snapshot predictor in
+  let wheel = completion_wheel_size cfg in
+  (* A bucket holds only seqs completing at one absolute cycle T; each
+     was issued at T - lat for one of <= 8 distinct configured
+     latencies, at most issue_width per cycle — rob + 16*width is a
+     comfortable over-bound even with squash-then-reissue reuse. *)
+  let comp_cap = rob + (16 * cfg.Config.issue_width) in
   let t =
     {
       cfg;
       program;
+      rob;
+      vb = 2 * rob;
       regs = Array.make Ir.num_regs 0;
-      memory = Array.make cfg.Config.mem_words 0;
-      hierarchy = Cache.Hierarchy.create ~registry:reg cfg;
-      predictor = Predictor.create cfg;
-      slots = Array.make cfg.Config.rob_size None;
-      value_buf = Array.make (2 * cfg.Config.rob_size) 0;
-      rename = Array.make Ir.num_regs None;
+      memory;
+      mem_mask = Array.length memory - 1;
+      hierarchy;
+      predictor;
+      slots =
+        Array.init rob (fun _ ->
+            {
+              seq = -1;
+              pc = 0;
+              instr = Ir.Halt;
+              n_srcs = 0;
+              src_kind = Array.make 3 0;
+              src_val = Array.make 3 0;
+              st = st_waiting;
+              done_cycle = 0;
+              value = 0;
+              addr = 0;
+              addr_known = false;
+              pred_taken = false;
+              taken = false;
+              resolved = false;
+              started = false;
+              is_miss = false;
+              policy_stalled = false;
+              gate = None;
+              fi_id = -1;
+              fi_v = -1;
+              fi_src = Array.make 3 (-1);
+              rename_snap = Array.make Ir.num_regs (-1);
+              hist_snap = hist0;
+            });
+      value_buf = Array.make (2 * rob) 0;
+      rename = Array.make Ir.num_regs (-1);
       head_seq = 0;
       tail_seq = 0;
       fetch_pc = 0;
@@ -1057,14 +1263,18 @@ let create ?(mem_init = fun _ -> ()) ?registry ?audit cfg ~policy program =
       stats = Sim_stats.create ();
       stall = Stall.create ~num_pcs:(Array.length program);
       reg;
-      completions = Array.make (completion_wheel_size cfg) [];
-      completions_mask = completion_wheel_size cfg - 1;
-      unresolved_branches = [];
+      comp_buf = Array.make (wheel * comp_cap) 0;
+      comp_len = Array.make wheel 0;
+      comp_cap;
+      completions_mask = wheel - 1;
+      ub = Array.make rob 0;
+      ub_len = 0;
       tracer = None;
       stall_tracer = None;
       flow = None;
-      recent = Ring.create recent_events_capacity;
-      head_stall_cause = None;
+      recent_buf = Array.make (recent_events_capacity * 5) 0;
+      recent_len = 0;
+      head_stall_cause = -1;
       audit;
     }
   in

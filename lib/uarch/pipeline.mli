@@ -68,6 +68,9 @@ val create :
   ?mem_init:(int array -> unit) ->
   ?registry:Levioso_telemetry.Registry.t ->
   ?audit:Levioso_telemetry.Audit.t ->
+  ?memory:int array ->
+  ?hierarchy:Cache.Hierarchy.h ->
+  ?predictor:Predictor.t ->
   Config.t ->
   policy:policy_maker ->
   Levioso_ir.Ir.program ->
@@ -84,7 +87,15 @@ val create :
     the run halts are not recorded, so the audited cycle total is a
     lower bound on — and in practice almost equal to —
     [Sim_stats.policy_stall_cycles].  Off (no audit argument) the hooks
-    cost one branch per refusal. *)
+    cost one branch per refusal.
+
+    [memory], [hierarchy] and [predictor] let the two-tier sampled
+    engine adopt live state instead of starting cold: an adopted memory
+    array is aliased (not copied; it must have exactly
+    [cfg.mem_words] words or @raise Invalid_argument), and an adopted
+    hierarchy/predictor is mutated in place — this is how a detailed
+    interval inherits the fast tier's functional warming.  [mem_init]
+    still runs on whatever memory ends up in use. *)
 
 val step : t -> unit
 (** Advance one cycle. *)
@@ -95,6 +106,18 @@ val run : ?max_cycles:int -> ?deadlock_window:int -> t -> unit
     (default 100k)
     @raise Failure when [max_cycles] (default 100M) is exceeded. *)
 
+val run_until_committed : ?max_cycles:int -> ?deadlock_window:int -> t -> int -> unit
+(** [run_until_committed t n] runs until at least [n] instructions have
+    committed in total (or the program halts).  The stop is checked at
+    cycle granularity, so up to [commit_width - 1] extra instructions
+    may commit past [n]; callers account with actual
+    [Sim_stats.committed] deltas.  Same exceptions as {!run}. *)
+
+val warm_start : t -> regs:int array -> pc:int -> unit
+(** Seed architectural state before the first cycle: copy [regs] into
+    the register file and point fetch at [pc].  For resuming from a
+    checkpoint; @raise Invalid_argument once the pipeline has run. *)
+
 val halted : t -> bool
 
 (** {1 Architectural and microarchitectural state} *)
@@ -104,7 +127,14 @@ val mem : t -> int array
 val cycle : t -> int
 val stats : t -> Sim_stats.t
 val hierarchy : t -> Cache.Hierarchy.h
+val predictor : t -> Predictor.t
 val config : t -> Config.t
+
+val arch_pc : t -> int
+(** The architectural PC: the next-to-commit instruction's PC, or the
+    fetch PC when the window is empty (an empty window has no unresolved
+    branches, so fetch is on the correct path).  This is where a
+    checkpoint handoff resumes the fast tier. *)
 
 val stall_attribution : t -> Levioso_telemetry.Stall.t
 (** Per-cycle, per-static-PC stall attribution.  Every cycle, each

@@ -60,3 +60,30 @@ let snapshot t = t.history
 let restore t s = t.history <- s
 
 let force_history t ~taken = shift t taken
+
+(* Full-state capture (history *and* tables) for checkpointed
+   simulation — unlike [snapshot], which carries only the history for
+   per-branch squash recovery. *)
+type state =
+  | S_always of int  (* history *)
+  | S_table of int * int array
+  | S_tage of int * Tage.state
+
+let save_state t =
+  match t.kind with
+  | Always_taken -> S_always t.history
+  | Bimodal table | Gshare table -> S_table (t.history, Array.copy table)
+  | Tage tage -> S_tage (t.history, Tage.save tage)
+
+let restore_state t s =
+  match (t.kind, s) with
+  | Always_taken, S_always h -> t.history <- h
+  | (Bimodal table | Gshare table), S_table (h, saved)
+    when Array.length saved = Array.length table ->
+    Array.blit saved 0 table 0 (Array.length table);
+    t.history <- h
+  | Tage tage, S_tage (h, saved) ->
+    Tage.restore tage saved;
+    t.history <- h
+  | (Always_taken | Bimodal _ | Gshare _ | Tage _), _ ->
+    invalid_arg "Predictor.restore_state: state from a different predictor"

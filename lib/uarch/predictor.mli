@@ -35,3 +35,15 @@ val restore : t -> snapshot -> unit
 val force_history : t -> taken:bool -> unit
 (** Shift a now-known direction into the speculative history (used after
     [restore] to account for the resolved branch itself). *)
+
+type state
+(** Full predictor state — history {e and} learned tables — for
+    checkpointed simulation.  {!snapshot} deliberately carries only the
+    history (per-branch squash recovery); [state] is the deep copy a
+    checkpoint needs. *)
+
+val save_state : t -> state
+
+val restore_state : t -> state -> unit
+(** @raise Invalid_argument when the state was saved from a predictor of
+    a different kind or size. *)

@@ -41,6 +41,36 @@ let create () =
     max_rob_occupancy = 0;
   }
 
+(* The wrong-path transmit pair lists are concatenated newest-run-first;
+   the cap is re-applied on [record_], not here, so an aggregate may
+   exceed it (the count stays truthful). *)
+let accumulate dst src =
+  dst.cycles <- dst.cycles + src.cycles;
+  dst.committed <- dst.committed + src.committed;
+  dst.committed_loads <- dst.committed_loads + src.committed_loads;
+  dst.committed_stores <- dst.committed_stores + src.committed_stores;
+  dst.committed_branches <- dst.committed_branches + src.committed_branches;
+  dst.committed_transmitters <-
+    dst.committed_transmitters + src.committed_transmitters;
+  dst.fetched <- dst.fetched + src.fetched;
+  dst.squashed <- dst.squashed + src.squashed;
+  dst.mispredicts <- dst.mispredicts + src.mispredicts;
+  dst.policy_stall_cycles <- dst.policy_stall_cycles + src.policy_stall_cycles;
+  dst.transmit_stall_cycles <-
+    dst.transmit_stall_cycles + src.transmit_stall_cycles;
+  dst.restricted_committed <-
+    dst.restricted_committed + src.restricted_committed;
+  dst.restricted_transmitters <-
+    dst.restricted_transmitters + src.restricted_transmitters;
+  dst.wrong_path_executed_loads <-
+    dst.wrong_path_executed_loads + src.wrong_path_executed_loads;
+  dst.wrong_path_transmits <- src.wrong_path_transmits @ dst.wrong_path_transmits;
+  dst.wrong_path_transmit_count <-
+    dst.wrong_path_transmit_count + src.wrong_path_transmit_count;
+  dst.wrong_path_transmits_dropped <-
+    dst.wrong_path_transmits_dropped + src.wrong_path_transmits_dropped;
+  dst.max_rob_occupancy <- max dst.max_rob_occupancy src.max_rob_occupancy
+
 let ipc t = if t.cycles = 0 then 0.0 else float_of_int t.committed /. float_of_int t.cycles
 
 let mpki t =

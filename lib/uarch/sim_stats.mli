@@ -34,6 +34,11 @@ type t = {
 
 val create : unit -> t
 
+val accumulate : t -> t -> unit
+(** [accumulate dst src] adds [src]'s counters into [dst]
+    ([max_rob_occupancy] takes the max) — how the sampled-simulation
+    driver pools per-interval detailed stats. *)
+
 val ipc : t -> float
 
 val mpki : t -> float

@@ -34,6 +34,32 @@ let of_pipeline ?workload ?policy ?host ?(top_k = 10) pipe =
       ]
     @ audit @ host)
 
+let of_sampled ?workload ?policy ?host ?(top_k = 10) (r : Sampler.result) =
+  let label key v =
+    match v with
+    | Some s -> [ (key, Json.String s) ]
+    | None -> []
+  in
+  let host =
+    match host with
+    | None -> []
+    | Some phases -> [ ("host", Hostprof.phases_to_json phases) ]
+  in
+  Json.Obj
+    (Schema.field :: label "workload" workload
+    @ label "policy" policy
+    @ [
+        ("stats", Sim_stats.to_json r.Sampler.stats);
+        ( "cache",
+          Json.Obj
+            (List.map
+               (fun (k, v) -> (k, Json.Int v))
+               (Cache.Hierarchy.stats r.Sampler.hierarchy)) );
+        ("stalls", Stall.to_json ~top_k r.Sampler.stall);
+        ("sampled", Sampler.to_json r);
+      ]
+    @ host)
+
 let runs summaries = Schema.tag [ ("runs", Json.List summaries) ]
 
 let matrix cells =

@@ -32,6 +32,18 @@ val of_pipeline :
     clock, so summaries meant to be byte-compared across runs should
     omit it. *)
 
+val of_sampled :
+  ?workload:string ->
+  ?policy:string ->
+  ?host:(string * Levioso_telemetry.Hostprof.span) list ->
+  ?top_k:int ->
+  Sampler.result ->
+  Levioso_telemetry.Json.t
+(** Summarize a two-tier sampled run: same shape as {!of_pipeline}
+    (stats/cache/stalls cover the detailed intervals) plus a ["sampled"]
+    section carrying the cycle estimate, its error bound and the interval
+    accounting. *)
+
 val runs : Levioso_telemetry.Json.t list -> Levioso_telemetry.Json.t
 (** Wrap per-run summaries as [{"schema_version": …, "runs": […]}] — for
     harnesses that serialize each cell as it finishes instead of keeping

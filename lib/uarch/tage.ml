@@ -123,6 +123,56 @@ let allocate t ~pc ~history ~above ~taken =
     end
   end
 
+(* Deep-copy state capture for checkpointed simulation: everything the
+   tables learned, flattened ([num_tables * size] row-major). *)
+type state = {
+  s_base : int array;
+  s_tags : int array;
+  s_ctrs : int array;
+  s_useful : int array;
+  s_alt : int;
+  s_tick : int;
+}
+
+let save t =
+  let size = t.index_mask + 1 in
+  let n = num_tables * size in
+  let tags = Array.make n 0 and ctrs = Array.make n 0 and useful = Array.make n 0 in
+  for i = 0 to num_tables - 1 do
+    for j = 0 to size - 1 do
+      let e = t.tables.(i).(j) in
+      tags.((i * size) + j) <- e.tag;
+      ctrs.((i * size) + j) <- e.ctr;
+      useful.((i * size) + j) <- e.useful
+    done
+  done;
+  {
+    s_base = Array.copy t.base;
+    s_tags = tags;
+    s_ctrs = ctrs;
+    s_useful = useful;
+    s_alt = t.use_alt_on_new;
+    s_tick = t.tick;
+  }
+
+let restore t s =
+  let size = t.index_mask + 1 in
+  if
+    Array.length s.s_base <> Array.length t.base
+    || Array.length s.s_tags <> num_tables * size
+  then invalid_arg "Tage.restore: snapshot size mismatch";
+  Array.blit s.s_base 0 t.base 0 (Array.length t.base);
+  for i = 0 to num_tables - 1 do
+    for j = 0 to size - 1 do
+      let e = t.tables.(i).(j) in
+      e.tag <- s.s_tags.((i * size) + j);
+      e.ctr <- s.s_ctrs.((i * size) + j);
+      e.useful <- s.s_useful.((i * size) + j)
+    done
+  done;
+  t.use_alt_on_new <- s.s_alt;
+  t.tick <- s.s_tick
+
 let update t ~pc ~history ~taken =
   match provider t ~pc ~history with
   | None ->

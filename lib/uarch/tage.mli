@@ -23,6 +23,16 @@ val predict : t -> pc:int -> history:int -> bool
 val update : t -> pc:int -> history:int -> taken:bool -> unit
 (** Commit-time training with the history captured at prediction time. *)
 
+type state
+(** Deep copy of everything the predictor learned (base + tagged tables,
+    allocation confidence, aging tick) — the checkpointable form. *)
+
+val save : t -> state
+
+val restore : t -> state -> unit
+(** @raise Invalid_argument when the state came from a differently-sized
+    predictor. *)
+
 val num_tables : int
 (** Tagged tables (4). *)
 

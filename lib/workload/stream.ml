@@ -47,3 +47,39 @@ let workload =
   Workload.make ~name:"stream"
     ~description:"streaming sweep with value-dependent counting branch"
     ~build ~mem_init
+
+(* Many passes over the same sweep: a >1M-instruction run with the same
+   per-iteration behaviour, sized for exercising the two-tier sampled
+   engine (where a full detailed simulation is the thing being avoided).
+   Deliberately not part of the default suite matrix. *)
+let xl_passes = 12
+
+let build_xl b =
+  let pass = Builder.fresh_reg b in
+  let i = Builder.fresh_reg b in
+  let v = Builder.fresh_reg b in
+  let aux = Builder.fresh_reg b in
+  let count = Builder.fresh_reg b in
+  let sum = Builder.fresh_reg b in
+  Builder.mov b count (Ir.Imm 0);
+  Builder.mov b sum (Ir.Imm 0);
+  Builder.for_down b ~counter:pass ~from:(Ir.Imm xl_passes) (fun () ->
+      Builder.for_down b ~counter:i ~from:(Ir.Imm size) (fun () ->
+          Builder.load b v (Ir.Reg i) (Ir.Imm Layout.data_base);
+          Builder.add b sum (Ir.Reg sum) (Ir.Reg v);
+          Builder.if_then b
+            ~cond:(Ir.Gt, Ir.Reg v, Ir.Imm threshold)
+            (fun () ->
+              Builder.load b aux (Ir.Reg i) (Ir.Imm aux_base);
+              Builder.add b count (Ir.Reg count) (Ir.Reg aux))));
+  Builder.mul b count (Ir.Reg count) (Ir.Imm 100000);
+  Builder.add b sum (Ir.Reg sum) (Ir.Reg count);
+  Builder.store b (Ir.Imm Layout.result_addr) (Ir.Imm 0) (Ir.Reg sum);
+  Builder.halt b
+
+let workload_xl =
+  Workload.make ~name:"stream-xl"
+    ~description:
+      (Printf.sprintf "stream sweep repeated %d times (>1M instructions)"
+         xl_passes)
+    ~build:build_xl ~mem_init

@@ -2,3 +2,8 @@
     implementation header for the behavioural axes it stresses. *)
 
 val workload : Workload.t
+
+val workload_xl : Workload.t
+(** The same sweep repeated until the run exceeds a million instructions
+    — the sampled-simulation stress workload ("stream-xl").  Resolvable
+    by name but not part of {!Suite.all}. *)

@@ -15,9 +15,13 @@ let all =
     Compact.workload;
   ]
 
+(* Findable by name but excluded from the default matrix (and the
+   evaluation figures): outsized runs meant for the sampled engine. *)
+let extras = [ Stream.workload_xl ]
+
 let names = List.map (fun w -> w.Workload.name) all
 
-let find name = List.find_opt (fun w -> w.Workload.name = name) all
+let find name = List.find_opt (fun w -> w.Workload.name = name) (all @ extras)
 
 let find_exn name =
   match find name with

@@ -5,6 +5,11 @@
 val all : Workload.t list
 (** The eleven kernels. *)
 
+val extras : Workload.t list
+(** Workloads resolvable through {!find} but excluded from [all] (and so
+    from the default matrix): currently the >1M-instruction
+    ["stream-xl"] used by the sampled-simulation evaluation. *)
+
 val names : string list
 
 val find : string -> Workload.t option

@@ -27,6 +27,7 @@ let () =
       Test_tage.suite;
       Test_cache.suite;
       Test_pipeline.suite;
+      Test_sampler.suite;
       Test_views.suite;
       Test_policies.suite;
       Test_secure.suite;

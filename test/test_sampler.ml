@@ -1,0 +1,276 @@
+(* The two-tier engine: emulator batch stepping (decode-once fast path),
+   checkpoint fidelity, and the sampled cycle estimate's accuracy. *)
+
+module Emulator = Levioso_ir.Emulator
+module Parser = Levioso_ir.Parser
+module Config = Levioso_uarch.Config
+module Pipeline = Levioso_uarch.Pipeline
+module Sim_stats = Levioso_uarch.Sim_stats
+module Cache = Levioso_uarch.Cache
+module Predictor = Levioso_uarch.Predictor
+module Sampler = Levioso_uarch.Sampler
+module Checkpoint = Levioso_uarch.Checkpoint
+module Registry = Levioso_core.Registry
+module Workload = Levioso_workload.Workload
+module Suite = Levioso_workload.Suite
+module Gen = Levioso_fuzz.Gen
+
+(* --- spec parsing ---------------------------------------------------- *)
+
+let test_parse_spec () =
+  (match Sampler.parse "off" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "\"off\" must parse to no sampling");
+  (match Sampler.parse "5000:2000" with
+  | Ok (Some s) ->
+    Alcotest.(check int) "interval" 5000 s.Sampler.interval;
+    Alcotest.(check int) "warmup" 2000 s.Sampler.warmup;
+    Alcotest.(check int) "default period" Sampler.default_period
+      s.Sampler.period
+  | _ -> Alcotest.fail "N:W must parse");
+  (match Sampler.parse "5000:2000:20" with
+  | Ok (Some s) ->
+    Alcotest.(check int) "explicit period" 20 s.Sampler.period;
+    Alcotest.(check string) "round trip" "5000:2000:20"
+      (Sampler.spec_to_string s)
+  | _ -> Alcotest.fail "N:W:P must parse");
+  List.iter
+    (fun bad ->
+      match Sampler.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S must be rejected" bad)
+    [ ""; "1"; "0:1"; "1:-1"; "1:1:0"; "x:y"; "1:2:3:4" ]
+
+(* --- emulator fast path ---------------------------------------------- *)
+
+(* Batch stepping must be observationally identical to the one-at-a-time
+   stepper at every chunk boundary, not just at the end. *)
+let prop_run_steps_matches_step =
+  QCheck.Test.make ~count:60 ~name:"run_steps matches the single-stepper"
+    QCheck.small_nat
+    (fun seed ->
+      let program = Gen.random_program seed in
+      let make () =
+        let memory = Array.make 4096 0 in
+        Gen.mem_init seed memory;
+        Emulator.create ~memory program
+      in
+      let a = make () and b = make () in
+      let fuel = ref 200_000 in
+      let agree () =
+        a.Emulator.pc = b.Emulator.pc
+        && a.Emulator.retired = b.Emulator.retired
+        && a.Emulator.halted = b.Emulator.halted
+        && a.Emulator.regs = b.Emulator.regs
+        && a.Emulator.mem = b.Emulator.mem
+      in
+      let ok = ref true in
+      while
+        !ok && !fuel > 0 && not (a.Emulator.halted && b.Emulator.halted)
+      do
+        for _ = 1 to 7 do
+          Emulator.step a
+        done;
+        ignore (Emulator.run_steps b 7 : int);
+        fuel := !fuel - 7;
+        if not (agree ()) then ok := false
+      done;
+      if not !ok then
+        QCheck.Test.fail_reportf
+          "seed %d: batch stepping diverged at retired=%d (step pc=%d, \
+           run_steps pc=%d)"
+          seed a.Emulator.retired a.Emulator.pc b.Emulator.pc
+      else if !fuel <= 0 then
+        QCheck.Test.fail_reportf "seed %d: did not terminate" seed
+      else true)
+
+let test_run_steps_hooks () =
+  let p =
+    Parser.parse_exn
+      {|
+        store [r0 + #8], #3
+        load r1, [r0 + #8]
+        flush [r0 + #8]
+        blt r1, #10, skip
+        add r2, r2, #1
+      skip:
+        load r3, [r0 + #16]
+        halt
+      |}
+  in
+  let loads = ref [] and stores = ref [] and flushes = ref [] in
+  let branches = ref [] in
+  let hooks =
+    {
+      Emulator.h_load = (fun a -> loads := a :: !loads);
+      h_store = (fun a -> stores := a :: !stores);
+      h_flush = (fun a -> flushes := a :: !flushes);
+      h_branch = (fun ~pc ~taken -> branches := (pc, taken) :: !branches);
+    }
+  in
+  let emu = Emulator.create p in
+  ignore (Emulator.run_steps ~hooks emu max_int : int);
+  Alcotest.(check (list int)) "loads observed" [ 8; 16 ] (List.rev !loads);
+  Alcotest.(check (list int)) "store observed" [ 8 ] !stores;
+  Alcotest.(check (list int)) "flush observed" [ 8 ] !flushes;
+  Alcotest.(check (list (pair int bool)))
+    "branch observed with direction" [ (3, true) ] !branches;
+  Alcotest.(check int) "taken branch skipped the add" 0 emu.Emulator.regs.(2)
+
+(* The whole point of the decode-once fast path: once the flat decode
+   exists, batch stepping allocates nothing per step.  The budget covers
+   the Gc.minor_words probe itself, not the 50k steps. *)
+let test_run_steps_zero_alloc () =
+  let w = Suite.find_exn "stream" in
+  let memory = Array.make Config.default.Config.mem_words 0 in
+  w.Workload.mem_init memory;
+  let emu = Emulator.create ~memory w.Workload.program in
+  ignore (Emulator.run_steps emu 1_000 : int);
+  let w0 = Gc.minor_words () in
+  ignore (Emulator.run_steps emu 50_000 : int);
+  let dw = Gc.minor_words () -. w0 in
+  if dw >= 512.0 then
+    Alcotest.failf "run_steps allocated %.0f minor words over 50k steps" dw
+
+(* --- checkpoint fidelity --------------------------------------------- *)
+
+(* Fast-forward a random program to its midpoint with functional warming,
+   checkpoint, then resume the detailed pipeline to completion — twice,
+   independently.  The two resumes must be bit-identical (a resume must
+   not corrupt the checkpoint), the final architectural state must match
+   the emulator oracle, and retired accounting must close:
+   fast-forwarded + committed-on-resume = oracle retired. *)
+let prop_checkpoint_fidelity policy =
+  QCheck.Test.make ~count:12
+    ~name:(Printf.sprintf "checkpoint fidelity under %s" policy)
+    QCheck.small_nat
+    (fun seed ->
+      let cfg = Gen.default_config in
+      let mem_words = cfg.Config.mem_words in
+      let program = Gen.random_program seed in
+      let oracle =
+        Emulator.run_program ~mem_words
+          ~init:(fun st -> Gen.mem_init seed st.Emulator.mem)
+          program
+      in
+      let memory = Array.make mem_words 0 in
+      Gen.mem_init seed memory;
+      let emu = Emulator.create ~memory program in
+      let hierarchy = Cache.Hierarchy.create cfg in
+      let predictor = Predictor.create cfg in
+      let hooks = Sampler.warming_hooks cfg hierarchy predictor in
+      let k = oracle.Emulator.retired / 2 in
+      let executed = Emulator.run_steps ~hooks emu k in
+      if executed <> k then
+        QCheck.Test.fail_reportf "seed %d: fast tier halted after %d < %d"
+          seed executed k
+      else begin
+        let ck = Checkpoint.capture emu ~hierarchy ~predictor in
+        let resume () =
+          let pipe =
+            Checkpoint.to_pipeline ck cfg ~policy:(Registry.find_exn policy)
+              program
+          in
+          Pipeline.run pipe;
+          ( Pipeline.stats pipe,
+            Array.copy (Pipeline.regs pipe),
+            Array.copy (Pipeline.mem pipe) )
+        in
+        let s1, r1, m1 = resume () in
+        let s2, r2, m2 = resume () in
+        if not (s1 = s2 && r1 = r2 && m1 = m2) then
+          QCheck.Test.fail_reportf
+            "seed %d: two resumes from one checkpoint diverged" seed
+        else if r1 <> oracle.Emulator.regs then
+          QCheck.Test.fail_reportf
+            "seed %d: resumed registers differ from the oracle" seed
+        else if m1 <> oracle.Emulator.mem then
+          QCheck.Test.fail_reportf
+            "seed %d: resumed memory differs from the oracle" seed
+        else if k + s1.Sim_stats.committed <> oracle.Emulator.retired then
+          QCheck.Test.fail_reportf
+            "seed %d: retired accounting %d fast + %d detailed <> %d oracle"
+            seed k s1.Sim_stats.committed oracle.Emulator.retired
+        else true
+      end)
+
+(* Rolling an emulator back to a checkpoint must reproduce the exact
+   forward state, even after the live machine ran on. *)
+let test_restore_emulator_rolls_back () =
+  let seed = 7 in
+  let program = Gen.random_program seed in
+  let memory = Array.make 4096 0 in
+  Gen.mem_init seed memory;
+  let emu = Emulator.create ~memory program in
+  let cfg = Gen.default_config in
+  let hierarchy = Cache.Hierarchy.create cfg in
+  let predictor = Predictor.create cfg in
+  ignore (Emulator.run_steps emu 50 : int);
+  let ck = Checkpoint.capture emu ~hierarchy ~predictor in
+  let mark =
+    (emu.Emulator.pc, emu.Emulator.retired, Array.copy emu.Emulator.regs,
+     Array.copy emu.Emulator.mem)
+  in
+  Emulator.run emu;
+  Checkpoint.restore_emulator ck emu;
+  let pc, retired, regs, mem = mark in
+  Alcotest.(check int) "pc restored" pc emu.Emulator.pc;
+  Alcotest.(check int) "retired restored" retired emu.Emulator.retired;
+  Alcotest.(check bool) "regs restored" true (regs = emu.Emulator.regs);
+  Alcotest.(check bool) "memory restored" true (mem = emu.Emulator.mem)
+
+(* --- sampled estimate accuracy --------------------------------------- *)
+
+let check_sampled_error ~workload ~policy ~spec bound =
+  let w = Suite.find_exn workload in
+  let full =
+    let pipe =
+      Pipeline.create ~mem_init:w.Workload.mem_init Config.default
+        ~policy:(Registry.find_exn policy) w.Workload.program
+    in
+    Pipeline.run pipe;
+    (Pipeline.stats pipe).Sim_stats.cycles
+  in
+  let sp =
+    match Sampler.parse spec with
+    | Ok (Some s) -> s
+    | _ -> Alcotest.failf "bad spec %s" spec
+  in
+  let r =
+    Sampler.run ~mem_init:w.Workload.mem_init sp Config.default
+      ~policy:(Registry.find_exn policy) w.Workload.program
+  in
+  let err =
+    100.0
+    *. float_of_int (r.Sampler.estimated_cycles - full)
+    /. float_of_int full
+  in
+  if Float.abs err > bound then
+    Alcotest.failf "%s/%s @ %s: sampled %d vs full %d = %.2f%% (> %.1f%%)"
+      workload policy spec r.Sampler.estimated_cycles full err bound
+
+let test_sampled_error_bound () =
+  (* Specs matched to working-set size: the short compact kernel needs
+     denser sampling for the same confidence. *)
+  List.iter
+    (fun (workload, spec) ->
+      List.iter
+        (fun policy -> check_sampled_error ~workload ~policy ~spec 2.0)
+        [ "unsafe"; "levioso" ])
+    [ ("stream", "2000:2000:10"); ("compact", "1000:1000:5") ]
+
+let suite =
+  ( "sampler",
+    [
+      Alcotest.test_case "sample spec parsing" `Quick test_parse_spec;
+      Alcotest.test_case "run_steps hooks" `Quick test_run_steps_hooks;
+      Alcotest.test_case "run_steps zero alloc" `Quick
+        test_run_steps_zero_alloc;
+      Alcotest.test_case "restore_emulator rolls back" `Quick
+        test_restore_emulator_rolls_back;
+      Alcotest.test_case "sampled error bound" `Slow test_sampled_error_bound;
+    ]
+    @ List.map
+        (QCheck_alcotest.to_alcotest ~long:false)
+        (prop_run_steps_matches_step
+        :: List.map prop_checkpoint_fidelity Registry.names) )
