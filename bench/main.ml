@@ -20,6 +20,12 @@
      dune exec bench/main.exe -- --progress # live status line (stderr)
      dune exec bench/main.exe -- --progress-file progress.json
      dune exec bench/main.exe -- --metrics metrics.prom  # OpenMetrics
+     dune exec bench/main.exe -- --remote levioso.sock   # submit the whole
+                                            # matrix to a levioso_serve
+                                            # daemon (results
+                                            # bit-identical to local)
+     dune exec bench/main.exe -- --cache-prune 30  # delete stale store
+                                            # entries, run nothing
 
    Every (config, workload, policy) simulation the figures need is
    independent, so the matrix is computed up front on a domain pool
@@ -53,6 +59,8 @@ module Run_cache = Levioso_uarch.Run_cache
 module Monitor = Levioso_telemetry.Monitor
 module Hostprof = Levioso_telemetry.Hostprof
 module Sampler = Levioso_uarch.Sampler
+module Serve_protocol = Levioso_serve.Protocol
+module Serve_client = Levioso_serve.Client
 
 let quick = ref false
 let only : string list ref = ref []
@@ -66,6 +74,13 @@ let sample : Sampler.spec option ref = ref None
 let progress = ref false
 let progress_file : string option ref = ref None
 let metrics_file : string option ref = ref None
+
+(* --remote SOCKET: the whole matrix is submitted to a levioso_serve
+   daemon instead of being simulated in-process.  The daemon's cell
+   execution makes exactly the same calls as [simulate], so figures and
+   --json output are bit-identical either way. *)
+let remote : string option ref = ref None
+let cache_prune : int option ref = ref None
 
 (* Live heartbeat for the matrix prefetch.  Strictly observational: the
    monitor never touches cell computation, so --json output stays
@@ -271,6 +286,67 @@ let cells_of id =
   | "audit" -> if !audit then dflt paper_schemes else []
   | _ -> []
 
+(* One batched submission for the whole matrix; the daemon streams the
+   results back in submission order and the memo is filled from them, so
+   figures afterwards never simulate locally. *)
+let remote_fetch socket (todo : (Config.t * Workload.t * string) list) =
+  let cells =
+    List.map
+      (fun (c, (w : Workload.t), p) ->
+        {
+          Serve_protocol.config = c;
+          workload = w.Workload.name;
+          policy = p;
+          audit = !audit;
+          sample = !sample;
+        })
+      todo
+  in
+  let todo_arr = Array.of_list todo in
+  let client = Serve_client.connect socket in
+  Fun.protect
+    ~finally:(fun () -> Serve_client.close client)
+    (fun () ->
+      let results, _stats =
+        Serve_client.submit ~cache:!use_cache client cells
+          ~on_result:(fun _ (r : Serve_client.result_cell) ->
+            match !monitor with
+            | Some m -> Monitor.item_done m ~wall_s:r.Serve_client.wall_s ()
+            | None -> ())
+      in
+      Array.iteri
+        (fun i (r : Serve_client.result_cell) ->
+          let config, (w : Workload.t), p = todo_arr.(i) in
+          let summary = r.Serve_client.summary in
+          let stats =
+            match Option.map Sim_stats.of_json (Json.member "stats" summary) with
+            | Some (Ok stats) -> stats
+            | Some (Error msg) ->
+              failwith ("--remote: undecodable stats in result: " ^ msg)
+            | None -> failwith "--remote: result summary has no stats block"
+          in
+          (* sampled cells: figures read stats.cycles, which must carry
+             the extrapolated estimate — same fixup as simulate_sampled *)
+          (match
+             Option.bind
+               (Json.member "sampled" summary)
+               (Json.member "estimated_cycles")
+           with
+          | Some (Json.Int n) -> stats.Sim_stats.cycles <- n
+          | _ -> ());
+          Hashtbl.replace matrix
+            (config, w.Workload.name, p)
+            {
+              stats;
+              summary;
+              wall_s = r.Serve_client.wall_s;
+              source = "remote-" ^ r.Serve_client.source;
+              (* host self-profiling is local by definition; remote cells
+                 have no host phases *)
+              host = Json.Obj [];
+            })
+        results)
+
 let prefetch_matrix ids =
   let seen = Hashtbl.create 256 in
   let todo =
@@ -288,18 +364,21 @@ let prefetch_matrix ids =
   (match !monitor with
   | Some m -> Monitor.set_total m (List.length todo)
   | None -> ());
-  let work ((c, w, p) : Config.t * Workload.t * string) =
-    (match !monitor with
-    | Some m -> Monitor.start m (w.Workload.name ^ "/" ^ p)
-    | None -> ());
-    let r = get_cell c w p in
-    match !monitor with
-    | Some m -> Monitor.item_done m ~wall_s:r.wall_s ()
-    | None -> ()
-  in
-  if n > 1 && List.length todo > 1 then
-    Parallel.with_pool ~size:n (fun pool -> Parallel.iter pool work todo)
-  else List.iter work todo;
+  (match !remote with
+  | Some socket -> remote_fetch socket todo
+  | None ->
+    let work ((c, w, p) : Config.t * Workload.t * string) =
+      (match !monitor with
+      | Some m -> Monitor.start m (w.Workload.name ^ "/" ^ p)
+      | None -> ());
+      let r = get_cell c w p in
+      match !monitor with
+      | Some m -> Monitor.item_done m ~wall_s:r.wall_s ()
+      | None -> ()
+    in
+    if n > 1 && List.length todo > 1 then
+      Parallel.with_pool ~size:n (fun pool -> Parallel.iter pool work todo)
+    else List.iter work todo);
   match !monitor with Some m -> Monitor.close m | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -791,6 +870,10 @@ let write_bench_matrix ~total_wall_s =
         ("schema", Json.String "levioso-bench-matrix/v1");
         ("jobs", Json.Int (effective_jobs ()));
         ("cache", Json.Bool (!disk <> None));
+        ( "remote",
+          match !remote with
+          | None -> Json.Null
+          | Some socket -> Json.String socket );
         ("quick", Json.Bool !quick);
         ("audit", Json.Bool !audit);
         ( "sample",
@@ -856,6 +939,16 @@ let () =
       cache_dir := dir;
       use_cache := true;
       parse rest
+    | "--cache-prune" :: days :: rest ->
+      (match int_of_string_opt days with
+      | Some d when d >= 0 -> cache_prune := Some d
+      | Some _ | None ->
+        prerr_endline "--cache-prune expects a non-negative day count";
+        exit 2);
+      parse rest
+    | "--remote" :: socket :: rest ->
+      remote := Some socket;
+      parse rest
     | "--progress" :: rest ->
       progress := true;
       parse rest
@@ -874,6 +967,15 @@ let () =
       exit 2
   in
   parse args;
+  (* Store maintenance mode: prune and exit, running nothing. *)
+  (match !cache_prune with
+  | Some days ->
+    let cache = Run_cache.create ~dir:!cache_dir () in
+    let removed = Run_cache.prune cache ~max_age_days:days in
+    Printf.printf "cache-prune: removed %d entries older than %d days from %s\n"
+      removed days !cache_dir;
+    exit 0
+  | None -> ());
   (* Audited runs can't replay from disk: cached summaries have no audit
      section and the cache key doesn't cover the flag. *)
   if !audit then use_cache := false;
@@ -887,7 +989,10 @@ let () =
     end;
     use_cache := false
   end;
-  if !use_cache then disk := Some (Run_cache.create ~dir:!cache_dir ());
+  (* With --remote, caching is the daemon's business (gated per batch by
+     --no-cache); a local store would never be consulted. *)
+  if !use_cache && !remote = None then
+    disk := Some (Run_cache.create ~dir:!cache_dir ());
   if !progress || !progress_file <> None || !metrics_file <> None then
     monitor :=
       Some
@@ -899,9 +1004,13 @@ let () =
   let t_start = Unix.gettimeofday () in
   let selected id = !only = [] || List.mem id !only in
   let ids = List.filter_map (fun (id, _) -> if selected id then Some id else None) experiments in
-  (* Fill the matrix on the domain pool before any figure prints; the
-     figures then read memoized cells in deterministic order. *)
-  prefetch_matrix ids;
+  (* Fill the matrix — on the domain pool, or via one batched daemon
+     submission with --remote — before any figure prints; the figures
+     then read memoized cells in deterministic order. *)
+  (try prefetch_matrix ids
+   with Serve_client.Server_error msg ->
+     prerr_endline ("--remote: " ^ msg);
+     exit 1);
   List.iter (fun (id, f) -> if selected id then f ()) experiments;
   (* every default-config cell, with its stall breakdown, through the
      same serializer levioso_sim --json uses *)

@@ -1,0 +1,480 @@
+(* levioso_serve: simulation as a service.
+
+   A long-lived daemon owns one domain pool and one sharded result
+   store; clients submit batched (workload x policy x config) matrices
+   over a Unix-domain socket and stream results back in submission
+   order, bit-identical to a local serial run.
+
+   Examples:
+     levioso_serve serve --socket /tmp/lev.sock -j 8 &
+     levioso_serve list --socket /tmp/lev.sock
+     levioso_serve submit --socket /tmp/lev.sock -w stream -p levioso --json
+     levioso_serve stress --socket /tmp/lev.sock --cells 200
+     levioso_serve shutdown --socket /tmp/lev.sock *)
+
+module Config = Levioso_uarch.Config
+module Sampler = Levioso_uarch.Sampler
+module Run_cache = Levioso_uarch.Run_cache
+module Registry = Levioso_core.Registry
+module Suite = Levioso_workload.Suite
+module Json = Levioso_telemetry.Json
+module Monitor = Levioso_telemetry.Monitor
+module Report = Levioso_util.Report
+module Stats = Levioso_util.Stats
+module Serve = Levioso_serve
+module Protocol = Levioso_serve.Protocol
+module Client = Levioso_serve.Client
+module Server = Levioso_serve.Server
+module Catalog = Levioso_serve.Catalog
+
+(* ---------- serve ---------- *)
+
+let serve socket jobs queue_max cache_dir no_cache metrics_file progress_file
+    quiet =
+  if jobs < 0 then `Error (false, "-j expects a non-negative integer")
+  else if queue_max < 0 then
+    `Error (false, "--queue-max expects a non-negative integer")
+  else begin
+    let cache =
+      if no_cache then None else Some (Run_cache.create ~dir:cache_dir ())
+    in
+    let monitor =
+      if metrics_file <> None || progress_file <> None then
+        Some
+          (Monitor.create ?json_path:progress_file ?metrics_path:metrics_file
+             ~label:"levioso_serve" ())
+      else None
+    in
+    let log =
+      if quiet then None
+      else
+        Some
+          (fun msg ->
+            Printf.eprintf "[levioso_serve %.3f] %s\n%!"
+              (Unix.gettimeofday ()) msg)
+    in
+    let pool_size =
+      if jobs = 0 then Levioso_util.Parallel.default_size () else jobs
+    in
+    match
+      Server.run
+        {
+          Server.socket_path = socket;
+          pool_size;
+          queue_max = (if queue_max = 0 then None else Some queue_max);
+          cache;
+          monitor;
+          log;
+        }
+    with
+    | () -> `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+    | exception Unix.Unix_error (e, fn, arg) ->
+      `Error
+        ( false,
+          Printf.sprintf "%s: %s(%s): %s" socket fn arg (Unix.error_message e)
+        )
+  end
+
+(* ---------- client-side helpers ---------- *)
+
+let with_client socket f =
+  match Client.connect socket with
+  | exception Client.Server_error msg -> `Error (false, msg)
+  | c -> (
+    match f c with
+    | v ->
+      Client.close c;
+      `Ok v
+    | exception Client.Server_error msg ->
+      Client.close c;
+      `Error (false, msg))
+
+let cycles_of_summary summary =
+  let stat block field =
+    Option.bind (Json.member block summary) (Json.member field)
+  in
+  match stat "sampled" "estimated_cycles" with
+  | Some (Json.Int n) -> n
+  | _ -> (
+    match stat "stats" "cycles" with
+    | Some (Json.Int n) -> n
+    | _ -> -1)
+
+let print_batch_stats (stats : Protocol.done_stats) =
+  Printf.eprintf "serve: %d simulated, %d cached in %.2fs\n%!"
+    stats.Protocol.simulated stats.Protocol.cached stats.Protocol.wall_s
+
+(* ---------- submit ---------- *)
+
+let submit socket workload_names policy_names rob predictor budget audit
+    sample no_cache json quiet =
+  match Sampler.parse sample with
+  | Error msg -> `Error (false, msg)
+  | Ok sample_spec ->
+    let config =
+      {
+        Config.default with
+        Config.rob_size = rob;
+        predictor;
+        depset_budget = budget;
+      }
+    in
+    let workloads =
+      match workload_names with [] -> Suite.names | names -> names
+    in
+    let policies =
+      match policy_names with [] -> Registry.names | names -> names
+    in
+    let cells =
+      List.concat_map
+        (fun w ->
+          List.map
+            (fun p ->
+              {
+                Protocol.config;
+                workload = w;
+                policy = p;
+                audit;
+                sample = sample_spec;
+              })
+            policies)
+        workloads
+    in
+    with_client socket (fun c ->
+        let results, stats =
+          Client.submit ~cache:(not no_cache) c cells
+        in
+        if not quiet then print_batch_stats stats;
+        if json then
+          print_endline
+            (Json.to_string
+               (Levioso_uarch.Summary.runs
+                  (Array.to_list
+                     (Array.map
+                        (fun (r : Client.result_cell) -> r.Client.summary)
+                        results))))
+        else begin
+          let n = List.length policies in
+          let baseline row =
+            List.find_opt (fun (p, _) -> p = "unsafe") row
+            |> Option.map (fun (_, c) -> c)
+          in
+          let header =
+            "workload" :: List.map (fun p -> p ^ " (cyc)") policies
+          in
+          let body =
+            List.mapi
+              (fun i w ->
+                let row =
+                  List.mapi
+                    (fun j p ->
+                      (p, cycles_of_summary results.((i * n) + j).Client.summary))
+                    policies
+                in
+                let base = baseline row in
+                w
+                :: List.map
+                     (fun (_, c) ->
+                       match base with
+                       | Some b when b > 0 && b <> c ->
+                         Printf.sprintf "%d (%+.1f%%)" c
+                           (Stats.overhead_pct ~baseline:(float_of_int b)
+                              (float_of_int c))
+                       | Some _ | None -> string_of_int c)
+                     row)
+              workloads
+          in
+          print_endline (Report.table ~header ~rows:body)
+        end)
+
+(* ---------- stress ---------- *)
+
+let stress socket cells_n workload policy use_cache =
+  if cells_n < 1 then `Error (false, "--cells expects a positive integer")
+  else
+    (* distinct rob sizes make every cell real scheduled work instead of
+       one simulation plus (N-1) merges *)
+    let cells =
+      List.init cells_n (fun i ->
+          {
+            Protocol.config =
+              { Config.default with Config.rob_size = 64 + i };
+            workload;
+            policy;
+            audit = false;
+            sample = None;
+          })
+    in
+    with_client socket (fun c ->
+        let t0 = Unix.gettimeofday () in
+        let _, stats = Client.submit ~cache:use_cache c cells in
+        let wall = Unix.gettimeofday () -. t0 in
+        Printf.printf
+          "stress: %d cells (%d simulated, %d cached) in %.2fs — %.1f \
+           cells/s\n"
+          cells_n stats.Protocol.simulated stats.Protocol.cached wall
+          (float_of_int cells_n /. wall))
+
+(* ---------- one-frame commands ---------- *)
+
+let list_cmd socket =
+  with_client socket (fun c ->
+      let workloads, policies = Client.list c in
+      print_endline "workloads:";
+      List.iter
+        (fun (n, d) -> Printf.printf "  %-16s %s\n" n d)
+        workloads;
+      print_endline "policies:";
+      List.iter (fun p -> Printf.printf "  %s\n" p) policies)
+
+let ping_cmd socket =
+  with_client socket (fun c ->
+      Client.ping c;
+      Printf.printf "pong (pool %d, cache %s)\n" (Client.pool c)
+        (if Client.server_cache c then "on" else "off"))
+
+let stats_cmd socket =
+  with_client socket (fun c -> print_endline (Json.to_string (Client.stats c)))
+
+let prune_cmd socket days =
+  if days < 0 then `Error (false, "--days expects a non-negative integer")
+  else
+    with_client socket (fun c ->
+        Printf.printf "pruned %d entries\n" (Client.prune c ~max_age_days:days))
+
+let shutdown_cmd socket =
+  with_client socket (fun c ->
+      Client.shutdown c;
+      print_endline "daemon stopped")
+
+(* ---------- cmdliner ---------- *)
+
+open Cmdliner
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "levioso.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the daemon.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Simulation domains in the daemon's pool; 0 (the default) uses \
+           every core.")
+
+let queue_max_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "queue-max" ] ~docv:"N"
+        ~doc:
+          "Bound the work queue at $(docv) pending cells: submissions \
+           beyond it block (backpressure).  0 (the default) is unbounded.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string (Filename.concat "bench" ".cache")
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Sharded result store shared by every client of this daemon \
+           (created, and any flat legacy entries migrated, on start).")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Run without a result store (always simulate).")
+
+let metrics_serve_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Periodically write daemon gauges (queue depth, clients, cells \
+           simulated/cached/merged) in OpenMetrics text format to $(docv).")
+
+let progress_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "progress-file" ] ~docv:"FILE"
+        ~doc:"Periodically write a machine-readable progress snapshot.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the event log.")
+
+let serve_cmd =
+  let doc = "run the simulation daemon (blocks until a shutdown request)" in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const serve $ socket_arg $ jobs_arg $ queue_max_arg $ cache_dir_arg
+       $ no_cache_arg $ metrics_serve_arg $ progress_file_arg $ quiet_arg))
+
+let workloads_arg =
+  let doc =
+    "Workload to submit (repeatable; default: the whole suite). Known: "
+    ^ String.concat ", " (Catalog.workload_names ())
+  in
+  Arg.(value & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let policies_arg =
+  let doc =
+    "Defense policy (repeatable; default: all). Known: "
+    ^ String.concat ", " Registry.names
+  in
+  Arg.(value & opt_all string [] & info [ "p"; "policy" ] ~docv:"NAME" ~doc)
+
+let rob_arg =
+  Arg.(
+    value
+    & opt int Config.default.Config.rob_size
+    & info [ "rob" ] ~docv:"N" ~doc:"Reorder-buffer size.")
+
+let predictor_arg =
+  let predictor_conv =
+    Arg.enum
+      [
+        ("always-taken", Config.Always_taken);
+        ("bimodal", Config.Bimodal);
+        ("gshare", Config.Gshare);
+        ("tage", Config.Tage);
+      ]
+  in
+  Arg.(
+    value
+    & opt predictor_conv Config.default.Config.predictor
+    & info [ "predictor" ] ~docv:"KIND"
+        ~doc:"Branch predictor: always-taken, bimodal, gshare or tage.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt int Config.default.Config.depset_budget
+    & info [ "budget" ] ~docv:"K" ~doc:"Dependency-set hardware budget.")
+
+let audit_arg =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:"Record restriction provenance (disables caching).")
+
+let sample_arg =
+  Arg.(
+    value & opt string "off"
+    & info [ "sample" ] ~docv:"N:W[:P]"
+        ~doc:
+          "Two-tier sampled simulation (see levioso_sim --sample); \
+           estimates never enter the result store.")
+
+let submit_no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Bypass the daemon's result store for this batch.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the summaries as JSON — the same artifact a local \
+           levioso_sim --json run of the matrix produces.")
+
+let submit_cmd =
+  let doc = "submit a workload x policy matrix and stream the results" in
+  Cmd.v
+    (Cmd.info "submit" ~doc)
+    Term.(
+      ret
+        (const submit $ socket_arg $ workloads_arg $ policies_arg $ rob_arg
+       $ predictor_arg $ budget_arg $ audit_arg $ sample_arg
+       $ submit_no_cache_arg $ json_arg $ quiet_arg))
+
+let cells_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "cells" ] ~docv:"N"
+        ~doc:"Distinct cells to submit (reorder-buffer sweep).")
+
+let stress_workload_arg =
+  Arg.(
+    value
+    & opt string (List.hd Suite.names)
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to sweep.")
+
+let stress_policy_arg =
+  Arg.(
+    value & opt string "unsafe"
+    & info [ "p"; "policy" ] ~docv:"NAME" ~doc:"Policy to sweep.")
+
+let stress_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Let the sweep use the daemon's result store (default: bypass it \
+           so every cell is real scheduled work).")
+
+let stress_cmd =
+  let doc = "queued-load exercise: one large batch of distinct cells" in
+  Cmd.v
+    (Cmd.info "stress" ~doc)
+    Term.(
+      ret
+        (const stress $ socket_arg $ cells_arg $ stress_workload_arg
+       $ stress_policy_arg $ stress_cache_arg))
+
+let list_sub =
+  Cmd.v
+    (Cmd.info "list" ~doc:"list the daemon's workloads and policies")
+    Term.(ret (const list_cmd $ socket_arg))
+
+let ping_sub =
+  Cmd.v
+    (Cmd.info "ping" ~doc:"check daemon liveness")
+    Term.(ret (const ping_cmd $ socket_arg))
+
+let stats_sub =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"print the daemon's queue/throughput snapshot")
+    Term.(ret (const stats_cmd $ socket_arg))
+
+let days_arg =
+  Arg.(
+    value & opt int 30
+    & info [ "days" ] ~docv:"N"
+        ~doc:"Delete entries older than $(docv) days (default 30).")
+
+let prune_sub =
+  Cmd.v
+    (Cmd.info "prune" ~doc:"delete stale entries from the daemon's store")
+    Term.(ret (const prune_cmd $ socket_arg $ days_arg))
+
+let shutdown_sub =
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"drain outstanding work and stop the daemon")
+    Term.(ret (const shutdown_cmd $ socket_arg))
+
+let cmd =
+  let doc = "levioso simulation-as-a-service daemon and client" in
+  Cmd.group
+    (Cmd.info "levioso_serve" ~doc)
+    [
+      serve_cmd;
+      submit_cmd;
+      stress_cmd;
+      list_sub;
+      ping_sub;
+      stats_sub;
+      prune_sub;
+      shutdown_sub;
+    ]
+
+let () = exit (Cmd.eval cmd)

@@ -39,6 +39,7 @@ module Konata = Levioso_uarch.Konata
 module Sampler = Levioso_uarch.Sampler
 module Flowtrace = Levioso_telemetry.Flowtrace
 module Gadget = Levioso_attack.Gadget
+module Catalog = Levioso_serve.Catalog
 
 let trace_event_of = function
   | Pipeline.Fetched { seq; pc } ->
@@ -128,21 +129,6 @@ let parse_secret_ranges specs =
   in
   go [] specs
 
-(* The stock Spectre-v1 gadget as a pseudo-workload, so the leak tracer
-   has a canonical victim: `-w spectre-v1 -p unsafe --leak-trace ...`. *)
-let spectre_workload =
-  lazy
-    (let g = Gadget.bounds_check_bypass ~secret:42 () in
-     {
-       Workload.name = "spectre-v1";
-       description =
-         Printf.sprintf
-           "Spectre-v1 bounds-check-bypass gadget (secret at word %d)"
-           Gadget.oob_secret_addr;
-       program = g.Gadget.program;
-       mem_init = g.Gadget.mem_init;
-     })
-
 let sampled_verbose_report w p (r : Sampler.result) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
@@ -168,7 +154,19 @@ let sampled_verbose_report w p (r : Sampler.result) =
 let main workload_names policy_names rob predictor budget verbose trace json
     trace_out trace_every jobs audit_flag audit_out timeline_out
     timeline_window leak_trace secret_range_specs progress progress_file
-    metrics_file sample =
+    metrics_file sample list_workloads list_policies =
+  if list_workloads || list_policies then begin
+    (* the same roster the levioso_serve wire protocol's `list` request
+       advertises — one name set across every surface *)
+    if list_workloads then
+      List.iter
+        (fun (n, d) -> Printf.printf "%-16s %s\n" n d)
+        (Catalog.listing ());
+    if list_policies then
+      List.iter print_endline (Catalog.policies ());
+    `Ok ()
+  end
+  else
   let config =
     {
       Config.default with
@@ -177,17 +175,10 @@ let main workload_names policy_names rob predictor budget verbose trace json
       depset_budget = budget;
     }
   in
-  let find name =
-    if name = "spectre-v1" then Lazy.force spectre_workload
-    else
-      match Suite.find name with
-      | Some w -> w
-      | None -> Levioso_workload.Levsuite.find_exn name
-  in
   let workloads =
     match workload_names with
     | [] -> Suite.all
-    | names -> List.map find names
+    | names -> List.map Catalog.find_workload_exn names
   in
   let policies =
     match policy_names with
@@ -525,9 +516,9 @@ open Cmdliner
 
 let workloads_arg =
   let doc =
-    "Workload to run (repeatable). Known: "
-    ^ String.concat ", " (Suite.names @ Levioso_workload.Levsuite.names)
-    ^ ", plus spectre-v1 (the stock bounds-check-bypass gadget, the \
+    "Workload to run (repeatable, see --list-workloads). Known: "
+    ^ String.concat ", " (Catalog.workload_names ())
+    ^ " (spectre-v1 is the stock bounds-check-bypass gadget, the \
        canonical --leak-trace victim)."
   in
   Arg.(value & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
@@ -714,6 +705,21 @@ let sample_arg =
            without this flag.  Incompatible with the per-event streams \
            (--trace/--audit/--timeline/--leak-trace).")
 
+let list_workloads_arg =
+  Arg.(
+    value & flag
+    & info [ "list-workloads" ]
+        ~doc:
+          "Print every resolvable workload (suite kernels, extras like \
+           stream-xl, compiled Lev workloads, spectre-v1) with its \
+           description, then exit.")
+
+let list_policies_arg =
+  Arg.(
+    value & flag
+    & info [ "list-policies" ]
+        ~doc:"Print every registered defense policy, then exit.")
+
 let cmd =
   let doc = "simulate workloads under secure-speculation defenses" in
   let info = Cmd.info "levioso_sim" ~doc in
@@ -725,6 +731,6 @@ let cmd =
        $ trace_every_arg $ jobs_arg $ audit_arg $ audit_out_arg
        $ timeline_arg $ timeline_window_arg $ leak_trace_arg
        $ secret_range_arg $ progress_arg $ progress_file_arg $ metrics_arg
-       $ sample_arg))
+       $ sample_arg $ list_workloads_arg $ list_policies_arg))
 
 let () = exit (Cmd.eval cmd)

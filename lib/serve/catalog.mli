@@ -1,0 +1,21 @@
+(** The one name set every surface agrees on: the full workload roster
+    (suite kernels, findable extras like [stream-xl], compiled Lev
+    workloads, and the [spectre-v1] gadget pseudo-workload) plus the
+    policy registry — backing [levioso_sim --list-workloads/-policies]
+    and the wire protocol's [list] request. *)
+
+val workloads : unit -> Levioso_workload.Workload.t list
+(** Every resolvable workload, in listing order. *)
+
+val workload_names : unit -> string list
+
+val listing : unit -> (string * string) list
+(** [(name, description)] pairs of {!workloads}. *)
+
+val find_workload : string -> Levioso_workload.Workload.t option
+
+val find_workload_exn : string -> Levioso_workload.Workload.t
+(** @raise Invalid_argument on unknown names, listing the known ones. *)
+
+val policies : unit -> string list
+(** [Levioso_core.Registry.names]. *)

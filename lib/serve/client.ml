@@ -1,0 +1,127 @@
+module Json = Levioso_telemetry.Json
+
+exception Server_error of string
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  pool : int;
+  server_cache : bool;
+  mutable next_id : int;
+}
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Server_error m)) fmt
+
+let read_response c =
+  match Protocol.read_frame c.ic with
+  | Ok None -> fail "server closed the connection"
+  | Error msg -> fail "%s" msg
+  | Ok (Some j) -> (
+    match Protocol.response_of_json j with
+    | Ok (Protocol.Error msg) -> fail "server: %s" msg
+    | Ok r -> r
+    | Error msg -> fail "%s" msg)
+
+let connect socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise
+       (Server_error
+          (Printf.sprintf "cannot connect to %s: %s" socket_path
+             (Unix.error_message e))));
+  let c =
+    {
+      fd;
+      ic = Unix.in_channel_of_descr fd;
+      oc = Unix.out_channel_of_descr fd;
+      pool = 0;
+      server_cache = false;
+      next_id = 0;
+    }
+  in
+  match read_response c with
+  | Protocol.Hello { proto; pool; cache } ->
+    if proto <> Protocol.version then (
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      fail "protocol mismatch: server speaks v%d, client v%d" proto
+        Protocol.version);
+    { c with pool; server_cache = cache }
+  | _ ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    fail "expected a hello frame"
+
+let close c =
+  (try flush c.oc with Sys_error _ -> ());
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let pool c = c.pool
+let server_cache c = c.server_cache
+
+let request c req =
+  Protocol.(write_frame c.oc (request_to_json req));
+  read_response c
+
+let ping c =
+  match request c Protocol.Ping with
+  | Protocol.Pong -> ()
+  | _ -> fail "expected pong"
+
+let list c =
+  match request c Protocol.List with
+  | Protocol.Listing { workloads; policies } -> (workloads, policies)
+  | _ -> fail "expected a listing"
+
+let stats c =
+  match request c Protocol.Stats with
+  | Protocol.Stats_snapshot j -> j
+  | _ -> fail "expected a stats snapshot"
+
+let prune c ~max_age_days =
+  match request c (Protocol.Prune max_age_days) with
+  | Protocol.Pruned n -> n
+  | _ -> fail "expected a prune count"
+
+let shutdown c =
+  match request c Protocol.Shutdown with
+  | Protocol.Bye -> ()
+  | _ -> fail "expected bye"
+
+type result_cell = { source : string; wall_s : float; summary : Json.t }
+
+let submit ?(cache = true) ?on_result c cells =
+  let id = Printf.sprintf "req-%d-%d" (Unix.getpid ()) c.next_id in
+  c.next_id <- c.next_id + 1;
+  let n = List.length cells in
+  Protocol.(
+    write_frame c.oc (request_to_json (Submit { id; cache; cells })));
+  (match read_response c with
+  | Protocol.Ack { id = aid; cells = acells } ->
+    if aid <> id || acells <> n then fail "ack for the wrong submission"
+  | _ -> fail "expected an ack");
+  let results = Array.make n None in
+  let rec drain () =
+    match read_response c with
+    | Protocol.Result { id = rid; index; source; wall_s; summary } ->
+      if rid <> id then fail "result for the wrong submission";
+      if index < 0 || index >= n then fail "result index %d out of range" index;
+      let rc = { source; wall_s; summary } in
+      results.(index) <- Some rc;
+      (match on_result with Some f -> f index rc | None -> ());
+      drain ()
+    | Protocol.Done { id = did; stats } ->
+      if did <> id then fail "done for the wrong submission";
+      stats
+    | _ -> fail "unexpected frame mid-submission"
+  in
+  let stats = drain () in
+  let filled =
+    Array.map
+      (function
+        | Some rc -> rc
+        | None -> fail "submission finished with missing results")
+      results
+  in
+  (filled, stats)

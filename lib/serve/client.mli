@@ -1,0 +1,52 @@
+(** Blocking client for the {!Protocol} exchange — the library behind
+    [levioso_serve submit], [bench --remote] and the serve tests.
+
+    One [t] is one connection; it is not thread-safe (use one connection
+    per thread — the daemon multiplexes across connections, not within
+    one). *)
+
+exception Server_error of string
+(** Raised on connection failures, protocol violations and server-side
+    [error] frames. *)
+
+type t
+
+val connect : string -> t
+(** Connect to a daemon socket and consume its [hello] frame.
+    @raise Server_error on refusal or protocol-generation mismatch. *)
+
+val close : t -> unit
+
+val pool : t -> int
+(** Worker count advertised in the server's [hello]. *)
+
+val server_cache : t -> bool
+(** Whether the server has a shard store attached. *)
+
+val ping : t -> unit
+val list : t -> (string * string) list * string list
+val stats : t -> Levioso_telemetry.Json.t
+
+val prune : t -> max_age_days:int -> int
+(** Entries removed from the daemon's store. *)
+
+val shutdown : t -> unit
+(** Ask the daemon to drain and exit; returns once it acknowledged. *)
+
+type result_cell = {
+  source : string;  (** ["sim"] or ["cache"] *)
+  wall_s : float;  (** daemon-side wall clock for this cell *)
+  summary : Levioso_telemetry.Json.t;
+}
+
+val submit :
+  ?cache:bool ->
+  ?on_result:(int -> result_cell -> unit) ->
+  t ->
+  Protocol.cell list ->
+  result_cell array * Protocol.done_stats
+(** Submit a batch and block until its [done] frame.  [on_result] fires
+    per streamed result (in submission order) for progress rendering.
+    The returned array is indexed like the submitted list.
+    [cache] (default [true]) gates the daemon's shared store for this
+    batch. *)

@@ -1,0 +1,96 @@
+module Config = Levioso_uarch.Config
+module Pipeline = Levioso_uarch.Pipeline
+module Sampler = Levioso_uarch.Sampler
+module Summary = Levioso_uarch.Summary
+module Sim_stats = Levioso_uarch.Sim_stats
+module Run_cache = Levioso_uarch.Run_cache
+module Registry = Levioso_core.Registry
+module Explain = Levioso_core.Explain
+module Json = Levioso_telemetry.Json
+module Schema = Levioso_telemetry.Schema
+module Workload = Levioso_workload.Workload
+
+type outcome = { summary : Json.t; source : string; wall_s : float }
+
+let validate_cell (c : Protocol.cell) =
+  let ( let* ) = Result.bind in
+  let* () = Config.validate c.Protocol.config in
+  let* () =
+    match Catalog.find_workload c.Protocol.workload with
+    | Some _ -> Ok ()
+    | None -> Error (Printf.sprintf "unknown workload %S" c.Protocol.workload)
+  in
+  let* () =
+    match Registry.find c.Protocol.policy with
+    | Some _ -> Ok ()
+    | None -> Error (Printf.sprintf "unknown policy %S" c.Protocol.policy)
+  in
+  if c.Protocol.audit && c.Protocol.sample <> None then
+    Error "audit cannot be combined with sampling (no per-event stream)"
+  else Ok ()
+
+let cacheable (c : Protocol.cell) =
+  (* Audited summaries carry provenance the key does not cover, and
+     sampled summaries are estimates: neither may replay as (or shadow)
+     an exact run — the same rule bench applies locally. *)
+  (not c.Protocol.audit) && c.Protocol.sample = None
+
+(* A stored summary is trusted only if it declares the current artifact
+   schema and its stats block parses — mirroring bench's replay guard,
+   so daemon replays are exactly as strict as local ones. *)
+let replayable summary =
+  match Schema.check ~what:"cached summary" summary with
+  | Error _ -> false
+  | Ok () -> (
+    match Option.map Sim_stats.of_json (Json.member "stats" summary) with
+    | Some (Ok _) -> true
+    | Some (Error _) | None -> false)
+
+let run_cell ?cache (c : Protocol.cell) =
+  let w = Catalog.find_workload_exn c.Protocol.workload in
+  let policy = Registry.find_exn c.Protocol.policy in
+  let config = c.Protocol.config in
+  let workload = c.Protocol.workload in
+  let t0 = Unix.gettimeofday () in
+  let replay =
+    match cache with
+    | Some store when cacheable c -> (
+      match
+        Run_cache.find store ~config ~workload ~policy:c.Protocol.policy
+      with
+      | Some summary when replayable summary -> Some summary
+      | Some _ | None -> None)
+    | _ -> None
+  in
+  match replay with
+  | Some summary ->
+    { summary; source = "cache"; wall_s = Unix.gettimeofday () -. t0 }
+  | None ->
+    let summary =
+      match c.Protocol.sample with
+      | Some sp ->
+        let r =
+          Sampler.run ~mem_init:w.Workload.mem_init sp config ~policy
+            w.Workload.program
+        in
+        Summary.of_sampled ~workload ~policy:c.Protocol.policy r
+      | None ->
+        let audit =
+          if c.Protocol.audit then Some (Explain.audit_for w.Workload.program)
+          else None
+        in
+        (* Exactly the calls a local serial bench cell makes — same
+           pipeline construction, same summarizer, no host section — so
+           the streamed summary is bit-identical to an in-process run. *)
+        let pipe =
+          Pipeline.create ~mem_init:w.Workload.mem_init ?audit config ~policy
+            w.Workload.program
+        in
+        Pipeline.run pipe;
+        Summary.of_pipeline ~workload ~policy:c.Protocol.policy pipe
+    in
+    (match cache with
+    | Some store when cacheable c ->
+      Run_cache.store store ~config ~workload ~policy:c.Protocol.policy summary
+    | _ -> ());
+    { summary; source = "sim"; wall_s = Unix.gettimeofday () -. t0 }

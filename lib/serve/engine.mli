@@ -1,0 +1,31 @@
+(** Execution of one wire-protocol cell, shared by the daemon and the
+    in-process tests.
+
+    The simulation path makes {e exactly} the calls a local serial bench
+    cell makes ([Pipeline.create] → [Pipeline.run] →
+    [Summary.of_pipeline], or the [Sampler] pair for sampled cells, with
+    no host section), so a remote summary is bit-identical to an
+    in-process run of the same cell. *)
+
+type outcome = {
+  summary : Levioso_telemetry.Json.t;
+  source : string;  (** ["sim"] or ["cache"] *)
+  wall_s : float;
+}
+
+val validate_cell : Protocol.cell -> (unit, string) result
+(** Config sanity, workload/policy existence, audit×sample conflict —
+    checked before acking a submission so a bad batch fails atomically
+    instead of mid-stream. *)
+
+val cacheable : Protocol.cell -> bool
+(** Plain cells only: audited and sampled summaries never enter (or
+    replay from) the shared store. *)
+
+val run_cell : ?cache:Levioso_uarch.Run_cache.t -> Protocol.cell -> outcome
+(** Replay from the shard store when possible (schema-checked, stats
+    block must parse — the same strictness as bench's local replay),
+    otherwise simulate and store.
+
+    @raise Invalid_argument on unknown workload/policy names; call
+    {!validate_cell} first. *)

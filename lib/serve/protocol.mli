@@ -1,0 +1,82 @@
+(** The [levioso_serve] wire protocol: schema-versioned JSON frames over
+    a Unix-domain socket, one minified object per line.
+
+    Every frame carries a [("frame", "levioso-serve/v1")] tag; decoding a
+    frame from a different protocol generation fails loudly instead of
+    being misread.  Requests flow client → server; the server answers a
+    [submit] with an [ack], then streams one [result] frame per cell (in
+    submission order) and closes the exchange with a [done] frame, so a
+    client can render progress as results arrive.  All other requests
+    get exactly one response frame. *)
+
+val version : int
+(** Wire protocol generation (1).  Distinct from the JSON artifact
+    [Schema.version]: summaries embedded in [result] frames keep their
+    own [schema_version] field. *)
+
+val frame_tag : string
+(** ["levioso-serve/v1"]. *)
+
+type cell = {
+  config : Levioso_uarch.Config.t;  (** full core config, every field *)
+  workload : string;
+  policy : string;
+  audit : bool;  (** record restriction provenance (disables caching) *)
+  sample : Levioso_uarch.Sampler.spec option;
+      (** two-tier sampled run (disables caching) *)
+}
+(** One simulation request — the same key a local bench cell uses. *)
+
+type request =
+  | List  (** discover workloads and policies *)
+  | Ping
+  | Stats  (** queue/throughput snapshot *)
+  | Shutdown  (** stop accepting clients and exit after draining *)
+  | Prune of int  (** delete cache entries older than N days *)
+  | Submit of { id : string; cache : bool; cells : cell list }
+      (** [id] is an opaque client-chosen tag echoed in every response
+          frame of the exchange; [cache] gates the daemon's shared
+          result store for this batch. *)
+
+type done_stats = { simulated : int; cached : int; wall_s : float }
+(** [simulated] counts cells this submission actually ran (including
+    runs merged from a concurrent identical submission); [cached] counts
+    shard-store replays.  [wall_s] is daemon-side wall clock for the
+    whole batch. *)
+
+type response =
+  | Hello of { proto : int; pool : int; cache : bool }
+      (** sent by the server immediately on connect *)
+  | Listing of { workloads : (string * string) list; policies : string list }
+  | Ack of { id : string; cells : int }
+  | Result of {
+      id : string;
+      index : int;  (** position in the submitted cell list *)
+      source : string;  (** ["sim"] or ["cache"] *)
+      wall_s : float;
+      summary : Levioso_telemetry.Json.t;
+          (** verbatim {!Levioso_uarch.Summary.of_pipeline} (or
+              [of_sampled]) output — bit-identical to a local run *)
+    }
+  | Done of { id : string; stats : done_stats }
+  | Pruned of int
+  | Stats_snapshot of Levioso_telemetry.Json.t
+  | Pong
+  | Error of string
+  | Bye  (** acknowledges a [Shutdown] *)
+
+val cell_to_json : cell -> Levioso_telemetry.Json.t
+val cell_of_json : Levioso_telemetry.Json.t -> (cell, string) result
+
+val request_to_json : request -> Levioso_telemetry.Json.t
+val request_of_json : Levioso_telemetry.Json.t -> (request, string) result
+
+val response_to_json : response -> Levioso_telemetry.Json.t
+val response_of_json : Levioso_telemetry.Json.t -> (response, string) result
+
+val write_frame : out_channel -> Levioso_telemetry.Json.t -> unit
+(** One minified JSON object plus newline, flushed. *)
+
+val read_frame :
+  in_channel -> (Levioso_telemetry.Json.t option, string) result
+(** [Ok None] on orderly EOF; [Error] on torn or unparsable frames. *)

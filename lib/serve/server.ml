@@ -1,0 +1,368 @@
+module Json = Levioso_telemetry.Json
+module Schema = Levioso_telemetry.Schema
+module Monitor = Levioso_telemetry.Monitor
+module Run_cache = Levioso_uarch.Run_cache
+module Parallel = Levioso_util.Parallel
+
+type opts = {
+  socket_path : string;
+  pool_size : int;
+  queue_max : int option;
+  cache : Run_cache.t option;
+  monitor : Monitor.t option;
+  log : (string -> unit) option;
+}
+
+type t = {
+  opts : opts;
+  listener : Unix.file_descr;
+  pool : Parallel.t;
+  running : bool Atomic.t;
+  started : float;
+  (* best-effort memo of cells currently being computed, so N clients
+     submitting the same matrix concurrently pay for one simulation of
+     each cell instead of N (the disk store only helps after a cell
+     finishes) *)
+  inflight : (string, Engine.outcome Parallel.future) Hashtbl.t;
+  inflight_mu : Mutex.t;
+  clients : (Thread.t * Unix.file_descr) list ref;
+  clients_mu : Mutex.t;
+  next_conn : int Atomic.t;
+  (* lifetime counters for the stats frame / OpenMetrics gauges *)
+  simulated : int Atomic.t;
+  cached : int Atomic.t;
+  merged : int Atomic.t;
+  requests : int Atomic.t;
+}
+
+let log t msg = match t.opts.log with Some f -> f msg | None -> ()
+
+let gauges t =
+  [
+    ("serve_queue_depth", "Tasks waiting for a pool worker.",
+     float_of_int (Parallel.queue_depth t.pool));
+    ("serve_inflight", "Cells currently being computed.",
+     float_of_int
+       (Mutex.protect t.inflight_mu (fun () -> Hashtbl.length t.inflight)));
+    ("serve_clients", "Connected clients.",
+     float_of_int
+       (Mutex.protect t.clients_mu (fun () -> List.length !(t.clients))));
+    ("serve_cells_simulated", "Cells simulated since daemon start.",
+     float_of_int (Atomic.get t.simulated));
+    ("serve_cells_cached", "Cells replayed from the shard store.",
+     float_of_int (Atomic.get t.cached));
+    ("serve_cells_merged", "Cells merged onto a concurrent computation.",
+     float_of_int (Atomic.get t.merged));
+    ("serve_requests", "Requests handled since daemon start.",
+     float_of_int (Atomic.get t.requests));
+  ]
+
+let publish_gauges t =
+  match t.opts.monitor with
+  | None -> ()
+  | Some m -> List.iter (fun (n, help, v) -> Monitor.set_gauge m ~help n v) (gauges t)
+
+let stats_snapshot t =
+  Schema.tag
+    [
+      ("kind", Json.String "levioso-serve-stats");
+      ("proto", Json.Int Protocol.version);
+      ("pool", Json.Int (Parallel.size t.pool));
+      ( "queue_max",
+        match t.opts.queue_max with Some n -> Json.Int n | None -> Json.Null );
+      ("cache", Json.Bool (t.opts.cache <> None));
+      ("uptime_s", Json.float (Unix.gettimeofday () -. t.started));
+      ( "gauges",
+        Json.Obj (List.map (fun (n, _, v) -> (n, Json.float v)) (gauges t)) );
+    ]
+
+(* the in-flight memo key: everything that determines the result bits *)
+let cell_key (c : Protocol.cell) =
+  String.concat "\x00"
+    [
+      Run_cache.config_key c.Protocol.config;
+      c.Protocol.workload;
+      c.Protocol.policy;
+      string_of_bool c.Protocol.audit;
+      (match c.Protocol.sample with
+      | None -> "off"
+      | Some sp -> Levioso_uarch.Sampler.spec_to_string sp);
+    ]
+
+let exec t ~use_cache cell () =
+  (match t.opts.monitor with
+  | Some m ->
+    Monitor.start m (cell.Protocol.workload ^ "/" ^ cell.Protocol.policy)
+  | None -> ());
+  let cache = if use_cache then t.opts.cache else None in
+  let o = Engine.run_cell ?cache cell in
+  (match o.Engine.source with
+  | "cache" -> Atomic.incr t.cached
+  | _ -> Atomic.incr t.simulated);
+  (match t.opts.monitor with
+  | Some m -> Monitor.item_done m ~wall_s:o.Engine.wall_s ()
+  | None -> ());
+  o
+
+(* Schedule one cell, merging onto an identical in-flight computation
+   when one exists.  The memo is advisory: a racing double-insert or an
+   early removal only costs a duplicate simulation, never a wrong
+   result (cells are deterministic).  The lock is never held across
+   [Parallel.async] — a bounded pool blocks there, and a worker
+   finishing a task must not need the lock we hold (deadlock). *)
+let schedule t ~use_cache cell =
+  let key = cell_key cell in
+  match
+    Mutex.protect t.inflight_mu (fun () -> Hashtbl.find_opt t.inflight key)
+  with
+  | Some fut ->
+    Atomic.incr t.merged;
+    (fut, false)
+  | None ->
+    let fut = Parallel.async t.pool (exec t ~use_cache cell) in
+    Mutex.protect t.inflight_mu (fun () ->
+        if not (Hashtbl.mem t.inflight key) then Hashtbl.add t.inflight key fut);
+    (fut, true)
+
+let unschedule t cell fut =
+  let key = cell_key cell in
+  Mutex.protect t.inflight_mu (fun () ->
+      match Hashtbl.find_opt t.inflight key with
+      | Some f when f == fut -> Hashtbl.remove t.inflight key
+      | _ -> ())
+
+let handle_submit t oc ~id ~cache cells =
+  match
+    List.find_map
+      (fun c ->
+        match Engine.validate_cell c with
+        | Ok () -> None
+        | Error msg ->
+          Some
+            (Printf.sprintf "%s/%s: %s" c.Protocol.workload c.Protocol.policy
+               msg))
+      cells
+  with
+  | Some msg -> Protocol.(write_frame oc (response_to_json (Error msg)))
+  | None ->
+    let n = List.length cells in
+    Protocol.(write_frame oc (response_to_json (Ack { id; cells = n })));
+    let t0 = Unix.gettimeofday () in
+    (* Enqueue everything up front (a bounded queue blocks right here —
+       that is the backpressure), then stream results in submission
+       order as they complete. *)
+    let scheduled =
+      List.map
+        (fun cell ->
+          let fut, fresh = schedule t ~use_cache:cache cell in
+          if fresh then
+            Option.iter (fun m -> Monitor.inc_total m 1) t.opts.monitor;
+          publish_gauges t;
+          (cell, fut, fresh))
+        cells
+    in
+    let simulated = ref 0 and cached = ref 0 in
+    List.iteri
+      (fun index (cell, fut, fresh) ->
+        let o = Parallel.await fut in
+        if fresh then unschedule t cell fut;
+        (match o.Engine.source with
+        | "cache" -> incr cached
+        | _ -> incr simulated);
+        publish_gauges t;
+        Protocol.(
+          write_frame oc
+            (response_to_json
+               (Result
+                  {
+                    id;
+                    index;
+                    source = o.Engine.source;
+                    wall_s = o.Engine.wall_s;
+                    summary = o.Engine.summary;
+                  }))))
+      scheduled;
+    Protocol.(
+      write_frame oc
+        (response_to_json
+           (Done
+              {
+                id;
+                stats =
+                  {
+                    simulated = !simulated;
+                    cached = !cached;
+                    wall_s = Unix.gettimeofday () -. t0;
+                  };
+              })))
+
+let stop_accepting t =
+  if Atomic.compare_and_set t.running true false then begin
+    (* wake the accept loop: shutdown works on Linux listening sockets,
+       and the self-connect covers platforms where it does not *)
+    (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect probe (Unix.ADDR_UNIX t.opts.socket_path)
+     with Unix.Unix_error _ -> ());
+    try Unix.close probe with Unix.Unix_error _ -> ()
+  end
+
+let handle_request t oc req =
+  Atomic.incr t.requests;
+  match (req : Protocol.request) with
+  | Protocol.List ->
+    Protocol.(
+      write_frame oc
+        (response_to_json
+           (Listing
+              { workloads = Catalog.listing (); policies = Catalog.policies () })))
+  | Protocol.Ping -> Protocol.(write_frame oc (response_to_json Pong))
+  | Protocol.Stats ->
+    Protocol.(
+      write_frame oc (response_to_json (Stats_snapshot (stats_snapshot t))))
+  | Protocol.Prune days ->
+    let removed =
+      match t.opts.cache with
+      | Some cache -> Run_cache.prune cache ~max_age_days:days
+      | None -> 0
+    in
+    log t (Printf.sprintf "prune: removed %d entries" removed);
+    Protocol.(write_frame oc (response_to_json (Pruned removed)))
+  | Protocol.Shutdown ->
+    log t "shutdown requested";
+    Protocol.(write_frame oc (response_to_json Bye));
+    stop_accepting t
+  | Protocol.Submit { id; cache; cells } -> handle_submit t oc ~id ~cache cells
+
+let handle_client t conn fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let finally () =
+    Mutex.protect t.clients_mu (fun () ->
+        t.clients := List.filter (fun (_, f) -> f <> fd) !(t.clients));
+    publish_gauges t;
+    (try flush oc with Sys_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      Protocol.(
+        write_frame oc
+          (response_to_json
+             (Hello
+                {
+                  proto = Protocol.version;
+                  pool = Parallel.size t.pool;
+                  cache = t.opts.cache <> None;
+                })));
+      let rec loop () =
+        match Protocol.read_frame ic with
+        | Ok None -> log t (Printf.sprintf "client %d: disconnected" conn)
+        | Error msg ->
+          log t (Printf.sprintf "client %d: %s" conn msg);
+          Protocol.(write_frame oc (response_to_json (Error msg)))
+        | Ok (Some j) ->
+          (match Protocol.request_of_json j with
+          | Error msg ->
+            Protocol.(write_frame oc (response_to_json (Error msg)))
+          | Ok req -> (
+            match handle_request t oc req with
+            | () -> ()
+            | exception e ->
+              (* a failing request must not kill the connection: report
+                 and keep serving (Invalid_argument from a stopped pool,
+                 Sys_error from a vanished cache directory, ...) *)
+              Protocol.(
+                write_frame oc
+                  (response_to_json (Error (Printexc.to_string e))))));
+          if Atomic.get t.running then loop ()
+      in
+      try loop ()
+      with Sys_error _ | End_of_file ->
+        (* client went away mid-frame; nothing to answer *)
+        ())
+
+let bind_listener socket_path =
+  if Sys.file_exists socket_path then begin
+    (* refuse to clobber a live daemon; clean up a dead one's socket *)
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      try
+        Unix.connect probe (Unix.ADDR_UNIX socket_path);
+        true
+      with Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      failwith
+        (Printf.sprintf "levioso_serve: %s is already served by a live daemon"
+           socket_path);
+    Sys.remove socket_path
+  end;
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX socket_path);
+  Unix.listen listener 64;
+  listener
+
+let run ?(on_ready = fun () -> ()) opts =
+  let listener = bind_listener opts.socket_path in
+  let pool =
+    Parallel.create ~size:(max 1 opts.pool_size) ?max_pending:opts.queue_max ()
+  in
+  let t =
+    {
+      opts;
+      listener;
+      pool;
+      running = Atomic.make true;
+      started = Unix.gettimeofday ();
+      inflight = Hashtbl.create 64;
+      inflight_mu = Mutex.create ();
+      clients = ref [];
+      clients_mu = Mutex.create ();
+      next_conn = Atomic.make 0;
+      simulated = Atomic.make 0;
+      cached = Atomic.make 0;
+      merged = Atomic.make 0;
+      requests = Atomic.make 0;
+    }
+  in
+  log t
+    (Printf.sprintf "listening on %s (pool %d%s, cache %s)" opts.socket_path
+       (Parallel.size pool)
+       (match opts.queue_max with
+       | Some n -> Printf.sprintf ", queue <= %d" n
+       | None -> "")
+       (if opts.cache <> None then "on" else "off"));
+  publish_gauges t;
+  on_ready ();
+  let rec accept_loop () =
+    match Unix.accept t.listener with
+    | exception Unix.Unix_error _ -> if Atomic.get t.running then accept_loop ()
+    | fd, _ ->
+      if not (Atomic.get t.running) then (
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      else begin
+        let conn = Atomic.fetch_and_add t.next_conn 1 in
+        log t (Printf.sprintf "client %d: connected" conn);
+        let th = Thread.create (fun () -> handle_client t conn fd) () in
+        Mutex.protect t.clients_mu (fun () ->
+            t.clients := (th, fd) :: !(t.clients));
+        publish_gauges t;
+        accept_loop ()
+      end
+  in
+  accept_loop ();
+  (* drain: outstanding submissions finish against the still-live pool,
+     then lingering idle connections are nudged with an EOF *)
+  Parallel.shutdown pool;
+  let remaining = Mutex.protect t.clients_mu (fun () -> !(t.clients)) in
+  List.iter
+    (fun (_, fd) ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    remaining;
+  List.iter (fun (th, _) -> Thread.join th) remaining;
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  (try Sys.remove opts.socket_path with Sys_error _ -> ());
+  (match opts.monitor with Some m -> Monitor.close m | None -> ());
+  log t "stopped"

@@ -1,0 +1,36 @@
+(** The levioso_serve daemon: a Unix-domain-socket front end that
+    schedules batched simulation requests onto one shared
+    {!Levioso_util.Parallel} pool and one shared {!Levioso_uarch.Run_cache}
+    shard store.
+
+    One systhread per connection handles that client's frames
+    sequentially; concurrency comes from many connections feeding the
+    pool, whose bounded queue (see [queue_max]) provides backpressure by
+    blocking the submitting handler.  Identical cells submitted
+    concurrently by different clients are merged onto a single
+    computation (best-effort in-flight memo) — safe because cells are
+    deterministic.
+
+    Results are streamed back in submission order, so a client's view is
+    bit-identical to a serial in-process run of the same matrix. *)
+
+type opts = {
+  socket_path : string;  (** created on start, unlinked on stop *)
+  pool_size : int;  (** simulation domains (clamped to >= 1) *)
+  queue_max : int option;
+      (** bound on queued cells; [None] = unbounded *)
+  cache : Levioso_uarch.Run_cache.t option;
+      (** shared shard store; [None] disables replay/persist *)
+  monitor : Levioso_telemetry.Monitor.t option;
+      (** live progress + OpenMetrics queue/throughput gauges *)
+  log : (string -> unit) option;  (** daemon-side event log lines *)
+}
+
+val run : ?on_ready:(unit -> unit) -> opts -> unit
+(** Bind, serve until a [shutdown] frame arrives, drain outstanding
+    work, then clean up (socket unlinked, monitor closed).  [on_ready]
+    fires once the socket is accepting — tests use it to connect
+    without polling.
+
+    @raise Failure if [socket_path] is already served by a live daemon
+    (a stale socket from a dead one is silently replaced). *)

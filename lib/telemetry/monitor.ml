@@ -13,6 +13,7 @@ type t = {
   mutable wall_sum : float;
   mutable wall_max : float;
   mutable wall_n : int;
+  mutable gauges : (string * (string * float)) list;  (* name -> help, value *)
   mutable last_render : float;
   mutable closed : bool;
 }
@@ -48,6 +49,7 @@ let create ?ansi ?(force_ansi = false) ?json_path ?metrics_path
     wall_sum = 0.;
     wall_max = 0.;
     wall_n = 0;
+    gauges = [];
     last_render = neg_infinity;
     closed = false;
   }
@@ -103,6 +105,8 @@ let snapshot_json_locked t now =
             ("count", Json.Int t.wall_n);
           ] );
       ("current", Json.List current);
+      ( "gauges",
+        Json.Obj (List.map (fun (n, (_, v)) -> (n, Json.float v)) t.gauges) );
     ]
 
 let om_escape s =
@@ -139,6 +143,10 @@ let openmetrics_locked t now =
   | None -> ());
   gauge "levioso_progress_elapsed_seconds" "Wall clock since start."
     (Printf.sprintf "%.3f" elapsed);
+  List.iter
+    (fun (name, (help, v)) ->
+      gauge ("levioso_" ^ name) help (Printf.sprintf "%g" v))
+    (List.rev t.gauges);
   Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
 
@@ -199,6 +207,24 @@ let render_locked ?(final = false) t =
     | None -> ())
 
 let set_total t n = locked t (fun () -> t.total <- Some n)
+
+(* Long-lived daemons learn of work incrementally, one submission at a
+   time, so the planned total only ever grows. *)
+let inc_total t n =
+  locked t (fun () ->
+      t.total <- Some (n + match t.total with Some m -> m | None -> 0);
+      render_locked t)
+
+let set_gauge t ?(help = "Application gauge.") name v =
+  locked t (fun () ->
+      t.gauges <-
+        (match List.assoc_opt name t.gauges with
+        | Some _ ->
+          List.map
+            (fun (n, hv) -> if n = name then (n, (help, v)) else (n, hv))
+            t.gauges
+        | None -> t.gauges @ [ (name, (help, v)) ]);
+      render_locked t)
 
 let start t what =
   locked t (fun () ->

@@ -40,6 +40,18 @@ val create :
 
 val set_total : t -> int -> unit
 
+val inc_total : t -> int -> unit
+(** Grow the planned total by [n] (from zero when unset).  Long-lived
+    daemons learn of work one client submission at a time, so their
+    total accumulates instead of being known up front. *)
+
+val set_gauge : t -> ?help:string -> string -> float -> unit
+(** Publish an application gauge (e.g. the daemon's work-queue depth).
+    Gauges appear in the JSON snapshot under ["gauges"] and in the
+    OpenMetrics text as [levioso_<name>]; setting an existing name
+    updates it in place.  [name] must already be metric-shaped
+    ([a-z0-9_]); it is not sanitized here. *)
+
 val start : t -> string -> unit
 (** [start t what] notes that the calling domain began working on
     [what] (e.g. ["matmul/levioso"]). *)

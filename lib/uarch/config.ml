@@ -88,6 +88,127 @@ let to_rows t =
     ("Dependency-set budget", string_of_int t.depset_budget);
   ]
 
+let predictor_kind_of_string = function
+  | "always-taken" -> Ok Always_taken
+  | "bimodal" -> Ok Bimodal
+  | "gshare" -> Ok Gshare
+  | "tage" -> Ok Tage
+  | s -> Error (Printf.sprintf "unknown predictor kind %S" s)
+
+(* The wire codec for the simulation service: a round-tripped config is
+   structurally equal to the original, so its [Run_cache.config_key]
+   (a digest of the marshalled record) matches too — remote submissions
+   hit the same cache entries a local run would. *)
+
+module Json = Levioso_telemetry.Json
+
+let geometry_to_json g =
+  Json.Obj
+    [
+      ("sets", Json.Int g.sets);
+      ("ways", Json.Int g.ways);
+      ("line_words", Json.Int g.line_words);
+      ("hit_latency", Json.Int g.hit_latency);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("rob_size", Json.Int t.rob_size);
+      ("fetch_width", Json.Int t.fetch_width);
+      ("issue_width", Json.Int t.issue_width);
+      ("commit_width", Json.Int t.commit_width);
+      ("alu_latency", Json.Int t.alu_latency);
+      ("mul_latency", Json.Int t.mul_latency);
+      ("div_latency", Json.Int t.div_latency);
+      ("branch_exec_latency", Json.Int t.branch_exec_latency);
+      ("redirect_penalty", Json.Int t.redirect_penalty);
+      ("forward_latency", Json.Int t.forward_latency);
+      ("l1", geometry_to_json t.l1);
+      ("l2", geometry_to_json t.l2);
+      ("memory_latency", Json.Int t.memory_latency);
+      ("mshrs", Json.Int t.mshrs);
+      ("next_line_prefetch", Json.Bool t.next_line_prefetch);
+      ("mem_words", Json.Int t.mem_words);
+      ("predictor", Json.String (predictor_kind_to_string t.predictor));
+      ("predictor_bits", Json.Int t.predictor_bits);
+      ("depset_budget", Json.Int t.depset_budget);
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let int_field obj name =
+    match Json.member name obj with
+    | Some (Json.Int n) -> Ok n
+    | Some _ -> Error (Printf.sprintf "config field %S is not an integer" name)
+    | None -> Error (Printf.sprintf "config field %S is missing" name)
+  in
+  let bool_field obj name =
+    match Json.member name obj with
+    | Some (Json.Bool b) -> Ok b
+    | Some _ | None ->
+      Error (Printf.sprintf "config field %S is missing or not a boolean" name)
+  in
+  let geometry_field obj name =
+    match Json.member name obj with
+    | Some (Json.Obj _ as g) ->
+      let* sets = int_field g "sets" in
+      let* ways = int_field g "ways" in
+      let* line_words = int_field g "line_words" in
+      let* hit_latency = int_field g "hit_latency" in
+      Ok { sets; ways; line_words; hit_latency }
+    | Some _ | None ->
+      Error (Printf.sprintf "config field %S is missing or not an object" name)
+  in
+  match j with
+  | Json.Obj _ ->
+    let* rob_size = int_field j "rob_size" in
+    let* fetch_width = int_field j "fetch_width" in
+    let* issue_width = int_field j "issue_width" in
+    let* commit_width = int_field j "commit_width" in
+    let* alu_latency = int_field j "alu_latency" in
+    let* mul_latency = int_field j "mul_latency" in
+    let* div_latency = int_field j "div_latency" in
+    let* branch_exec_latency = int_field j "branch_exec_latency" in
+    let* redirect_penalty = int_field j "redirect_penalty" in
+    let* forward_latency = int_field j "forward_latency" in
+    let* l1 = geometry_field j "l1" in
+    let* l2 = geometry_field j "l2" in
+    let* memory_latency = int_field j "memory_latency" in
+    let* mshrs = int_field j "mshrs" in
+    let* next_line_prefetch = bool_field j "next_line_prefetch" in
+    let* mem_words = int_field j "mem_words" in
+    let* predictor =
+      match Json.member "predictor" j with
+      | Some (Json.String s) -> predictor_kind_of_string s
+      | Some _ | None -> Error "config field \"predictor\" is missing or not a string"
+    in
+    let* predictor_bits = int_field j "predictor_bits" in
+    let* depset_budget = int_field j "depset_budget" in
+    Ok
+      {
+        rob_size;
+        fetch_width;
+        issue_width;
+        commit_width;
+        alu_latency;
+        mul_latency;
+        div_latency;
+        branch_exec_latency;
+        redirect_penalty;
+        forward_latency;
+        l1;
+        l2;
+        memory_latency;
+        mshrs;
+        next_line_prefetch;
+        mem_words;
+        predictor;
+        predictor_bits;
+        depset_budget;
+      }
+  | _ -> Error "config is not a JSON object"
+
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
 let validate t =

@@ -52,6 +52,18 @@ val default : t
 
 val predictor_kind_to_string : predictor_kind -> string
 
+val predictor_kind_of_string : string -> (predictor_kind, string) result
+
+val to_json : t -> Levioso_telemetry.Json.t
+(** Wire codec for the simulation service.  Every field is serialized;
+    {!of_json} of the result is structurally equal to the input, so the
+    round-tripped config produces the same cache key. *)
+
+val of_json : Levioso_telemetry.Json.t -> (t, string) result
+(** Strict inverse of {!to_json}: any missing or mistyped field is an
+    error (no defaulting — a silently defaulted field would key the
+    result cache under the wrong digest). *)
+
 val to_rows : t -> (string * string) list
 (** Human-readable key/value dump (used by the configuration table). *)
 

@@ -1,4 +1,6 @@
-(** On-disk cache of finished (config, workload, policy) run summaries.
+(** On-disk cache of finished (config, workload, policy) run summaries,
+    shared by the bench harness, [levioso_sim] and the [levioso_serve]
+    daemon.
 
     One JSON file per simulated cell, keyed by a digest of the full
     microarchitectural {!Config.t}, the workload and policy names, and a
@@ -6,35 +8,60 @@
     executable).  Any config tweak or rebuild therefore misses cleanly —
     there is no invalidation protocol, just keys that stop matching.
 
+    Entries are sharded into 256 subdirectories by the first two hex
+    characters of the key digest so many concurrent writers spread their
+    directory traffic; pre-shard flat caches are migrated transparently
+    on {!create} (and still hit through a flat-path fallback on
+    {!find}).
+
     The payload is whatever {!Summary.of_pipeline} produced, stored and
     replayed verbatim, so a cache-served [--json] report is bit-identical
-    to a freshly simulated one.  Writes go through a rename so a killed
-    run never leaves a torn file; unreadable or unparsable files are
+    to a freshly simulated one.  Writes go through a unique temp file +
+    rename, so N processes (and domains) racing on any mix of keys never
+    expose a torn entry to a reader; unreadable or unparsable files are
     treated as misses. *)
 
 type t
 
 val create : ?stamp:string -> dir:string -> unit -> t
 (** [stamp] defaults to {!code_stamp}.  The directory is created lazily
-    on the first {!store}. *)
+    on the first {!store}.  If [dir] already holds flat (pre-shard)
+    entries they are renamed into their shard subdirectories here;
+    concurrent migrations are safe (a lost rename means another process
+    moved the file first). *)
 
 val code_stamp : unit -> string
 (** Digest of the running executable ([Sys.executable_name]), memoized.
-    ["unstamped"] when the binary cannot be read. *)
+    ["unstamped"] when the binary cannot be read.  Note that two
+    {e different} binaries (say the daemon and a standalone bench) have
+    different stamps and therefore keep disjoint entry sets in the same
+    directory; pass an explicit [stamp] to [create] to share. *)
 
 val config_key : Config.t -> string
 (** Hex digest of the marshalled config — every field participates. *)
 
 val path : t -> config:Config.t -> workload:string -> policy:string -> string
-(** The file a cell is stored at (exists or not). *)
+(** The sharded file a cell is stored at (exists or not). *)
 
 val find :
   t -> config:Config.t -> workload:string -> policy:string ->
   Levioso_telemetry.Json.t option
-(** [None] on missing, unreadable or unparsable entries. *)
+(** [None] on missing, unreadable or unparsable entries.  Checks the
+    sharded path first, then the legacy flat path. *)
 
 val store :
   t -> config:Config.t -> workload:string -> policy:string ->
   Levioso_telemetry.Json.t -> unit
-(** Atomic (write-then-rename).  Concurrent stores of distinct cells are
-    safe; the bench memo table ensures a given cell is stored once. *)
+(** Atomic (unique temp file, then rename).  Concurrent stores — of
+    distinct cells or even of the same key — are safe from any number of
+    processes and domains: readers only ever observe complete entries,
+    and the last writer of a key wins. *)
+
+val prune : ?now:float -> t -> max_age_days:int -> int
+(** Delete entries whose mtime is older than [max_age_days] days (plus
+    any [.tmp] debris left by killed writers past the same horizon), and
+    remove shard directories emptied by the sweep.  Returns the number
+    of entries removed.  Deletion is a plain unlink, so concurrent
+    readers of a pruned entry see an ordinary miss and concurrent
+    writers are unaffected.  [now] (seconds since the epoch) defaults to
+    the current time; it is exposed for tests. *)

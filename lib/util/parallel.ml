@@ -2,9 +2,11 @@ type task = Task of (unit -> unit) | Stop
 
 type t = {
   pool_size : int;
+  max_pending : int option;
   tasks : task Queue.t;
   mutex : Mutex.t;
   nonempty : Condition.t;
+  not_full : Condition.t;
   mutable workers : unit Domain.t list;
   mutable stopped : bool;
 }
@@ -17,6 +19,7 @@ let rec worker_loop pool =
     Condition.wait pool.nonempty pool.mutex
   done;
   let task = Queue.pop pool.tasks in
+  Condition.signal pool.not_full;
   Mutex.unlock pool.mutex;
   match task with
   | Stop -> ()
@@ -24,7 +27,7 @@ let rec worker_loop pool =
     f ();
     worker_loop pool
 
-let create ?size () =
+let create ?size ?max_pending () =
   let size =
     match size with
     | Some n -> max 1 n
@@ -33,9 +36,11 @@ let create ?size () =
   let pool =
     {
       pool_size = size;
+      max_pending = Option.map (max 1) max_pending;
       tasks = Queue.create ();
       mutex = Mutex.create ();
       nonempty = Condition.create ();
+      not_full = Condition.create ();
       workers = [];
       stopped = false;
     }
@@ -47,8 +52,23 @@ let create ?size () =
 
 let size t = t.pool_size
 
+let queue_depth t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.tasks in
+  Mutex.unlock t.mutex;
+  n
+
+(* [Stop] bypasses the bound so {!shutdown} can always drain a full
+   queue; real work blocks here until a worker frees a slot, which is
+   the daemon's backpressure. *)
 let submit t task =
   Mutex.lock t.mutex;
+  (match (t.max_pending, task) with
+  | Some m, Task _ ->
+    while Queue.length t.tasks >= m do
+      Condition.wait t.not_full t.mutex
+    done
+  | _ -> ());
   Queue.push task t.tasks;
   Condition.signal t.nonempty;
   Mutex.unlock t.mutex
@@ -117,6 +137,56 @@ let map t f xs =
 
 let iter t f xs = ignore (map t (fun x -> f x) xs : unit list)
 
-let with_pool ?size f =
-  let pool = create ?size () in
+(* --- single-task futures (the daemon's scheduling primitive) --- *)
+
+type 'a outcome =
+  | Running
+  | Finished of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fmu : Mutex.t;
+  fcond : Condition.t;
+  mutable fstate : 'a outcome;
+}
+
+let async t f =
+  if t.stopped then invalid_arg "Parallel.async: pool has been shut down";
+  let fut = { fmu = Mutex.create (); fcond = Condition.create (); fstate = Running } in
+  let run () =
+    let result =
+      match f () with
+      | y -> Finished y
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock fut.fmu;
+    fut.fstate <- result;
+    Condition.broadcast fut.fcond;
+    Mutex.unlock fut.fmu
+  in
+  (* A serial pool computes at submission time, in the calling thread —
+     same degenerate path as [map]. *)
+  if t.pool_size <= 1 then run () else submit t (Task run);
+  fut
+
+let await fut =
+  Mutex.lock fut.fmu;
+  while (match fut.fstate with Running -> true | _ -> false) do
+    Condition.wait fut.fcond fut.fmu
+  done;
+  let state = fut.fstate in
+  Mutex.unlock fut.fmu;
+  match state with
+  | Finished y -> y
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Running -> assert false
+
+let peek fut =
+  Mutex.lock fut.fmu;
+  let done_ = (match fut.fstate with Running -> false | _ -> true) in
+  Mutex.unlock fut.fmu;
+  done_
+
+let with_pool ?size ?max_pending f =
+  let pool = create ?size ?max_pending () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -18,13 +18,22 @@
 
 type t
 
-val create : ?size:int -> unit -> t
-(** [create ?size ()] spawns [size] worker domains when [size > 1]; a
-    pool of size 1 spawns none.  [size] defaults to
-    [Domain.recommended_domain_count ()] and is clamped to at least 1. *)
+val create : ?size:int -> ?max_pending:int -> unit -> t
+(** [create ?size ?max_pending ()] spawns [size] worker domains when
+    [size > 1]; a pool of size 1 spawns none.  [size] defaults to
+    [Domain.recommended_domain_count ()] and is clamped to at least 1.
+    [max_pending] (clamped to at least 1) bounds the work queue: further
+    submissions — {!map} elements and {!async} calls alike — block the
+    submitting thread until a worker frees a slot.  This is the
+    backpressure the long-lived daemon applies to over-eager clients;
+    unbounded when omitted (the batch-harness default). *)
 
 val size : t -> int
 (** Worker parallelism of the pool (>= 1); 1 means serial. *)
+
+val queue_depth : t -> int
+(** Tasks submitted but not yet picked up by a worker — the daemon's
+    queue-depth gauge.  Always 0 for a serial pool. *)
 
 val default_size : unit -> int
 (** [Domain.recommended_domain_count ()] — the [create] default, exposed
@@ -41,9 +50,34 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val iter : t -> ('a -> unit) -> 'a list -> unit
 (** [iter pool f xs = ignore (map pool f xs)]. *)
 
+(** {1 Futures}
+
+    Single-task scheduling for request/response servers: a long-lived
+    pool accepts work as it arrives ({!async}) and each submitter blocks
+    only when it needs its own result ({!await}), so independent client
+    requests interleave freely on the same workers. *)
+
+type 'a future
+
+val async : t -> (unit -> 'a) -> 'a future
+(** Schedule one task.  On a serial (size-1) pool the task runs
+    immediately in the calling thread.  On a bounded pool this blocks
+    while the queue is full (backpressure).
+
+    @raise Invalid_argument if the pool has been shut down. *)
+
+val await : 'a future -> 'a
+(** Block until the task finished; returns its value or re-raises its
+    exception with the original backtrace.  Callable from any thread,
+    any number of times (a failed future re-raises on every await). *)
+
+val peek : 'a future -> bool
+(** [true] once the task has finished (successfully or not) — a
+    non-blocking progress probe. *)
+
 val shutdown : t -> unit
 (** Joins all worker domains.  Idempotent.  Any later {!map} raises. *)
 
-val with_pool : ?size:int -> (t -> 'a) -> 'a
-(** [with_pool ?size f] runs [f] on a fresh pool and shuts it down
-    afterwards, also on exception. *)
+val with_pool : ?size:int -> ?max_pending:int -> (t -> 'a) -> 'a
+(** [with_pool ?size ?max_pending f] runs [f] on a fresh pool and shuts
+    it down afterwards, also on exception. *)

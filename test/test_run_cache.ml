@@ -1,6 +1,7 @@
 (* The bench result cache: round-trip, key sensitivity (config, names,
-   code stamp), corruption tolerance, and the Sim_stats JSON round-trip
-   that cache replay leans on. *)
+   code stamp), corruption tolerance, the sharded on-disk layout
+   (shard subdirectories, flat-layout migration, racing writers, prune)
+   and the Sim_stats JSON round-trip that cache replay leans on. *)
 
 module Config = Levioso_uarch.Config
 module Run_cache = Levioso_uarch.Run_cache
@@ -73,6 +74,120 @@ let test_corrupt_entry_is_a_miss () =
     "corrupt file treated as miss" None
     (find_cycles cache ~config ~workload:"w" ~policy:"p")
 
+let test_sharded_layout () =
+  let dir = fresh_dir () in
+  let cache = Run_cache.create ~stamp:"s1" ~dir () in
+  let config = Config.default in
+  Run_cache.store cache ~config ~workload:"w" ~policy:"p" summary;
+  let file = Run_cache.path cache ~config ~workload:"w" ~policy:"p" in
+  Alcotest.(check bool) "entry lives at its sharded path" true
+    (Sys.file_exists file);
+  let shard = Filename.basename (Filename.dirname file) in
+  Alcotest.(check int) "shard dir is a 2-char digest prefix" 2
+    (String.length shard);
+  Alcotest.(check bool) "shard dir is under the store root" true
+    (Filename.dirname (Filename.dirname file) = dir);
+  (* the shard name is the leading hex of the entry's own digest *)
+  let name = Filename.basename file in
+  let digest16 =
+    String.sub name (String.length name - String.length ".json" - 16) 16
+  in
+  Alcotest.(check string) "prefix matches" (String.sub digest16 0 2) shard;
+  Alcotest.(check bool) "no temp debris left behind" true
+    (Array.for_all
+       (fun f -> not (Filename.check_suffix f ".tmp"))
+       (Sys.readdir (Filename.dirname file)))
+
+(* Entries written by the pre-shard flat layout sit directly in the
+   store root; creating a store over such a directory migrates them into
+   their shard subdirectories (and a not-yet-migrated flat entry is
+   still found in place). *)
+let test_flat_migration_round_trip () =
+  let dir = fresh_dir () in
+  let cache = Run_cache.create ~stamp:"s1" ~dir () in
+  let config = Config.default in
+  Run_cache.store cache ~config ~workload:"w" ~policy:"p" summary;
+  let sharded = Run_cache.path cache ~config ~workload:"w" ~policy:"p" in
+  let flat = Filename.concat dir (Filename.basename sharded) in
+  (* reconstruct the legacy layout by hand *)
+  Sys.rename sharded flat;
+  Alcotest.(check (option string))
+    "flat entry found without migration"
+    (Some (Json.to_string summary))
+    (find_cycles cache ~config ~workload:"w" ~policy:"p");
+  let migrated = Run_cache.create ~stamp:"s1" ~dir () in
+  Alcotest.(check bool) "create migrated the flat entry" true
+    (Sys.file_exists sharded && not (Sys.file_exists flat));
+  Alcotest.(check (option string))
+    "hit after migration"
+    (Some (Json.to_string summary))
+    (find_cycles migrated ~config ~workload:"w" ~policy:"p")
+
+(* Two writers racing on the same key: last rename wins, and a reader
+   polling throughout only ever observes a complete entry (temp-file +
+   atomic-rename invariant) — never a torn or partial write. *)
+let test_racing_writers_atomicity () =
+  let dir = fresh_dir () in
+  let cache = Run_cache.create ~stamp:"s1" ~dir () in
+  let config = Config.default in
+  let big =
+    (* large enough that a non-atomic write would be observable mid-copy *)
+    Json.Obj
+      [
+        ("stats", Json.Obj [ ("cycles", Json.Int 123) ]);
+        ( "pad",
+          Json.List (List.init 2048 (fun i -> Json.Int i)) );
+      ]
+  in
+  let expected = Json.to_string big in
+  let writer () =
+    for _ = 1 to 50 do
+      Run_cache.store cache ~config ~workload:"w" ~policy:"p" big
+    done
+  in
+  let d1 = Domain.spawn writer and d2 = Domain.spawn writer in
+  let torn = ref 0 in
+  for _ = 1 to 500 do
+    (match find_cycles cache ~config ~workload:"w" ~policy:"p" with
+    | Some s -> if s <> expected then incr torn
+    | None -> ());
+    Domain.cpu_relax ()
+  done;
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "no torn reads" 0 !torn;
+  Alcotest.(check (option string))
+    "final entry complete" (Some expected)
+    (find_cycles cache ~config ~workload:"w" ~policy:"p");
+  Alcotest.(check bool) "no temp debris after the race" true
+    (Array.for_all
+       (fun f -> not (Filename.check_suffix f ".tmp"))
+       (Sys.readdir
+          (Filename.dirname
+             (Run_cache.path cache ~config ~workload:"w" ~policy:"p"))))
+
+let test_prune () =
+  let dir = fresh_dir () in
+  let cache = Run_cache.create ~stamp:"s1" ~dir () in
+  let config = Config.default in
+  Run_cache.store cache ~config ~workload:"old" ~policy:"p" summary;
+  Run_cache.store cache ~config ~workload:"new" ~policy:"p" summary;
+  (* back-date the old entry well past the cutoff *)
+  let old_file = Run_cache.path cache ~config ~workload:"old" ~policy:"p" in
+  let past = Unix.gettimeofday () -. (40.0 *. 86400.0) in
+  Unix.utimes old_file past past;
+  Alcotest.(check int) "one stale entry removed" 1
+    (Run_cache.prune cache ~max_age_days:30);
+  Alcotest.(check (option string))
+    "stale entry gone" None
+    (find_cycles cache ~config ~workload:"old" ~policy:"p");
+  Alcotest.(check (option string))
+    "fresh entry survives"
+    (Some (Json.to_string summary))
+    (find_cycles cache ~config ~workload:"new" ~policy:"p");
+  Alcotest.(check int) "second prune is a no-op" 0
+    (Run_cache.prune cache ~max_age_days:30)
+
 let test_sim_stats_round_trip () =
   let s = Sim_stats.create () in
   s.Sim_stats.cycles <- 1000;
@@ -116,6 +231,12 @@ let suite =
         test_key_sensitivity;
       Alcotest.test_case "corrupt entry is a miss" `Quick
         test_corrupt_entry_is_a_miss;
+      Alcotest.test_case "sharded on-disk layout" `Quick test_sharded_layout;
+      Alcotest.test_case "flat-layout migration round-trip" `Quick
+        test_flat_migration_round_trip;
+      Alcotest.test_case "racing writers, atomic reads" `Quick
+        test_racing_writers_atomicity;
+      Alcotest.test_case "prune removes only stale entries" `Quick test_prune;
       Alcotest.test_case "Sim_stats JSON round-trip" `Quick
         test_sim_stats_round_trip;
       Alcotest.test_case "Sim_stats.of_json rejects garbage" `Quick

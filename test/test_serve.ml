@@ -1,0 +1,356 @@
+(* The simulation-as-a-service stack: wire-protocol round-trips and
+   frame-tag strictness, the shared workload/policy catalog, engine
+   determinism against the in-process path, and a live daemon on a temp
+   socket exercised by sequential and concurrent clients (equality of
+   every client's results with a local run, cache replay on
+   resubmission, prune, graceful shutdown). *)
+
+module Config = Levioso_uarch.Config
+module Run_cache = Levioso_uarch.Run_cache
+module Sampler = Levioso_uarch.Sampler
+module Json = Levioso_telemetry.Json
+module Protocol = Levioso_serve.Protocol
+module Catalog = Levioso_serve.Catalog
+module Engine = Levioso_serve.Engine
+module Server = Levioso_serve.Server
+module Client = Levioso_serve.Client
+
+let cell ?(workload = "stream") ?(policy = "unsafe") ?(audit = false)
+    ?sample ?(config = Config.default) () =
+  { Protocol.config; workload; policy; audit; sample }
+
+(* ---------- protocol ---------- *)
+
+let test_cell_round_trip () =
+  let sample =
+    match Sampler.parse "5000:1000:10" with
+    | Ok s -> s
+    | Error msg -> Alcotest.fail msg
+  in
+  let check what c =
+    match Protocol.cell_of_json (Protocol.cell_to_json c) with
+    | Error msg -> Alcotest.fail (what ^ ": " ^ msg)
+    | Ok back -> Alcotest.(check bool) what true (back = c)
+  in
+  check "plain cell" (cell ());
+  check "audited cell" (cell ~audit:true ());
+  check "sampled cell" (cell ?sample ());
+  check "custom config"
+    (cell ~config:{ Config.default with Config.rob_size = 48 } ())
+
+let test_request_round_trip () =
+  let check what r =
+    match Protocol.request_of_json (Protocol.request_to_json r) with
+    | Error msg -> Alcotest.fail (what ^ ": " ^ msg)
+    | Ok back -> Alcotest.(check bool) what true (back = r)
+  in
+  check "list" Protocol.List;
+  check "ping" Protocol.Ping;
+  check "stats" Protocol.Stats;
+  check "shutdown" Protocol.Shutdown;
+  check "prune" (Protocol.Prune 30);
+  check "submit"
+    (Protocol.Submit
+       { id = "r1"; cache = false; cells = [ cell (); cell ~policy:"levioso" () ] })
+
+let test_response_round_trip () =
+  let summary = Json.Obj [ ("stats", Json.Obj [ ("cycles", Json.Int 9) ]) ] in
+  let check what r =
+    match Protocol.response_of_json (Protocol.response_to_json r) with
+    | Error msg -> Alcotest.fail (what ^ ": " ^ msg)
+    | Ok back -> Alcotest.(check bool) what true (back = r)
+  in
+  check "hello" (Protocol.Hello { proto = 1; pool = 4; cache = true });
+  check "listing"
+    (Protocol.Listing
+       { workloads = [ ("w", "desc") ]; policies = [ "unsafe" ] });
+  check "ack" (Protocol.Ack { id = "r1"; cells = 2 });
+  check "result"
+    (Protocol.Result
+       { id = "r1"; index = 0; source = "sim"; wall_s = 0.5; summary });
+  check "done"
+    (Protocol.Done
+       { id = "r1"; stats = { simulated = 1; cached = 1; wall_s = 0.9 } });
+  check "pruned" (Protocol.Pruned 3);
+  check "stats-snapshot" (Protocol.Stats_snapshot summary);
+  check "pong" Protocol.Pong;
+  check "error" (Protocol.Error "boom");
+  check "bye" Protocol.Bye
+
+let test_frame_tag_strictness () =
+  let reject what j =
+    Alcotest.(check bool) what true (Result.is_error (Protocol.request_of_json j))
+  in
+  reject "untagged frame" (Json.Obj [ ("type", Json.String "ping") ]);
+  reject "wrong generation"
+    (Json.Obj
+       [
+         ("frame", Json.String "levioso-serve/v0");
+         ("type", Json.String "ping");
+       ]);
+  reject "unknown type"
+    (Json.Obj
+       [
+         ("frame", Json.String Protocol.frame_tag);
+         ("type", Json.String "frobnicate");
+       ])
+
+(* ---------- catalog ---------- *)
+
+let test_catalog () =
+  let names = Catalog.workload_names () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " resolvable") true (List.mem n names))
+    [ "stream"; "stream-xl"; "spectre-v1" ];
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " findable") true
+        (Catalog.find_workload n <> None))
+    names;
+  Alcotest.(check bool) "unknown workload is None" true
+    (Catalog.find_workload "no-such" = None);
+  Alcotest.(check bool) "policies include levioso" true
+    (List.mem "levioso" (Catalog.policies ()))
+
+(* ---------- engine ---------- *)
+
+let test_engine_validate () =
+  Alcotest.(check bool) "good cell validates" true
+    (Engine.validate_cell (cell ()) = Ok ());
+  Alcotest.(check bool) "unknown workload rejected" true
+    (Result.is_error (Engine.validate_cell (cell ~workload:"no-such" ())));
+  Alcotest.(check bool) "unknown policy rejected" true
+    (Result.is_error (Engine.validate_cell (cell ~policy:"no-such" ())));
+  let sample =
+    match Sampler.parse "5000:1000:10" with Ok s -> s | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool) "audit x sample rejected" true
+    (Result.is_error (Engine.validate_cell (cell ~audit:true ?sample ())));
+  Alcotest.(check bool) "bad config rejected" true
+    (Result.is_error
+       (Engine.validate_cell
+          (cell ~config:{ Config.default with Config.rob_size = 0 } ())))
+
+let test_engine_deterministic_and_cached () =
+  let dir = Filename.temp_file "levioso-serve-engine" "" in
+  Sys.remove dir;
+  let cache = Run_cache.create ~stamp:"t" ~dir () in
+  let c = cell ~policy:"levioso" () in
+  let a = Engine.run_cell ~cache c in
+  Alcotest.(check string) "first run simulates" "sim" a.Engine.source;
+  let b = Engine.run_cell ~cache c in
+  Alcotest.(check string) "second run replays" "cache" b.Engine.source;
+  Alcotest.(check string) "replay is bit-identical"
+    (Json.to_string a.Engine.summary)
+    (Json.to_string b.Engine.summary);
+  let fresh = Engine.run_cell c in
+  Alcotest.(check string) "uncached rerun is bit-identical"
+    (Json.to_string a.Engine.summary)
+    (Json.to_string fresh.Engine.summary)
+
+let test_engine_never_caches_estimates () =
+  let dir = Filename.temp_file "levioso-serve-engine" "" in
+  Sys.remove dir;
+  let cache = Run_cache.create ~stamp:"t" ~dir () in
+  let sample =
+    match Sampler.parse "2000:500:10" with Ok s -> s | Error m -> Alcotest.fail m
+  in
+  let sampled = cell ?sample () in
+  Alcotest.(check bool) "sampled cell not cacheable" false
+    (Engine.cacheable sampled);
+  let a = Engine.run_cell ~cache sampled in
+  Alcotest.(check string) "sampled run simulates" "sim" a.Engine.source;
+  let b = Engine.run_cell ~cache sampled in
+  Alcotest.(check string) "sampled rerun simulates again" "sim" b.Engine.source
+
+(* ---------- live daemon ---------- *)
+
+let temp_socket () =
+  let f = Filename.temp_file "lev-serve" ".sock" in
+  (* bind_listener treats the (never-listened-on) leftover as stale *)
+  f
+
+let with_server ?queue_max ?cache_dir f =
+  let socket_path = temp_socket () in
+  let cache =
+    Option.map (fun dir -> Run_cache.create ~stamp:"t" ~dir ()) cache_dir
+  in
+  let ready_mu = Mutex.create () in
+  let ready_cond = Condition.create () in
+  let ready = ref false in
+  let server =
+    Thread.create
+      (fun () ->
+        Server.run
+          ~on_ready:(fun () ->
+            Mutex.lock ready_mu;
+            ready := true;
+            Condition.broadcast ready_cond;
+            Mutex.unlock ready_mu)
+          {
+            Server.socket_path;
+            pool_size = 2;
+            queue_max;
+            cache;
+            monitor = None;
+            log = None;
+          })
+      ()
+  in
+  Mutex.lock ready_mu;
+  while not !ready do
+    Condition.wait ready_cond ready_mu
+  done;
+  Mutex.unlock ready_mu;
+  Fun.protect
+    ~finally:(fun () ->
+      (* idempotent: tests that already shut the daemon down just get a
+         connection refusal here *)
+      (try
+         let c = Client.connect socket_path in
+         Client.shutdown c;
+         Client.close c
+       with Client.Server_error _ -> ());
+      Thread.join server)
+    (fun () -> f socket_path)
+
+let matrix_cells =
+  [
+    cell ();
+    cell ~policy:"levioso" ();
+    cell ~workload:"matmul" ();
+    cell ~workload:"matmul" ~policy:"levioso" ();
+  ]
+
+let summaries results =
+  Array.to_list
+    (Array.map
+       (fun (r : Client.result_cell) -> Json.to_string r.Client.summary)
+       results)
+
+let local_summaries cells =
+  List.map
+    (fun c -> Json.to_string (Engine.run_cell c).Engine.summary)
+    cells
+
+let test_server_end_to_end () =
+  let dir = Filename.temp_file "levioso-serve-store" "" in
+  Sys.remove dir;
+  with_server ~cache_dir:dir (fun socket ->
+      let c = Client.connect socket in
+      Alcotest.(check int) "hello advertises the pool" 2 (Client.pool c);
+      Alcotest.(check bool) "hello advertises the cache" true
+        (Client.server_cache c);
+      Client.ping c;
+      let workloads, policies = Client.list c in
+      Alcotest.(check bool) "listing has stream-xl" true
+        (List.mem_assoc "stream-xl" workloads);
+      Alcotest.(check bool) "listing has levioso" true
+        (List.mem "levioso" policies);
+      let results, stats = Client.submit c matrix_cells in
+      Alcotest.(check int) "all cells simulated"
+        (List.length matrix_cells)
+        stats.Protocol.simulated;
+      Alcotest.(check (list string))
+        "streamed summaries match the in-process engine"
+        (local_summaries matrix_cells) (summaries results);
+      (* resubmission replays everything from the shard store *)
+      let again, stats2 = Client.submit c matrix_cells in
+      Alcotest.(check int) "warm resubmission simulates nothing" 0
+        stats2.Protocol.simulated;
+      Alcotest.(check int) "warm resubmission all cached"
+        (List.length matrix_cells)
+        stats2.Protocol.cached;
+      Alcotest.(check (list string))
+        "cached summaries bit-identical" (summaries results) (summaries again);
+      (* a progress callback sees every index once, in order *)
+      let seen = ref [] in
+      let _, _ =
+        Client.submit c matrix_cells ~on_result:(fun i _ ->
+            seen := i :: !seen)
+      in
+      Alcotest.(check (list int))
+        "results streamed in submission order"
+        (List.init (List.length matrix_cells) Fun.id)
+        (List.rev !seen);
+      Alcotest.(check int) "nothing stale to prune" 0
+        (Client.prune c ~max_age_days:30);
+      (* bad batches fail atomically, and the connection survives *)
+      (match Client.submit c [ cell ~workload:"no-such" () ] with
+      | exception Client.Server_error _ -> ()
+      | _ -> Alcotest.fail "invalid cell accepted");
+      Client.ping c;
+      Client.shutdown c;
+      Client.close c;
+      (* bye is acked before the daemon finishes draining; give the
+         cleanup a moment *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while Sys.file_exists socket && Unix.gettimeofday () < deadline do
+        Thread.yield ()
+      done;
+      Alcotest.(check bool) "socket unlinked after shutdown" false
+        (Sys.file_exists socket))
+
+let test_concurrent_clients_bit_identical () =
+  with_server (fun socket ->
+      let expected = local_summaries matrix_cells in
+      let one_client _ =
+        let c = Client.connect socket in
+        let results, _ = Client.submit c matrix_cells in
+        Client.close c;
+        summaries results
+      in
+      (* joined threads can't return values, so each writes its own
+         array slot *)
+      let captured = Array.make 4 [] in
+      let capture i = captured.(i) <- one_client i in
+      let ts = List.init 4 (fun i -> Thread.create capture i) in
+      List.iter Thread.join ts;
+      Array.iteri
+        (fun i s ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "client %d bit-identical to local" i)
+            expected s)
+        captured)
+
+let test_bounded_queue_backpressure () =
+  (* queue bound of 1 with 2 workers: submissions block instead of
+     queueing arbitrarily, and the batch still completes in order *)
+  with_server ~queue_max:1 (fun socket ->
+      let c = Client.connect socket in
+      let cells =
+        List.init 6 (fun i ->
+            cell ~config:{ Config.default with Config.rob_size = 64 + i } ())
+      in
+      let results, stats = Client.submit c cells in
+      Alcotest.(check int) "all cells computed" 6 stats.Protocol.simulated;
+      Alcotest.(check (list string))
+        "bounded-queue results match local"
+        (local_summaries cells) (summaries results);
+      Client.close c)
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "protocol: cell round-trip" `Quick
+        test_cell_round_trip;
+      Alcotest.test_case "protocol: request round-trip" `Quick
+        test_request_round_trip;
+      Alcotest.test_case "protocol: response round-trip" `Quick
+        test_response_round_trip;
+      Alcotest.test_case "protocol: frame-tag strictness" `Quick
+        test_frame_tag_strictness;
+      Alcotest.test_case "catalog: one name set" `Quick test_catalog;
+      Alcotest.test_case "engine: cell validation" `Quick test_engine_validate;
+      Alcotest.test_case "engine: deterministic + cache replay" `Quick
+        test_engine_deterministic_and_cached;
+      Alcotest.test_case "engine: estimates never cached" `Quick
+        test_engine_never_caches_estimates;
+      Alcotest.test_case "daemon: end-to-end exchange" `Quick
+        test_server_end_to_end;
+      Alcotest.test_case "daemon: 4 concurrent clients bit-identical" `Quick
+        test_concurrent_clients_bit_identical;
+      Alcotest.test_case "daemon: bounded-queue backpressure" `Quick
+        test_bounded_queue_backpressure;
+    ] )
