@@ -76,10 +76,13 @@ let stats_snapshot t =
         Json.Obj (List.map (fun (n, _, v) -> (n, Json.float v)) (gauges t)) );
     ]
 
-(* the in-flight memo key: everything that determines the result bits *)
-let cell_key (c : Protocol.cell) =
+(* The in-flight memo key: everything that determines the result bits,
+   plus the cache flag — a --no-cache submission must not merge onto a
+   cache-enabled computation that could replay from the shard store. *)
+let cell_key ~use_cache (c : Protocol.cell) =
   String.concat "\x00"
     [
+      string_of_bool use_cache;
       Run_cache.config_key c.Protocol.config;
       c.Protocol.workload;
       c.Protocol.policy;
@@ -111,7 +114,7 @@ let exec t ~use_cache cell () =
    [Parallel.async] — a bounded pool blocks there, and a worker
    finishing a task must not need the lock we hold (deadlock). *)
 let schedule t ~use_cache cell =
-  let key = cell_key cell in
+  let key = cell_key ~use_cache cell in
   match
     Mutex.protect t.inflight_mu (fun () -> Hashtbl.find_opt t.inflight key)
   with
@@ -124,8 +127,8 @@ let schedule t ~use_cache cell =
         if not (Hashtbl.mem t.inflight key) then Hashtbl.add t.inflight key fut);
     (fut, true)
 
-let unschedule t cell fut =
-  let key = cell_key cell in
+let unschedule t ~use_cache cell fut =
+  let key = cell_key ~use_cache cell in
   Mutex.protect t.inflight_mu (fun () ->
       match Hashtbl.find_opt t.inflight key with
       | Some f when f == fut -> Hashtbl.remove t.inflight key
@@ -162,39 +165,54 @@ let handle_submit t oc ~id ~cache cells =
         cells
     in
     let simulated = ref 0 and cached = ref 0 in
-    List.iteri
-      (fun index (cell, fut, fresh) ->
-        let o = Parallel.await fut in
-        if fresh then unschedule t cell fut;
-        (match o.Engine.source with
-        | "cache" -> incr cached
-        | _ -> incr simulated);
-        publish_gauges t;
+    (* Whatever interrupts the stream — a Failed future re-raised by
+       await, a write to a vanished client — every fresh cell of the
+       batch must leave the memo, or its key is poisoned for the
+       daemon's lifetime (later identical submissions would merge onto
+       the dead future instead of re-simulating).  [unschedule] is
+       idempotent, so the eager per-cell removal below and this sweep
+       can overlap. *)
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun (cell, fut, fresh) ->
+            if fresh then unschedule t ~use_cache:cache cell fut)
+          scheduled;
+        publish_gauges t)
+      (fun () ->
+        List.iteri
+          (fun index (cell, fut, fresh) ->
+            let o = Parallel.await fut in
+            if fresh then unschedule t ~use_cache:cache cell fut;
+            (match o.Engine.source with
+            | "cache" -> incr cached
+            | _ -> incr simulated);
+            publish_gauges t;
+            Protocol.(
+              write_frame oc
+                (response_to_json
+                   (Result
+                      {
+                        id;
+                        index;
+                        source = o.Engine.source;
+                        wall_s = o.Engine.wall_s;
+                        summary = o.Engine.summary;
+                      }))))
+          scheduled;
         Protocol.(
           write_frame oc
             (response_to_json
-               (Result
+               (Done
                   {
                     id;
-                    index;
-                    source = o.Engine.source;
-                    wall_s = o.Engine.wall_s;
-                    summary = o.Engine.summary;
+                    stats =
+                      {
+                        simulated = !simulated;
+                        cached = !cached;
+                        wall_s = Unix.gettimeofday () -. t0;
+                      };
                   }))))
-      scheduled;
-    Protocol.(
-      write_frame oc
-        (response_to_json
-           (Done
-              {
-                id;
-                stats =
-                  {
-                    simulated = !simulated;
-                    cached = !cached;
-                    wall_s = Unix.gettimeofday () -. t0;
-                  };
-              })))
 
 let stop_accepting t =
   if Atomic.compare_and_set t.running true false then begin
@@ -305,6 +323,11 @@ let bind_listener socket_path =
   listener
 
 let run ?(on_ready = fun () -> ()) opts =
+  (* A client that disconnects mid-stream must surface as a Sys_error
+     (EPIPE) on the write — which handle_client absorbs — not as a
+     SIGPIPE whose default action kills the daemon for everyone. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let listener = bind_listener opts.socket_path in
   let pool =
     Parallel.create ~size:(max 1 opts.pool_size) ?max_pending:opts.queue_max ()

@@ -68,14 +68,17 @@ let migrate_flat dir =
       (fun name ->
         match key_of_entry_name name with
         | None -> ()
-        | Some key ->
+        | Some key -> (
           let src = Filename.concat dir name in
-          if not (Sys.is_directory src) then begin
-            let shard_dir = Filename.concat dir (shard_of_key key) in
-            mkdir_p shard_dir;
-            try Sys.rename src (Filename.concat shard_dir name)
-            with Sys_error _ -> ()
-          end)
+          (* Sys.is_directory raises if a concurrent migrator already
+             renamed src away; losing that race is fine, skip it. *)
+          try
+            if not (Sys.is_directory src) then begin
+              let shard_dir = Filename.concat dir (shard_of_key key) in
+              mkdir_p shard_dir;
+              Sys.rename src (Filename.concat shard_dir name)
+            end
+          with Sys_error _ -> ()))
       entries
 
 let create ?stamp ~dir () =

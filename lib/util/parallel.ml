@@ -60,22 +60,36 @@ let queue_depth t =
 
 (* [Stop] bypasses the bound so {!shutdown} can always drain a full
    queue; real work blocks here until a worker frees a slot, which is
-   the daemon's backpressure. *)
+   the daemon's backpressure.  [t.stopped] is checked under the mutex:
+   a submitter blocked on a full queue when {!shutdown} begins is woken
+   by the shutdown broadcast and rejected, instead of enqueueing a task
+   behind the [Stop] markers that no worker will ever run (which would
+   strand its {!await} forever). *)
 let submit t task =
   Mutex.lock t.mutex;
   (match (t.max_pending, task) with
   | Some m, Task _ ->
-    while Queue.length t.tasks >= m do
+    while (not t.stopped) && Queue.length t.tasks >= m do
       Condition.wait t.not_full t.mutex
     done
   | _ -> ());
-  Queue.push task t.tasks;
-  Condition.signal t.nonempty;
-  Mutex.unlock t.mutex
+  match (t.stopped, task) with
+  | true, Task _ ->
+    Mutex.unlock t.mutex;
+    invalid_arg "Parallel.submit: pool has been shut down"
+  | _ ->
+    Queue.push task t.tasks;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex
 
 let shutdown t =
-  if not t.stopped then begin
+  Mutex.lock t.mutex;
+  if t.stopped then Mutex.unlock t.mutex
+  else begin
     t.stopped <- true;
+    (* wake submitters blocked on a full queue so they observe the stop *)
+    Condition.broadcast t.not_full;
+    Mutex.unlock t.mutex;
     List.iter (fun _ -> submit t Stop) t.workers;
     List.iter Domain.join t.workers;
     t.workers <- []
@@ -90,8 +104,14 @@ type 'b slot =
   | Value of 'b
   | Raised of exn * Printexc.raw_backtrace
 
+let ensure_live t what =
+  Mutex.lock t.mutex;
+  let stopped = t.stopped in
+  Mutex.unlock t.mutex;
+  if stopped then invalid_arg (what ^ ": pool has been shut down")
+
 let map t f xs =
-  if t.stopped then invalid_arg "Parallel.map: pool has been shut down";
+  ensure_live t "Parallel.map";
   if t.pool_size <= 1 then List.map f xs
   else begin
     let n = List.length xs in
@@ -151,7 +171,7 @@ type 'a future = {
 }
 
 let async t f =
-  if t.stopped then invalid_arg "Parallel.async: pool has been shut down";
+  ensure_live t "Parallel.async";
   let fut = { fmu = Mutex.create (); fcond = Condition.create (); fstate = Running } in
   let run () =
     let result =

@@ -69,6 +69,46 @@ let test_map_after_shutdown_raises () =
     (Invalid_argument "Parallel.map: pool has been shut down") (fun () ->
       ignore (Parallel.map pool Fun.id [ 1 ] : int list))
 
+(* A submitter blocked on a full bounded queue when shutdown begins must
+   be woken and rejected — not left to enqueue a task behind the Stop
+   markers that no worker will ever run (stranding its await forever and
+   hanging the daemon's shutdown join). *)
+let test_blocked_submit_rejected_on_shutdown () =
+  let pool = Parallel.create ~size:2 ~max_pending:1 () in
+  let release = Atomic.make false in
+  let started = Atomic.make 0 in
+  let gated () =
+    Atomic.incr started;
+    while not (Atomic.get release) do
+      Domain.cpu_relax ()
+    done
+  in
+  (* occupy both workers, then fill the single queue slot *)
+  let _w1 = Parallel.async pool gated in
+  let _w2 = Parallel.async pool gated in
+  while Atomic.get started < 2 do
+    Domain.cpu_relax ()
+  done;
+  let filler = Parallel.async pool (fun () -> ()) in
+  let rejected = Atomic.make false in
+  let submitter =
+    Thread.create
+      (fun () ->
+        match Parallel.async pool (fun () -> ()) with
+        | (_ : unit Parallel.future) -> ()
+        | exception Invalid_argument _ -> Atomic.set rejected true)
+      ()
+  in
+  Thread.delay 0.05;
+  let shutter = Thread.create (fun () -> Parallel.shutdown pool) () in
+  Thread.delay 0.05;
+  Atomic.set release true;
+  Thread.join submitter;
+  Thread.join shutter;
+  Alcotest.(check bool) "blocked submit rejected" true (Atomic.get rejected);
+  (* work enqueued before shutdown still drains *)
+  Parallel.await filler
+
 (* --- parallel simulation determinism ------------------------------- *)
 
 let kernel =
@@ -129,6 +169,8 @@ let suite =
       Alcotest.test_case "exceptions propagate" `Quick test_exceptions_propagate;
       Alcotest.test_case "map after shutdown raises" `Quick
         test_map_after_shutdown_raises;
+      Alcotest.test_case "blocked submit rejected on shutdown" `Quick
+        test_blocked_submit_rejected_on_shutdown;
       Alcotest.test_case "parallel matrix bit-identical to serial" `Slow
         test_parallel_matrix_bit_identical;
     ] )
