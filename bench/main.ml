@@ -307,16 +307,43 @@ let remote_fetch socket (todo : (Config.t * Workload.t * string) list) =
   Fun.protect
     ~finally:(fun () -> Serve_client.close client)
     (fun () ->
-      let results, _stats =
+      let results, stats =
         Serve_client.submit ~cache:!use_cache client cells
           ~on_result:(fun _ (r : Serve_client.result_cell) ->
             match !monitor with
             | Some m -> Monitor.item_done m ~wall_s:r.Serve_client.wall_s ()
             | None -> ())
+          ~timings:(fun (tm : Serve_client.timings) ->
+            (* stderr only: --json on stdout must stay byte-identical to
+               a local run of the same matrix *)
+            Printf.eprintf
+              "--remote: trace %s — ack %.1fms, first result %s, drain \
+               %.2fs, total %.2fs\n\
+               %!"
+              tm.Serve_client.trace
+              (tm.Serve_client.ack_s *. 1e3)
+              (match tm.Serve_client.first_result_s with
+              | Some s -> Printf.sprintf "%.2fs" s
+              | None -> "-")
+              tm.Serve_client.drain_s tm.Serve_client.total_s)
       in
+      if stats.Serve_protocol.failed > 0 then
+        Printf.eprintf
+          "--remote: %d of %d cells failed daemon-side (falling back to \
+           local simulation for them)\n\
+           %!"
+          stats.Serve_protocol.failed (List.length cells);
       Array.iteri
         (fun i (r : Serve_client.result_cell) ->
           let config, (w : Workload.t), p = todo_arr.(i) in
+          (* a failed cell is reported and left out of the memo: the
+             figure pass simulates it locally like any other miss, so
+             one bad cell no longer aborts the whole bench run *)
+          match r.Serve_client.error with
+          | Some msg ->
+            Printf.eprintf "--remote: cell %d (%s/%s) failed: %s\n%!" i
+              w.Workload.name p msg
+          | None ->
           let summary = r.Serve_client.summary in
           let stats =
             match Option.map Sim_stats.of_json (Json.member "stats" summary) with

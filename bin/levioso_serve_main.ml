@@ -19,6 +19,7 @@ module Registry = Levioso_core.Registry
 module Suite = Levioso_workload.Suite
 module Json = Levioso_telemetry.Json
 module Monitor = Levioso_telemetry.Monitor
+module Span = Levioso_telemetry.Span
 module Report = Levioso_util.Report
 module Stats = Levioso_util.Stats
 module Serve = Levioso_serve
@@ -30,7 +31,7 @@ module Catalog = Levioso_serve.Catalog
 (* ---------- serve ---------- *)
 
 let serve socket jobs queue_max cache_dir no_cache metrics_file progress_file
-    quiet =
+    trace_out access_log_path quiet =
   if jobs < 0 then `Error (false, "-j expects a non-negative integer")
   else if queue_max < 0 then
     `Error (false, "--queue-max expects a non-negative integer")
@@ -56,6 +57,17 @@ let serve socket jobs queue_max cache_dir no_cache metrics_file progress_file
     let pool_size =
       if jobs = 0 then Levioso_util.Parallel.default_size () else jobs
     in
+    (* the collector also powers the access log's engine-stage columns,
+       so either flag turns it on *)
+    let spans =
+      if trace_out <> None || access_log_path <> None then
+        Some (Span.create ())
+      else None
+    in
+    let access_log = Option.map open_out access_log_path in
+    let close_access () =
+      Option.iter (fun oc -> try close_out oc with Sys_error _ -> ()) access_log
+    in
     match
       Server.run
         {
@@ -65,11 +77,24 @@ let serve socket jobs queue_max cache_dir no_cache metrics_file progress_file
           cache;
           monitor;
           log;
+          spans;
+          access_log;
         }
     with
-    | () -> `Ok ()
-    | exception Failure msg -> `Error (false, msg)
+    | () ->
+      (match (spans, trace_out) with
+      | Some sp, Some path ->
+        let oc = open_out path in
+        Span.write_chrome oc (Span.drain sp);
+        close_out oc
+      | _ -> ());
+      close_access ();
+      `Ok ()
+    | exception Failure msg ->
+      close_access ();
+      `Error (false, msg)
     | exception Unix.Unix_error (e, fn, arg) ->
+      close_access ();
       `Error
         ( false,
           Printf.sprintf "%s: %s(%s): %s" socket fn arg (Unix.error_message e)
@@ -102,8 +127,96 @@ let cycles_of_summary summary =
     | _ -> -1)
 
 let print_batch_stats (stats : Protocol.done_stats) =
-  Printf.eprintf "serve: %d simulated, %d cached in %.2fs\n%!"
-    stats.Protocol.simulated stats.Protocol.cached stats.Protocol.wall_s
+  Printf.eprintf "serve: %d simulated, %d cached%s in %.2fs\n%!"
+    stats.Protocol.simulated stats.Protocol.cached
+    (if stats.Protocol.failed > 0 then
+       Printf.sprintf ", %d FAILED" stats.Protocol.failed
+     else "")
+    stats.Protocol.wall_s
+
+let print_cell_errors cells (results : Client.result_cell array) =
+  Array.iteri
+    (fun i (r : Client.result_cell) ->
+      match r.Client.error with
+      | Some msg ->
+        let cell = List.nth cells i in
+        Printf.eprintf "serve: cell %d (%s/%s) failed: %s\n%!" i
+          cell.Protocol.workload cell.Protocol.policy msg
+      | None -> ())
+    results
+
+(* ---------- human-readable stats rendering (stats / top) ---------- *)
+
+let fmt_dur s =
+  if s < 0.001 then Printf.sprintf "%.1fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.2fs" s
+
+let fmt_uptime s =
+  let s = int_of_float s in
+  if s >= 3600 then
+    Printf.sprintf "%dh %dm %ds" (s / 3600) (s mod 3600 / 60) (s mod 60)
+  else if s >= 60 then Printf.sprintf "%dm %ds" (s / 60) (s mod 60)
+  else Printf.sprintf "%ds" s
+
+let render_stats socket j =
+  let num name =
+    match Json.member name j with
+    | Some (Json.Int n) -> float_of_int n
+    | Some (Json.Float f) -> f
+    | _ -> 0.
+  in
+  let int_ name = int_of_float (num name) in
+  let gauge name =
+    match Option.bind (Json.member "gauges" j) (Json.member name) with
+    | Some (Json.Float f) -> int_of_float f
+    | Some (Json.Int n) -> n
+    | _ -> 0
+  in
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf
+    "levioso_serve @ %s — up %s, proto %d, pool %d, cache %s\n" socket
+    (fmt_uptime (num "uptime_s"))
+    (int_ "proto") (int_ "pool")
+    (match Json.member "cache" j with
+    | Some (Json.Bool true) -> "on"
+    | _ -> "off");
+  Printf.bprintf buf
+    "requests %d   errors %d   clients %d   queue %d   inflight %d\n"
+    (int_ "requests") (int_ "errors") (gauge "serve_clients")
+    (gauge "serve_queue_depth")
+    (gauge "serve_inflight");
+  Printf.bprintf buf "cells: %d simulated, %d cached, %d merged\n\n"
+    (gauge "serve_cells_simulated")
+    (gauge "serve_cells_cached")
+    (gauge "serve_cells_merged");
+  let header = [ "stage"; "seen"; "window"; "p50"; "p95"; "p99" ] in
+  let rows =
+    match Json.member "latency" j with
+    | Some (Json.Obj stages) ->
+      List.map
+        (fun (stage, sj) ->
+          let dur name =
+            match Json.member name sj with
+            | Some (Json.Float v) -> fmt_dur v
+            | Some (Json.Int v) -> fmt_dur (float_of_int v)
+            | _ -> "-"
+          in
+          let count name =
+            match Json.member name sj with
+            | Some (Json.Int v) -> string_of_int v
+            | _ -> "0"
+          in
+          [
+            stage; count "seen"; count "window"; dur "p50_s"; dur "p95_s";
+            dur "p99_s";
+          ])
+        stages
+    | _ -> []
+  in
+  Buffer.add_string buf (Report.table ~header ~rows);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
 
 (* ---------- submit ---------- *)
 
@@ -146,6 +259,7 @@ let submit socket workload_names policy_names rob predictor budget audit
           Client.submit ~cache:(not no_cache) c cells
         in
         if not quiet then print_batch_stats stats;
+        print_cell_errors cells results;
         if json then
           print_endline
             (Json.to_string
@@ -207,14 +321,35 @@ let stress socket cells_n workload policy use_cache =
           })
     in
     with_client socket (fun c ->
+        let walls = ref [] in
         let t0 = Unix.gettimeofday () in
-        let _, stats = Client.submit ~cache:use_cache c cells in
+        let _, stats =
+          Client.submit ~cache:use_cache
+            ~on_result:(fun _ rc ->
+              if rc.Client.error = None then
+                walls := rc.Client.wall_s :: !walls)
+            c cells
+        in
         let wall = Unix.gettimeofday () -. t0 in
         Printf.printf
-          "stress: %d cells (%d simulated, %d cached) in %.2fs — %.1f \
+          "stress: %d cells (%d simulated, %d cached%s) in %.2fs — %.1f \
            cells/s\n"
-          cells_n stats.Protocol.simulated stats.Protocol.cached wall
-          (float_of_int cells_n /. wall))
+          cells_n stats.Protocol.simulated stats.Protocol.cached
+          (if stats.Protocol.failed > 0 then
+             Printf.sprintf ", %d failed" stats.Protocol.failed
+           else "")
+          wall
+          (float_of_int cells_n /. wall);
+        let sorted = Array.of_list (List.sort compare !walls) in
+        let n = Array.length sorted in
+        if n > 0 then begin
+          let pct q =
+            sorted.(min (n - 1)
+                      (max 0 (int_of_float (ceil (q *. float_of_int n)) - 1)))
+          in
+          Printf.printf "  cell wall: p50 %s, p95 %s, p99 %s\n"
+            (fmt_dur (pct 0.5)) (fmt_dur (pct 0.95)) (fmt_dur (pct 0.99))
+        end)
 
 (* ---------- one-frame commands ---------- *)
 
@@ -234,8 +369,34 @@ let ping_cmd socket =
       Printf.printf "pong (pool %d, cache %s)\n" (Client.pool c)
         (if Client.server_cache c then "on" else "off"))
 
-let stats_cmd socket =
-  with_client socket (fun c -> print_endline (Json.to_string (Client.stats c)))
+let stats_cmd socket json =
+  with_client socket (fun c ->
+      let j = Client.stats c in
+      if json then print_endline (Json.to_string j)
+      else print_string (render_stats socket j))
+
+(* ---------- top ---------- *)
+
+let top_cmd socket interval iterations =
+  if interval <= 0. then `Error (false, "--interval expects a positive number")
+  else if iterations < 0 then
+    `Error (false, "--iterations expects a non-negative integer")
+  else
+    with_client socket (fun c ->
+        (* in-place redraw only when talking to a terminal, so piping
+           `top --iterations 1` stays clean text *)
+        let ansi = Unix.isatty Unix.stdout in
+        let rec loop i =
+          let j = Client.stats c in
+          if ansi then print_string "\027[2J\027[H";
+          print_string (render_stats socket j);
+          flush stdout;
+          if iterations = 0 || i < iterations then begin
+            Unix.sleepf interval;
+            loop (i + 1)
+          end
+        in
+        loop 1)
 
 let prune_cmd socket days =
   if days < 0 then `Error (false, "--days expects a non-negative integer")
@@ -308,6 +469,26 @@ let progress_file_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the event log.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "On shutdown, write every request's spans as Chrome trace_event \
+           JSON (loadable in Perfetto: one track per trace id, submit → \
+           cell → cache_probe/replay/simulate nesting) to $(docv).")
+
+let access_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "access-log" ] ~docv:"FILE"
+        ~doc:
+          "Append one schema-tagged JSONL record per served cell to $(docv): \
+           trace/request identity plus per-stage durations (queue, exec, \
+           cache_probe, replay, simulate, serialize) and total_s.")
+
 let serve_cmd =
   let doc = "run the simulation daemon (blocks until a shutdown request)" in
   Cmd.v
@@ -315,7 +496,8 @@ let serve_cmd =
     Term.(
       ret
         (const serve $ socket_arg $ jobs_arg $ queue_max_arg $ cache_dir_arg
-       $ no_cache_arg $ metrics_serve_arg $ progress_file_arg $ quiet_arg))
+       $ no_cache_arg $ metrics_serve_arg $ progress_file_arg $ trace_out_arg
+       $ access_log_arg $ quiet_arg))
 
 let workloads_arg =
   let doc =
@@ -441,10 +623,41 @@ let ping_sub =
     (Cmd.info "ping" ~doc:"check daemon liveness")
     Term.(ret (const ping_cmd $ socket_arg))
 
+let stats_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the raw schema-tagged snapshot instead of the \
+           human-readable view.")
+
 let stats_sub =
   Cmd.v
-    (Cmd.info "stats" ~doc:"print the daemon's queue/throughput snapshot")
-    Term.(ret (const stats_cmd $ socket_arg))
+    (Cmd.info "stats"
+       ~doc:"print the daemon's queue/throughput/latency snapshot")
+    Term.(ret (const stats_cmd $ socket_arg $ stats_json_arg))
+
+let interval_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "interval" ] ~docv:"SECS"
+        ~doc:"Seconds between refreshes (default 2).")
+
+let iterations_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "iterations" ] ~docv:"N"
+        ~doc:
+          "Stop after $(docv) refreshes; 0 (the default) runs until \
+           interrupted.")
+
+let top_sub =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "live per-stage latency view (p50/p95/p99 over a sliding window, \
+          redrawn in place on a terminal)")
+    Term.(ret (const top_cmd $ socket_arg $ interval_arg $ iterations_arg))
 
 let days_arg =
   Arg.(
@@ -473,6 +686,7 @@ let cmd =
       list_sub;
       ping_sub;
       stats_sub;
+      top_sub;
       prune_sub;
       shutdown_sub;
     ]

@@ -89,25 +89,49 @@ let shutdown c =
   | Protocol.Bye -> ()
   | _ -> fail "expected bye"
 
-type result_cell = { source : string; wall_s : float; summary : Json.t }
+type result_cell = {
+  source : string;
+  wall_s : float;
+  summary : Json.t;
+  error : string option;
+}
 
-let submit ?(cache = true) ?on_result c cells =
+type timings = {
+  trace : string;
+  ack_s : float;
+  first_result_s : float option;
+  drain_s : float;
+  total_s : float;
+}
+
+let submit ?(cache = true) ?trace ?on_result ?timings c cells =
   let id = Printf.sprintf "req-%d-%d" (Unix.getpid ()) c.next_id in
   c.next_id <- c.next_id + 1;
+  let trace =
+    match trace with
+    | Some tr -> tr
+    | None -> Levioso_telemetry.Span.mint_trace ()
+  in
   let n = List.length cells in
+  let t0 = Unix.gettimeofday () in
   Protocol.(
-    write_frame c.oc (request_to_json (Submit { id; cache; cells })));
+    write_frame c.oc
+      (request_to_json (Submit { id; cache; trace = Some trace; cells })));
   (match read_response c with
   | Protocol.Ack { id = aid; cells = acells } ->
     if aid <> id || acells <> n then fail "ack for the wrong submission"
   | _ -> fail "expected an ack");
+  let t_ack = Unix.gettimeofday () in
+  let first_result = ref None in
   let results = Array.make n None in
   let rec drain () =
     match read_response c with
-    | Protocol.Result { id = rid; index; source; wall_s; summary } ->
+    | Protocol.Result { id = rid; index; source; wall_s; summary; error } ->
       if rid <> id then fail "result for the wrong submission";
       if index < 0 || index >= n then fail "result index %d out of range" index;
-      let rc = { source; wall_s; summary } in
+      if !first_result = None then
+        first_result := Some (Unix.gettimeofday () -. t0);
+      let rc = { source; wall_s; summary; error } in
       results.(index) <- Some rc;
       (match on_result with Some f -> f index rc | None -> ());
       drain ()
@@ -117,6 +141,18 @@ let submit ?(cache = true) ?on_result c cells =
     | _ -> fail "unexpected frame mid-submission"
   in
   let stats = drain () in
+  (match timings with
+  | Some f ->
+    let t_done = Unix.gettimeofday () in
+    f
+      {
+        trace;
+        ack_s = t_ack -. t0;
+        first_result_s = !first_result;
+        drain_s = t_done -. t_ack;
+        total_s = t_done -. t0;
+      }
+  | None -> ());
   let filled =
     Array.map
       (function

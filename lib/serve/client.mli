@@ -34,19 +34,41 @@ val shutdown : t -> unit
 (** Ask the daemon to drain and exit; returns once it acknowledged. *)
 
 type result_cell = {
-  source : string;  (** ["sim"] or ["cache"] *)
+  source : string;  (** ["sim"], ["cache"] or ["error"] *)
   wall_s : float;  (** daemon-side wall clock for this cell *)
-  summary : Levioso_telemetry.Json.t;
+  summary : Levioso_telemetry.Json.t;  (** [Null] when [error] is set *)
+  error : string option;
+      (** daemon-side per-cell failure; the rest of the batch still
+          completed *)
 }
+
+type timings = {
+  trace : string;  (** the trace id this submission carried *)
+  ack_s : float;  (** request written → [ack] received *)
+  first_result_s : float option;
+      (** request written → first [result] frame; [None] for an empty
+          batch *)
+  drain_s : float;  (** [ack] → [done] (daemon compute + streaming) *)
+  total_s : float;  (** request written → [done] *)
+}
+(** Client-side latency breakdown of one submission, measured around
+    the wire calls — [bench --remote]'s per-batch report. *)
 
 val submit :
   ?cache:bool ->
+  ?trace:string ->
   ?on_result:(int -> result_cell -> unit) ->
+  ?timings:(timings -> unit) ->
   t ->
   Protocol.cell list ->
   result_cell array * Protocol.done_stats
 (** Submit a batch and block until its [done] frame.  [on_result] fires
     per streamed result (in submission order) for progress rendering.
-    The returned array is indexed like the submitted list.
+    The returned array is indexed like the submitted list; a cell the
+    daemon failed on comes back with [error] set (and counts in
+    {!Protocol.done_stats.failed}) instead of aborting the batch.
     [cache] (default [true]) gates the daemon's shared store for this
-    batch. *)
+    batch.  [trace] is the distributed-tracing id carried in the frame
+    (minted via {!Levioso_telemetry.Span.mint_trace} when omitted);
+    [timings] receives the client-side latency breakdown once the
+    [done] frame lands. *)

@@ -8,9 +8,17 @@ module Registry = Levioso_core.Registry
 module Explain = Levioso_core.Explain
 module Json = Levioso_telemetry.Json
 module Schema = Levioso_telemetry.Schema
+module Span = Levioso_telemetry.Span
 module Workload = Levioso_workload.Workload
 
-type outcome = { summary : Json.t; source : string; wall_s : float }
+type scope = { spans : Span.t; trace : string; parent : int }
+
+type outcome = {
+  summary : Json.t;
+  source : string;
+  wall_s : float;
+  stages : (string * float) list;
+}
 
 let validate_cell (c : Protocol.cell) =
   let ( let* ) = Result.bind in
@@ -46,51 +54,106 @@ let replayable summary =
     | Some (Ok _) -> true
     | Some (Error _) | None -> false)
 
-let run_cell ?cache (c : Protocol.cell) =
+(* Stage timing is Option-gated on [scope]: with tracing off no clock
+   is read and no span allocated, so the untraced path is exactly the
+   PR 8 one.  Summaries themselves never depend on [scope] — tracing is
+   bit-effect-free on results either way.  [attrs] sees the stage's
+   result so a probe can tag itself hit/miss. *)
+let staged scope name ?(attrs = fun _ -> []) stages f =
+  match scope with
+  | None -> f ()
+  | Some { spans; trace; parent } ->
+    let sp = Span.start spans ~trace ~parent name in
+    let t0 = Span.now spans in
+    let record more_attrs =
+      stages := (name, Span.now spans -. t0) :: !stages;
+      Span.finish spans ~attrs:more_attrs sp
+    in
+    (match f () with
+    | v ->
+      record (attrs v);
+      v
+    | exception e ->
+      record [ ("error", Printexc.to_string e) ];
+      raise e)
+
+let run_cell ?cache ?scope (c : Protocol.cell) =
   let w = Catalog.find_workload_exn c.Protocol.workload in
   let policy = Registry.find_exn c.Protocol.policy in
   let config = c.Protocol.config in
   let workload = c.Protocol.workload in
+  let stages = ref [] in
   let t0 = Unix.gettimeofday () in
   let replay =
     match cache with
     | Some store when cacheable c -> (
-      match
-        Run_cache.find store ~config ~workload ~policy:c.Protocol.policy
-      with
-      | Some summary when replayable summary -> Some summary
-      | Some _ | None -> None)
+      let found =
+        staged scope "cache_probe"
+          ~attrs:(fun r ->
+            [ ("hit", if r = None then "false" else "true") ])
+          stages
+          (fun () ->
+            Run_cache.find store ~config ~workload ~policy:c.Protocol.policy)
+      in
+      match found with
+      | Some summary ->
+        let ok =
+          staged scope "replay"
+            ~attrs:(fun ok ->
+              [ ("replayable", if ok then "true" else "false") ])
+            stages
+            (fun () -> replayable summary)
+        in
+        if ok then Some summary else None
+      | None -> None)
     | _ -> None
   in
   match replay with
   | Some summary ->
-    { summary; source = "cache"; wall_s = Unix.gettimeofday () -. t0 }
+    {
+      summary;
+      source = "cache";
+      wall_s = Unix.gettimeofday () -. t0;
+      stages = List.rev !stages;
+    }
   | None ->
     let summary =
-      match c.Protocol.sample with
-      | Some sp ->
-        let r =
-          Sampler.run ~mem_init:w.Workload.mem_init sp config ~policy
-            w.Workload.program
-        in
-        Summary.of_sampled ~workload ~policy:c.Protocol.policy r
-      | None ->
-        let audit =
-          if c.Protocol.audit then Some (Explain.audit_for w.Workload.program)
-          else None
-        in
-        (* Exactly the calls a local serial bench cell makes — same
-           pipeline construction, same summarizer, no host section — so
-           the streamed summary is bit-identical to an in-process run. *)
-        let pipe =
-          Pipeline.create ~mem_init:w.Workload.mem_init ?audit config ~policy
-            w.Workload.program
-        in
-        Pipeline.run pipe;
-        Summary.of_pipeline ~workload ~policy:c.Protocol.policy pipe
+      staged scope "simulate"
+        ~attrs:(fun _ ->
+          [ ("workload", workload); ("policy", c.Protocol.policy) ])
+        stages
+        (fun () ->
+          match c.Protocol.sample with
+          | Some sp ->
+            let r =
+              Sampler.run ~mem_init:w.Workload.mem_init sp config ~policy
+                w.Workload.program
+            in
+            Summary.of_sampled ~workload ~policy:c.Protocol.policy r
+          | None ->
+            let audit =
+              if c.Protocol.audit then
+                Some (Explain.audit_for w.Workload.program)
+              else None
+            in
+            (* Exactly the calls a local serial bench cell makes — same
+               pipeline construction, same summarizer, no host section —
+               so the streamed summary is bit-identical to an in-process
+               run. *)
+            let pipe =
+              Pipeline.create ~mem_init:w.Workload.mem_init ?audit config
+                ~policy w.Workload.program
+            in
+            Pipeline.run pipe;
+            Summary.of_pipeline ~workload ~policy:c.Protocol.policy pipe)
     in
     (match cache with
     | Some store when cacheable c ->
       Run_cache.store store ~config ~workload ~policy:c.Protocol.policy summary
     | _ -> ());
-    { summary; source = "sim"; wall_s = Unix.gettimeofday () -. t0 }
+    {
+      summary;
+      source = "sim";
+      wall_s = Unix.gettimeofday () -. t0;
+      stages = List.rev !stages;
+    }

@@ -7,25 +7,41 @@
     no host section), so a remote summary is bit-identical to an
     in-process run of the same cell. *)
 
+type scope = {
+  spans : Levioso_telemetry.Span.t;
+  trace : string;  (** request trace id the cell belongs to *)
+  parent : int;  (** the cell span's id — stage spans nest under it *)
+}
+(** Where to hang this cell's stage spans.  Omitted = tracing off: no
+    clock reads, no allocation, the exact PR 8 execution path. *)
+
 type outcome = {
   summary : Levioso_telemetry.Json.t;
   source : string;  (** ["sim"] or ["cache"] *)
   wall_s : float;
+  stages : (string * float) list;
+      (** per-stage durations in execution order (["cache_probe"],
+          ["replay"], ["simulate"]) — non-empty only when a [scope] was
+          passed; feeds the daemon's access log *)
 }
 
 val validate_cell : Protocol.cell -> (unit, string) result
-(** Config sanity, workload/policy existence, audit×sample conflict —
-    checked before acking a submission so a bad batch fails atomically
-    instead of mid-stream. *)
+(** Config sanity, workload/policy existence, audit×sample conflict.
+    The daemon checks per cell and turns a failure into that cell's
+    [error] result while the rest of the batch proceeds. *)
 
 val cacheable : Protocol.cell -> bool
 (** Plain cells only: audited and sampled summaries never enter (or
     replay from) the shared store. *)
 
-val run_cell : ?cache:Levioso_uarch.Run_cache.t -> Protocol.cell -> outcome
+val run_cell :
+  ?cache:Levioso_uarch.Run_cache.t -> ?scope:scope -> Protocol.cell -> outcome
 (** Replay from the shard store when possible (schema-checked, stats
     block must parse — the same strictness as bench's local replay),
-    otherwise simulate and store.
+    otherwise simulate and store.  With a [scope], emits
+    [cache_probe]/[replay]/[simulate] child spans (hit/miss and
+    workload/policy attributes) and fills [stages]; the summary bits
+    are identical either way.
 
     @raise Invalid_argument on unknown workload/policy names; call
     {!validate_cell} first. *)

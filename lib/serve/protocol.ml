@@ -20,9 +20,19 @@ type request =
   | Stats
   | Shutdown
   | Prune of int
-  | Submit of { id : string; cache : bool; cells : cell list }
+  | Submit of {
+      id : string;
+      cache : bool;
+      trace : string option;
+      cells : cell list;
+    }
 
-type done_stats = { simulated : int; cached : int; wall_s : float }
+type done_stats = {
+  simulated : int;
+  cached : int;
+  failed : int;
+  wall_s : float;
+}
 
 type response =
   | Hello of { proto : int; pool : int; cache : bool }
@@ -34,6 +44,7 @@ type response =
       source : string;
       wall_s : float;
       summary : Json.t;
+      error : string option;
     }
   | Done of { id : string; stats : done_stats }
   | Pruned of int
@@ -67,14 +78,16 @@ let request_to_json = function
   | Shutdown -> frame [ ("type", Json.String "shutdown") ]
   | Prune days ->
     frame [ ("type", Json.String "prune"); ("days", Json.Int days) ]
-  | Submit { id; cache; cells } ->
+  | Submit { id; cache; trace; cells } ->
     frame
-      [
-        ("type", Json.String "submit");
-        ("id", Json.String id);
-        ("cache", Json.Bool cache);
-        ("cells", Json.List (List.map cell_to_json cells));
-      ]
+      ([ ("type", Json.String "submit"); ("id", Json.String id) ]
+      @ (match trace with
+        | Some tr -> [ ("trace", Json.String tr) ]
+        | None -> [])
+      @ [
+          ("cache", Json.Bool cache);
+          ("cells", Json.List (List.map cell_to_json cells));
+        ])
 
 let response_to_json = function
   | Hello { proto; pool; cache } ->
@@ -108,16 +121,18 @@ let response_to_json = function
         ("id", Json.String id);
         ("cells", Json.Int cells);
       ]
-  | Result { id; index; source; wall_s; summary } ->
+  | Result { id; index; source; wall_s; summary; error } ->
     frame
-      [
-        ("type", Json.String "result");
-        ("id", Json.String id);
-        ("index", Json.Int index);
-        ("source", Json.String source);
-        ("wall_s", Json.float wall_s);
-        ("summary", summary);
-      ]
+      ([
+         ("type", Json.String "result");
+         ("id", Json.String id);
+         ("index", Json.Int index);
+         ("source", Json.String source);
+       ]
+      @ (match error with
+        | Some msg -> [ ("error", Json.String msg) ]
+        | None -> [])
+      @ [ ("wall_s", Json.float wall_s); ("summary", summary) ])
   | Done { id; stats } ->
     frame
       [
@@ -125,6 +140,7 @@ let response_to_json = function
         ("id", Json.String id);
         ("simulated", Json.Int stats.simulated);
         ("cached", Json.Int stats.cached);
+        ("failed", Json.Int stats.failed);
         ("wall_s", Json.float stats.wall_s);
       ]
   | Pruned removed ->
@@ -176,6 +192,20 @@ let bool_field j name =
   | Some _ | None ->
     Error (Printf.sprintf "frame field %S is missing or not a boolean" name)
 
+(* Optional fields added after v1 shipped: absent on frames from older
+   peers (both directions keep working), malformed still rejected. *)
+let opt_string_field j name =
+  match Json.member name j with
+  | Some (Json.String s) -> Ok (Some s)
+  | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "frame field %S is not a string" name)
+
+let int_field_default j name ~default =
+  match Json.member name j with
+  | Some (Json.Int n) -> Ok n
+  | None -> Ok default
+  | Some _ -> Error (Printf.sprintf "frame field %S is not an integer" name)
+
 let cell_of_json j =
   let* workload = string_field j "workload" in
   let* policy = string_field j "policy" in
@@ -202,6 +232,7 @@ let request_of_json j =
   | "submit" ->
     let* id = string_field j "id" in
     let* cache = bool_field j "cache" in
+    let* trace = opt_string_field j "trace" in
     let* cells =
       match Json.member "cells" j with
       | Some (Json.List l) ->
@@ -214,7 +245,7 @@ let request_of_json j =
         |> Result.map List.rev
       | Some _ | None -> Error "submit has no \"cells\" list"
     in
-    Ok (Submit { id; cache; cells })
+    Ok (Submit { id; cache; trace; cells })
   | ty -> Error (Printf.sprintf "unknown request type %S" ty)
 
 let response_of_json j =
@@ -261,19 +292,21 @@ let response_of_json j =
     let* id = string_field j "id" in
     let* index = int_field j "index" in
     let* source = string_field j "source" in
+    let* error = opt_string_field j "error" in
     let* wall_s = float_field j "wall_s" in
     let* summary =
       match Json.member "summary" j with
       | Some s -> Ok s
       | None -> Error "result has no \"summary\""
     in
-    Ok (Result { id; index; source; wall_s; summary })
+    Ok (Result { id; index; source; wall_s; summary; error })
   | "done" ->
     let* id = string_field j "id" in
     let* simulated = int_field j "simulated" in
     let* cached = int_field j "cached" in
+    let* failed = int_field_default j "failed" ~default:0 in
     let* wall_s = float_field j "wall_s" in
-    Ok (Done { id; stats = { simulated; cached; wall_s } })
+    Ok (Done { id; stats = { simulated; cached; failed; wall_s } })
   | "pruned" ->
     let* removed = int_field j "removed" in
     Ok (Pruned removed)

@@ -30,15 +30,31 @@ type cell = {
 type request =
   | List  (** discover workloads and policies *)
   | Ping
-  | Stats  (** queue/throughput snapshot *)
+  | Stats  (** queue/throughput/latency snapshot *)
   | Shutdown  (** stop accepting clients and exit after draining *)
   | Prune of int  (** delete cache entries older than N days *)
-  | Submit of { id : string; cache : bool; cells : cell list }
+  | Submit of {
+      id : string;
+      cache : bool;
+      trace : string option;
+          (** client-minted trace id correlating the daemon's spans
+              with this request; optional on the wire, so frames from
+              pre-tracing clients (and to pre-tracing daemons) still
+              parse *)
+      cells : cell list;
+    }
       (** [id] is an opaque client-chosen tag echoed in every response
           frame of the exchange; [cache] gates the daemon's shared
           result store for this batch. *)
 
-type done_stats = { simulated : int; cached : int; wall_s : float }
+type done_stats = {
+  simulated : int;
+  cached : int;
+  failed : int;
+      (** cells that errored daemon-side (invalid or raised); absent on
+          frames from pre-tracing daemons and decoded as [0] *)
+  wall_s : float;
+}
 (** [simulated] counts cells this submission actually ran (including
     runs merged from a concurrent identical submission); [cached] counts
     shard-store replays.  [wall_s] is daemon-side wall clock for the
@@ -52,11 +68,16 @@ type response =
   | Result of {
       id : string;
       index : int;  (** position in the submitted cell list *)
-      source : string;  (** ["sim"] or ["cache"] *)
+      source : string;  (** ["sim"], ["cache"] or ["error"] *)
       wall_s : float;
       summary : Levioso_telemetry.Json.t;
           (** verbatim {!Levioso_uarch.Summary.of_pipeline} (or
-              [of_sampled]) output — bit-identical to a local run *)
+              [of_sampled]) output — bit-identical to a local run;
+              [Null] when [error] is set *)
+      error : string option;
+          (** a cell that failed daemon-side (invalid cell, raising
+              simulation) reports here and the batch continues — one
+              bad cell no longer aborts the submission *)
     }
   | Done of { id : string; stats : done_stats }
   | Pruned of int

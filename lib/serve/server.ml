@@ -1,6 +1,7 @@
 module Json = Levioso_telemetry.Json
 module Schema = Levioso_telemetry.Schema
 module Monitor = Levioso_telemetry.Monitor
+module Span = Levioso_telemetry.Span
 module Run_cache = Levioso_uarch.Run_cache
 module Parallel = Levioso_util.Parallel
 
@@ -11,7 +12,18 @@ type opts = {
   cache : Run_cache.t option;
   monitor : Monitor.t option;
   log : (string -> unit) option;
+  spans : Span.t option;
+  access_log : out_channel option;
 }
+
+(* The latency-accounting stages every cell passes through, in path
+   order.  Sliding windows (exact p50/p95/p99 for the stats frame and
+   `top`) and log-scale histograms (OpenMetrics) are always on — they
+   are a handful of float writes per cell and never touch results;
+   span collection and the access log stay Option-gated. *)
+let lat_stages = [ "queue"; "exec"; "serialize"; "total" ]
+
+let window_capacity = 512
 
 type t = {
   opts : opts;
@@ -33,6 +45,12 @@ type t = {
   cached : int Atomic.t;
   merged : int Atomic.t;
   requests : int Atomic.t;
+  errors : int Atomic.t;
+  (* per-stage latency accounting: sliding windows for percentiles,
+     fixed log-scale histograms for OpenMetrics *)
+  lat : (string * Span.Window.w) list;
+  lat_hist : (string * Span.Hist.h) list;
+  access_mu : Mutex.t;
 }
 
 let log t msg = match t.opts.log with Some f -> f msg | None -> ()
@@ -55,12 +73,52 @@ let gauges t =
      float_of_int (Atomic.get t.merged));
     ("serve_requests", "Requests handled since daemon start.",
      float_of_int (Atomic.get t.requests));
+    ("serve_errors", "Cells and frames that failed since daemon start.",
+     float_of_int (Atomic.get t.errors));
   ]
 
 let publish_gauges t =
   match t.opts.monitor with
   | None -> ()
-  | Some m -> List.iter (fun (n, help, v) -> Monitor.set_gauge m ~help n v) (gauges t)
+  | Some m ->
+    List.iter (fun (n, help, v) -> Monitor.set_gauge m ~help n v) (gauges t);
+    List.iter
+      (fun (stage, h) ->
+        if Span.Hist.count h > 0 then
+          Monitor.set_histogram m
+            ~help:(Printf.sprintf "Per-cell %s latency, seconds." stage)
+            (Printf.sprintf "serve_%s_seconds" stage)
+            ~buckets:(Span.Hist.buckets h) ~sum:(Span.Hist.sum h)
+            ~count:(Span.Hist.count h))
+      t.lat_hist
+
+let observe_stage t stage v =
+  (match List.assoc_opt stage t.lat with
+  | Some w -> Span.Window.observe w v
+  | None -> ());
+  match List.assoc_opt stage t.lat_hist with
+  | Some h -> Span.Hist.observe h v
+  | None -> ()
+
+let latency_json t =
+  Json.Obj
+    (List.map
+       (fun (stage, w) ->
+         let p q =
+           match Span.Window.percentile w q with
+           | Some v -> Json.float v
+           | None -> Json.Null
+         in
+         ( stage,
+           Json.Obj
+             [
+               ("seen", Json.Int (Span.Window.seen w));
+               ("window", Json.Int (Span.Window.count w));
+               ("p50_s", p 0.5);
+               ("p95_s", p 0.95);
+               ("p99_s", p 0.99);
+             ] ))
+       t.lat)
 
 let stats_snapshot t =
   Schema.tag
@@ -72,8 +130,11 @@ let stats_snapshot t =
         match t.opts.queue_max with Some n -> Json.Int n | None -> Json.Null );
       ("cache", Json.Bool (t.opts.cache <> None));
       ("uptime_s", Json.float (Unix.gettimeofday () -. t.started));
+      ("requests", Json.Int (Atomic.get t.requests));
+      ("errors", Json.Int (Atomic.get t.errors));
       ( "gauges",
         Json.Obj (List.map (fun (n, _, v) -> (n, Json.float v)) (gauges t)) );
+      ("latency", latency_json t);
     ]
 
 (* The in-flight memo key: everything that determines the result bits,
@@ -92,20 +153,28 @@ let cell_key ~use_cache (c : Protocol.cell) =
       | Some sp -> Levioso_uarch.Sampler.spec_to_string sp);
     ]
 
-let exec t ~use_cache cell () =
+let exec t ~use_cache ?scope cell () =
   (match t.opts.monitor with
   | Some m ->
     Monitor.start m (cell.Protocol.workload ^ "/" ^ cell.Protocol.policy)
   | None -> ());
   let cache = if use_cache then t.opts.cache else None in
-  let o = Engine.run_cell ?cache cell in
-  (match o.Engine.source with
-  | "cache" -> Atomic.incr t.cached
-  | _ -> Atomic.incr t.simulated);
-  (match t.opts.monitor with
-  | Some m -> Monitor.item_done m ~wall_s:o.Engine.wall_s ()
-  | None -> ());
-  o
+  match Engine.run_cell ?cache ?scope cell with
+  | o ->
+    (match o.Engine.source with
+    | "cache" -> Atomic.incr t.cached
+    | _ -> Atomic.incr t.simulated);
+    (match t.opts.monitor with
+    | Some m -> Monitor.item_done m ~wall_s:o.Engine.wall_s ()
+    | None -> ());
+    o
+  | exception e ->
+    (* the monitor's per-domain "current item" must clear even when a
+       cell raises, or the live view shows it as stuck forever *)
+    (match t.opts.monitor with
+    | Some m -> Monitor.item_done m ()
+    | None -> ());
+    raise e
 
 (* Schedule one cell, merging onto an identical in-flight computation
    when one exists.  The memo is advisory: a racing double-insert or an
@@ -113,7 +182,7 @@ let exec t ~use_cache cell () =
    result (cells are deterministic).  The lock is never held across
    [Parallel.async] — a bounded pool blocks there, and a worker
    finishing a task must not need the lock we hold (deadlock). *)
-let schedule t ~use_cache cell =
+let schedule t ~use_cache ?scope cell =
   let key = cell_key ~use_cache cell in
   match
     Mutex.protect t.inflight_mu (fun () -> Hashtbl.find_opt t.inflight key)
@@ -122,7 +191,7 @@ let schedule t ~use_cache cell =
     Atomic.incr t.merged;
     (fut, false)
   | None ->
-    let fut = Parallel.async t.pool (exec t ~use_cache cell) in
+    let fut = Parallel.async t.pool (exec t ~use_cache ?scope cell) in
     Mutex.protect t.inflight_mu (fun () ->
         if not (Hashtbl.mem t.inflight key) then Hashtbl.add t.inflight key fut);
     (fut, true)
@@ -134,85 +203,199 @@ let unschedule t ~use_cache cell fut =
       | Some f when f == fut -> Hashtbl.remove t.inflight key
       | _ -> ())
 
-let handle_submit t oc ~id ~cache cells =
-  match
-    List.find_map
-      (fun c ->
-        match Engine.validate_cell c with
-        | Ok () -> None
+(* Queue-wait and execution time of [fut], clamped to the window that
+   opens at this submission's schedule instant [t_sched]: a merged cell
+   rides a future another submission created — possibly long before we
+   arrived — and the access-log invariant queue + exec <= total must
+   hold per request, not per future. *)
+let cell_times fut ~t_sched =
+  match Parallel.times fut with
+  | None -> (0., 0.)
+  | Some tm ->
+    let base = Float.max tm.Parallel.submitted_s t_sched in
+    let queue_s = Float.max 0. (tm.Parallel.started_s -. base) in
+    let exec_s =
+      Float.max 0.
+        (tm.Parallel.finished_s -. Float.max tm.Parallel.started_s base)
+    in
+    (queue_s, exec_s)
+
+let handle_submit t oc ~id ~cache ~trace cells =
+  let n = List.length cells in
+  Protocol.(write_frame oc (response_to_json (Ack { id; cells = n })));
+  let trace = match trace with Some tr -> tr | None -> Span.mint_trace () in
+  let req_span =
+    Option.map
+      (fun spans ->
+        let sp = Span.start spans ~trace "submit" in
+        Span.add_attr sp "request" id;
+        Span.add_attr sp "cells" (string_of_int n);
+        sp)
+      t.opts.spans
+  in
+  let req_parent = match req_span with Some sp -> Span.id sp | None -> -1 in
+  let t0 = Unix.gettimeofday () in
+  (* Enqueue everything up front (a bounded queue blocks right here —
+     that is the backpressure), then stream results in submission order
+     as they complete.  Validation is per cell: an invalid cell becomes
+     its own [error] result and the rest of the batch proceeds. *)
+  let scheduled =
+    List.map
+      (fun cell ->
+        match Engine.validate_cell cell with
         | Error msg ->
-          Some
-            (Printf.sprintf "%s/%s: %s" c.Protocol.workload c.Protocol.policy
-               msg))
-      cells
-  with
-  | Some msg -> Protocol.(write_frame oc (response_to_json (Error msg)))
-  | None ->
-    let n = List.length cells in
-    Protocol.(write_frame oc (response_to_json (Ack { id; cells = n })));
-    let t0 = Unix.gettimeofday () in
-    (* Enqueue everything up front (a bounded queue blocks right here —
-       that is the backpressure), then stream results in submission
-       order as they complete. *)
-    let scheduled =
-      List.map
-        (fun cell ->
-          let fut, fresh = schedule t ~use_cache:cache cell in
+          let msg =
+            Printf.sprintf "%s/%s: %s" cell.Protocol.workload
+              cell.Protocol.policy msg
+          in
+          (cell, `Invalid (msg, Unix.gettimeofday ()))
+        | Ok () ->
+          let cspan =
+            Option.map
+              (fun spans ->
+                let sp = Span.start spans ~trace ~parent:req_parent "cell" in
+                Span.add_attr sp "workload" cell.Protocol.workload;
+                Span.add_attr sp "policy" cell.Protocol.policy;
+                sp)
+              t.opts.spans
+          in
+          let scope =
+            Option.map
+              (fun spans ->
+                {
+                  Engine.spans;
+                  trace;
+                  parent =
+                    (match cspan with Some sp -> Span.id sp | None -> -1);
+                })
+              t.opts.spans
+          in
+          let t_sched = Unix.gettimeofday () in
+          let fut, fresh = schedule t ~use_cache:cache ?scope cell in
           if fresh then
             Option.iter (fun m -> Monitor.inc_total m 1) t.opts.monitor;
           publish_gauges t;
-          (cell, fut, fresh))
-        cells
-    in
-    let simulated = ref 0 and cached = ref 0 in
-    (* Whatever interrupts the stream — a Failed future re-raised by
-       await, a write to a vanished client — every fresh cell of the
-       batch must leave the memo, or its key is poisoned for the
-       daemon's lifetime (later identical submissions would merge onto
-       the dead future instead of re-simulating).  [unschedule] is
-       idempotent, so the eager per-cell removal below and this sweep
-       can overlap. *)
-    Fun.protect
-      ~finally:(fun () ->
-        List.iter
-          (fun (cell, fut, fresh) ->
-            if fresh then unschedule t ~use_cache:cache cell fut)
-          scheduled;
-        publish_gauges t)
-      (fun () ->
-        List.iteri
-          (fun index (cell, fut, fresh) ->
-            let o = Parallel.await fut in
-            if fresh then unschedule t ~use_cache:cache cell fut;
-            (match o.Engine.source with
-            | "cache" -> incr cached
-            | _ -> incr simulated);
-            publish_gauges t;
-            Protocol.(
-              write_frame oc
-                (response_to_json
-                   (Result
-                      {
-                        id;
-                        index;
-                        source = o.Engine.source;
-                        wall_s = o.Engine.wall_s;
-                        summary = o.Engine.summary;
-                      }))))
-          scheduled;
-        Protocol.(
-          write_frame oc
-            (response_to_json
-               (Done
-                  {
-                    id;
-                    stats =
-                      {
-                        simulated = !simulated;
-                        cached = !cached;
-                        wall_s = Unix.gettimeofday () -. t0;
-                      };
-                  }))))
+          (cell, `Scheduled (fut, fresh, t_sched, cspan)))
+      cells
+  in
+  let simulated = ref 0 and cached = ref 0 and failed = ref 0 in
+  (* The single exit point per cell: stream the result frame, close the
+     cell span, feed the latency windows and append the access record —
+     so every accounting surface agrees on what was served. *)
+  let emit ~index ~cell ~t_sched ~cspan ~source ~wall_s ~summary ~error
+      ~queue_s ~exec_s ~engine_stages ~merged =
+    let t_ser = Unix.gettimeofday () in
+    Protocol.(
+      write_frame oc
+        (response_to_json (Result { id; index; source; wall_s; summary; error })));
+    let t_done = Unix.gettimeofday () in
+    let serialize_s = t_done -. t_ser in
+    let total_s = Float.max 0. (t_done -. t_sched) in
+    (match t.opts.spans with
+    | Some spans ->
+      Option.iter
+        (fun sp ->
+          Span.finish spans
+            ~attrs:
+              ([ ("index", string_of_int index); ("source", source) ]
+              @ (if merged then [ ("merged", "true") ] else [])
+              @ (match error with Some e -> [ ("error", e) ] | None -> []))
+            sp)
+        cspan
+    | None -> ());
+    if error = None then begin
+      observe_stage t "queue" queue_s;
+      observe_stage t "exec" exec_s;
+      observe_stage t "serialize" serialize_s;
+      observe_stage t "total" total_s
+    end;
+    match t.opts.access_log with
+    | None -> ()
+    | Some log_oc ->
+      let record =
+        Span.access_record ~ts:t_done ~trace ~request:id ~index
+          ~workload:cell.Protocol.workload ~policy:cell.Protocol.policy
+          ~source ?error
+          ~stages:
+            ([ ("queue", queue_s); ("exec", exec_s) ]
+            @ engine_stages
+            @ [ ("serialize", serialize_s) ])
+          ~total_s ()
+      in
+      Mutex.protect t.access_mu (fun () ->
+          output_string log_oc (Json.to_string ~minify:true record);
+          output_char log_oc '\n';
+          flush log_oc)
+  in
+  (* Whatever interrupts the stream — a Failed future re-raised by
+     await, a write to a vanished client — every fresh cell of the
+     batch must leave the memo, or its key is poisoned for the daemon's
+     lifetime (later identical submissions would merge onto the dead
+     future instead of re-simulating).  [unschedule] is idempotent, so
+     the eager per-cell removal below and this sweep can overlap. *)
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (cell, disp) ->
+          match disp with
+          | `Scheduled (fut, true, _, _) ->
+            unschedule t ~use_cache:cache cell fut
+          | _ -> ())
+        scheduled;
+      (match (req_span, t.opts.spans) with
+      | Some sp, Some spans ->
+        Span.finish spans ~attrs:[ ("failed", string_of_int !failed) ] sp
+      | _ -> ());
+      publish_gauges t)
+    (fun () ->
+      List.iteri
+        (fun index (cell, disp) ->
+          match disp with
+          | `Invalid (msg, t_sched) ->
+            incr failed;
+            Atomic.incr t.errors;
+            emit ~index ~cell ~t_sched ~cspan:None ~source:"error" ~wall_s:0.
+              ~summary:Json.Null ~error:(Some msg) ~queue_s:0. ~exec_s:0.
+              ~engine_stages:[] ~merged:false
+          | `Scheduled (fut, fresh, t_sched, cspan) -> (
+            match Parallel.await fut with
+            | o ->
+              if fresh then unschedule t ~use_cache:cache cell fut;
+              (match o.Engine.source with
+              | "cache" -> incr cached
+              | _ -> incr simulated);
+              publish_gauges t;
+              let queue_s, exec_s = cell_times fut ~t_sched in
+              emit ~index ~cell ~t_sched ~cspan ~source:o.Engine.source
+                ~wall_s:o.Engine.wall_s ~summary:o.Engine.summary ~error:None
+                ~queue_s ~exec_s ~engine_stages:o.Engine.stages
+                ~merged:(not fresh)
+            | exception e ->
+              (* a raising cell is that cell's failure, not the
+                 batch's: drop its memo entry so later submissions
+                 re-simulate, report it, and keep streaming *)
+              if fresh then unschedule t ~use_cache:cache cell fut;
+              incr failed;
+              Atomic.incr t.errors;
+              let queue_s, exec_s = cell_times fut ~t_sched in
+              emit ~index ~cell ~t_sched ~cspan ~source:"error" ~wall_s:0.
+                ~summary:Json.Null ~error:(Some (Printexc.to_string e))
+                ~queue_s ~exec_s ~engine_stages:[] ~merged:(not fresh)))
+        scheduled;
+      Protocol.(
+        write_frame oc
+          (response_to_json
+             (Done
+                {
+                  id;
+                  stats =
+                    {
+                      simulated = !simulated;
+                      cached = !cached;
+                      failed = !failed;
+                      wall_s = Unix.gettimeofday () -. t0;
+                    };
+                }))))
 
 let stop_accepting t =
   if Atomic.compare_and_set t.running true false then begin
@@ -251,7 +434,8 @@ let handle_request t oc req =
     log t "shutdown requested";
     Protocol.(write_frame oc (response_to_json Bye));
     stop_accepting t
-  | Protocol.Submit { id; cache; cells } -> handle_submit t oc ~id ~cache cells
+  | Protocol.Submit { id; cache; trace; cells } ->
+    handle_submit t oc ~id ~cache ~trace cells
 
 let handle_client t conn fd =
   let ic = Unix.in_channel_of_descr fd in
@@ -278,10 +462,12 @@ let handle_client t conn fd =
         | Ok None -> log t (Printf.sprintf "client %d: disconnected" conn)
         | Error msg ->
           log t (Printf.sprintf "client %d: %s" conn msg);
+          Atomic.incr t.errors;
           Protocol.(write_frame oc (response_to_json (Error msg)))
         | Ok (Some j) ->
           (match Protocol.request_of_json j with
           | Error msg ->
+            Atomic.incr t.errors;
             Protocol.(write_frame oc (response_to_json (Error msg)))
           | Ok req -> (
             match handle_request t oc req with
@@ -290,6 +476,7 @@ let handle_client t conn fd =
               (* a failing request must not kill the connection: report
                  and keep serving (Invalid_argument from a stopped pool,
                  Sys_error from a vanished cache directory, ...) *)
+              Atomic.incr t.errors;
               Protocol.(
                 write_frame oc
                   (response_to_json (Error (Printexc.to_string e))))));
@@ -348,6 +535,11 @@ let run ?(on_ready = fun () -> ()) opts =
       cached = Atomic.make 0;
       merged = Atomic.make 0;
       requests = Atomic.make 0;
+      errors = Atomic.make 0;
+      lat =
+        List.map (fun s -> (s, Span.Window.create window_capacity)) lat_stages;
+      lat_hist = List.map (fun s -> (s, Span.Hist.create ())) lat_stages;
+      access_mu = Mutex.create ();
     }
   in
   log t

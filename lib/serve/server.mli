@@ -22,8 +22,21 @@ type opts = {
   cache : Levioso_uarch.Run_cache.t option;
       (** shared shard store; [None] disables replay/persist *)
   monitor : Levioso_telemetry.Monitor.t option;
-      (** live progress + OpenMetrics queue/throughput gauges *)
+      (** live progress + OpenMetrics queue/throughput gauges and
+          per-stage latency histograms *)
   log : (string -> unit) option;  (** daemon-side event log lines *)
+  spans : Levioso_telemetry.Span.t option;
+      (** request-level tracing: with a collector, every submission
+          opens a [submit] root span with one [cell] child per cell and
+          engine-stage grandchildren; the caller drains and exports
+          after {!run} returns.  [None] = tracing off: no clock reads
+          on the execution path.  Either way the simulation results are
+          bit-identical — collection is observational. *)
+  access_log : out_channel option;
+      (** one minified schema-tagged JSONL record per served cell
+          (see {!Levioso_telemetry.Span.access_record}), flushed per
+          line so `tail -f` works; engine stage durations appear only
+          when [spans] is also set.  The caller owns the channel. *)
 }
 
 val run : ?on_ready:(unit -> unit) -> opts -> unit

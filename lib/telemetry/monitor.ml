@@ -14,6 +14,8 @@ type t = {
   mutable wall_max : float;
   mutable wall_n : int;
   mutable gauges : (string * (string * float)) list;  (* name -> help, value *)
+  (* name -> help, ((upper_bound, cumulative_count) list, sum, count) *)
+  mutable hists : (string * (string * ((float * int) list * float * int))) list;
   mutable last_render : float;
   mutable closed : bool;
 }
@@ -50,6 +52,7 @@ let create ?ansi ?(force_ansi = false) ?json_path ?metrics_path
     wall_max = 0.;
     wall_n = 0;
     gauges = [];
+    hists = [];
     last_render = neg_infinity;
     closed = false;
   }
@@ -82,7 +85,7 @@ let snapshot_json_locked t now =
              ])
   in
   Schema.tag
-    [
+    ([
       ("monitor", Json.String "levioso-progress/v1");
       ("label", Json.String t.label);
       ("done", Json.Int t.done_);
@@ -108,6 +111,21 @@ let snapshot_json_locked t now =
       ( "gauges",
         Json.Obj (List.map (fun (n, (_, v)) -> (n, Json.float v)) t.gauges) );
     ]
+    @
+    match t.hists with
+    | [] -> []
+    | hists ->
+      [
+        ( "histograms",
+          Json.Obj
+            (List.map
+               (fun (n, (_, (_, sum, count))) ->
+                 ( n,
+                   Json.Obj
+                     [ ("count", Json.Int count); ("sum_s", Json.float sum) ]
+                 ))
+               hists) );
+      ])
 
 let om_escape s =
   let buf = Buffer.create (String.length s) in
@@ -124,11 +142,25 @@ let om_escape s =
 let openmetrics_locked t now =
   let elapsed = now -. t.started in
   let buf = Buffer.create 512 in
-  let labels = Printf.sprintf "{job=\"%s\"}" (om_escape t.label) in
+  let job = om_escape t.label in
+  let labels = Printf.sprintf "{job=\"%s\"}" job in
   let gauge name help v =
     Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
-    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (om_escape help));
     Buffer.add_string buf (Printf.sprintf "%s%s %s\n" name labels v)
+  in
+  let histogram name help (buckets, sum, count) =
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (om_escape help));
+    List.iter
+      (fun (le, n) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{job=\"%s\",le=\"%g\"} %d\n" name job le n))
+      buckets;
+    Buffer.add_string buf
+      (Printf.sprintf "%s_bucket{job=\"%s\",le=\"+Inf\"} %d\n" name job count);
+    Buffer.add_string buf (Printf.sprintf "%s_sum%s %g\n" name labels sum);
+    Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" name labels count)
   in
   gauge "levioso_progress_done" "Items completed."
     (string_of_int t.done_);
@@ -143,10 +175,15 @@ let openmetrics_locked t now =
   | None -> ());
   gauge "levioso_progress_elapsed_seconds" "Wall clock since start."
     (Printf.sprintf "%.3f" elapsed);
+  (* insertion order, matching the JSON snapshot, so diffs between the
+     two views line up and the ordering is stable across updates *)
   List.iter
     (fun (name, (help, v)) ->
       gauge ("levioso_" ^ name) help (Printf.sprintf "%g" v))
-    (List.rev t.gauges);
+    t.gauges;
+  List.iter
+    (fun (name, (help, h)) -> histogram ("levioso_" ^ name) help h)
+    t.hists;
   Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
 
@@ -215,15 +252,37 @@ let inc_total t n =
       t.total <- Some (n + match t.total with Some m -> m | None -> 0);
       render_locked t)
 
+(* OpenMetrics metric names admit [a-zA-Z0-9_:] only; anything else
+   (spaces, dashes, slashes from workload names, ...) becomes '_' so a
+   caller-supplied name can never corrupt the exposition format. *)
+let sanitize_metric_name name =
+  if name = "" then "_"
+  else
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      name
+
+(* Update-in-place on an insertion-ordered assoc: ordering is stable
+   across any sequence of updates, so scrapes diff cleanly. *)
+let upsert assoc name v =
+  match List.assoc_opt name assoc with
+  | Some _ -> List.map (fun (n, old) -> if n = name then (n, v) else (n, old)) assoc
+  | None -> assoc @ [ (name, v) ]
+
 let set_gauge t ?(help = "Application gauge.") name v =
+  let name = sanitize_metric_name name in
   locked t (fun () ->
-      t.gauges <-
-        (match List.assoc_opt name t.gauges with
-        | Some _ ->
-          List.map
-            (fun (n, hv) -> if n = name then (n, (help, v)) else (n, hv))
-            t.gauges
-        | None -> t.gauges @ [ (name, (help, v)) ]);
+      t.gauges <- upsert t.gauges name (help, v);
+      render_locked t)
+
+let set_histogram t ?(help = "Application latency histogram.") name ~buckets
+    ~sum ~count =
+  let name = sanitize_metric_name name in
+  locked t (fun () ->
+      t.hists <- upsert t.hists name (help, (buckets, sum, count));
       render_locked t)
 
 let start t what =

@@ -49,8 +49,27 @@ val set_gauge : t -> ?help:string -> string -> float -> unit
 (** Publish an application gauge (e.g. the daemon's work-queue depth).
     Gauges appear in the JSON snapshot under ["gauges"] and in the
     OpenMetrics text as [levioso_<name>]; setting an existing name
-    updates it in place.  [name] must already be metric-shaped
-    ([a-z0-9_]); it is not sanitized here. *)
+    updates it in place, keeping first-insertion order (the rendered
+    metric ordering is stable across updates).  [name] is sanitized to
+    the OpenMetrics charset ([a-zA-Z0-9_:]; anything else becomes
+    ['_']), and the HELP line is escaped, so caller-supplied strings
+    can never corrupt the exposition format. *)
+
+val set_histogram :
+  t ->
+  ?help:string ->
+  string ->
+  buckets:(float * int) list ->
+  sum:float ->
+  count:int ->
+  unit
+(** Publish a latency histogram: [buckets] are [(upper_bound,
+    cumulative_count)] pairs (e.g. {!Span.Hist.buckets}), rendered as
+    OpenMetrics [<name>_bucket{le="..."}] series plus the implied
+    [+Inf] bucket, [<name>_sum] and [<name>_count].  Same
+    sanitization, update-in-place and ordering rules as
+    {!set_gauge}; the JSON snapshot carries a compact
+    [histograms.<name> = {count, sum_s}] echo. *)
 
 val start : t -> string -> unit
 (** [start t what] notes that the calling domain began working on

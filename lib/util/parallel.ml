@@ -164,22 +164,42 @@ type 'a outcome =
   | Finished of 'a
   | Failed of exn * Printexc.raw_backtrace
 
+type times = { submitted_s : float; started_s : float; finished_s : float }
+
 type 'a future = {
   fmu : Mutex.t;
   fcond : Condition.t;
   mutable fstate : 'a outcome;
+  fsubmitted : float;
+  (* stamped by the worker under [fmu] together with the final state, so
+     a reader that observed completion also observes the stamps *)
+  mutable fstarted : float;
+  mutable ffinished : float;
 }
 
 let async t f =
   ensure_live t "Parallel.async";
-  let fut = { fmu = Mutex.create (); fcond = Condition.create (); fstate = Running } in
+  let fut =
+    {
+      fmu = Mutex.create ();
+      fcond = Condition.create ();
+      fstate = Running;
+      fsubmitted = Unix.gettimeofday ();
+      fstarted = 0.;
+      ffinished = 0.;
+    }
+  in
   let run () =
+    let started = Unix.gettimeofday () in
     let result =
       match f () with
       | y -> Finished y
       | exception e -> Failed (e, Printexc.get_raw_backtrace ())
     in
+    let finished = Unix.gettimeofday () in
     Mutex.lock fut.fmu;
+    fut.fstarted <- started;
+    fut.ffinished <- finished;
     fut.fstate <- result;
     Condition.broadcast fut.fcond;
     Mutex.unlock fut.fmu
@@ -206,6 +226,22 @@ let peek fut =
   let done_ = (match fut.fstate with Running -> false | _ -> true) in
   Mutex.unlock fut.fmu;
   done_
+
+let times fut =
+  Mutex.lock fut.fmu;
+  let r =
+    match fut.fstate with
+    | Running -> None
+    | Finished _ | Failed _ ->
+      Some
+        {
+          submitted_s = fut.fsubmitted;
+          started_s = fut.fstarted;
+          finished_s = fut.ffinished;
+        }
+  in
+  Mutex.unlock fut.fmu;
+  r
 
 let with_pool ?size ?max_pending f =
   let pool = create ?size ?max_pending () in

@@ -75,6 +75,16 @@ val peek : 'a future -> bool
 (** [true] once the task has finished (successfully or not) — a
     non-blocking progress probe. *)
 
+type times = { submitted_s : float; started_s : float; finished_s : float }
+(** Wall-clock stamps ([Unix.gettimeofday]) of a task's life:
+    [started_s - submitted_s] is queue wait, [finished_s - started_s]
+    execution time. *)
+
+val times : 'a future -> times option
+(** [Some] once the task finished (successfully or not), [None] while
+    it runs.  Purely observational — this is the hook the serve layer's
+    latency accounting reads; the pool itself stays telemetry-free. *)
+
 val shutdown : t -> unit
 (** Joins all worker domains.  Idempotent.  Any later {!map} raises. *)
 

@@ -6,6 +6,7 @@ let () =
     [
       Test_util.suite;
       Test_telemetry.suite;
+      Test_span.suite;
       Test_ir.suite;
       Test_builder.suite;
       Test_parser.suite;

@@ -158,6 +158,51 @@ let test_parallel_matrix_bit_identical () =
     (fun s p -> Alcotest.(check string) "summary bit-identical" s p)
     serial parallel
 
+(* The observational timing hook behind the serve daemon's queue-wait /
+   execution-time accounting: stamps exist exactly once a future
+   settles, are ordered, and show real queue wait on a saturated pool.
+   (A size-1 pool runs async inline at submission, so saturation needs
+   two real workers held at a gate.) *)
+let test_future_times () =
+  Parallel.with_pool ~size:2 (fun pool ->
+      let release = Atomic.make false in
+      let gate () =
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done
+      in
+      let slow_a = Parallel.async pool gate in
+      let slow_b = Parallel.async pool gate in
+      let fast = Parallel.async pool (fun () -> ()) in
+      Alcotest.(check bool) "no stamps while queued" true
+        (Parallel.times fast = None);
+      Thread.delay 0.03;
+      Atomic.set release true;
+      Parallel.await slow_a;
+      Parallel.await slow_b;
+      Parallel.await fast;
+      (match (Parallel.times slow_a, Parallel.times slow_b, Parallel.times fast)
+       with
+      | Some a1, Some a2, Some b ->
+        let ordered (tm : Parallel.times) =
+          tm.Parallel.submitted_s <= tm.Parallel.started_s +. 1e-9
+          && tm.Parallel.started_s <= tm.Parallel.finished_s +. 1e-9
+        in
+        Alcotest.(check bool) "stamps ordered" true
+          (ordered a1 && ordered a2 && ordered b);
+        Alcotest.(check bool) "queued future started after a worker freed" true
+          (b.Parallel.started_s
+          >= Float.min a1.Parallel.finished_s a2.Parallel.finished_s -. 1e-6);
+        Alcotest.(check bool) "queue wait visible on a saturated pool" true
+          (b.Parallel.started_s -. b.Parallel.submitted_s >= 0.02)
+      | _ -> Alcotest.fail "settled futures must carry stamps");
+      let boom = Parallel.async pool (fun () -> failwith "boom") in
+      (match Parallel.await boom with
+      | exception Failure _ -> ()
+      | () -> Alcotest.fail "expected the failure to propagate");
+      Alcotest.(check bool) "failed future still stamped" true
+        (Parallel.times boom <> None))
+
 let suite =
   ( "parallel",
     [
@@ -171,6 +216,7 @@ let suite =
         test_map_after_shutdown_raises;
       Alcotest.test_case "blocked submit rejected on shutdown" `Quick
         test_blocked_submit_rejected_on_shutdown;
+      Alcotest.test_case "future timing stamps" `Quick test_future_times;
       Alcotest.test_case "parallel matrix bit-identical to serial" `Slow
         test_parallel_matrix_bit_identical;
     ] )

@@ -51,7 +51,15 @@ let test_request_round_trip () =
   check "prune" (Protocol.Prune 30);
   check "submit"
     (Protocol.Submit
-       { id = "r1"; cache = false; cells = [ cell (); cell ~policy:"levioso" () ] })
+       {
+         id = "r1";
+         cache = false;
+         trace = None;
+         cells = [ cell (); cell ~policy:"levioso" () ];
+       });
+  check "traced submit"
+    (Protocol.Submit
+       { id = "r2"; cache = true; trace = Some "tr-42-7"; cells = [ cell () ] })
 
 let test_response_round_trip () =
   let summary = Json.Obj [ ("stats", Json.Obj [ ("cycles", Json.Int 9) ]) ] in
@@ -67,10 +75,30 @@ let test_response_round_trip () =
   check "ack" (Protocol.Ack { id = "r1"; cells = 2 });
   check "result"
     (Protocol.Result
-       { id = "r1"; index = 0; source = "sim"; wall_s = 0.5; summary });
+       {
+         id = "r1";
+         index = 0;
+         source = "sim";
+         wall_s = 0.5;
+         summary;
+         error = None;
+       });
+  check "error result"
+    (Protocol.Result
+       {
+         id = "r1";
+         index = 1;
+         source = "error";
+         wall_s = 0.;
+         summary = Json.Null;
+         error = Some "unknown workload \"no-such\"";
+       });
   check "done"
     (Protocol.Done
-       { id = "r1"; stats = { simulated = 1; cached = 1; wall_s = 0.9 } });
+       {
+         id = "r1";
+         stats = { simulated = 1; cached = 1; failed = 0; wall_s = 0.9 };
+       });
   check "pruned" (Protocol.Pruned 3);
   check "stats-snapshot" (Protocol.Stats_snapshot summary);
   check "pong" Protocol.Pong;
@@ -94,6 +122,68 @@ let test_frame_tag_strictness () =
          ("frame", Json.String Protocol.frame_tag);
          ("type", Json.String "frobnicate");
        ])
+
+(* Frames from pre-tracing peers lack the optional [trace] / [error] /
+   [failed] fields; both directions must keep parsing them under the
+   unchanged v1 frame tag. *)
+let test_optional_field_back_compat () =
+  let tagged fields =
+    Json.Obj (("frame", Json.String Protocol.frame_tag) :: fields)
+  in
+  (match
+     Protocol.request_of_json
+       (tagged
+          [
+            ("type", Json.String "submit");
+            ("id", Json.String "r1");
+            ("cache", Json.Bool true);
+            ("cells", Json.List [ Protocol.cell_to_json (cell ()) ]);
+          ])
+   with
+  | Ok (Protocol.Submit { trace = None; cells = [ _ ]; _ }) -> ()
+  | Ok _ -> Alcotest.fail "traceless submit decoded oddly"
+  | Error msg -> Alcotest.fail msg);
+  (match
+     Protocol.response_of_json
+       (tagged
+          [
+            ("type", Json.String "result");
+            ("id", Json.String "r1");
+            ("index", Json.Int 0);
+            ("source", Json.String "sim");
+            ("wall_s", Json.Float 0.5);
+            ("summary", Json.Obj []);
+          ])
+   with
+  | Ok (Protocol.Result { error = None; _ }) -> ()
+  | Ok _ -> Alcotest.fail "errorless result decoded oddly"
+  | Error msg -> Alcotest.fail msg);
+  (match
+     Protocol.response_of_json
+       (tagged
+          [
+            ("type", Json.String "done");
+            ("id", Json.String "r1");
+            ("simulated", Json.Int 2);
+            ("cached", Json.Int 1);
+            ("wall_s", Json.Float 0.9);
+          ])
+   with
+  | Ok (Protocol.Done { stats = { failed = 0; simulated = 2; _ }; _ }) -> ()
+  | Ok _ -> Alcotest.fail "pre-tracing done decoded oddly"
+  | Error msg -> Alcotest.fail msg);
+  (* optional means absent-is-fine, not anything-goes *)
+  Alcotest.(check bool) "non-string trace rejected" true
+    (Result.is_error
+       (Protocol.request_of_json
+          (tagged
+             [
+               ("type", Json.String "submit");
+               ("id", Json.String "r1");
+               ("trace", Json.Int 3);
+               ("cache", Json.Bool true);
+               ("cells", Json.List []);
+             ])))
 
 (* ---------- catalog ---------- *)
 
@@ -171,7 +261,7 @@ let temp_socket () =
   (* bind_listener treats the (never-listened-on) leftover as stale *)
   f
 
-let with_server ?queue_max ?cache_dir f =
+let with_server ?queue_max ?cache_dir ?spans ?access_log f =
   let socket_path = temp_socket () in
   let cache =
     Option.map (fun dir -> Run_cache.create ~stamp:"t" ~dir ()) cache_dir
@@ -195,6 +285,8 @@ let with_server ?queue_max ?cache_dir f =
             cache;
             monitor = None;
             log = None;
+            spans;
+            access_log;
           })
       ()
   in
@@ -276,10 +368,15 @@ let test_server_end_to_end () =
         (List.rev !seen);
       Alcotest.(check int) "nothing stale to prune" 0
         (Client.prune c ~max_age_days:30);
-      (* bad batches fail atomically, and the connection survives *)
-      (match Client.submit c [ cell ~workload:"no-such" () ] with
-      | exception Client.Server_error _ -> ()
-      | _ -> Alcotest.fail "invalid cell accepted");
+      (* an invalid cell becomes its own error result — the batch
+         completes and the connection survives *)
+      let bad_results, bad_stats = Client.submit c [ cell ~workload:"no-such" () ] in
+      Alcotest.(check int) "invalid cell counted as failed" 1
+        bad_stats.Protocol.failed;
+      Alcotest.(check string) "invalid cell source" "error"
+        bad_results.(0).Client.source;
+      Alcotest.(check bool) "invalid cell carries an error" true
+        (bad_results.(0).Client.error <> None);
       Client.ping c;
       Client.shutdown c;
       Client.close c;
@@ -314,6 +411,132 @@ let test_concurrent_clients_bit_identical () =
             expected s)
         captured)
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* One invalid cell among valid ones: the daemon reports that cell's
+   failure (with the cell identity in the message) and serves the rest
+   of the batch normally. *)
+let test_mixed_batch_partial_failure () =
+  with_server (fun socket ->
+      let c = Client.connect socket in
+      let good1 = cell () in
+      let bad = cell ~workload:"no-such" () in
+      let good2 = cell ~policy:"levioso" () in
+      let results, stats = Client.submit c [ good1; bad; good2 ] in
+      Alcotest.(check int) "one cell failed" 1 stats.Protocol.failed;
+      Alcotest.(check int) "the rest simulated" 2 stats.Protocol.simulated;
+      Alcotest.(check string) "failed cell source" "error"
+        results.(1).Client.source;
+      (match results.(1).Client.error with
+      | Some msg ->
+        Alcotest.(check bool) "error names the workload" true
+          (contains msg "no-such")
+      | None -> Alcotest.fail "failed cell has no error");
+      Alcotest.(check bool) "failed summary is null" true
+        (results.(1).Client.summary = Json.Null);
+      Alcotest.(check (list string))
+        "good cells still match the in-process engine"
+        (local_summaries [ good1; good2 ])
+        [
+          Json.to_string results.(0).Client.summary;
+          Json.to_string results.(2).Client.summary;
+        ];
+      Client.ping c;
+      Client.close c)
+
+(* End-to-end tracing: a traced daemon produces bit-identical results,
+   the expected span tree (submit → cell → simulate) under the
+   client-minted trace id, and one well-formed access record per cell
+   whose stage durations are coherent. *)
+let test_traced_daemon () =
+  let module Span = Levioso_telemetry.Span in
+  let module Schema = Levioso_telemetry.Schema in
+  let spans = Span.create () in
+  let log_path = Filename.temp_file "lev-access" ".jsonl" in
+  let log_oc = open_out log_path in
+  with_server ~spans ~access_log:log_oc (fun socket ->
+      let c = Client.connect socket in
+      let results, stats = Client.submit ~trace:"tr-test-1" c matrix_cells in
+      Alcotest.(check int) "nothing failed" 0 stats.Protocol.failed;
+      Alcotest.(check (list string))
+        "traced results bit-identical to the untraced engine"
+        (local_summaries matrix_cells) (summaries results);
+      Client.shutdown c;
+      Client.close c);
+  close_out log_oc;
+  let finished = Span.drain spans in
+  let n = List.length matrix_cells in
+  (* 1 submit + n cells + n simulate stages (no store, so no probes) *)
+  Alcotest.(check int) "span count" ((2 * n) + 1) (List.length finished);
+  List.iter
+    (fun (sp : Span.finished) ->
+      Alcotest.(check string)
+        (sp.Span.name ^ " carries the client's trace id") "tr-test-1"
+        sp.Span.trace)
+    finished;
+  (match List.filter (fun (sp : Span.finished) -> sp.Span.parent = -1) finished with
+  | [ root ] ->
+    Alcotest.(check string) "root is the submit span" "submit" root.Span.name;
+    let cell_spans =
+      List.filter (fun (sp : Span.finished) -> sp.Span.name = "cell") finished
+    in
+    Alcotest.(check int) "one cell span per cell" n (List.length cell_spans);
+    List.iter
+      (fun (sp : Span.finished) ->
+        Alcotest.(check int)
+          "cell hangs off the submit span" root.Span.id sp.Span.parent)
+      cell_spans;
+    let cell_ids = List.map (fun (sp : Span.finished) -> sp.Span.id) cell_spans in
+    List.iter
+      (fun (sp : Span.finished) ->
+        if sp.Span.name = "simulate" then
+          Alcotest.(check bool) "simulate hangs off a cell span" true
+            (List.mem sp.Span.parent cell_ids))
+      finished
+  | _ -> Alcotest.fail "expected exactly one root span");
+  let ic = open_in log_path in
+  let rec read_lines acc =
+    match input_line ic with
+    | line -> read_lines (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read_lines [] in
+  close_in ic;
+  Sys.remove log_path;
+  Alcotest.(check int) "one access record per cell" n (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Error msg -> Alcotest.fail ("unparsable access record: " ^ msg)
+      | Ok j ->
+        (match Schema.check ~what:"access record" j with
+        | Ok () -> ()
+        | Error msg -> Alcotest.fail msg);
+        Alcotest.(check string) "record kind" "levioso-serve-access"
+          (match Json.member "kind" j with
+          | Some (Json.String s) -> s
+          | _ -> "");
+        Alcotest.(check string) "record trace" "tr-test-1"
+          (match Json.member "trace" j with
+          | Some (Json.String s) -> s
+          | _ -> "");
+        let f name =
+          match Json.member name j with
+          | Some (Json.Float v) -> v
+          | Some (Json.Int v) -> float_of_int v
+          | _ -> Alcotest.fail (name ^ " missing from access record")
+        in
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) (s ^ " non-negative") true (f s >= 0.))
+          [ "queue_s"; "exec_s"; "simulate_s"; "serialize_s"; "total_s" ];
+        Alcotest.(check bool) "queue + exec <= total" true
+          (f "queue_s" +. f "exec_s" <= f "total_s" +. 1e-9))
+    lines
+
 let test_bounded_queue_backpressure () =
   (* queue bound of 1 with 2 workers: submissions block instead of
      queueing arbitrarily, and the batch still completes in order *)
@@ -341,6 +564,8 @@ let suite =
         test_response_round_trip;
       Alcotest.test_case "protocol: frame-tag strictness" `Quick
         test_frame_tag_strictness;
+      Alcotest.test_case "protocol: optional-field back-compat" `Quick
+        test_optional_field_back_compat;
       Alcotest.test_case "catalog: one name set" `Quick test_catalog;
       Alcotest.test_case "engine: cell validation" `Quick test_engine_validate;
       Alcotest.test_case "engine: deterministic + cache replay" `Quick
@@ -353,4 +578,7 @@ let suite =
         test_concurrent_clients_bit_identical;
       Alcotest.test_case "daemon: bounded-queue backpressure" `Quick
         test_bounded_queue_backpressure;
+      Alcotest.test_case "daemon: mixed batch partial failure" `Quick
+        test_mixed_batch_partial_failure;
+      Alcotest.test_case "daemon: traced end-to-end" `Quick test_traced_daemon;
     ] )

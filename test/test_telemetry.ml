@@ -3,6 +3,7 @@
    machine-readable simulator reports rely on. *)
 
 module Json = Levioso_telemetry.Json
+module Monitor = Levioso_telemetry.Monitor
 module Registry = Levioso_telemetry.Registry
 module Stall = Levioso_telemetry.Stall
 module Trace = Levioso_telemetry.Trace
@@ -475,6 +476,104 @@ let test_reservoir_exact_under_bound () =
     | (_ : Registry.Histogram.h) -> false
     | exception Invalid_argument _ -> true)
 
+(* --- monitor gauges / OpenMetrics exposition -------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_monitor_gauge_sanitization () =
+  let m = Monitor.create ~label:"t" () in
+  (* a hostile name must come out in the OpenMetrics charset *)
+  Monitor.set_gauge m ~help:"weird" "queue depth (cells)!" 3.;
+  let text = Monitor.openmetrics m in
+  Alcotest.(check bool) "name sanitized to the metric charset" true
+    (contains text "levioso_queue_depth__cells__{job=\"t\"} 3");
+  Alcotest.(check bool) "raw name absent" false
+    (contains text "queue depth (cells)");
+  (* sanitized collisions update in place rather than duplicating *)
+  Monitor.set_gauge m "queue depth {cells}!" 7.;
+  let text = Monitor.openmetrics m in
+  Alcotest.(check bool) "collided name updated, not duplicated" true
+    (contains text "levioso_queue_depth__cells__{job=\"t\"} 7"
+    && not (contains text "levioso_queue_depth__cells__{job=\"t\"} 3"));
+  Monitor.close m
+
+let test_monitor_help_escaping () =
+  let m = Monitor.create ~label:"t" () in
+  Monitor.set_gauge m ~help:"line one\nline two \\ slash" "g" 1.;
+  let text = Monitor.openmetrics m in
+  (* the newline must be escaped or the exposition format is corrupt *)
+  Alcotest.(check bool) "HELP newline escaped" true
+    (contains text "line one\\nline two");
+  Alcotest.(check bool) "HELP backslash escaped" true
+    (contains text "\\\\ slash");
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] <> '#' then
+        Alcotest.(check bool)
+          ("sample line well-formed: " ^ line)
+          true
+          (contains line "levioso_" || line = "# EOF"))
+    (String.split_on_char '\n' text);
+  Monitor.close m
+
+let test_monitor_metric_ordering_stable () =
+  let m = Monitor.create ~label:"t" () in
+  Monitor.set_gauge m "alpha" 1.;
+  Monitor.set_gauge m "beta" 2.;
+  Monitor.set_gauge m "gamma" 3.;
+  let order text =
+    List.filter_map
+      (fun name ->
+        let rec find i =
+          if i + String.length name > String.length text then None
+          else if String.sub text i (String.length name) = name then Some i
+          else find (i + 1)
+        in
+        find 0 |> Option.map (fun i -> (i, name)))
+      [ "levioso_alpha"; "levioso_beta"; "levioso_gamma" ]
+    |> List.sort compare
+    |> List.map snd
+  in
+  let before = order (Monitor.openmetrics m) in
+  Alcotest.(check (list string)) "insertion order"
+    [ "levioso_alpha"; "levioso_beta"; "levioso_gamma" ]
+    before;
+  (* updating an early gauge must not reshuffle the exposition *)
+  Monitor.set_gauge m "beta" 9.;
+  Monitor.set_gauge m "alpha" 8.;
+  Alcotest.(check (list string)) "stable across updates" before
+    (order (Monitor.openmetrics m));
+  Monitor.close m
+
+let test_monitor_histogram_exposition () =
+  let m = Monitor.create ~label:"t" () in
+  Monitor.set_histogram m ~help:"latency" "lat_seconds"
+    ~buckets:[ (0.001, 2); (0.01, 5) ]
+    ~sum:0.025 ~count:6;
+  let text = Monitor.openmetrics m in
+  Alcotest.(check bool) "TYPE histogram declared" true
+    (contains text "# TYPE levioso_lat_seconds histogram");
+  Alcotest.(check bool) "le buckets rendered" true
+    (contains text "levioso_lat_seconds_bucket{"
+    && contains text "le=\"0.001\"} 2"
+    && contains text "le=\"0.01\"} 5");
+  Alcotest.(check bool) "+Inf bucket carries the total count" true
+    (contains text "le=\"+Inf\"} 6");
+  Alcotest.(check bool) "sum and count series" true
+    (contains text "levioso_lat_seconds_sum{job=\"t\"} 0.025"
+    && contains text "levioso_lat_seconds_count{job=\"t\"} 6");
+  (* JSON snapshot carries the compact echo *)
+  let j = Monitor.snapshot_json m in
+  (match Option.bind (Json.member "histograms" j) (Json.member "lat_seconds") with
+  | Some h ->
+    Alcotest.(check bool) "json echo has count" true
+      (Json.member "count" h = Some (Json.Int 6))
+  | None -> Alcotest.fail "histogram missing from the JSON snapshot");
+  Monitor.close m
+
 let suite =
   ( "telemetry",
     [
@@ -512,4 +611,12 @@ let suite =
         test_reservoir_json_schema_matches_unbounded;
       Alcotest.test_case "reservoir exact under bound" `Quick
         test_reservoir_exact_under_bound;
+      Alcotest.test_case "monitor gauge sanitization" `Quick
+        test_monitor_gauge_sanitization;
+      Alcotest.test_case "monitor HELP escaping" `Quick
+        test_monitor_help_escaping;
+      Alcotest.test_case "monitor metric ordering stable" `Quick
+        test_monitor_metric_ordering_stable;
+      Alcotest.test_case "monitor histogram exposition" `Quick
+        test_monitor_histogram_exposition;
     ] )
