@@ -893,7 +893,7 @@ let write_bench_matrix ~total_wall_s =
   let simulated = List.filter (fun (_, c) -> c.source = "sim") cells in
   let artifact =
     Schema.tag
-      [
+      ([
         ("schema", Json.String "levioso-bench-matrix/v1");
         ("jobs", Json.Int (effective_jobs ()));
         ("cache", Json.Bool (!disk <> None));
@@ -914,9 +914,14 @@ let write_bench_matrix ~total_wall_s =
           Json.Float (List.fold_left (fun a (_, c) -> a +. c.wall_s) 0.0 cells)
         );
         ("total_wall_s", Json.Float total_wall_s);
-        ("microbench", Json.List !microbench_results);
-        ("matrix", Json.List (List.map entry cells));
       ]
+      (* quick runs skip the microbench entirely: omit the key rather
+         than commit an empty list claiming a measurement that never
+         happened (readers treat absent and present alike) *)
+      @ (match !microbench_results with
+        | [] -> []
+        | results -> [ ("microbench", Json.List results) ])
+      @ [ ("matrix", Json.List (List.map entry cells)) ])
   in
   let oc = open_out "BENCH_matrix.json" in
   Json.to_channel oc artifact;

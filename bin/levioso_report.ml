@@ -11,6 +11,12 @@
          Differential attribution: per-cause and per-PC overhead deltas
          of POLICY against the baseline, per workload.
 
+     levioso_report --dashboard DIR [-o dashboard.html]
+         Render a levioso_serve continuous-telemetry directory
+         (--history-out segments) as a self-contained operational
+         dashboard: queue depth, request/error rates, latency
+         percentiles, cache hit share, GC heap, alert transitions.
+
      levioso_report MATRIX.json [-o report.html] [--append HIST --label L]
          Render the matrix as a self-contained HTML report (inline SVG,
          no external resources); optionally append the run's cycles to a
@@ -22,7 +28,9 @@
 
 module Json = Levioso_telemetry.Json
 module Schema = Levioso_telemetry.Schema
+module Tsdb = Levioso_telemetry.Tsdb
 module Html_report = Levioso_uarch.Html_report
+module Dashboard = Levioso_uarch.Dashboard
 module Diff_report = Levioso_uarch.Diff_report
 module Bench_history = Levioso_uarch.Bench_history
 
@@ -210,17 +218,42 @@ let mode_render path out title append label leak_trace =
         Printf.printf "appended %S to %s (%d entries)\n" label hist_path n)));
   0
 
+let mode_dashboard dir out title =
+  let records =
+    match Tsdb.read_dir dir with
+    | Ok [] -> die "%s: no time-series segments (run the daemon with --history-out %s)" dir dir
+    | Ok records -> records
+    | Error msg -> die "%s" msg
+  in
+  let html =
+    match Dashboard.render ~title records with
+    | Ok html -> html
+    | Error msg -> die "%s" msg
+  in
+  let oc = open_out_bin out in
+  output_string oc html;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n" out (String.length html);
+  0
+
 let main compare files diff baseline workload tolerance alloc_tolerance top_k
-    as_json out title append label leak_trace =
-  match (compare, diff, files) with
-  | true, _, [ old_path; new_path ] ->
+    as_json out title append label leak_trace dashboard =
+  match (compare, diff, dashboard, files) with
+  | true, _, _, [ old_path; new_path ] ->
     mode_compare old_path new_path tolerance alloc_tolerance
-  | true, _, _ -> die "--compare needs exactly two files: OLD NEW"
-  | false, Some policy, [ path ] ->
+  | true, _, _, _ -> die "--compare needs exactly two files: OLD NEW"
+  | false, Some policy, _, [ path ] ->
     mode_diff policy baseline workload top_k as_json path
-  | false, Some _, _ -> die "--diff needs exactly one matrix file"
-  | false, None, [ path ] -> mode_render path out title append label leak_trace
-  | false, None, _ -> die "expected one matrix file (try --help)"
+  | false, Some _, _, _ -> die "--diff needs exactly one matrix file"
+  | false, None, Some dir, [] ->
+    let title =
+      if title = "Levioso report" then "Levioso serve dashboard" else title
+    in
+    mode_dashboard dir out title
+  | false, None, Some _, _ -> die "--dashboard takes no positional files"
+  | false, None, None, [ path ] ->
+    mode_render path out title append label leak_trace
+  | false, None, None, _ -> die "expected one matrix file (try --help)"
 
 open Cmdliner
 
@@ -315,6 +348,17 @@ let leak_trace_arg =
            document written by levioso_sim --leak-trace FILE.json) as a \
            \"Speculative leakage provenance\" section of the HTML report.")
 
+let dashboard_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dashboard" ] ~docv:"DIR"
+        ~doc:
+          "Render the levioso_serve continuous-telemetry segments in \
+           $(docv) (written by serve --history-out) as a self-contained \
+           HTML operational dashboard.  Byte-deterministic: re-rendering \
+           the same segments produces an identical file.")
+
 let cmd =
   let doc = "render, track and compare Levioso evaluation results" in
   let info = Cmd.info "levioso_report" ~doc in
@@ -323,6 +367,6 @@ let cmd =
       const main $ compare_arg $ files_arg $ diff_arg $ baseline_arg
       $ workload_arg $ tolerance_arg $ alloc_tolerance_arg $ top_k_arg
       $ json_arg $ out_arg $ title_arg $ append_arg $ label_arg
-      $ leak_trace_arg)
+      $ leak_trace_arg $ dashboard_arg)
 
 let () = exit (Cmd.eval' cmd)

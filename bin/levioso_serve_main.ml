@@ -20,6 +20,8 @@ module Suite = Levioso_workload.Suite
 module Json = Levioso_telemetry.Json
 module Monitor = Levioso_telemetry.Monitor
 module Span = Levioso_telemetry.Span
+module Tsdb = Levioso_telemetry.Tsdb
+module Alerts = Levioso_telemetry.Alerts
 module Report = Levioso_util.Report
 module Stats = Levioso_util.Stats
 module Serve = Levioso_serve
@@ -31,11 +33,38 @@ module Catalog = Levioso_serve.Catalog
 (* ---------- serve ---------- *)
 
 let serve socket jobs queue_max cache_dir no_cache metrics_file progress_file
-    trace_out access_log_path quiet =
+    trace_out access_log_path history_out history_interval alerts_file quiet =
   if jobs < 0 then `Error (false, "-j expects a non-negative integer")
   else if queue_max < 0 then
     `Error (false, "--queue-max expects a non-negative integer")
+  else if history_interval <= 0. then
+    `Error (false, "--history-interval expects a positive number of seconds")
+  else if alerts_file <> None && history_out = None then
+    `Error
+      ( false,
+        "--alerts needs --history-out (rules are evaluated against the \
+         recorded samples)" )
   else begin
+    let history =
+      match history_out with
+      | None -> Ok None
+      | Some dir -> (
+        match
+          match alerts_file with None -> Ok [] | Some f -> Alerts.load f
+        with
+        | Error msg -> Error msg
+        | Ok alert_rules ->
+          Ok
+            (Some
+               {
+                 Server.history_dir = dir;
+                 history_interval_s = history_interval;
+                 alert_rules;
+               }))
+    in
+    match history with
+    | Error msg -> `Error (false, msg)
+    | Ok history ->
     let cache =
       if no_cache then None else Some (Run_cache.create ~dir:cache_dir ())
     in
@@ -79,6 +108,7 @@ let serve socket jobs queue_max cache_dir no_cache metrics_file progress_file
           log;
           spans;
           access_log;
+          history;
         }
     with
     | () ->
@@ -409,6 +439,92 @@ let shutdown_cmd socket =
       Client.shutdown c;
       print_endline "daemon stopped")
 
+(* ---------- history ---------- *)
+
+(* Curated default columns: the operational signals someone debugging a
+   daemon wants first.  --fields overrides with any recorded field. *)
+let history_default_fields =
+  [
+    "uptime_s"; "queue_depth"; "clients"; "requests"; "errors";
+    "requests_per_s"; "cells_per_s"; "cache_hit_share"; "total_p50_s";
+    "total_p99_s"; "gc_heap_words";
+  ]
+
+let render_history records fields =
+  let samples = Levioso_telemetry.Tsdb.samples records in
+  match samples with
+  | [] -> print_endline "no samples in the requested range"
+  | first :: _ ->
+    let t0 = first.Tsdb.ts in
+    let present name =
+      List.exists (fun s -> List.mem_assoc name s.Tsdb.fields) samples
+    in
+    let columns =
+      match fields with
+      | Some names -> names  (* explicit request: keep even when absent *)
+      | None -> List.filter present history_default_fields
+    in
+    let header = "t" :: columns in
+    let rows =
+      List.map
+        (fun s ->
+          Printf.sprintf "+%.1fs" (s.Tsdb.ts -. t0)
+          :: List.map
+               (fun name ->
+                 match List.assoc_opt name s.Tsdb.fields with
+                 | Some v -> Printf.sprintf "%g" v
+                 | None -> "-")
+               columns)
+        samples
+    in
+    print_string (Report.table ~header ~rows);
+    List.iter
+      (function
+        | Tsdb.Alert a ->
+          Printf.printf "%s t+%.1fs: %s\n"
+            (if a.Tsdb.firing then "alert FIRING " else "alert resolved")
+            (a.Tsdb.a_ts -. t0) a.Tsdb.rule
+        | Tsdb.Sample _ -> ())
+      records
+
+let history_cmd socket dir since until last json fields =
+  if last < 0 then `Error (false, "--last expects a non-negative integer")
+  else
+    let fields =
+      Option.map
+        (fun csv ->
+          String.split_on_char ',' csv
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> ""))
+        fields
+    in
+    let render records =
+      if json then print_endline (Json.to_string (Protocol.history_doc records))
+      else render_history records fields
+    in
+    match dir with
+    | Some dir -> (
+      (* offline: read the segments directly, no daemon required *)
+      match Tsdb.read_dir ?since ?until dir with
+      | Error msg -> `Error (false, msg)
+      | Ok records ->
+        let records =
+          if last > 0 then
+            let n = List.length records in
+            List.filteri (fun i _ -> i >= n - last) records
+          else records
+        in
+        render records;
+        `Ok ())
+    | None ->
+      with_client socket (fun c ->
+          let doc = Client.history ?since ?until ~last c in
+          if json then print_endline (Json.to_string doc)
+          else
+            match Protocol.history_records doc with
+            | Ok records -> render_history records fields
+            | Error msg -> raise (Client.Server_error msg))
+
 (* ---------- cmdliner ---------- *)
 
 open Cmdliner
@@ -489,6 +605,39 @@ let access_log_arg =
            trace/request identity plus per-stage durations (queue, exec, \
            cache_probe, replay, simulate, serialize) and total_s.")
 
+let history_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "history-out" ] ~docv:"DIR"
+        ~doc:
+          "Continuous telemetry: sample the daemon's gauges, latency \
+           percentiles, histogram mass and GC counters every \
+           --history-interval seconds into an append-only on-disk \
+           time-series under $(docv) (query with `levioso_serve history`, \
+           render with `levioso_report --dashboard`).  Also arms the \
+           flight recorder: SIGUSR1, a deadlock diagnostic or an uncaught \
+           server error dumps recent samples and access records to a \
+           post-mortem JSON in $(docv).")
+
+let history_interval_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "history-interval" ] ~docv:"SECS"
+        ~doc:"Seconds between history samples (default 5).")
+
+let alerts_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "alerts" ] ~docv:"FILE"
+        ~doc:
+          "Alert rules evaluated at every history sample, one per line: \
+           `metric OP threshold [for DURs]`, e.g. `total_p99_ms > 500 for \
+           30s` or `queue_depth >= 100`.  Transitions are logged, recorded \
+           in the time-series and exported as the levioso_alerts_firing \
+           gauge.  Requires --history-out.")
+
 let serve_cmd =
   let doc = "run the simulation daemon (blocks until a shutdown request)" in
   Cmd.v
@@ -497,7 +646,8 @@ let serve_cmd =
       ret
         (const serve $ socket_arg $ jobs_arg $ queue_max_arg $ cache_dir_arg
        $ no_cache_arg $ metrics_serve_arg $ progress_file_arg $ trace_out_arg
-       $ access_log_arg $ quiet_arg))
+       $ access_log_arg $ history_out_arg $ history_interval_arg $ alerts_arg
+       $ quiet_arg))
 
 let workloads_arg =
   let doc =
@@ -675,6 +825,64 @@ let shutdown_sub =
     (Cmd.info "shutdown" ~doc:"drain outstanding work and stop the daemon")
     Term.(ret (const shutdown_cmd $ socket_arg))
 
+let history_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:
+          "Read the time-series segments in $(docv) directly instead of \
+           querying a live daemon — works after the daemon exited.")
+
+let since_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "since" ] ~docv:"TS"
+        ~doc:"Keep records with timestamp >= $(docv) (Unix epoch seconds).")
+
+let until_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "until" ] ~docv:"TS"
+        ~doc:"Keep records with timestamp <= $(docv) (Unix epoch seconds).")
+
+let last_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "last" ] ~docv:"N"
+        ~doc:"Keep only the newest $(docv) records; 0 (the default) = all.")
+
+let history_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the schema-tagged levioso-history document instead of the \
+           aligned-column view.")
+
+let fields_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fields" ] ~docv:"A,B,C"
+        ~doc:
+          "Comma-separated field columns to show (default: a curated \
+           operational set; any field recorded in the samples works, e.g. \
+           exec_p95_s or gc_minor_collections).")
+
+let history_sub =
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:
+         "query the daemon's recorded telemetry time-series (or read \
+          segment files directly with --dir)")
+    Term.(
+      ret
+        (const history_cmd $ socket_arg $ history_dir_arg $ since_arg
+       $ until_arg $ last_arg $ history_json_arg $ fields_arg))
+
 let cmd =
   let doc = "levioso simulation-as-a-service daemon and client" in
   Cmd.group
@@ -687,6 +895,7 @@ let cmd =
       ping_sub;
       stats_sub;
       top_sub;
+      history_sub;
       prune_sub;
       shutdown_sub;
     ]

@@ -89,6 +89,11 @@ let shutdown c =
   | Protocol.Bye -> ()
   | _ -> fail "expected bye"
 
+let history ?since ?until ?(last = 0) c =
+  match request c (Protocol.History { since; until; last }) with
+  | Protocol.History_data j -> j
+  | _ -> fail "expected a history document"
+
 type result_cell = {
   source : string;
   wall_s : float;

@@ -33,6 +33,14 @@ val prune : t -> max_age_days:int -> int
 val shutdown : t -> unit
 (** Ask the daemon to drain and exit; returns once it acknowledged. *)
 
+val history :
+  ?since:float -> ?until:float -> ?last:int -> t -> Levioso_telemetry.Json.t
+(** Query the daemon's continuous-telemetry time-series: a schema-tagged
+    ["levioso-history"] document (see {!Protocol.history_records}) with
+    records in [since <= ts <= until], the newest [last] when
+    [last > 0].  @raise Server_error when the daemon runs without
+    [--history-out]. *)
+
 type result_cell = {
   source : string;  (** ["sim"], ["cache"] or ["error"] *)
   wall_s : float;  (** daemon-side wall clock for this cell *)

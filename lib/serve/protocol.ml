@@ -1,4 +1,6 @@
 module Json = Levioso_telemetry.Json
+module Schema = Levioso_telemetry.Schema
+module Tsdb = Levioso_telemetry.Tsdb
 module Config = Levioso_uarch.Config
 module Sampler = Levioso_uarch.Sampler
 
@@ -26,6 +28,7 @@ type request =
       trace : string option;
       cells : cell list;
     }
+  | History of { since : float option; until : float option; last : int }
 
 type done_stats = {
   simulated : int;
@@ -49,6 +52,9 @@ type response =
   | Done of { id : string; stats : done_stats }
   | Pruned of int
   | Stats_snapshot of Json.t
+  | History_data of Json.t
+      (** schema-tagged ["levioso-history"] document with a [records]
+          list of tsdb sample/alert objects *)
   | Pong
   | Error of string
   | Bye
@@ -88,6 +94,16 @@ let request_to_json = function
           ("cache", Json.Bool cache);
           ("cells", Json.List (List.map cell_to_json cells));
         ])
+  | History { since; until; last } ->
+    frame
+      ([ ("type", Json.String "history") ]
+      @ (match since with
+        | Some s -> [ ("since", Json.float s) ]
+        | None -> [])
+      @ (match until with
+        | Some u -> [ ("until", Json.float u) ]
+        | None -> [])
+      @ [ ("last", Json.Int last) ])
 
 let response_to_json = function
   | Hello { proto; pool; cache } ->
@@ -146,6 +162,7 @@ let response_to_json = function
   | Pruned removed ->
     frame [ ("type", Json.String "pruned"); ("removed", Json.Int removed) ]
   | Stats_snapshot j -> frame [ ("type", Json.String "stats"); ("snapshot", j) ]
+  | History_data j -> frame [ ("type", Json.String "history"); ("data", j) ]
   | Pong -> frame [ ("type", Json.String "pong") ]
   | Error msg ->
     frame [ ("type", Json.String "error"); ("message", Json.String msg) ]
@@ -206,6 +223,13 @@ let int_field_default j name ~default =
   | None -> Ok default
   | Some _ -> Error (Printf.sprintf "frame field %S is not an integer" name)
 
+let opt_float_field j name =
+  match Json.member name j with
+  | Some (Json.Float f) -> Ok (Some f)
+  | Some (Json.Int n) -> Ok (Some (float_of_int n))
+  | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "frame field %S is not a number" name)
+
 let cell_of_json j =
   let* workload = string_field j "workload" in
   let* policy = string_field j "policy" in
@@ -246,6 +270,11 @@ let request_of_json j =
       | Some _ | None -> Error "submit has no \"cells\" list"
     in
     Ok (Submit { id; cache; trace; cells })
+  | "history" ->
+    let* since = opt_float_field j "since" in
+    let* until = opt_float_field j "until" in
+    let* last = int_field_default j "last" ~default:0 in
+    Ok (History { since; until; last })
   | ty -> Error (Printf.sprintf "unknown request type %S" ty)
 
 let response_of_json j =
@@ -314,12 +343,50 @@ let response_of_json j =
     match Json.member "snapshot" j with
     | Some s -> Ok (Stats_snapshot s)
     | None -> Error "stats has no \"snapshot\"")
+  | "history" -> (
+    match Json.member "data" j with
+    | Some d -> Ok (History_data d)
+    | None -> Error "history has no \"data\"")
   | "pong" -> Ok Pong
   | "error" ->
     let* msg = string_field j "message" in
     Ok (Error msg)
   | "bye" -> Ok Bye
   | ty -> Error (Printf.sprintf "unknown response type %S" ty)
+
+(* --- history documents ------------------------------------------------
+
+   The payload of a [History_data] response, also what `levioso_serve
+   history --json` prints: a schema-tagged wrapper around verbatim tsdb
+   records, so the same document shape works whether the records came
+   over the wire or straight off disk. *)
+
+let history_doc records =
+  Schema.tag
+    [
+      ("kind", Json.String "levioso-history");
+      ("count", Json.Int (List.length records));
+      ( "records",
+        Json.List
+          (List.map
+             (function
+               | Tsdb.Sample s -> Tsdb.sample_to_json s
+               | Tsdb.Alert a -> Tsdb.alert_to_json a)
+             records) );
+    ]
+
+let history_records j =
+  let* () = Schema.check ~what:"history document" j in
+  match Json.member "records" j with
+  | Some (Json.List l) ->
+    List.fold_left
+      (fun acc r ->
+        let* acc = acc in
+        let* record = Tsdb.record_of_json r in
+        Ok (record :: acc))
+      (Ok []) l
+    |> Result.map List.rev
+  | Some _ | None -> Error "history document has no \"records\" list"
 
 (* --- framing ----------------------------------------------------------
 

@@ -46,6 +46,12 @@ type request =
       (** [id] is an opaque client-chosen tag echoed in every response
           frame of the exchange; [cache] gates the daemon's shared
           result store for this batch. *)
+  | History of { since : float option; until : float option; last : int }
+      (** query the daemon's continuous-telemetry time-series
+          ([--history-out]): records with [since <= ts <= until],
+          truncated to the newest [last] records when [last > 0].  All
+          three fields are optional on the wire (absent [last] decodes
+          as 0 = unlimited), so older clients interoperate. *)
 
 type done_stats = {
   simulated : int;
@@ -82,6 +88,12 @@ type response =
   | Done of { id : string; stats : done_stats }
   | Pruned of int
   | Stats_snapshot of Levioso_telemetry.Json.t
+  | History_data of Levioso_telemetry.Json.t
+      (** answer to [History]: a schema-tagged ["levioso-history"]
+          document whose [records] list holds tsdb sample/alert objects
+          (parse each with {!Levioso_telemetry.Tsdb.record_of_json});
+          an [Error] response when the daemon runs without
+          [--history-out] *)
   | Pong
   | Error of string
   | Bye  (** acknowledges a [Shutdown] *)
@@ -94,6 +106,16 @@ val request_of_json : Levioso_telemetry.Json.t -> (request, string) result
 
 val response_to_json : response -> Levioso_telemetry.Json.t
 val response_of_json : Levioso_telemetry.Json.t -> (response, string) result
+
+val history_doc : Levioso_telemetry.Tsdb.record list -> Levioso_telemetry.Json.t
+(** Wrap tsdb records as the schema-tagged ["levioso-history"] document
+    carried by [History_data] (and printed by
+    [levioso_serve history --json]). *)
+
+val history_records :
+  Levioso_telemetry.Json.t ->
+  (Levioso_telemetry.Tsdb.record list, string) result
+(** Inverse of {!history_doc}; schema-checks first. *)
 
 val write_frame : out_channel -> Levioso_telemetry.Json.t -> unit
 (** One minified JSON object plus newline, flushed. *)

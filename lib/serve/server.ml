@@ -2,8 +2,18 @@ module Json = Levioso_telemetry.Json
 module Schema = Levioso_telemetry.Schema
 module Monitor = Levioso_telemetry.Monitor
 module Span = Levioso_telemetry.Span
+module Tsdb = Levioso_telemetry.Tsdb
+module Alerts = Levioso_telemetry.Alerts
+module Flight = Levioso_telemetry.Flight
 module Run_cache = Levioso_uarch.Run_cache
+module Pipeline = Levioso_uarch.Pipeline
 module Parallel = Levioso_util.Parallel
+
+type history_opts = {
+  history_dir : string;
+  history_interval_s : float;
+  alert_rules : Alerts.rule list;
+}
 
 type opts = {
   socket_path : string;
@@ -14,6 +24,7 @@ type opts = {
   log : (string -> unit) option;
   spans : Span.t option;
   access_log : out_channel option;
+  history : history_opts option;
 }
 
 (* The latency-accounting stages every cell passes through, in path
@@ -24,6 +35,24 @@ type opts = {
 let lat_stages = [ "queue"; "exec"; "serialize"; "total" ]
 
 let window_capacity = 512
+
+(* Continuous-telemetry state, allocated only under --history-out.  A
+   daemon without it constructs none of this: the sampler thread, its
+   clock reads and the flight-recorder rings simply do not exist, which
+   is the zero-effect guarantee. *)
+type hist = {
+  h_dir : string;
+  h_interval_s : float;
+  tsdb : Tsdb.t;
+  halerts : Alerts.t;
+  flight : Flight.t;
+  (* reason for a requested post-mortem dump (SIGUSR1 handler writes,
+     sampler thread drains — a signal handler must not take locks) *)
+  dump_req : string option Atomic.t;
+  h_stop : bool Atomic.t;
+  (* previous tick's (ts, requests, errors, simulated, cached) for rates *)
+  mutable h_prev : (float * float * float * float * float) option;
+}
 
 type t = {
   opts : opts;
@@ -51,6 +80,7 @@ type t = {
   lat : (string * Span.Window.w) list;
   lat_hist : (string * Span.Hist.h) list;
   access_mu : Mutex.t;
+  history : hist option;
 }
 
 let log t msg = match t.opts.log with Some f -> f msg | None -> ()
@@ -136,6 +166,155 @@ let stats_snapshot t =
         Json.Obj (List.map (fun (n, _, v) -> (n, Json.float v)) (gauges t)) );
       ("latency", latency_json t);
     ]
+
+(* --- continuous telemetry (--history-out) ------------------------------
+
+   One sampler thread wakes every interval, reads the clock once,
+   assembles the daemon's whole observable state into flat float fields
+   and appends a tsdb sample.  Field names deliberately match what the
+   alert language and the dashboard read: gauges lose their "serve_"
+   prefix (queue_depth, requests, ...), latency percentiles are
+   "<stage>_p50_s" etc. so a "total_p99_ms > 500" rule resolves via the
+   Alerts _ms fallback. *)
+
+let history_fields t ~ts =
+  let gauge_fields =
+    List.map
+      (fun (name, _, v) ->
+        let name =
+          if String.length name > 6 && String.sub name 0 6 = "serve_" then
+            String.sub name 6 (String.length name - 6)
+          else name
+        in
+        (name, v))
+      (gauges t)
+  in
+  let lat_fields =
+    List.concat_map
+      (fun (stage, w) ->
+        let p q suffix =
+          match Span.Window.percentile w q with
+          | Some v -> [ (stage ^ suffix, v) ]
+          | None -> []
+        in
+        [ (stage ^ "_seen", float_of_int (Span.Window.seen w)) ]
+        @ p 0.5 "_p50_s" @ p 0.95 "_p95_s" @ p 0.99 "_p99_s")
+      t.lat
+  in
+  let hist_fields =
+    List.concat_map
+      (fun (stage, h) ->
+        [
+          (stage ^ "_hist_count", float_of_int (Span.Hist.count h));
+          (stage ^ "_hist_sum_s", Span.Hist.sum h);
+        ]
+        (* full cumulative buckets for the end-to-end stage only: 4
+           stages x ~25 buckets per sample would triple record size for
+           curves nobody alerts on *)
+        @
+        if stage = "total" then
+          List.filter_map
+            (fun (le, n) ->
+              if n > 0 then
+                Some (Printf.sprintf "total_le_%g" le, float_of_int n)
+              else None)
+            (Span.Hist.buckets h)
+        else [])
+      t.lat_hist
+  in
+  let gc = Gc.quick_stat () in
+  let gc_fields =
+    [
+      ("gc_heap_words", float_of_int gc.Gc.heap_words);
+      ("gc_top_heap_words", float_of_int gc.Gc.top_heap_words);
+      ("gc_minor_collections", float_of_int gc.Gc.minor_collections);
+      ("gc_major_collections", float_of_int gc.Gc.major_collections);
+      ("gc_minor_words", gc.Gc.minor_words);
+      ("gc_promoted_words", gc.Gc.promoted_words);
+    ]
+  in
+  (("uptime_s", ts -. t.started) :: gauge_fields) @ lat_fields @ hist_fields
+  @ gc_fields
+
+let history_rates h ~ts fields =
+  let get name = Option.value ~default:0. (List.assoc_opt name fields) in
+  let requests = get "requests" and errors = get "errors" in
+  let simulated = get "cells_simulated" and cached = get "cells_cached" in
+  let rates =
+    match h.h_prev with
+    | Some (pts, preq, perr, psim, pcache) when ts > pts ->
+      let dt = ts -. pts in
+      let sim_d = simulated -. psim and cache_d = cached -. pcache in
+      let served = sim_d +. cache_d in
+      [
+        ("requests_per_s", (requests -. preq) /. dt);
+        ("errors_per_s", (errors -. perr) /. dt);
+        ("cells_per_s", served /. dt);
+        ("cache_hit_share", if served > 0. then cache_d /. served else 0.);
+      ]
+    | _ -> []
+  in
+  h.h_prev <- Some (ts, requests, errors, simulated, cached);
+  rates
+
+let sample_history t h =
+  let ts = Tsdb.now h.tsdb in
+  let fields = history_fields t ~ts in
+  let fields = fields @ history_rates h ~ts fields in
+  let s = Tsdb.append ~ts h.tsdb fields in
+  Flight.add_sample h.flight s;
+  let lookup name = List.assoc_opt name s.Tsdb.fields in
+  let transitions = Alerts.eval h.halerts ~now:ts ~lookup in
+  List.iter
+    (fun { Alerts.rule; firing; value } ->
+      log t
+        (if firing then
+           Printf.sprintf "alert FIRING: %s (value %g)" rule.Alerts.name value
+         else Printf.sprintf "alert resolved: %s" rule.Alerts.name);
+      Tsdb.append_alert h.tsdb ~ts ~rule:rule.Alerts.name ~firing)
+    transitions;
+  match t.opts.monitor with
+  | Some m ->
+    Monitor.set_gauge m ~help:"Alert rules currently firing." "alerts_firing"
+      (float_of_int (Alerts.firing h.halerts))
+  | None -> ()
+
+(* Post-mortem dump: flight-recorder rings to disk.  Called from the
+   sampler thread (SIGUSR1 flag), a client thread (uncaught request
+   error) or the submit path (deadlock diagnostic); Flight and Tsdb are
+   mutex-guarded so any thread may dump. *)
+let postmortem t ~reason =
+  match t.history with
+  | None -> ()
+  | Some h -> (
+    match
+      Flight.write h.flight ~dir:h.h_dir ~reason ~ts:(Tsdb.now h.tsdb)
+    with
+    | Ok path -> log t (Printf.sprintf "post-mortem (%s) -> %s" reason path)
+    | Error e -> log t (Printf.sprintf "post-mortem (%s) failed: %s" reason e))
+
+let sampler_loop t h =
+  sample_history t h;
+  let next = ref (Unix.gettimeofday () +. h.h_interval_s) in
+  let slice = Float.min 0.05 (Float.max 0.005 (h.h_interval_s /. 4.)) in
+  while not (Atomic.get h.h_stop) do
+    (match Atomic.exchange h.dump_req None with
+    | Some reason -> postmortem t ~reason
+    | None -> ());
+    let now = Unix.gettimeofday () in
+    if now >= !next then begin
+      sample_history t h;
+      (* re-anchor on the grid so a slow sample slips the phase instead
+         of bunching the next ticks *)
+      next := Float.max (!next +. h.h_interval_s) (now +. (h.h_interval_s /. 2.))
+    end;
+    Thread.delay slice
+  done;
+  (match Atomic.exchange h.dump_req None with
+  | Some reason -> postmortem t ~reason
+  | None -> ());
+  (* final sample so even a short-lived daemon leaves >= 2 points *)
+  sample_history t h
 
 (* The in-flight memo key: everything that determines the result bits,
    plus the cache flag — a --no-cache submission must not merge onto a
@@ -309,9 +488,10 @@ let handle_submit t oc ~id ~cache ~trace cells =
       observe_stage t "serialize" serialize_s;
       observe_stage t "total" total_s
     end;
-    match t.opts.access_log with
-    | None -> ()
-    | Some log_oc ->
+    if t.opts.access_log <> None || t.history <> None then begin
+      (* one record, two consumers: the JSONL access log and the flight
+         recorder's bounded ring.  All timestamps above were already
+         taken, so feeding the ring costs no extra clock reads. *)
       let record =
         Span.access_record ~ts:t_done ~trace ~request:id ~index
           ~workload:cell.Protocol.workload ~policy:cell.Protocol.policy
@@ -322,10 +502,17 @@ let handle_submit t oc ~id ~cache ~trace cells =
             @ [ ("serialize", serialize_s) ])
           ~total_s ()
       in
-      Mutex.protect t.access_mu (fun () ->
-          output_string log_oc (Json.to_string ~minify:true record);
-          output_char log_oc '\n';
-          flush log_oc)
+      (match t.opts.access_log with
+      | None -> ()
+      | Some log_oc ->
+        Mutex.protect t.access_mu (fun () ->
+            output_string log_oc (Json.to_string ~minify:true record);
+            output_char log_oc '\n';
+            flush log_oc));
+      match t.history with
+      | Some h -> Flight.add_record h.flight record
+      | None -> ()
+    end
   in
   (* Whatever interrupts the stream — a Failed future re-raised by
      await, a write to a vanished client — every fresh cell of the
@@ -377,6 +564,16 @@ let handle_submit t oc ~id ~cache ~trace cells =
               if fresh then unschedule t ~use_cache:cache cell fut;
               incr failed;
               Atomic.incr t.errors;
+              (* a deadlocked simulation is exactly the moment the
+                 flight recorder exists for: dump the recent rings
+                 before the diagnostic is reduced to one error string *)
+              (match e with
+              | Pipeline.Deadlock _ ->
+                postmortem t
+                  ~reason:
+                    (Printf.sprintf "deadlock: %s/%s" cell.Protocol.workload
+                       cell.Protocol.policy)
+              | _ -> ());
               let queue_s, exec_s = cell_times fut ~t_sched in
               emit ~index ~cell ~t_sched ~cspan ~source:"error" ~wall_s:0.
                 ~summary:Json.Null ~error:(Some (Printexc.to_string e))
@@ -436,6 +633,28 @@ let handle_request t oc req =
     stop_accepting t
   | Protocol.Submit { id; cache; trace; cells } ->
     handle_submit t oc ~id ~cache ~trace cells
+  | Protocol.History { since; until; last } -> (
+    match t.history with
+    | None ->
+      Protocol.(
+        write_frame oc
+          (response_to_json
+             (Error "daemon is running without --history-out")))
+    | Some h -> (
+      match Tsdb.read_dir ?since ?until h.h_dir with
+      | Error e ->
+        Atomic.incr t.errors;
+        Protocol.(write_frame oc (response_to_json (Error e)))
+      | Ok records ->
+        let records =
+          if last > 0 then
+            let n = List.length records in
+            List.filteri (fun i _ -> i >= n - last) records
+          else records
+        in
+        Protocol.(
+          write_frame oc
+            (response_to_json (History_data (Protocol.history_doc records))))))
 
 let handle_client t conn fd =
   let ic = Unix.in_channel_of_descr fd in
@@ -477,6 +696,14 @@ let handle_client t conn fd =
                  and keep serving (Invalid_argument from a stopped pool,
                  Sys_error from a vanished cache directory, ...) *)
               Atomic.incr t.errors;
+              (* dump the flight recorder for genuine daemon faults; a
+                 client that vanished mid-write (EPIPE & friends) is
+                 the client's problem, not a post-mortem *)
+              (match e with
+              | Sys_error _ | End_of_file | Unix.Unix_error _ -> ()
+              | _ ->
+                postmortem t
+                  ~reason:("server-error: " ^ Printexc.to_string e));
               Protocol.(
                 write_frame oc
                   (response_to_json (Error (Printexc.to_string e))))));
@@ -519,6 +746,21 @@ let run ?(on_ready = fun () -> ()) opts =
   let pool =
     Parallel.create ~size:(max 1 opts.pool_size) ?max_pending:opts.queue_max ()
   in
+  let history =
+    Option.map
+      (fun ho ->
+        {
+          h_dir = ho.history_dir;
+          h_interval_s = Float.max 0.01 ho.history_interval_s;
+          tsdb = Tsdb.create ~dir:ho.history_dir ();
+          halerts = Alerts.create ho.alert_rules;
+          flight = Flight.create ();
+          dump_req = Atomic.make None;
+          h_stop = Atomic.make false;
+          h_prev = None;
+        })
+      opts.history
+  in
   let t =
     {
       opts;
@@ -540,7 +782,26 @@ let run ?(on_ready = fun () -> ()) opts =
         List.map (fun s -> (s, Span.Window.create window_capacity)) lat_stages;
       lat_hist = List.map (fun s -> (s, Span.Hist.create ())) lat_stages;
       access_mu = Mutex.create ();
+      history;
     }
+  in
+  let sampler =
+    Option.map
+      (fun h ->
+        (* SIGUSR1 = operator-requested post-mortem.  The handler only
+           flips an atomic flag; the sampler thread does the dump. *)
+        (try
+           Sys.set_signal Sys.sigusr1
+             (Sys.Signal_handle
+                (fun _ -> Atomic.set h.dump_req (Some "sigusr1")))
+         with Invalid_argument _ | Sys_error _ -> ());
+        log t
+          (Printf.sprintf "history -> %s (every %gs%s)" h.h_dir h.h_interval_s
+             (match List.length (Alerts.rules h.halerts) with
+             | 0 -> ""
+             | n -> Printf.sprintf ", %d alert rules" n));
+        Thread.create (fun () -> sampler_loop t h) ())
+      history
   in
   log t
     (Printf.sprintf "listening on %s (pool %d%s, cache %s)" opts.socket_path
@@ -577,6 +838,14 @@ let run ?(on_ready = fun () -> ()) opts =
       try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     remaining;
   List.iter (fun (th, _) -> Thread.join th) remaining;
+  (* stop the sampler after the drain so the shutdown burst is still
+     recorded; it takes one final sample on its way out *)
+  (match (history, sampler) with
+  | Some h, Some th ->
+    Atomic.set h.h_stop true;
+    Thread.join th;
+    Tsdb.close h.tsdb
+  | _ -> ());
   (try Unix.close t.listener with Unix.Unix_error _ -> ());
   (try Sys.remove opts.socket_path with Sys_error _ -> ());
   (match opts.monitor with Some m -> Monitor.close m | None -> ());

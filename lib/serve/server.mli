@@ -14,6 +14,25 @@
     Results are streamed back in submission order, so a client's view is
     bit-identical to a serial in-process run of the same matrix. *)
 
+type history_opts = {
+  history_dir : string;
+      (** tsdb segment directory, created as needed; also receives
+          [postmortem-NNN.json] flight-recorder dumps *)
+  history_interval_s : float;  (** sampling period (clamped to >= 10ms) *)
+  alert_rules : Levioso_telemetry.Alerts.rule list;
+      (** evaluated against every sample; transitions are logged,
+          recorded in the time-series and exported as the
+          [levioso_alerts_firing] monitor gauge *)
+}
+(** Continuous telemetry ([--history-out]): a sampler thread appends
+    the daemon's full observable state (queue/throughput gauges,
+    sliding-window latency percentiles, histogram mass and end-to-end
+    buckets, GC counters, derived per-second rates) to an on-disk
+    {!Levioso_telemetry.Tsdb} at a fixed interval, feeds a bounded
+    flight-recorder ring, and evaluates alert rules.  A post-mortem
+    dump of the rings is written on SIGUSR1, on a deadlock diagnostic
+    from a simulated cell, and on an uncaught server error. *)
+
 type opts = {
   socket_path : string;  (** created on start, unlinked on stop *)
   pool_size : int;  (** simulation domains (clamped to >= 1) *)
@@ -37,6 +56,11 @@ type opts = {
           (see {!Levioso_telemetry.Span.access_record}), flushed per
           line so `tail -f` works; engine stage durations appear only
           when [spans] is also set.  The caller owns the channel. *)
+  history : history_opts option;
+      (** continuous telemetry; [None] = off: no sampler thread, no
+          tsdb, no flight recorder, zero history clock reads, and the
+          [history] request answers with an error.  Results are
+          bit-identical either way — sampling is observational. *)
 }
 
 val run : ?on_ready:(unit -> unit) -> opts -> unit

@@ -1,0 +1,183 @@
+type op = Gt | Ge | Lt | Le
+
+type rule = {
+  name : string;
+  metric : string;
+  op : op;
+  threshold : float;
+  for_s : float;
+}
+
+let op_to_string = function Gt -> ">" | Ge -> ">=" | Lt -> "<" | Le -> "<="
+
+let canonical ~metric ~op ~threshold ~for_s =
+  let base = Printf.sprintf "%s %s %g" metric (op_to_string op) threshold in
+  if for_s > 0. then Printf.sprintf "%s for %gs" base for_s else base
+
+(* ---------- parsing ---------- *)
+
+let find_op line =
+  (* two-character operators first so [>=] doesn't parse as [>] [=] *)
+  let ops = [ (">=", Ge); ("<=", Le); (">", Gt); ("<", Lt) ] in
+  let rec at i =
+    if i >= String.length line then None
+    else
+      match
+        List.find_opt
+          (fun (tok, _) ->
+            i + String.length tok <= String.length line
+            && String.sub line i (String.length tok) = tok)
+          ops
+      with
+      | Some (tok, op) -> Some (i, String.length tok, op)
+      | None -> at (i + 1)
+  in
+  at 0
+
+let parse_duration s =
+  let s = String.trim s in
+  let s =
+    if s <> "" && s.[String.length s - 1] = 's' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  float_of_string_opt s
+
+let parse_rule line =
+  match find_op line with
+  | None -> Error "expected 'metric OP threshold [for DURs]'"
+  | Some (i, oplen, op) -> (
+      let metric = String.trim (String.sub line 0 i) in
+      let rest =
+        String.trim
+          (String.sub line (i + oplen) (String.length line - i - oplen))
+      in
+      if metric = "" then Error "missing metric name before operator"
+      else
+        let threshold_str, for_str =
+          (* split [500 for 30s] on a whitespace-delimited [for] keyword *)
+          match
+            String.split_on_char ' ' rest
+            |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+          with
+          | [ th; "for"; f ] -> (th, Some f)
+          | _ -> (rest, None)
+        in
+        match float_of_string_opt (String.trim threshold_str) with
+        | None ->
+            Error (Printf.sprintf "bad threshold %S" (String.trim threshold_str))
+        | Some threshold -> (
+            match for_str with
+            | None ->
+                Ok
+                  {
+                    name = canonical ~metric ~op ~threshold ~for_s:0.;
+                    metric;
+                    op;
+                    threshold;
+                    for_s = 0.;
+                  }
+            | Some f -> (
+                match parse_duration f with
+                | Some for_s when for_s >= 0. ->
+                    Ok
+                      {
+                        name = canonical ~metric ~op ~threshold ~for_s;
+                        metric;
+                        op;
+                        threshold;
+                        for_s;
+                      }
+                | _ -> Error (Printf.sprintf "bad duration %S" (String.trim f)))))
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then loop (lineno + 1) acc rest
+        else (
+          match parse_rule trimmed with
+          | Ok r -> loop (lineno + 1) (r :: acc) rest
+          | Error e -> Error (Printf.sprintf "alerts line %d: %s" lineno e))
+  in
+  loop 1 [] lines
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      parse text
+
+(* ---------- evaluation ---------- *)
+
+type state = {
+  s_rule : rule;
+  mutable cond_since : float option;  (* when the condition became true *)
+  mutable s_firing : bool;
+}
+
+type t = state list
+
+let create rules =
+  List.map (fun r -> { s_rule = r; cond_since = None; s_firing = false }) rules
+
+type transition = { rule : rule; firing : bool; value : float }
+
+let holds op threshold v =
+  match op with
+  | Gt -> v > threshold
+  | Ge -> v >= threshold
+  | Lt -> v < threshold
+  | Le -> v <= threshold
+
+let resolve_metric lookup metric =
+  match lookup metric with
+  | Some v -> Some v
+  | None ->
+      (* [foo_ms] falls back to [foo_s] * 1000: the sampler records
+         durations in seconds but latency rules read naturally in ms. *)
+      if Filename.check_suffix metric "_ms" then
+        Option.map
+          (fun v -> v *. 1000.)
+          (lookup (Filename.chop_suffix metric "_ms" ^ "_s"))
+      else None
+
+let eval t ~now ~lookup =
+  List.filter_map
+    (fun st ->
+      let r = st.s_rule in
+      let v = resolve_metric lookup r.metric in
+      match v with
+      | Some v when holds r.op r.threshold v ->
+          let since =
+            match st.cond_since with
+            | Some s -> s
+            | None ->
+                st.cond_since <- Some now;
+                now
+          in
+          if (not st.s_firing) && now -. since >= r.for_s then begin
+            st.s_firing <- true;
+            Some { rule = r; firing = true; value = v }
+          end
+          else None
+      | _ ->
+          st.cond_since <- None;
+          if st.s_firing then begin
+            st.s_firing <- false;
+            Some
+              { rule = r; firing = false; value = Option.value v ~default:nan }
+          end
+          else None)
+    t
+
+let firing t =
+  List.length (List.filter (fun st -> st.s_firing) t)
+
+let rules t = List.map (fun st -> st.s_rule) t

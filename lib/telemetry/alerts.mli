@@ -1,0 +1,62 @@
+(** Threshold + sustained-duration alert rules over time-series samples.
+
+    Rules are one-per-line text, e.g.
+
+    {v
+    # queue backing up for half a minute
+    queue_depth >= 100 for 30s
+    total_p99_ms > 500 for 30s
+    errors_per_s > 0
+    v}
+
+    [metric OP threshold [for DURs]].  Blank lines and [#] comments are
+    skipped.  A rule {e fires} once its condition has held continuously
+    for the sustained duration (immediately when no [for] clause is
+    given) and {e resolves} on the first sample where the condition is
+    false — or where the metric is absent, so a metric that stops being
+    reported cannot stay stuck firing.  Metrics ending in [_ms] fall
+    back to the corresponding [_s] field scaled by 1000, matching the
+    second-denominated names the serve sampler records.
+
+    Evaluation is pure bookkeeping: the caller supplies the sample
+    timestamp and a field-lookup function, so the engine itself performs
+    no clock reads and unit tests drive time explicitly. *)
+
+type op = Gt | Ge | Lt | Le
+
+type rule = {
+  name : string;  (** canonical text, e.g. ["total_p99_ms > 500 for 30s"] *)
+  metric : string;
+  op : op;
+  threshold : float;
+  for_s : float;  (** seconds the condition must hold; 0 = immediate *)
+}
+
+val parse : string -> (rule list, string) result
+(** Parse rule text (the whole file contents).  Errors name the
+    offending line. *)
+
+val load : string -> (rule list, string) result
+(** [parse] the contents of a file. *)
+
+(** {1 Evaluation} *)
+
+type t
+
+val create : rule list -> t
+
+type transition = {
+  rule : rule;
+  firing : bool;  (** [true] = just fired, [false] = just resolved *)
+  value : float;  (** metric value at the transition sample *)
+}
+
+val eval : t -> now:float -> lookup:(string -> float option) -> transition list
+(** Feed one sample (its timestamp and field lookup) to every rule;
+    returns the state transitions this sample caused, in rule order. *)
+
+val firing : t -> int
+(** Number of rules currently firing. *)
+
+val rules : t -> rule list
+(** The rules this engine evaluates, in declaration order. *)

@@ -1,0 +1,32 @@
+(** Crash flight recorder: bounded in-memory rings of the most recent
+    time-series samples and per-request span records, dumped to a
+    schema-tagged post-mortem JSON when something goes wrong (deadlock
+    diagnostic, uncaught server error) or on demand (SIGUSR1).
+
+    The recorder performs no clock reads and no I/O of its own until
+    {!dump}/{!write}: the serve path already timestamps every sample and
+    access record it produces, so feeding the rings costs two mutexed
+    list pushes per event.  Rings are capacity-bounded, oldest entries
+    evicted first, so memory stays O(capacity) under unbounded load. *)
+
+type t
+
+val create : ?samples:int -> ?records:int -> unit -> t
+(** Ring capacities; both default to 256. *)
+
+val add_sample : t -> Tsdb.sample -> unit
+val add_record : t -> Json.t -> unit
+(** [add_record] takes an already-built span/access record verbatim. *)
+
+val sample_count : t -> int
+(** Samples currently held (≤ capacity). *)
+
+val dump : t -> reason:string -> ts:float -> Json.t
+(** Snapshot both rings (oldest first) as a ["levioso-postmortem"]
+    document: [schema_version], [kind], [reason], [ts], [samples]
+    (tsdb-sample objects) and [records]. *)
+
+val write :
+  t -> dir:string -> reason:string -> ts:float -> (string, string) result
+(** {!dump} to the first free [postmortem-NNN.json] under [dir]
+    (atomic temp-file + rename); returns the path written. *)

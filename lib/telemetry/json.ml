@@ -36,7 +36,15 @@ let float_repr f =
       (Printf.sprintf
          "Json.to_string: non-finite float %h (sanitize with Json.float)" f)
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.6g" f
+  else
+    (* shortest of %.6g/%.12g/%.17g that parses back exactly: compact
+       for the common case, lossless for values that need the digits
+       (epoch-second timestamps die at 6 significant digits) *)
+    let s6 = Printf.sprintf "%.6g" f in
+    if float_of_string s6 = f then s6
+    else
+      let s12 = Printf.sprintf "%.12g" f in
+      if float_of_string s12 = f then s12 else Printf.sprintf "%.17g" f
 
 let float f = if Float.is_nan f || Float.abs f = Float.infinity then Null else Float f
 

@@ -72,6 +72,22 @@ let eta_s t elapsed =
       Some (elapsed /. float_of_int t.done_ *. float_of_int (tot - t.done_))
   | _ -> None
 
+(* Process-level self-metrics: uptime plus GC health, from
+   [Gc.quick_stat] (O(1)).  [live_words] is deliberately absent — on
+   OCaml 5 [quick_stat] reports it as 0 and the accurate [Gc.stat] walks
+   the whole heap, far too expensive for a 0.5 s render cadence — so
+   heap/top-heap words stand in for heap pressure. *)
+let process_metrics elapsed =
+  let q = Gc.quick_stat () in
+  [
+    ("uptime_seconds", "Wall clock seconds since this process's monitor started.", elapsed);
+    ("gc_heap_words", "Major heap size, words.", float_of_int q.Gc.heap_words);
+    ("gc_top_heap_words", "Largest major heap size reached, words.", float_of_int q.Gc.top_heap_words);
+    ("gc_minor_collections", "Minor collections since start.", float_of_int q.Gc.minor_collections);
+    ("gc_major_collections", "Major collection cycles since start.", float_of_int q.Gc.major_collections);
+    ("gc_minor_words", "Words allocated in the minor heap since start.", q.Gc.minor_words);
+  ]
+
 let snapshot_json_locked t now =
   let elapsed = now -. t.started in
   let current =
@@ -110,6 +126,9 @@ let snapshot_json_locked t now =
       ("current", Json.List current);
       ( "gauges",
         Json.Obj (List.map (fun (n, (_, v)) -> (n, Json.float v)) t.gauges) );
+      ( "process",
+        Json.Obj
+          (List.map (fun (n, _, v) -> (n, Json.float v)) (process_metrics elapsed)) );
     ]
     @
     match t.hists with
@@ -175,6 +194,10 @@ let openmetrics_locked t now =
   | None -> ());
   gauge "levioso_progress_elapsed_seconds" "Wall clock since start."
     (Printf.sprintf "%.3f" elapsed);
+  List.iter
+    (fun (name, help, v) ->
+      gauge ("levioso_" ^ name) help (Printf.sprintf "%g" v))
+    (process_metrics elapsed);
   (* insertion order, matching the JSON snapshot, so diffs between the
      two views line up and the ordering is stable across updates *)
   List.iter

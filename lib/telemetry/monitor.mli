@@ -84,11 +84,18 @@ val progress : t -> ?failures:int -> done_:int -> unit -> unit
     counts after each chunk rather than per-item start/finish). *)
 
 val snapshot_json : t -> Json.t
-(** The current snapshot, as written to [json_path]. *)
+(** The current snapshot, as written to [json_path].  Includes a
+    [process] object with process-level self-metrics (uptime, GC
+    heap/top-heap words, minor/major collection counts, minor words
+    allocated) so any monitored CLI reports its own health. *)
 
 val openmetrics : t -> string
 (** The current snapshot in OpenMetrics text format (ends with
-    [# EOF]). *)
+    [# EOF]).  Alongside the progress and application gauges it exports
+    the same process self-metrics as {!snapshot_json}
+    ([levioso_uptime_seconds], [levioso_gc_heap_words],
+    [levioso_gc_top_heap_words], [levioso_gc_minor_collections],
+    [levioso_gc_major_collections], [levioso_gc_minor_words]). *)
 
 val close : t -> unit
 (** Forces a final snapshot (files + status line, which gets a

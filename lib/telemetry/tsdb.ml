@@ -1,0 +1,297 @@
+(* Append-only on-disk metrics time-series.  See tsdb.mli for the
+   design contract; the invariants that matter here:
+
+   - every completed record is one full line in exactly one segment
+     file, flushed before [append] returns;
+   - rotation and retention only ever create or unlink whole segment
+     files, so concurrent readers of the directory see a consistent
+     prefix of history;
+   - the clock is read exactly once per [append] and nowhere else. *)
+
+type clock = unit -> float
+
+type sample = { ts : float; fields : (string * float) list }
+type alert = { a_ts : float; rule : string; firing : bool }
+type record = Sample of sample | Alert of alert
+
+let sample_kind = "levioso-tsdb-sample"
+let alert_kind = "levioso-tsdb-alert"
+
+let sample_to_json s =
+  Schema.tag
+    [
+      ("kind", Json.String sample_kind);
+      ("ts", Json.float s.ts);
+      ("fields", Json.Obj (List.map (fun (k, v) -> (k, Json.float v)) s.fields));
+    ]
+
+let alert_to_json a =
+  Schema.tag
+    [
+      ("kind", Json.String alert_kind);
+      ("ts", Json.float a.a_ts);
+      ("rule", Json.String a.rule);
+      ("state", Json.String (if a.firing then "firing" else "resolved"));
+    ]
+
+let record_of_json j =
+  let ( let* ) = Result.bind in
+  let* () = Schema.check ~what:"tsdb record" j in
+  let str_field name =
+    match Json.member name j with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "tsdb record: missing %S field" name)
+  in
+  let float_field name =
+    match Json.member name j with
+    | Some (Json.Float f) -> Ok f
+    | Some (Json.Int i) -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "tsdb record: missing %S field" name)
+  in
+  let* kind = str_field "kind" in
+  let* ts = float_field "ts" in
+  if kind = sample_kind then
+    match Json.member "fields" j with
+    | Some (Json.Obj kvs) ->
+        let fields =
+          List.filter_map
+            (fun (k, v) ->
+              match v with
+              | Json.Float f -> Some (k, f)
+              | Json.Int i -> Some (k, float_of_int i)
+              | _ -> None)
+            kvs
+        in
+        Ok (Sample { ts; fields })
+    | _ -> Error "tsdb sample: missing \"fields\" object"
+  else if kind = alert_kind then
+    let* rule = str_field "rule" in
+    let* state = str_field "state" in
+    match state with
+    | "firing" -> Ok (Alert { a_ts = ts; rule; firing = true })
+    | "resolved" -> Ok (Alert { a_ts = ts; rule; firing = false })
+    | s -> Error (Printf.sprintf "tsdb alert: unknown state %S" s)
+  else Error (Printf.sprintf "tsdb record: unknown kind %S" kind)
+
+let record_ts = function Sample s -> s.ts | Alert a -> a.a_ts
+let samples records = List.filter_map (function Sample s -> Some s | Alert _ -> None) records
+
+(* ---------- segment naming ---------- *)
+
+let segment_name seq = Printf.sprintf "seg-%08d.jsonl" seq
+
+let segment_seq name =
+  (* [seg-00000042.jsonl] -> [Some 42] *)
+  if
+    String.length name = String.length "seg-00000000.jsonl"
+    && String.sub name 0 4 = "seg-"
+    && Filename.check_suffix name ".jsonl"
+  then int_of_string_opt (String.sub name 4 8)
+  else None
+
+let segment_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      let segs =
+        Array.to_list names
+        |> List.filter_map (fun n ->
+               match segment_seq n with
+               | Some seq -> Some (seq, Filename.concat dir n)
+               | None -> None)
+      in
+      List.sort compare segs |> List.map snd
+
+(* ---------- writer ---------- *)
+
+type t = {
+  dir : string;
+  clock : clock;
+  max_segment_bytes : int;
+  max_total_bytes : int;
+  max_age_s : float;
+  mu : Mutex.t;
+  mutable seq : int;  (* sequence number of the active segment *)
+  mutable chan : out_channel option;  (* active segment, opened lazily *)
+  mutable chan_bytes : int;  (* bytes written to the active segment *)
+  mutable last_ts : float;  (* newest timestamp appended (age retention) *)
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let create ?(clock = Unix.gettimeofday) ?(max_segment_bytes = 256 * 1024)
+    ?(max_total_bytes = 16 * 1024 * 1024) ?(max_age_s = infinity) ~dir () =
+  mkdir_p dir;
+  let seq =
+    (* resume after any segment a previous process left behind *)
+    List.fold_left
+      (fun acc path ->
+        match segment_seq (Filename.basename path) with
+        | Some s when s >= acc -> s + 1
+        | _ -> acc)
+      0 (segment_files dir)
+  in
+  {
+    dir;
+    clock;
+    max_segment_bytes;
+    max_total_bytes;
+    max_age_s;
+    mu = Mutex.create ();
+    seq;
+    chan = None;
+    chan_bytes = 0;
+    last_ts = neg_infinity;
+  }
+
+let now t = t.clock ()
+
+let active_chan t =
+  match t.chan with
+  | Some ch -> ch
+  | None ->
+      let ch = open_out (Filename.concat t.dir (segment_name t.seq)) in
+      t.chan <- Some ch;
+      t.chan_bytes <- 0;
+      ch
+
+let rotate_locked t =
+  (match t.chan with
+  | Some ch ->
+      close_out ch;
+      t.chan <- None;
+      t.chan_bytes <- 0
+  | None -> ());
+  t.seq <- t.seq + 1
+
+(* Last timestamp recorded in a segment file, for age-based retention of
+   segments inherited from a previous process.  O(file), but only runs
+   when retention actually considers deleting an old segment. *)
+let file_last_ts path =
+  let ic = open_in path in
+  let last = ref neg_infinity in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match Json.of_string line with
+         | Ok j -> (
+             match Json.member "ts" j with
+             | Some (Json.Float f) -> last := f
+             | Some (Json.Int i) -> last := float_of_int i
+             | _ -> ())
+         | Error _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !last
+
+let retain_locked t =
+  (* Consider only rotated (closed) segments, oldest first; the active
+     segment is never deleted out from under the writer. *)
+  let rotated =
+    List.filter
+      (fun path ->
+        match segment_seq (Filename.basename path) with
+        | Some s -> s < t.seq
+        | None -> false)
+      (segment_files t.dir)
+  in
+  let sizes =
+    List.map (fun p -> (p, try (Unix.stat p).Unix.st_size with Unix.Unix_error _ -> 0)) rotated
+  in
+  let total = ref (List.fold_left (fun acc (_, s) -> acc + s) t.chan_bytes sizes) in
+  List.iter
+    (fun (path, size) ->
+      let too_big = !total > t.max_total_bytes in
+      let too_old =
+        t.max_age_s < infinity
+        && t.last_ts > neg_infinity
+        && t.last_ts -. file_last_ts path > t.max_age_s
+      in
+      if too_big || too_old then begin
+        (try Sys.remove path with Sys_error _ -> ());
+        total := !total - size
+      end)
+    sizes
+
+let write_line t json =
+  let line = Json.to_string ~minify:true json ^ "\n" in
+  let len = String.length line in
+  if t.chan_bytes > 0 && t.chan_bytes + len > t.max_segment_bytes then begin
+    rotate_locked t;
+    retain_locked t
+  end;
+  let ch = active_chan t in
+  output_string ch line;
+  flush ch;
+  t.chan_bytes <- t.chan_bytes + len
+
+let append ?ts t fields =
+  let ts = match ts with Some ts -> ts | None -> t.clock () in
+  let fields = List.filter (fun (_, v) -> Float.is_finite v) fields in
+  let s = { ts; fields } in
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      t.last_ts <- ts;
+      write_line t (sample_to_json s));
+  s
+
+let append_alert t ~ts ~rule ~firing =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () -> write_line t (alert_to_json { a_ts = ts; rule; firing }))
+
+let close t =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      match t.chan with
+      | Some ch ->
+          close_out ch;
+          t.chan <- None
+      | None -> ())
+
+(* ---------- reader ---------- *)
+
+let read_dir ?(since = neg_infinity) ?(until = infinity) dir =
+  let ( let* ) = Result.bind in
+  let read_file path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec loop lineno acc =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | line when String.trim line = "" -> loop (lineno + 1) acc
+          | line -> (
+              let where =
+                Printf.sprintf "%s:%d" (Filename.basename path) lineno
+              in
+              match Json.of_string line with
+              | Error e -> Error (Printf.sprintf "%s: %s" where e)
+              | Ok j -> (
+                  match record_of_json j with
+                  | Error e -> Error (Printf.sprintf "%s: %s" where e)
+                  | Ok r -> loop (lineno + 1) (r :: acc)))
+        in
+        loop 1 [])
+  in
+  let rec walk = function
+    | [] -> Ok []
+    | path :: rest ->
+        let* records = read_file path in
+        let* tail = walk rest in
+        Ok (records @ tail)
+  in
+  let* all = walk (segment_files dir) in
+  Ok (List.filter (fun r -> record_ts r >= since && record_ts r <= until) all)

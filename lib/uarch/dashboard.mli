@@ -1,0 +1,24 @@
+(** Self-contained HTML dashboard over a continuous-telemetry history
+    ({!Levioso_telemetry.Tsdb} records, as recorded by
+    [levioso_serve serve --history-out] and rendered by
+    [levioso_report --dashboard DIR]).
+
+    Same contract as {!Html_report}: one HTML document, inline CSS,
+    inline SVG area charts and sparklines, no scripts, no external
+    references — it opens from a file:// URL or an artifact store.  The
+    output is a pure function of the input records (every float printed
+    with a fixed format), so re-rendering the same segments is
+    byte-identical and CI diffs dashboards textually. *)
+
+val render :
+  ?title:string ->
+  Levioso_telemetry.Tsdb.record list ->
+  (string, string) result
+(** Render panels for queue depth, request/error rates, latency
+    percentiles, cache hit share and GC heap, plus alert transitions
+    and the newest sample's full field table.  [Error] when the records
+    contain no samples. *)
+
+val render_exn :
+  ?title:string -> Levioso_telemetry.Tsdb.record list -> string
+(** @raise Invalid_argument when {!render} fails. *)

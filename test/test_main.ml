@@ -24,6 +24,7 @@ let () =
       Test_config.suite;
       Test_parallel.suite;
       Test_run_cache.suite;
+      Test_tsdb.suite;
       Test_serve.suite;
       Test_predictor.suite;
       Test_tage.suite;

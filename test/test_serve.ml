@@ -9,6 +9,8 @@ module Config = Levioso_uarch.Config
 module Run_cache = Levioso_uarch.Run_cache
 module Sampler = Levioso_uarch.Sampler
 module Json = Levioso_telemetry.Json
+module Tsdb = Levioso_telemetry.Tsdb
+module Alerts = Levioso_telemetry.Alerts
 module Protocol = Levioso_serve.Protocol
 module Catalog = Levioso_serve.Catalog
 module Engine = Levioso_serve.Engine
@@ -261,7 +263,7 @@ let temp_socket () =
   (* bind_listener treats the (never-listened-on) leftover as stale *)
   f
 
-let with_server ?queue_max ?cache_dir ?spans ?access_log f =
+let with_server ?queue_max ?cache_dir ?spans ?access_log ?history f =
   let socket_path = temp_socket () in
   let cache =
     Option.map (fun dir -> Run_cache.create ~stamp:"t" ~dir ()) cache_dir
@@ -287,6 +289,7 @@ let with_server ?queue_max ?cache_dir ?spans ?access_log f =
             log = None;
             spans;
             access_log;
+            history;
           })
       ()
   in
@@ -553,6 +556,90 @@ let test_bounded_queue_backpressure () =
         (local_summaries cells) (summaries results);
       Client.close c)
 
+(* Continuous telemetry end-to-end: a daemon run with history enabled
+   returns bit-identical results, records monotone samples carrying the
+   expected operational fields, fires the configured alert once traffic
+   arrives, answers the history request (with last-N truncation), and
+   leaves on-disk segments a cold reader can parse after shutdown. *)
+let test_history_daemon () =
+  let dir = Filename.temp_file "lev-history" "" in
+  Sys.remove dir;
+  let alert_rules =
+    match Alerts.parse "requests > 0\n" with
+    | Ok rules -> rules
+    | Error msg -> Alcotest.fail msg
+  in
+  let history =
+    { Server.history_dir = dir; history_interval_s = 0.05; alert_rules }
+  in
+  with_server ~history (fun socket ->
+      let c = Client.connect socket in
+      let results, stats = Client.submit c matrix_cells in
+      Alcotest.(check int) "nothing failed" 0 stats.Protocol.failed;
+      Alcotest.(check (list string))
+        "history-on results bit-identical to the local engine"
+        (local_summaries matrix_cells) (summaries results);
+      (* let the sampler tick a few times past the submission *)
+      Thread.delay 0.2;
+      let records =
+        match Protocol.history_records (Client.history c) with
+        | Ok records -> records
+        | Error msg -> Alcotest.fail msg
+      in
+      let samples = Tsdb.samples records in
+      Alcotest.(check bool) "at least one sample" true (samples <> []);
+      let rec monotone = function
+        | (a : Tsdb.sample) :: (b :: _ as rest) ->
+          a.Tsdb.ts <= b.Tsdb.ts && monotone rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "timestamps monotone" true (monotone samples);
+      let last = List.nth samples (List.length samples - 1) in
+      List.iter
+        (fun field ->
+          Alcotest.(check bool) (field ^ " sampled") true
+            (List.mem_assoc field last.Tsdb.fields))
+        [ "uptime_s"; "queue_depth"; "clients"; "requests"; "gc_heap_words" ];
+      (match List.assoc_opt "requests" last.Tsdb.fields with
+      | Some v -> Alcotest.(check bool) "requests counted" true (v >= 1.)
+      | None -> Alcotest.fail "requests field missing");
+      let firing =
+        List.exists
+          (function
+            | Tsdb.Alert a -> a.Tsdb.rule = "requests > 0" && a.Tsdb.firing
+            | Tsdb.Sample _ -> false)
+          records
+      in
+      Alcotest.(check bool) "requests > 0 alert fired" true firing;
+      Alcotest.(check int) "last-N truncation" 1
+        (List.length
+           (match Protocol.history_records (Client.history ~last:1 c) with
+           | Ok records -> records
+           | Error msg -> Alcotest.fail msg));
+      Client.shutdown c;
+      Client.close c;
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while Sys.file_exists socket && Unix.gettimeofday () < deadline do
+        Thread.yield ()
+      done);
+  (* cold read after shutdown: segments parse and end with the final
+     sample the shutdown path appends *)
+  match Tsdb.read_dir dir with
+  | Error msg -> Alcotest.fail msg
+  | Ok records ->
+    Alcotest.(check bool) "cold read sees at least two samples" true
+      (List.length (Tsdb.samples records) >= 2)
+
+let test_history_unavailable () =
+  with_server (fun socket ->
+      let c = Client.connect socket in
+      (match Client.history c with
+      | exception Client.Server_error msg ->
+        Alcotest.(check bool) "error names the missing flag" true
+          (contains msg "--history-out")
+      | _ -> Alcotest.fail "history without --history-out should error");
+      Client.close c)
+
 let suite =
   ( "serve",
     [
@@ -581,4 +668,8 @@ let suite =
       Alcotest.test_case "daemon: mixed batch partial failure" `Quick
         test_mixed_batch_partial_failure;
       Alcotest.test_case "daemon: traced end-to-end" `Quick test_traced_daemon;
+      Alcotest.test_case "daemon: continuous telemetry end-to-end" `Quick
+        test_history_daemon;
+      Alcotest.test_case "daemon: history without --history-out" `Quick
+        test_history_unavailable;
     ] )

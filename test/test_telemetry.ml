@@ -574,6 +574,100 @@ let test_monitor_histogram_exposition () =
   | None -> Alcotest.fail "histogram missing from the JSON snapshot");
   Monitor.close m
 
+let test_monitor_process_metrics () =
+  let m = Monitor.create ~label:"t" () in
+  Monitor.set_gauge m "queue_depth" 1.;
+  let text = Monitor.openmetrics m in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " exposed") true (contains text name))
+    [
+      "levioso_uptime_seconds"; "levioso_gc_heap_words";
+      "levioso_gc_top_heap_words"; "levioso_gc_minor_collections";
+      "levioso_gc_major_collections"; "levioso_gc_minor_words";
+    ];
+  let j = Monitor.snapshot_json m in
+  (match Json.member "process" j with
+  | Some (Json.Obj fields) ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name fields with
+        | Some (Json.Float v) ->
+          Alcotest.(check bool) (name ^ " non-negative") true (v >= 0.)
+        | _ -> Alcotest.fail (name ^ " missing from the process object"))
+      [ "uptime_seconds"; "gc_heap_words"; "gc_minor_collections" ];
+    (* the major heap of a live process is never empty *)
+    (match List.assoc_opt "gc_heap_words" fields with
+    | Some (Json.Float v) ->
+      Alcotest.(check bool) "heap words positive" true (v > 0.)
+    | _ -> ())
+  | _ -> Alcotest.fail "snapshot has no process object");
+  Monitor.close m
+
+(* --- schema sweep over every artifact family -------------------------- *)
+
+(* One producer per schema-tagged artifact the toolchain writes.  Each
+   must pass Schema.check as produced, and be rejected — with an error
+   that names the artifact — when the version is wrong or missing, so a
+   consumer of any family gets the same friendly failure instead of a
+   field-shape crash deeper in. *)
+let test_schema_check_sweep () =
+  let module Tsdb = Levioso_telemetry.Tsdb in
+  let module Flight = Levioso_telemetry.Flight in
+  let module Span = Levioso_telemetry.Span in
+  let module Protocol = Levioso_serve.Protocol in
+  let monitor = Monitor.create ~label:"t" () in
+  let artifacts =
+    [
+      ("run summary", Summary.runs []);
+      ( "bench matrix",
+        Schema.tag
+          [
+            ("schema", Json.String "levioso-bench-matrix/v1");
+            ("matrix", Json.List []);
+          ] );
+      ("progress snapshot", Monitor.snapshot_json monitor);
+      ("chrome trace", Span.to_chrome []);
+      ( "access record",
+        Span.access_record ~ts:1. ~trace:"tr" ~request:"submit" ~index:0
+          ~workload:"stream" ~policy:"unsafe" ~source:"sim"
+          ~stages:[ ("queue", 0.001) ]
+          ~total_s:0.002 () );
+      ("tsdb sample", Tsdb.sample_to_json { Tsdb.ts = 1.; fields = [ ("a", 1.) ] });
+      ( "tsdb alert",
+        Tsdb.alert_to_json { Tsdb.a_ts = 1.; rule = "a > 0"; firing = true } );
+      ("post-mortem", Flight.dump (Flight.create ()) ~reason:"test" ~ts:1.);
+      ("history", Protocol.history_doc []);
+    ]
+  in
+  Monitor.close monitor;
+  let with_version j v =
+    match j with
+    | Json.Obj fields ->
+      Json.Obj (("schema_version", Json.Int v) :: List.remove_assoc "schema_version" fields)
+    | j -> j
+  in
+  let without_version j =
+    match j with
+    | Json.Obj fields -> Json.Obj (List.remove_assoc "schema_version" fields)
+    | j -> j
+  in
+  List.iter
+    (fun (what, doc) ->
+      Alcotest.(check bool) (what ^ ": as produced passes") true
+        (Schema.check ~what doc = Ok ());
+      (match Schema.check ~what (with_version doc (Schema.version + 1)) with
+      | Ok () -> Alcotest.failf "%s: future version accepted" what
+      | Error msg ->
+        Alcotest.(check bool) (what ^ ": version error names it") true
+          (contains msg what && contains msg "expected"));
+      match Schema.check ~what (without_version doc) with
+      | Ok () -> Alcotest.failf "%s: untagged accepted" what
+      | Error msg ->
+        Alcotest.(check bool) (what ^ ": missing-tag error names it") true
+          (contains msg what && contains msg "missing schema_version"))
+    artifacts
+
 let suite =
   ( "telemetry",
     [
@@ -619,4 +713,8 @@ let suite =
         test_monitor_metric_ordering_stable;
       Alcotest.test_case "monitor histogram exposition" `Quick
         test_monitor_histogram_exposition;
+      Alcotest.test_case "monitor process self-metrics" `Quick
+        test_monitor_process_metrics;
+      Alcotest.test_case "schema sweep over every artifact" `Quick
+        test_schema_check_sweep;
     ] )
